@@ -1,0 +1,87 @@
+// Ablation: does COBAYN's compiler-space pruning earn its keep?
+//
+// The paper reduces the 128-point flag space to 4 COBAYN-predicted
+// configurations (CF1-CF4).  This bench quantifies the quality of that
+// reduction on the 12 evaluation kernels: for each kernel it compares
+// the best modelled execution time reachable with
+//   - the 4 configurations predicted by our trained COBAYN model,
+//   - 4 uniformly random configurations (averaged over 50 draws),
+//   - plain -O3, and
+//   - the true optimum of the full 128-point space (oracle),
+// all at 16 threads / close binding (the labelling configuration).
+// Values are slowdowns relative to the oracle (1.00 = optimal).
+#include <algorithm>
+#include <cstdio>
+
+#include "cobayn/cobayn.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sources.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace socrates;
+
+  std::printf("== Ablation: COBAYN-predicted flags vs random picks vs -O3 ==\n");
+  std::printf("(best-of-4 modelled exec time, as slowdown vs the 128-point oracle)\n\n");
+
+  const auto model = platform::PerformanceModel::paper_platform();
+  const auto corpus = cobayn::make_corpus(48, 2018);
+  const auto cobayn_model = cobayn::CobaynModel::train(corpus, model);
+  const auto space = platform::cobayn_search_space();
+
+  platform::Configuration rc;
+  rc.threads = 16;
+  rc.binding = platform::BindingPolicy::kClose;
+
+  TextTable table({"Benchmark", "COBAYN best-of-4", "Random best-of-4", "-O3", "Oracle [s]"});
+  std::vector<double> cobayn_slow, random_slow, o3_slow;
+
+  Rng rng(7);
+  for (const auto& bench : kernels::all_benchmarks()) {
+    const auto time_of = [&](const platform::FlagConfig& f) {
+      rc.flags = f;
+      return model.evaluate(bench.model, rc).exec_time_s;
+    };
+
+    double oracle = 1e100;
+    for (const auto& f : space) oracle = std::min(oracle, time_of(f));
+
+    const auto fv = cobayn::kernel_features_of_source(kernels::benchmark_source(bench.name));
+    double best_pred = 1e100;
+    for (const auto& p : cobayn_model.predict(fv, 4))
+      best_pred = std::min(best_pred, time_of(p.config));
+
+    RunningStats random_best;
+    for (int round = 0; round < 50; ++round) {
+      double best = 1e100;
+      for (int k = 0; k < 4; ++k) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(space.size()) - 1));
+        best = std::min(best, time_of(space[pick]));
+      }
+      random_best.add(best);
+    }
+
+    const double o3 = time_of(platform::FlagConfig(platform::OptLevel::kO3));
+
+    cobayn_slow.push_back(best_pred / oracle);
+    random_slow.push_back(random_best.mean() / oracle);
+    o3_slow.push_back(o3 / oracle);
+    table.add_row({bench.name, format_double(best_pred / oracle, 3),
+                   format_double(random_best.mean() / oracle, 3),
+                   format_double(o3 / oracle, 3), format_double(oracle, 2)});
+  }
+
+  table.add_separator();
+  table.add_row({"Geomean", format_double(geometric_mean_of(cobayn_slow), 3),
+                 format_double(geometric_mean_of(random_slow), 3),
+                 format_double(geometric_mean_of(o3_slow), 3), "-"});
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nCOBAYN's 4 predictions should sit closer to the oracle than both\n"
+      "4 random draws and the -O3 one-fits-all default.\n");
+  return 0;
+}

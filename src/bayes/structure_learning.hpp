@@ -1,0 +1,40 @@
+// Greedy structure learning for discrete Bayesian networks.
+//
+// COBAYN learns the dependency structure between application features
+// and good compiler-flag settings from iterative-compilation data.  We
+// implement the classic K2 greedy search: given a topological variable
+// ordering, each node greedily acquires the parent (among its
+// predecessors) that most improves a decomposable score, until no
+// parent helps or the per-node parent limit is reached.  The score is
+// BIC (log-likelihood minus a complexity penalty), which keeps the
+// network sparse on the small datasets iterative compilation yields.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bayes/network.hpp"
+
+namespace socrates::bayes {
+
+struct K2Options {
+  std::size_t max_parents = 3;
+  double laplace_alpha = 1.0;
+};
+
+/// BIC score of a single family (variable + its parent set) on `data`:
+/// sum over rows of log P(x_v | parents) with MLE+Laplace parameters,
+/// minus 0.5 * log(N) * #free-parameters of the family.
+double family_bic_score(const Dataset& data, const std::vector<Variable>& vars,
+                        std::size_t var, const std::vector<std::size_t>& parents,
+                        double alpha = 1.0);
+
+/// Runs K2 search over `order` (earlier variables may only be parents
+/// of later ones) and returns a *fitted* network.
+BayesNet k2_search(const std::vector<Variable>& vars, const Dataset& data,
+                   const std::vector<std::size_t>& order, const K2Options& options = {});
+
+/// Total BIC score of a fitted network structure on `data`.
+double network_bic_score(const BayesNet& net, const Dataset& data, double alpha = 1.0);
+
+}  // namespace socrates::bayes

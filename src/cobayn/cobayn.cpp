@@ -1,0 +1,203 @@
+#include "cobayn/cobayn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/parser.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace socrates::cobayn {
+
+namespace {
+
+using platform::FlagConfig;
+using platform::OptLevel;
+
+/// Query-variable layout inside the network, after the feature nodes:
+/// [level, flag0..flag5].  The mixed-radix posterior index therefore
+/// has `level` as its most significant bit.
+constexpr std::size_t kFlagVars = 1 + platform::kFlagCount;
+
+FlagConfig combo_to_config(std::size_t combo) {
+  const unsigned bits = static_cast<unsigned>(combo) & ((1u << platform::kFlagCount) - 1);
+  const bool o3 = (combo >> platform::kFlagCount) != 0;
+  return FlagConfig(o3 ? OptLevel::kO3 : OptLevel::kO2, bits);
+}
+
+std::size_t config_to_combo(const FlagConfig& config) {
+  SOCRATES_REQUIRE(config.level() == OptLevel::kO2 || config.level() == OptLevel::kO3);
+  const std::size_t level_bit = config.level() == OptLevel::kO3 ? 1 : 0;
+  return (level_bit << platform::kFlagCount) | config.flag_bits();
+}
+
+}  // namespace
+
+features::FeatureVector kernel_features_of_source(const std::string& source) {
+  const ir::TranslationUnit tu = ir::parse(source);
+  const auto kernels = features::extract_kernel_features(tu);
+  SOCRATES_REQUIRE_MSG(!kernels.empty(), "source has no kernel_* function");
+  return kernels.front().second;
+}
+
+const std::vector<std::size_t>& CobaynModel::model_feature_indices() {
+  using namespace features;
+  static const std::vector<std::size_t> kIndices = {
+      kNumLoops,     kMaxLoopDepth,     kNumIfs,          kNumCalls,
+      kNumArrayAccesses, kAvgLoopBodyStmts, kArithIntensity, kFloatOpRatio,
+  };
+  return kIndices;
+}
+
+std::vector<double> CobaynModel::project_features(const features::FeatureVector& fv) const {
+  std::vector<double> row;
+  row.reserve(model_feature_indices().size());
+  for (const std::size_t idx : model_feature_indices()) row.push_back(fv[idx]);
+  return row;
+}
+
+CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
+                               const platform::PerformanceModel& platform,
+                               const TrainOptions& options) {
+  SOCRATES_REQUIRE_MSG(corpus.size() >= 4, "corpus too small: " << corpus.size());
+  SOCRATES_REQUIRE(options.good_share > 0.0 && options.good_share <= 1.0);
+
+  CobaynModel model;
+
+  // ---- feature extraction + discretizer fit ---------------------------
+  std::vector<std::vector<double>> feature_rows;
+  feature_rows.reserve(corpus.size());
+  for (const auto& kernel : corpus) {
+    const auto fv = kernel_features_of_source(kernel.source);
+    feature_rows.push_back(model.project_features(fv));
+  }
+  model.discretizer_.fit(feature_rows, options.feature_bins);
+
+  // ---- iterative compilation: label good configurations ----------------
+  const auto space = platform::cobayn_search_space();
+  bayes::Dataset data;
+  for (std::size_t ki = 0; ki < corpus.size(); ++ki) {
+    platform::Configuration run_config;
+    run_config.threads = options.profile_threads;
+    run_config.binding = platform::BindingPolicy::kClose;
+
+    std::vector<std::pair<double, std::size_t>> timed;  // (exec time, combo)
+    timed.reserve(space.size());
+    for (const auto& flags : space) {
+      run_config.flags = flags;
+      const auto m = platform.evaluate(corpus[ki].params, run_config);
+      timed.emplace_back(m.exec_time_s, config_to_combo(flags));
+    }
+    std::sort(timed.begin(), timed.end());
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(options.good_share *
+                                              static_cast<double>(timed.size()))));
+
+    const auto binned = model.discretizer_.transform_row(feature_rows[ki]);
+    for (std::size_t g = 0; g < keep; ++g) {
+      bayes::FullAssignment row;
+      row.reserve(binned.size() + kFlagVars);
+      for (const std::size_t b : binned) row.push_back(b);
+      const std::size_t combo = timed[g].second;
+      row.push_back(combo >> platform::kFlagCount);  // level bit
+      for (std::size_t f = 0; f < platform::kFlagCount; ++f)
+        row.push_back((combo >> (platform::kFlagCount - 1 - f)) & 1u);
+      data.push_back(std::move(row));
+    }
+  }
+  model.training_rows_ = data.size();
+
+  // ---- structure + parameter learning ----------------------------------
+  std::vector<bayes::Variable> vars;
+  const auto& findices = model_feature_indices();
+  for (std::size_t i = 0; i < findices.size(); ++i) {
+    vars.push_back(bayes::Variable{"f_" + features::FeatureVector::names()[findices[i]],
+                                   model.discretizer_.cardinality(i)});
+  }
+  vars.push_back(bayes::Variable{"opt_level", 2});
+  // Flag variable order mirrors the mixed-radix posterior layout: the
+  // f-th flag node holds combo bit (kFlagCount-1-f), so the posterior
+  // index over [level, flags...] equals the combo encoding directly.
+  for (std::size_t f = 0; f < platform::kFlagCount; ++f) {
+    const auto flag = static_cast<platform::Flag>(platform::kFlagCount - 1 - f);
+    vars.push_back(bayes::Variable{platform::flag_spelling(flag), 2});
+  }
+
+  std::vector<std::size_t> order(vars.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;  // features first
+
+  model.net_.push_back(bayes::k2_search(vars, data, order, options.k2));
+  log_info() << "COBAYN trained: " << data.size() << " rows, "
+             << model.net_.front().parameter_count() << " parameters";
+  return model;
+}
+
+const bayes::BayesNet& CobaynModel::network() const {
+  SOCRATES_REQUIRE_MSG(!net_.empty(), "model is not trained");
+  return net_.front();
+}
+
+std::vector<RankedConfig> CobaynModel::predict(const features::FeatureVector& fv,
+                                               std::size_t top_n) const {
+  SOCRATES_REQUIRE(top_n >= 1);
+  const bayes::BayesNet& net = network();
+
+  const auto binned = discretizer_.transform_row(project_features(fv));
+  const std::size_t n_features = binned.size();
+
+  bayes::Assignment evidence(net.variable_count(), std::nullopt);
+  for (std::size_t i = 0; i < n_features; ++i) evidence[i] = binned[i];
+
+  std::vector<std::size_t> query(kFlagVars);
+  for (std::size_t i = 0; i < kFlagVars; ++i) query[i] = n_features + i;
+
+  // Mixed-radix posterior with query[0] (= opt level) most significant
+  // and each flag a bit below it — i.e. index == combo encoding.
+  const auto posterior = net.posterior_over(query, evidence);
+  SOCRATES_ENSURE(posterior.size() == (std::size_t{2} << platform::kFlagCount));
+
+  std::vector<std::size_t> idx(posterior.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return posterior[a] > posterior[b];
+  });
+
+  std::vector<RankedConfig> out;
+  const std::size_t n = std::min(top_n, idx.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(RankedConfig{combo_to_config(idx[i]), posterior[idx[i]]});
+  return out;
+}
+
+std::vector<platform::FlagConfig> CobaynModel::sample_configs(
+    Rng& rng, const features::FeatureVector& fv, std::size_t n) const {
+  SOCRATES_REQUIRE(n >= 1 && n <= (std::size_t{2} << platform::kFlagCount));
+  // Reuse the exact posterior and draw without replacement: pick by
+  // weight, zero the weight, repeat.  Equivalent to sampling the BN
+  // conditioned on the features and rejecting duplicates, but O(n*128).
+  auto ranked = predict(fv, std::size_t{2} << platform::kFlagCount);
+  std::vector<double> weights(ranked.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) weights[i] = ranked[i].probability;
+
+  std::vector<platform::FlagConfig> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t pick = rng.weighted_pick(weights);
+    out.push_back(ranked[pick].config);
+    weights[pick] = 0.0;
+  }
+  return out;
+}
+
+std::vector<platform::NamedConfig> CobaynModel::predict_named(
+    const features::FeatureVector& fv, std::size_t top_n) const {
+  const auto ranked = predict(fv, top_n);
+  std::vector<platform::NamedConfig> out;
+  out.reserve(ranked.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    out.push_back(platform::NamedConfig{"CF" + std::to_string(i + 1), ranked[i].config});
+  return out;
+}
+
+}  // namespace socrates::cobayn

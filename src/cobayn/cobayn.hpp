@@ -1,0 +1,87 @@
+// COBAYN: compiler autotuning with Bayesian networks.
+//
+// Reimplementation of the COBAYN methodology (Ashouri et al., TACO
+// 2016) at the granularity SOCRATES needs (kernel functions):
+//   1. iterative compilation over a training corpus labels, for every
+//      kernel, the flag configurations in the fastest decile;
+//   2. a Bayesian network is learned over (discretized Milepost-style
+//      features, flag settings) with K2/BIC structure search;
+//   3. for a new kernel, the network is conditioned on the kernel's
+//      static features and the posterior over the 128 flag
+//      configurations is enumerated exactly; the top-N most probable
+//      configurations become the reduced compiler design space
+//      (the paper's CF1..CF4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bayes/discretizer.hpp"
+#include "bayes/network.hpp"
+#include "bayes/structure_learning.hpp"
+#include "cobayn/corpus.hpp"
+#include "features/features.hpp"
+#include "platform/flags.hpp"
+#include "platform/perf_model.hpp"
+
+namespace socrates::cobayn {
+
+struct TrainOptions {
+  std::size_t feature_bins = 3;       ///< discretization granularity
+  double good_share = 0.10;           ///< top decile = "good" configurations
+  std::size_t profile_threads = 16;   ///< thread count used while labelling
+  bayes::K2Options k2;                ///< structure-search options
+};
+
+/// A flag configuration with its posterior probability.
+struct RankedConfig {
+  platform::FlagConfig config;
+  double probability = 0.0;
+};
+
+class CobaynModel {
+ public:
+  /// Learns the model from a corpus via iterative compilation on the
+  /// platform model.  Throws when the corpus is too small to bin.
+  static CobaynModel train(const std::vector<TrainingKernel>& corpus,
+                           const platform::PerformanceModel& platform,
+                           const TrainOptions& options = {});
+
+  /// Posterior-ranked flag configurations for a kernel's features,
+  /// most probable first; size = min(top_n, 128).
+  std::vector<RankedConfig> predict(const features::FeatureVector& fv,
+                                    std::size_t top_n) const;
+
+  /// Like predict(), named CF1..CFn — the paper's reduced space.
+  std::vector<platform::NamedConfig> predict_named(const features::FeatureVector& fv,
+                                                   std::size_t top_n) const;
+
+  /// Draws `n` *distinct* configurations from the posterior (the
+  /// original COBAYN samples the network rather than enumerating it;
+  /// useful when the prediction should explore, e.g. across repeated
+  /// iterative-compilation rounds).  n <= 128.
+  std::vector<platform::FlagConfig> sample_configs(Rng& rng,
+                                                   const features::FeatureVector& fv,
+                                                   std::size_t n) const;
+
+  /// The static-feature indices the model conditions on.
+  static const std::vector<std::size_t>& model_feature_indices();
+
+  const bayes::BayesNet& network() const;
+  std::size_t training_rows() const { return training_rows_; }
+
+ private:
+  CobaynModel() = default;
+
+  std::vector<double> project_features(const features::FeatureVector& fv) const;
+
+  bayes::Discretizer discretizer_;
+  std::vector<bayes::BayesNet> net_;  ///< 0 or 1 element (late init)
+  std::size_t training_rows_ = 0;
+};
+
+/// Extracts the feature vector of the first kernel_* function in a
+/// source file (helper shared by training and the toolchain driver).
+features::FeatureVector kernel_features_of_source(const std::string& source);
+
+}  // namespace socrates::cobayn

@@ -1,0 +1,158 @@
+#include "cobayn/corpus.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::cobayn {
+
+namespace {
+
+/// Emits one loop nest writing into array `out`, reading `in`.
+void emit_nest(std::ostringstream& os, const SyntheticSpec& spec, std::size_t nest_id) {
+  const char* ivs[] = {"i", "j", "k"};
+  const std::size_t depth = std::min<std::size_t>(spec.nest_depth, 3);
+
+  os << "  #pragma omp parallel for\n";
+  for (std::size_t d = 0; d < depth; ++d) {
+    os << repeated("  ", d + 1) << "for (" << ivs[d] << " = 0; " << ivs[d]
+       << " < n; " << ivs[d] << "++)\n";
+  }
+  const std::string indent = repeated("  ", depth + 1);
+  os << repeated("  ", depth) << "{\n";
+
+  const std::string idx = depth >= 2 ? "i * n + j" : "i";
+  const char* type_suffix = spec.fp_share >= 0.5 ? "" : "I";
+
+  for (std::size_t op = 0; op < spec.body_ops; ++op) {
+    std::ostringstream rhs;
+    if (spec.memory_heavy) {
+      rhs << "A" << type_suffix << "[" << idx << "] + B" << type_suffix << "[" << idx
+          << "] * C" << type_suffix << "[" << idx << "]";
+    } else {
+      rhs << "A" << type_suffix << "[" << idx << "] * " << (op + 2) << " + " << nest_id;
+    }
+    if (spec.has_call) rhs << " + helper(A" << type_suffix << "[" << idx << "])";
+
+    if (spec.has_branch && op == 0) {
+      os << indent << "if (A" << type_suffix << "[" << idx << "] > " << (nest_id + 1)
+         << ")\n";
+      os << indent << "  B" << type_suffix << "[" << idx << "] = " << rhs.str() << ";\n";
+      os << indent << "else\n";
+      os << indent << "  B" << type_suffix << "[" << idx << "] = A" << type_suffix << "["
+         << idx << "];\n";
+      continue;
+    }
+    if (spec.is_reduction) {
+      os << indent << "acc" << type_suffix << " += " << rhs.str() << ";\n";
+    } else {
+      os << indent << "B" << type_suffix << "[" << idx << "] = " << rhs.str() << ";\n";
+    }
+  }
+  os << repeated("  ", depth) << "}\n";
+}
+
+}  // namespace
+
+std::string generate_source(const SyntheticSpec& spec) {
+  SOCRATES_REQUIRE(spec.loop_nests >= 1 && spec.loop_nests <= 3);
+  SOCRATES_REQUIRE(spec.nest_depth >= 1 && spec.nest_depth <= 3);
+  SOCRATES_REQUIRE(spec.body_ops >= 1);
+
+  const bool fp = spec.fp_share >= 0.5;
+  const char* elem = fp ? "double" : "int";
+  const char* suffix = fp ? "" : "I";
+
+  std::ostringstream os;
+  os << "#include <stdio.h>\n";
+  os << "#define N 1000\n\n";
+  os << elem << " A" << suffix << "[N * N];\n";
+  os << elem << " B" << suffix << "[N * N];\n";
+  if (spec.memory_heavy) os << elem << " C" << suffix << "[N * N];\n";
+  os << "\n";
+
+  if (spec.has_call) {
+    os << elem << " helper(" << elem << " x)\n{\n  return x * 3 + 1;\n}\n\n";
+  }
+
+  os << "void kernel_" << spec.name << "(int n)\n{\n";
+  os << "  int i;\n";
+  if (spec.nest_depth >= 2) os << "  int j;\n";
+  if (spec.nest_depth >= 3) os << "  int k;\n";
+  if (spec.is_reduction) os << "  " << elem << " acc" << suffix << " = 0;\n";
+  for (std::size_t nest = 0; nest < spec.loop_nests; ++nest) emit_nest(os, spec, nest);
+  if (spec.is_reduction) os << "  B" << suffix << "[0] = acc" << suffix << ";\n";
+  os << "}\n\n";
+
+  os << "int main(int argc, char **argv)\n{\n";
+  os << "  kernel_" << spec.name << "(N);\n";
+  os << "  return 0;\n}\n";
+  return os.str();
+}
+
+platform::KernelModelParams derive_model_params(const SyntheticSpec& spec, Rng& rng) {
+  platform::KernelModelParams p;
+  p.name = spec.name;
+  p.seq_work_s = 1.0;  // irrelevant for flag-quality labels (ratios only)
+  p.parallel_fraction = 0.95;
+
+  const double body = static_cast<double>(spec.body_ops);
+  const double depth = static_cast<double>(spec.nest_depth);
+
+  p.mem_intensity = std::clamp(
+      (spec.memory_heavy ? 0.65 : 0.30) - 0.03 * body + rng.uniform(-0.05, 0.05), 0.05,
+      0.9);
+  // Small bodies in deep regular nests unroll well.
+  p.unroll_affinity =
+      std::clamp(0.9 - 0.08 * body + 0.1 * depth - (spec.has_branch ? 0.25 : 0.0) +
+                     rng.uniform(-0.05, 0.05),
+                 0.05, 0.95);
+  // FP streaming code without branches vectorizes.
+  p.vectorization_affinity =
+      std::clamp(spec.fp_share * 0.8 - (spec.has_branch ? 0.35 : 0.0) -
+                     (spec.has_call ? 0.2 : 0.0) + 0.1 * depth + rng.uniform(-0.05, 0.05),
+                 0.05, 0.95);
+  p.fp_ratio = std::clamp(spec.fp_share + rng.uniform(-0.05, 0.05), 0.0, 1.0);
+  p.branchiness =
+      std::clamp((spec.has_branch ? 0.55 : 0.05) + rng.uniform(-0.03, 0.03), 0.0, 1.0);
+  p.call_density =
+      std::clamp((spec.has_call ? 0.5 : 0.03) + rng.uniform(-0.03, 0.03), 0.0, 1.0);
+  p.icache_sensitivity =
+      std::clamp(0.05 + 0.05 * body * static_cast<double>(spec.loop_nests) +
+                     rng.uniform(-0.05, 0.05),
+                 0.05, 0.9);
+  p.ivopt_sensitivity = std::clamp(0.25 + 0.15 * depth + rng.uniform(-0.05, 0.05), 0.05, 0.9);
+  p.loop_opt_sensitivity = std::clamp(
+      0.55 - (spec.memory_heavy ? 0.2 : 0.0) + rng.uniform(-0.1, 0.1), 0.05, 0.9);
+  return p;
+}
+
+std::vector<TrainingKernel> make_corpus(std::size_t size, std::uint64_t seed) {
+  SOCRATES_REQUIRE(size >= 1);
+  Rng rng(seed);
+  std::vector<TrainingKernel> corpus;
+  corpus.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    SyntheticSpec spec;
+    spec.name = "synth" + std::to_string(i);
+    spec.loop_nests = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    spec.nest_depth = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    spec.body_ops = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    spec.fp_share = rng.uniform() < 0.7 ? 1.0 : 0.0;
+    spec.has_branch = rng.uniform() < 0.35;
+    spec.has_call = rng.uniform() < 0.3;
+    spec.is_reduction = rng.uniform() < 0.25;
+    spec.memory_heavy = rng.uniform() < 0.4;
+
+    TrainingKernel k;
+    k.source = generate_source(spec);
+    k.params = derive_model_params(spec, rng);
+    k.spec = std::move(spec);
+    corpus.push_back(std::move(k));
+  }
+  return corpus;
+}
+
+}  // namespace socrates::cobayn

@@ -1,0 +1,57 @@
+// Synthetic training corpus for COBAYN.
+//
+// COBAYN is trained by iterative compilation over a corpus of kernels
+// (the original paper uses cBench/Polybench applications).  Training on
+// the 12 evaluation kernels themselves would leak the test set, so this
+// generator synthesizes structurally diverse loop-nest kernels: each
+// spec drives BOTH the generated C source (from which static features
+// are extracted, like GCC-Milepost would) AND the derived
+// KernelModelParams (how the platform model reacts to compiler flags).
+// The mapping spec -> {source, params} is consistent, so the
+// feature/flag correlations COBAYN learns are real properties of the
+// modelled platform, not bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/kernel_model.hpp"
+#include "support/rng.hpp"
+
+namespace socrates::cobayn {
+
+/// Structural recipe of a synthetic kernel.
+struct SyntheticSpec {
+  std::string name;
+  std::size_t loop_nests = 1;     ///< number of top-level loop nests (1..3)
+  std::size_t nest_depth = 2;     ///< loops per nest (1..3)
+  std::size_t body_ops = 4;       ///< arithmetic statements per innermost body
+  double fp_share = 1.0;          ///< fraction of float (vs int) arithmetic
+  bool has_branch = false;        ///< data-dependent if in the body
+  bool has_call = false;          ///< helper-function call in the body
+  bool is_reduction = false;      ///< accumulates into a scalar
+  bool memory_heavy = false;      ///< streams several arrays per iteration
+};
+
+/// One training kernel: source (front-end input) + model parameters
+/// (platform behaviour).
+struct TrainingKernel {
+  SyntheticSpec spec;
+  std::string source;                 ///< a full C file with one kernel_* fn
+  platform::KernelModelParams params;
+};
+
+/// Generates the C source of a spec.  The kernel function is named
+/// "kernel_<spec.name>".
+std::string generate_source(const SyntheticSpec& spec);
+
+/// Derives platform-model parameters from a spec (with mild jitter from
+/// `rng` so the corpus is not perfectly deterministic in the features).
+platform::KernelModelParams derive_model_params(const SyntheticSpec& spec, Rng& rng);
+
+/// Samples a corpus of `size` kernels.
+std::vector<TrainingKernel> make_corpus(std::size_t size, std::uint64_t seed);
+
+}  // namespace socrates::cobayn

@@ -1,0 +1,63 @@
+#include "cobayn/evaluation.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+
+namespace socrates::cobayn {
+
+CrossValidationSummary cross_validate(const std::vector<TrainingKernel>& corpus,
+                                      const platform::PerformanceModel& platform,
+                                      std::size_t top_n, const TrainOptions& options) {
+  SOCRATES_REQUIRE_MSG(corpus.size() >= 5, "need at least 5 kernels for LOO-CV");
+  SOCRATES_REQUIRE(top_n >= 1);
+
+  const auto space = platform::cobayn_search_space();
+
+  CrossValidationSummary summary;
+  std::vector<double> predicted_slowdowns;
+  std::vector<double> o3_slowdowns;
+
+  for (std::size_t fold = 0; fold < corpus.size(); ++fold) {
+    std::vector<TrainingKernel> training;
+    training.reserve(corpus.size() - 1);
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+      if (i != fold) training.push_back(corpus[i]);
+
+    const CobaynModel model = CobaynModel::train(training, platform, options);
+
+    const auto& held_out = corpus[fold];
+    platform::Configuration rc;
+    rc.threads = options.profile_threads;
+    rc.binding = platform::BindingPolicy::kClose;
+    const auto time_of = [&](const platform::FlagConfig& f) {
+      rc.flags = f;
+      return platform.evaluate(held_out.params, rc).exec_time_s;
+    };
+
+    FoldResult result;
+    result.kernel_name = held_out.spec.name;
+    result.oracle_time_s = 1e100;
+    for (const auto& f : space)
+      result.oracle_time_s = std::min(result.oracle_time_s, time_of(f));
+    result.o2_time_s = time_of(platform::FlagConfig(platform::OptLevel::kO2));
+    result.o3_time_s = time_of(platform::FlagConfig(platform::OptLevel::kO3));
+
+    const auto fv = kernel_features_of_source(held_out.source);
+    result.predicted_time_s = 1e100;
+    for (const auto& p : model.predict(fv, top_n))
+      result.predicted_time_s = std::min(result.predicted_time_s, time_of(p.config));
+
+    predicted_slowdowns.push_back(result.predicted_slowdown());
+    o3_slowdowns.push_back(result.o3_slowdown());
+    if (result.predicted_time_s <= result.o3_time_s * 1.001) ++summary.wins_vs_o3;
+    summary.folds.push_back(std::move(result));
+  }
+
+  summary.geomean_predicted_slowdown = geometric_mean_of(predicted_slowdowns);
+  summary.geomean_o3_slowdown = geometric_mean_of(o3_slowdowns);
+  return summary;
+}
+
+}  // namespace socrates::cobayn

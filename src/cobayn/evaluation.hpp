@@ -1,0 +1,48 @@
+// COBAYN model evaluation: leave-one-out cross-validation.
+//
+// The COBAYN paper evaluates its predictions by training on N-1
+// applications and predicting flags for the held-out one, reporting the
+// speedup of the predicted configurations against baselines.  This
+// harness reproduces that protocol on the synthetic corpus: for every
+// fold it trains a model without the fold's kernel, predicts top-N
+// configurations, and scores them on the platform model against the
+// 128-point oracle, -O2 and -O3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cobayn/cobayn.hpp"
+#include "cobayn/corpus.hpp"
+#include "platform/perf_model.hpp"
+
+namespace socrates::cobayn {
+
+/// Per-fold result of the cross-validation.
+struct FoldResult {
+  std::string kernel_name;
+  double oracle_time_s = 0.0;      ///< best of all 128 configurations
+  double predicted_time_s = 0.0;   ///< best of the top-N predictions
+  double o2_time_s = 0.0;
+  double o3_time_s = 0.0;
+
+  double predicted_slowdown() const { return predicted_time_s / oracle_time_s; }
+  double o3_slowdown() const { return o3_time_s / oracle_time_s; }
+};
+
+struct CrossValidationSummary {
+  std::vector<FoldResult> folds;
+  double geomean_predicted_slowdown = 0.0;
+  double geomean_o3_slowdown = 0.0;
+  /// Folds where the predictions beat (or tie within 0.1%) -O3.
+  std::size_t wins_vs_o3 = 0;
+};
+
+/// Runs leave-one-out CV over `corpus` with `top_n` predictions per
+/// fold.  `profile_threads` matches the labelling configuration.
+CrossValidationSummary cross_validate(const std::vector<TrainingKernel>& corpus,
+                                      const platform::PerformanceModel& platform,
+                                      std::size_t top_n,
+                                      const TrainOptions& options = {});
+
+}  // namespace socrates::cobayn

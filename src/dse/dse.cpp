@@ -1,0 +1,108 @@
+#include "dse/dse.hpp"
+
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+
+namespace socrates::dse {
+
+DesignSpace DesignSpace::paper_space(const platform::MachineTopology& topology) {
+  DesignSpace space;
+  space.configs = platform::reduced_design_space();
+  for (std::size_t t = 1; t <= topology.logical_cores(); ++t)
+    space.thread_counts.push_back(t);
+  space.bindings = {platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread};
+  return space;
+}
+
+std::vector<ProfiledPoint> full_factorial_dse(const platform::PerformanceModel& model,
+                                              const platform::KernelModelParams& kernel,
+                                              const DesignSpace& space,
+                                              std::size_t repetitions,
+                                              std::uint64_t seed, double work_scale) {
+  SOCRATES_REQUIRE(repetitions >= 1);
+  SOCRATES_REQUIRE(space.size() > 0);
+
+  Rng noise(seed);
+  std::vector<ProfiledPoint> out;
+  out.reserve(space.size());
+
+  for (std::size_t ci = 0; ci < space.configs.size(); ++ci) {
+    for (const std::size_t threads : space.thread_counts) {
+      for (const auto binding : space.bindings) {
+        ProfiledPoint p;
+        p.config_index = ci;
+        p.config_name = space.configs[ci].name;
+        p.configuration =
+            platform::Configuration{space.configs[ci].config, threads, binding};
+
+        RunningStats time_stats;
+        RunningStats power_stats;
+        for (std::size_t r = 0; r < repetitions; ++r) {
+          const auto m = model.evaluate(kernel, p.configuration, &noise, work_scale);
+          time_stats.add(m.exec_time_s);
+          power_stats.add(m.avg_power_w);
+        }
+        p.exec_time_mean_s = time_stats.mean();
+        p.exec_time_stddev_s = time_stats.stddev();
+        p.power_mean_w = power_stats.mean();
+        p.power_stddev_w = power_stats.stddev();
+        out.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> pareto_filter(const std::vector<ProfiledPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool at_least_as_good = points[j].throughput() >= points[i].throughput() &&
+                                    points[j].power_mean_w <= points[i].power_mean_w;
+      const bool strictly_better = points[j].throughput() > points[i].throughput() ||
+                                   points[j].power_mean_w < points[i].power_mean_w;
+      dominated = at_least_as_good && strictly_better;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+margot::KnowledgeBase to_knowledge_base(const std::vector<ProfiledPoint>& points) {
+  SOCRATES_REQUIRE(!points.empty());
+  margot::KnowledgeBase kb({"config", "threads", "binding"},
+                           {"exec_time_s", "power_w", "throughput"});
+  for (const auto& p : points) {
+    margot::OperatingPoint op;
+    op.knobs = {static_cast<int>(p.config_index),
+                static_cast<int>(p.configuration.threads),
+                p.configuration.binding == platform::BindingPolicy::kClose ? 0 : 1};
+    // Throughput stddev via first-order error propagation: d(1/t) = dt/t^2.
+    const double thr_stddev =
+        p.exec_time_stddev_s / (p.exec_time_mean_s * p.exec_time_mean_s);
+    op.metrics = {{p.exec_time_mean_s, p.exec_time_stddev_s},
+                  {p.power_mean_w, p.power_stddev_w},
+                  {p.throughput(), thr_stddev}};
+    kb.add(std::move(op));
+  }
+  return kb;
+}
+
+platform::Configuration decode_knobs(const DesignSpace& space,
+                                     const std::vector<int>& knobs) {
+  SOCRATES_REQUIRE(knobs.size() == 3);
+  const auto ci = static_cast<std::size_t>(knobs[0]);
+  SOCRATES_REQUIRE(ci < space.configs.size());
+  SOCRATES_REQUIRE(knobs[1] >= 1);
+  SOCRATES_REQUIRE(knobs[2] == 0 || knobs[2] == 1);
+  platform::Configuration config;
+  config.flags = space.configs[ci].config;
+  config.threads = static_cast<std::size_t>(knobs[1]);
+  config.binding =
+      knobs[2] == 0 ? platform::BindingPolicy::kClose : platform::BindingPolicy::kSpread;
+  return config;
+}
+
+}  // namespace socrates::dse

@@ -1,0 +1,111 @@
+#include "dse/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+namespace socrates::dse {
+
+namespace {
+
+ProfiledPoint profile_one(const platform::PerformanceModel& model,
+                          const platform::KernelModelParams& kernel,
+                          const DesignSpace& space, std::size_t config_index,
+                          std::size_t threads, platform::BindingPolicy binding,
+                          std::size_t repetitions, Rng& noise, double work_scale) {
+  ProfiledPoint p;
+  p.config_index = config_index;
+  p.config_name = space.configs[config_index].name;
+  p.configuration =
+      platform::Configuration{space.configs[config_index].config, threads, binding};
+  RunningStats time_stats;
+  RunningStats power_stats;
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    const auto m = model.evaluate(kernel, p.configuration, &noise, work_scale);
+    time_stats.add(m.exec_time_s);
+    power_stats.add(m.avg_power_w);
+  }
+  p.exec_time_mean_s = time_stats.mean();
+  p.exec_time_stddev_s = time_stats.stddev();
+  p.power_mean_w = power_stats.mean();
+  p.power_stddev_w = power_stats.stddev();
+  return p;
+}
+
+}  // namespace
+
+std::vector<ProfiledPoint> random_subset_dse(const platform::PerformanceModel& model,
+                                             const platform::KernelModelParams& kernel,
+                                             const DesignSpace& space, double fraction,
+                                             std::size_t repetitions, std::uint64_t seed,
+                                             double work_scale) {
+  SOCRATES_REQUIRE(fraction > 0.0 && fraction <= 1.0);
+  SOCRATES_REQUIRE(repetitions >= 1);
+  const std::size_t total = space.size();
+  SOCRATES_REQUIRE(total > 0);
+  const auto budget = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(total))));
+
+  // Draw distinct flat indices via a partial Fisher-Yates over [0, total).
+  Rng rng(seed);
+  std::vector<std::size_t> indices(total);
+  for (std::size_t i = 0; i < total; ++i) indices[i] = i;
+  rng.shuffle(indices);
+  indices.resize(budget);
+  std::sort(indices.begin(), indices.end());  // deterministic profiling order
+
+  const std::size_t per_config = space.thread_counts.size() * space.bindings.size();
+  std::vector<ProfiledPoint> out;
+  out.reserve(budget);
+  for (const std::size_t flat : indices) {
+    const std::size_t ci = flat / per_config;
+    const std::size_t rem = flat % per_config;
+    const std::size_t ti = rem / space.bindings.size();
+    const std::size_t bi = rem % space.bindings.size();
+    out.push_back(profile_one(model, kernel, space, ci, space.thread_counts[ti],
+                              space.bindings[bi], repetitions, rng, work_scale));
+  }
+  return out;
+}
+
+std::vector<ProfiledPoint> stratified_dse(const platform::PerformanceModel& model,
+                                          const platform::KernelModelParams& kernel,
+                                          const DesignSpace& space,
+                                          std::size_t threads_per_stratum,
+                                          std::size_t repetitions, std::uint64_t seed,
+                                          double work_scale) {
+  SOCRATES_REQUIRE(threads_per_stratum >= 2);
+  SOCRATES_REQUIRE(repetitions >= 1);
+  SOCRATES_REQUIRE(!space.thread_counts.empty());
+
+  // Geometric ladder over the available thread counts, always anchored
+  // at the smallest and largest (the corners the AS-RTM falls back to).
+  const std::size_t n_threads = space.thread_counts.size();
+  std::set<std::size_t> picked_indices = {0, n_threads - 1};
+  const double steps = static_cast<double>(threads_per_stratum - 1);
+  for (std::size_t s = 1; s + 1 < threads_per_stratum; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const double geo = std::pow(static_cast<double>(n_threads), t);
+    const auto idx = std::min(n_threads - 1, static_cast<std::size_t>(std::lround(geo)) - 1);
+    picked_indices.insert(idx);
+  }
+
+  Rng rng(seed);
+  std::vector<ProfiledPoint> out;
+  out.reserve(space.configs.size() * space.bindings.size() * picked_indices.size());
+  for (std::size_t ci = 0; ci < space.configs.size(); ++ci) {
+    for (std::size_t bi = 0; bi < space.bindings.size(); ++bi) {
+      for (const std::size_t ti : picked_indices) {
+        out.push_back(profile_one(model, kernel, space, ci, space.thread_counts[ti],
+                                  space.bindings[bi], repetitions, rng, work_scale));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace socrates::dse

@@ -1,0 +1,38 @@
+// Alternative DSE strategies.
+//
+// The paper uses a full-factorial DSE but notes the approach "is
+// agnostic with respect to the used DSE strategy".  These strategies
+// make that claim testable: they produce the same ProfiledPoint rows
+// from a subset of the space, and bench/ablation_dse_strategies
+// measures how much AS-RTM decision quality degrades as the profiling
+// budget shrinks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dse/dse.hpp"
+
+namespace socrates::dse {
+
+/// Profiles a uniformly random subset of the space (without
+/// replacement).  `fraction` in (0, 1]; at least one point per run.
+std::vector<ProfiledPoint> random_subset_dse(const platform::PerformanceModel& model,
+                                             const platform::KernelModelParams& kernel,
+                                             const DesignSpace& space, double fraction,
+                                             std::size_t repetitions, std::uint64_t seed,
+                                             double work_scale = 1.0);
+
+/// Stratified sampling: every (config, binding) stratum is profiled at
+/// `threads_per_stratum` thread counts — the extremes (1 and max) plus
+/// geometrically spaced interior points.  Guarantees the knob-space
+/// corners the AS-RTM needs for graceful degradation are present.
+std::vector<ProfiledPoint> stratified_dse(const platform::PerformanceModel& model,
+                                          const platform::KernelModelParams& kernel,
+                                          const DesignSpace& space,
+                                          std::size_t threads_per_stratum,
+                                          std::size_t repetitions, std::uint64_t seed,
+                                          double work_scale = 1.0);
+
+}  // namespace socrates::dse

@@ -1,0 +1,253 @@
+#include "features/features.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/loc_counter.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::features {
+
+namespace {
+
+bool is_float_type(const std::string& type_text) {
+  return contains(type_text, "float") || contains(type_text, "double");
+}
+
+bool is_int_type(const std::string& type_text) {
+  return contains(type_text, "int") || contains(type_text, "long") ||
+         contains(type_text, "short") || contains(type_text, "char") ||
+         contains(type_text, "unsigned") || contains(type_text, "signed");
+}
+
+/// Depth of an A[i][j][k] chain rooted at `e`.
+std::size_t index_chain_depth(const ir::Expr& e) {
+  if (e.kind != ir::ExprKind::kIndex) return 0;
+  return 1 + index_chain_depth(*static_cast<const ir::IndexExpr&>(e).base);
+}
+
+struct LoopInfo {
+  std::size_t count = 0;
+  std::size_t max_depth = 0;
+  std::size_t perfect_nests = 0;
+  std::size_t total_body_loc = 0;
+};
+
+/// True when `body` consists of exactly one loop statement (ignoring
+/// pragmas), i.e. the surrounding loop is part of a perfect nest.
+bool body_is_single_loop(const ir::Stmt& body) {
+  if (body.kind == ir::StmtKind::kFor || body.kind == ir::StmtKind::kWhile ||
+      body.kind == ir::StmtKind::kDoWhile)
+    return true;
+  if (body.kind != ir::StmtKind::kCompound) return false;
+  const auto& block = static_cast<const ir::CompoundStmt&>(body);
+  const ir::Stmt* only_loop = nullptr;
+  for (const auto& s : block.stmts) {
+    if (s->kind == ir::StmtKind::kPragma) continue;
+    if (s->kind == ir::StmtKind::kFor || s->kind == ir::StmtKind::kWhile ||
+        s->kind == ir::StmtKind::kDoWhile) {
+      if (only_loop != nullptr) return false;
+      only_loop = s.get();
+      continue;
+    }
+    return false;
+  }
+  return only_loop != nullptr;
+}
+
+void analyze_loops(const ir::Stmt& stmt, std::size_t depth, LoopInfo& info) {
+  const auto handle_loop = [&](const ir::Stmt& body) {
+    ++info.count;
+    info.max_depth = std::max(info.max_depth, depth + 1);
+    info.total_body_loc += ir::logical_loc(body);
+    if (body_is_single_loop(body)) ++info.perfect_nests;
+    analyze_loops(body, depth + 1, info);
+  };
+
+  switch (stmt.kind) {
+    case ir::StmtKind::kFor: {
+      const auto& s = static_cast<const ir::ForStmt&>(stmt);
+      if (s.body) handle_loop(*s.body);
+      break;
+    }
+    case ir::StmtKind::kWhile:
+      handle_loop(*static_cast<const ir::WhileStmt&>(stmt).body);
+      break;
+    case ir::StmtKind::kDoWhile:
+      handle_loop(*static_cast<const ir::DoWhileStmt&>(stmt).body);
+      break;
+    case ir::StmtKind::kCompound:
+      for (const auto& s : static_cast<const ir::CompoundStmt&>(stmt).stmts)
+        analyze_loops(*s, depth, info);
+      break;
+    case ir::StmtKind::kIf: {
+      const auto& s = static_cast<const ir::IfStmt&>(stmt);
+      analyze_loops(*s.then_branch, depth, info);
+      if (s.else_branch) analyze_loops(*s.else_branch, depth, info);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+const std::array<std::string, kFeatureCount>& FeatureVector::names() {
+  static const std::array<std::string, kFeatureCount> kNames = {
+      "num_stmts",         "num_loops",          "max_loop_depth",
+      "num_ifs",           "num_assignments",    "num_compound_assigns",
+      "num_add_sub",       "num_mul_div",        "num_mod",
+      "num_comparisons",   "num_logical_ops",    "num_bitwise_ops",
+      "num_calls",         "num_distinct_callees", "num_array_accesses",
+      "max_index_chain",   "num_scalar_refs",    "num_float_literals",
+      "num_int_literals",  "num_float_decls",    "num_int_decls",
+      "num_params",        "num_pointer_params", "num_array_params",
+      "num_local_decls",   "num_returns",        "num_jumps",
+      "num_omp_pragmas",   "num_perfect_nests",  "avg_loop_body_stmts",
+      "arith_intensity",   "float_op_ratio",
+  };
+  return kNames;
+}
+
+FeatureVector extract_features(const ir::FunctionDecl& fn) {
+  SOCRATES_REQUIRE_MSG(fn.body != nullptr, "cannot extract features of prototype " << fn.name);
+  FeatureVector f;
+
+  f[kNumStmts] = static_cast<double>(ir::logical_loc(*fn.body));
+  f[kNumParams] = static_cast<double>(fn.params.size());
+
+  for (const auto& p : fn.params) {
+    if (p.pointer_depth > 0) f[kNumPointerParams] += 1;
+    if (!p.array_dims.empty()) f[kNumArrayParams] += 1;
+    if (is_float_type(p.type_text)) f[kNumFloatDecls] += 1;
+    if (is_int_type(p.type_text)) f[kNumIntDecls] += 1;
+  }
+
+  LoopInfo loops;
+  analyze_loops(*fn.body, 0, loops);
+  f[kNumLoops] = static_cast<double>(loops.count);
+  f[kMaxLoopDepth] = static_cast<double>(loops.max_depth);
+  f[kNumPerfectNests] = static_cast<double>(loops.perfect_nests);
+  f[kAvgLoopBodyStmts] =
+      loops.count == 0 ? 0.0
+                       : static_cast<double>(loops.total_body_loc) /
+                             static_cast<double>(loops.count);
+
+  std::unordered_set<std::string> callees;
+
+  ir::walk_stmt(*fn.body, [&](const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::StmtKind::kIf:
+      case ir::StmtKind::kSwitch:  // a switch is one multi-way branch
+        f[kNumIfs] += 1;
+        break;
+      case ir::StmtKind::kReturn:
+        f[kNumReturns] += 1;
+        break;
+      case ir::StmtKind::kBreak:
+      case ir::StmtKind::kContinue:
+        f[kNumJumps] += 1;
+        break;
+      case ir::StmtKind::kPragma:
+        if (static_cast<const ir::PragmaStmt&>(s).pragma.is_omp()) f[kNumOmpPragmas] += 1;
+        break;
+      case ir::StmtKind::kDecl: {
+        const auto& d = static_cast<const ir::DeclStmt&>(s);
+        f[kNumLocalDecls] += static_cast<double>(d.decls.size());
+        for (const auto& v : d.decls) {
+          if (is_float_type(v.type_text)) f[kNumFloatDecls] += 1;
+          if (is_int_type(v.type_text)) f[kNumIntDecls] += 1;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  ir::walk_stmt_exprs(*fn.body, [&](const ir::Expr& e) {
+    switch (e.kind) {
+      case ir::ExprKind::kAssign: {
+        const auto& a = static_cast<const ir::AssignExpr&>(e);
+        if (a.op == "=")
+          f[kNumAssignments] += 1;
+        else
+          f[kNumCompoundAssigns] += 1;
+        // Compound assignments also contribute to the operator mix.
+        if (a.op == "+=" || a.op == "-=") f[kNumAddSub] += 1;
+        if (a.op == "*=" || a.op == "/=") f[kNumMulDiv] += 1;
+        if (a.op == "%=") f[kNumMod] += 1;
+        break;
+      }
+      case ir::ExprKind::kBinary: {
+        const std::string& op = static_cast<const ir::BinaryExpr&>(e).op;
+        if (op == "+" || op == "-") f[kNumAddSub] += 1;
+        else if (op == "*" || op == "/") f[kNumMulDiv] += 1;
+        else if (op == "%") f[kNumMod] += 1;
+        else if (op == "==" || op == "!=" || op == "<" || op == ">" || op == "<=" ||
+                 op == ">=")
+          f[kNumComparisons] += 1;
+        else if (op == "&&" || op == "||")
+          f[kNumLogicalOps] += 1;
+        else
+          f[kNumBitwiseOps] += 1;
+        break;
+      }
+      case ir::ExprKind::kUnary: {
+        const std::string& op = static_cast<const ir::UnaryExpr&>(e).op;
+        if (op == "!") f[kNumLogicalOps] += 1;
+        if (op == "~") f[kNumBitwiseOps] += 1;
+        break;
+      }
+      case ir::ExprKind::kCall: {
+        const auto& c = static_cast<const ir::CallExpr&>(e);
+        f[kNumCalls] += 1;
+        callees.insert(c.callee);
+        break;
+      }
+      case ir::ExprKind::kIndex:
+        f[kNumArrayAccesses] += 1;
+        f[kMaxIndexChain] =
+            std::max(f[kMaxIndexChain], static_cast<double>(index_chain_depth(e)));
+        break;
+      case ir::ExprKind::kIdent:
+        f[kNumScalarRefs] += 1;
+        break;
+      case ir::ExprKind::kFloatLit:
+        f[kNumFloatLiterals] += 1;
+        break;
+      case ir::ExprKind::kIntLit:
+        f[kNumIntLiterals] += 1;
+        break;
+      default:
+        break;
+    }
+  });
+
+  f[kNumDistinctCallees] = static_cast<double>(callees.size());
+
+  const double arith = f[kNumAddSub] + f[kNumMulDiv];
+  f[kArithIntensity] = arith / std::max(1.0, f[kNumArrayAccesses]);
+
+  // Float-op proxy: fraction of arithmetic happening on float data,
+  // approximated by the declared-type mix of the operands in scope.
+  const double float_w = f[kNumFloatDecls] + f[kNumFloatLiterals];
+  const double int_w = f[kNumIntDecls] + f[kNumIntLiterals];
+  f[kFloatOpRatio] = (float_w + int_w) == 0.0 ? 0.0 : float_w / (float_w + int_w);
+
+  return f;
+}
+
+std::vector<std::pair<std::string, FeatureVector>> extract_kernel_features(
+    const ir::TranslationUnit& tu) {
+  std::vector<std::pair<std::string, FeatureVector>> out;
+  for (const ir::FunctionDecl* fn : tu.functions()) {
+    if (!starts_with(fn->name, "kernel_")) continue;
+    out.emplace_back(fn->name, extract_features(*fn));
+  }
+  return out;
+}
+
+}  // namespace socrates::features

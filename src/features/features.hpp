@@ -1,0 +1,82 @@
+// Milepost-style static code features.
+//
+// GCC-Milepost characterizes each compiled function with a vector of
+// static features extracted from GIMPLE; SOCRATES feeds those vectors
+// to COBAYN to predict promising compiler flags per kernel.  Our
+// front end is the ir:: AST rather than GIMPLE, so the extractor
+// computes the AST-level analogues of the Milepost ft* features
+// (instruction mix, CFG shape, loop structure, memory-access counts).
+// The feature *indices* are stable — models are trained and queried on
+// the same layout.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace socrates::features {
+
+/// Number of static features per kernel.
+inline constexpr std::size_t kFeatureCount = 32;
+
+/// Indices into FeatureVector::values.  Kept explicit (not just an
+/// array order) because COBAYN's discretizer references features by
+/// index and tests assert individual entries.
+enum FeatureIndex : std::size_t {
+  kNumStmts = 0,           ///< logical statements in the body
+  kNumLoops,               ///< for + while + do-while
+  kMaxLoopDepth,           ///< deepest loop nesting level
+  kNumIfs,                 ///< conditional statements
+  kNumAssignments,         ///< plain '=' assignments
+  kNumCompoundAssigns,     ///< '+=', '*=' and friends
+  kNumAddSub,              ///< binary + and -
+  kNumMulDiv,              ///< binary * and /
+  kNumMod,                 ///< binary %
+  kNumComparisons,         ///< == != < > <= >=
+  kNumLogicalOps,          ///< && || !
+  kNumBitwiseOps,          ///< & | ^ ~ << >>
+  kNumCalls,               ///< call expressions
+  kNumDistinctCallees,     ///< unique callee names
+  kNumArrayAccesses,       ///< index expressions
+  kMaxIndexChain,          ///< deepest A[i][j][k] chain
+  kNumScalarRefs,          ///< identifier uses in expressions
+  kNumFloatLiterals,
+  kNumIntLiterals,
+  kNumFloatDecls,          ///< float/double locals + params
+  kNumIntDecls,            ///< integer-typed locals + params
+  kNumParams,
+  kNumPointerParams,
+  kNumArrayParams,
+  kNumLocalDecls,
+  kNumReturns,
+  kNumJumps,               ///< break + continue
+  kNumOmpPragmas,
+  kNumPerfectNests,        ///< loops whose body is exactly one loop
+  kAvgLoopBodyStmts,       ///< mean logical LOC per loop body
+  kArithIntensity,         ///< (addsub+muldiv) / max(1, array accesses)
+  kFloatOpRatio,           ///< float-ish ops / all arithmetic ops
+};
+
+struct FeatureVector {
+  std::array<double, kFeatureCount> values{};
+
+  double operator[](std::size_t i) const { return values[i]; }
+  double& operator[](std::size_t i) { return values[i]; }
+
+  /// Human-readable names, index-aligned with `values`.
+  static const std::array<std::string, kFeatureCount>& names();
+};
+
+/// Extracts the feature vector of one function definition.
+/// Precondition: `fn.body != nullptr`.
+FeatureVector extract_features(const ir::FunctionDecl& fn);
+
+/// Extracts features for every function definition in the unit whose
+/// name matches the SOCRATES kernel convention (name starts with
+/// "kernel_"), returning (name, features) pairs in declaration order.
+std::vector<std::pair<std::string, FeatureVector>> extract_kernel_features(
+    const ir::TranslationUnit& tu);
+
+}  // namespace socrates::features

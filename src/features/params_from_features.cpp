@@ -1,0 +1,58 @@
+#include "features/params_from_features.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace socrates::features {
+
+platform::KernelModelParams estimate_model_params(const FeatureVector& f,
+                                                  const std::string& name,
+                                                  double seq_work_s) {
+  SOCRATES_REQUIRE(seq_work_s > 0.0);
+
+  platform::KernelModelParams p;
+  p.name = name;
+  p.seq_work_s = seq_work_s;
+
+  const double stmts = std::max(1.0, f[kNumStmts]);
+  const double loops = f[kNumLoops];
+  const double depth = f[kMaxLoopDepth];
+  const double body = loops > 0.0 ? f[kAvgLoopBodyStmts] : stmts;
+
+  // Parallelism: kernels with OpenMP pragmas parallelize their loop
+  // nests; the serial remainder grows with code outside the nests.
+  if (f[kNumOmpPragmas] > 0.0) {
+    const double covered = std::min(1.0, f[kNumOmpPragmas] / std::max(1.0, loops));
+    p.parallel_fraction = std::clamp(0.80 + 0.18 * covered, 0.4, 0.99);
+  } else {
+    p.parallel_fraction = 0.40;  // auto-parallelization is not assumed
+  }
+
+  // Memory behaviour: data reuse grows with the loop-nest depth
+  // relative to the data dimensionality (a depth-3 matmul reuses each
+  // element O(n) times, a depth-2 matvec streams everything once), with
+  // arithmetic intensity as a secondary signal.
+  p.mem_intensity =
+      std::clamp(0.95 - 0.16 * depth - 0.08 * f[kArithIntensity], 0.10, 0.85);
+
+  // Branch / call structure.
+  p.branchiness = std::clamp((f[kNumIfs] + f[kNumJumps]) / stmts * 4.0, 0.03, 0.9);
+  p.call_density = std::clamp(f[kNumCalls] / stmts * 3.0, 0.02, 0.9);
+
+  // Flag affinities (mirrors cobayn::derive_model_params).
+  p.unroll_affinity =
+      std::clamp(0.9 - 0.06 * body + 0.08 * depth - 0.4 * p.branchiness, 0.05, 0.95);
+  p.vectorization_affinity = std::clamp(
+      0.8 * f[kFloatOpRatio] - 0.5 * p.branchiness - 0.3 * p.call_density + 0.08 * depth,
+      0.05, 0.95);
+  p.fp_ratio = std::clamp(f[kFloatOpRatio], 0.0, 1.0);
+  p.icache_sensitivity =
+      std::clamp(0.05 + 0.004 * stmts + 0.03 * f[kNumCompoundAssigns], 0.05, 0.9);
+  p.ivopt_sensitivity = std::clamp(0.25 + 0.12 * depth, 0.05, 0.9);
+  p.loop_opt_sensitivity =
+      std::clamp(0.55 - 0.25 * (p.mem_intensity - 0.4), 0.05, 0.9);
+  return p;
+}
+
+}  // namespace socrates::features

@@ -1,0 +1,29 @@
+// Static-feature -> platform-model parameter estimation.
+//
+// The 12 Polybench kernels carry hand-calibrated KernelModelParams; an
+// *arbitrary* C kernel handed to the toolchain has none.  This
+// estimator derives them from the Milepost-style feature vector with
+// the same structural heuristics the synthetic-corpus generator uses
+// (tight deep nests unroll well, FP streaming code vectorizes, call-
+// dense bodies suffer from no-inline, low arithmetic intensity means
+// bandwidth-bound, ...), so the simulated behaviour of an unknown
+// kernel is consistent with how the known corpus behaves.  The absolute
+// sequential time cannot be derived statically and must be supplied
+// (or measured with socrates::profile_real_kernel).
+#pragma once
+
+#include <string>
+
+#include "features/features.hpp"
+#include "platform/kernel_model.hpp"
+
+namespace socrates::features {
+
+/// Estimates model parameters for a kernel with the given features.
+/// `seq_work_s` is the sequential -O2 execution time on the reference
+/// dataset (measured or assumed); must be > 0.
+platform::KernelModelParams estimate_model_params(const FeatureVector& features,
+                                                  const std::string& name,
+                                                  double seq_work_s);
+
+}  // namespace socrates::features

@@ -1,0 +1,370 @@
+#include "ir/ast.hpp"
+
+#include "support/strings.hpp"
+
+namespace socrates::ir {
+
+namespace {
+
+ExprPtr clone_or_null(const ExprPtr& e) { return e ? e->clone() : nullptr; }
+StmtPtr clone_or_null(const StmtPtr& s) { return s ? s->clone() : nullptr; }
+
+}  // namespace
+
+// ---- Pragma helpers --------------------------------------------------------
+
+bool Pragma::is_omp() const { return starts_with(trim(raw), "omp"); }
+
+bool Pragma::is_gcc_optimize() const {
+  const std::string t = trim(raw);
+  return starts_with(t, "GCC optimize") || starts_with(t, "GCC push_options") ||
+         starts_with(t, "GCC pop_options");
+}
+
+// ---- Expression clones -----------------------------------------------------
+
+ExprPtr IntLit::clone() const { return std::make_unique<IntLit>(spelling); }
+ExprPtr FloatLit::clone() const { return std::make_unique<FloatLit>(spelling); }
+ExprPtr StringLit::clone() const { return std::make_unique<StringLit>(spelling); }
+ExprPtr CharLit::clone() const { return std::make_unique<CharLit>(spelling); }
+ExprPtr Ident::clone() const { return std::make_unique<Ident>(name); }
+
+ExprPtr UnaryExpr::clone() const {
+  return std::make_unique<UnaryExpr>(op, operand->clone(), is_prefix);
+}
+
+ExprPtr BinaryExpr::clone() const {
+  return std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone());
+}
+
+ExprPtr AssignExpr::clone() const {
+  return std::make_unique<AssignExpr>(op, lhs->clone(), rhs->clone());
+}
+
+ExprPtr ConditionalExpr::clone() const {
+  return std::make_unique<ConditionalExpr>(cond->clone(), then_expr->clone(),
+                                           else_expr->clone());
+}
+
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const auto& a : args) cloned.push_back(a->clone());
+  return std::make_unique<CallExpr>(callee, std::move(cloned));
+}
+
+ExprPtr IndexExpr::clone() const {
+  return std::make_unique<IndexExpr>(base->clone(), index->clone());
+}
+
+ExprPtr MemberExpr::clone() const {
+  return std::make_unique<MemberExpr>(base->clone(), member, is_arrow);
+}
+
+ExprPtr CastExpr::clone() const {
+  return std::make_unique<CastExpr>(type_text, operand->clone());
+}
+
+// ---- VarDecl ----------------------------------------------------------------
+
+VarDecl VarDecl::clone() const {
+  VarDecl d;
+  d.type_text = type_text;
+  d.name = name;
+  d.pointer_depth = pointer_depth;
+  d.array_dims.reserve(array_dims.size());
+  for (const auto& dim : array_dims) d.array_dims.push_back(clone_or_null(dim));
+  d.init = clone_or_null(init);
+  return d;
+}
+
+// ---- Statement clones --------------------------------------------------------
+
+StmtPtr ExprStmt::clone() const { return std::make_unique<ExprStmt>(expr->clone()); }
+
+StmtPtr DeclStmt::clone() const {
+  std::vector<VarDecl> cloned;
+  cloned.reserve(decls.size());
+  for (const auto& d : decls) cloned.push_back(d.clone());
+  return std::make_unique<DeclStmt>(std::move(cloned));
+}
+
+std::unique_ptr<CompoundStmt> CompoundStmt::clone_compound() const {
+  auto out = std::make_unique<CompoundStmt>();
+  out->stmts.reserve(stmts.size());
+  for (const auto& s : stmts) out->stmts.push_back(s->clone());
+  return out;
+}
+
+StmtPtr CompoundStmt::clone() const { return clone_compound(); }
+
+StmtPtr IfStmt::clone() const {
+  return std::make_unique<IfStmt>(cond->clone(), then_branch->clone(),
+                                  clone_or_null(else_branch));
+}
+
+StmtPtr ForStmt::clone() const {
+  auto out = std::make_unique<ForStmt>();
+  out->init = clone_or_null(init);
+  out->cond = clone_or_null(cond);
+  out->inc = clone_or_null(inc);
+  out->body = clone_or_null(body);
+  return out;
+}
+
+StmtPtr WhileStmt::clone() const {
+  return std::make_unique<WhileStmt>(cond->clone(), body->clone());
+}
+
+StmtPtr DoWhileStmt::clone() const {
+  return std::make_unique<DoWhileStmt>(body->clone(), cond->clone());
+}
+
+StmtPtr SwitchStmt::clone() const {
+  return std::make_unique<SwitchStmt>(cond->clone(), body->clone());
+}
+
+StmtPtr CaseLabelStmt::clone() const {
+  return std::make_unique<CaseLabelStmt>(clone_or_null(value));
+}
+
+StmtPtr ReturnStmt::clone() const { return std::make_unique<ReturnStmt>(clone_or_null(expr)); }
+StmtPtr BreakStmt::clone() const { return std::make_unique<BreakStmt>(); }
+StmtPtr ContinueStmt::clone() const { return std::make_unique<ContinueStmt>(); }
+StmtPtr PragmaStmt::clone() const { return std::make_unique<PragmaStmt>(pragma); }
+StmtPtr EmptyStmt::clone() const { return std::make_unique<EmptyStmt>(); }
+
+// ---- Top-level clones ---------------------------------------------------------
+
+TopLevelPtr IncludeDirective::clone() const {
+  return std::make_unique<IncludeDirective>(target);
+}
+
+TopLevelPtr DefineDirective::clone() const { return std::make_unique<DefineDirective>(body); }
+
+TopLevelPtr TopLevelPragma::clone() const { return std::make_unique<TopLevelPragma>(pragma); }
+
+std::unique_ptr<FunctionDecl> FunctionDecl::clone_function() const {
+  auto out = std::make_unique<FunctionDecl>();
+  out->return_type = return_type;
+  out->return_pointer_depth = return_pointer_depth;
+  out->is_static = is_static;
+  out->name = name;
+  out->params.reserve(params.size());
+  for (const auto& p : params) out->params.push_back(p.clone());
+  if (body) out->body = body->clone_compound();
+  return out;
+}
+
+TopLevelPtr FunctionDecl::clone() const { return clone_function(); }
+
+TopLevelPtr GlobalVarDecl::clone() const {
+  std::vector<VarDecl> cloned;
+  cloned.reserve(decls.size());
+  for (const auto& d : decls) cloned.push_back(d.clone());
+  return std::make_unique<GlobalVarDecl>(std::move(cloned));
+}
+
+TopLevelPtr RawTopLevel::clone() const { return std::make_unique<RawTopLevel>(text); }
+
+// ---- TranslationUnit ----------------------------------------------------------
+
+TranslationUnit TranslationUnit::clone() const {
+  TranslationUnit tu;
+  tu.items.reserve(items.size());
+  for (const auto& item : items) tu.items.push_back(item->clone());
+  return tu;
+}
+
+FunctionDecl* TranslationUnit::find_function(const std::string& fname) {
+  for (auto& item : items) {
+    if (item->kind != TopLevelKind::kFunction) continue;
+    auto* fn = static_cast<FunctionDecl*>(item.get());
+    if (fn->name == fname) return fn;
+  }
+  return nullptr;
+}
+
+const FunctionDecl* TranslationUnit::find_function(const std::string& fname) const {
+  return const_cast<TranslationUnit*>(this)->find_function(fname);
+}
+
+std::vector<FunctionDecl*> TranslationUnit::functions() {
+  std::vector<FunctionDecl*> out;
+  for (auto& item : items) {
+    if (item->kind != TopLevelKind::kFunction) continue;
+    auto* fn = static_cast<FunctionDecl*>(item.get());
+    if (fn->body) out.push_back(fn);
+  }
+  return out;
+}
+
+std::vector<const FunctionDecl*> TranslationUnit::functions() const {
+  std::vector<const FunctionDecl*> out;
+  for (const auto& item : items) {
+    if (item->kind != TopLevelKind::kFunction) continue;
+    const auto* fn = static_cast<const FunctionDecl*>(item.get());
+    if (fn->body) out.push_back(fn);
+  }
+  return out;
+}
+
+// ---- Walkers -------------------------------------------------------------------
+
+void walk_expr(const Expr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  switch (expr.kind) {
+    case ExprKind::kUnary:
+      walk_expr(*static_cast<const UnaryExpr&>(expr).operand, fn);
+      break;
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      walk_expr(*e.lhs, fn);
+      walk_expr(*e.rhs, fn);
+      break;
+    }
+    case ExprKind::kAssign: {
+      const auto& e = static_cast<const AssignExpr&>(expr);
+      walk_expr(*e.lhs, fn);
+      walk_expr(*e.rhs, fn);
+      break;
+    }
+    case ExprKind::kConditional: {
+      const auto& e = static_cast<const ConditionalExpr&>(expr);
+      walk_expr(*e.cond, fn);
+      walk_expr(*e.then_expr, fn);
+      walk_expr(*e.else_expr, fn);
+      break;
+    }
+    case ExprKind::kCall:
+      for (const auto& a : static_cast<const CallExpr&>(expr).args) walk_expr(*a, fn);
+      break;
+    case ExprKind::kIndex: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      walk_expr(*e.base, fn);
+      walk_expr(*e.index, fn);
+      break;
+    }
+    case ExprKind::kMember:
+      walk_expr(*static_cast<const MemberExpr&>(expr).base, fn);
+      break;
+    case ExprKind::kCast:
+      walk_expr(*static_cast<const CastExpr&>(expr).operand, fn);
+      break;
+    default:
+      break;  // literals and identifiers have no children
+  }
+}
+
+void walk_stmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  switch (stmt.kind) {
+    case StmtKind::kCompound:
+      for (const auto& s : static_cast<const CompoundStmt&>(stmt).stmts) walk_stmt(*s, fn);
+      break;
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      walk_stmt(*s.then_branch, fn);
+      if (s.else_branch) walk_stmt(*s.else_branch, fn);
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      if (s.init) walk_stmt(*s.init, fn);
+      if (s.body) walk_stmt(*s.body, fn);
+      break;
+    }
+    case StmtKind::kWhile:
+      walk_stmt(*static_cast<const WhileStmt&>(stmt).body, fn);
+      break;
+    case StmtKind::kDoWhile:
+      walk_stmt(*static_cast<const DoWhileStmt&>(stmt).body, fn);
+      break;
+    case StmtKind::kSwitch:
+      walk_stmt(*static_cast<const SwitchStmt&>(stmt).body, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+void walk_stmt_exprs(const Stmt& stmt, const std::function<void(const Expr&)>& fn) {
+  walk_stmt(stmt, [&](const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        walk_expr(*static_cast<const ExprStmt&>(s).expr, fn);
+        break;
+      case StmtKind::kDecl:
+        for (const auto& d : static_cast<const DeclStmt&>(s).decls) {
+          for (const auto& dim : d.array_dims)
+            if (dim) walk_expr(*dim, fn);
+          if (d.init) walk_expr(*d.init, fn);
+        }
+        break;
+      case StmtKind::kIf:
+        walk_expr(*static_cast<const IfStmt&>(s).cond, fn);
+        break;
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.cond) walk_expr(*f.cond, fn);
+        if (f.inc) walk_expr(*f.inc, fn);
+        break;
+      }
+      case StmtKind::kWhile:
+        walk_expr(*static_cast<const WhileStmt&>(s).cond, fn);
+        break;
+      case StmtKind::kDoWhile:
+        walk_expr(*static_cast<const DoWhileStmt&>(s).cond, fn);
+        break;
+      case StmtKind::kSwitch:
+        walk_expr(*static_cast<const SwitchStmt&>(s).cond, fn);
+        break;
+      case StmtKind::kCaseLabel: {
+        const auto& label = static_cast<const CaseLabelStmt&>(s);
+        if (label.value) walk_expr(*label.value, fn);
+        break;
+      }
+      case StmtKind::kReturn: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.expr) walk_expr(*r.expr, fn);
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+void walk_stmt_mut(Stmt& stmt, const std::function<void(Stmt&)>& fn) {
+  fn(stmt);
+  switch (stmt.kind) {
+    case StmtKind::kCompound:
+      for (auto& s : static_cast<CompoundStmt&>(stmt).stmts) walk_stmt_mut(*s, fn);
+      break;
+    case StmtKind::kIf: {
+      auto& s = static_cast<IfStmt&>(stmt);
+      walk_stmt_mut(*s.then_branch, fn);
+      if (s.else_branch) walk_stmt_mut(*s.else_branch, fn);
+      break;
+    }
+    case StmtKind::kFor: {
+      auto& s = static_cast<ForStmt&>(stmt);
+      if (s.init) walk_stmt_mut(*s.init, fn);
+      if (s.body) walk_stmt_mut(*s.body, fn);
+      break;
+    }
+    case StmtKind::kWhile:
+      walk_stmt_mut(*static_cast<WhileStmt&>(stmt).body, fn);
+      break;
+    case StmtKind::kDoWhile:
+      walk_stmt_mut(*static_cast<DoWhileStmt&>(stmt).body, fn);
+      break;
+    case StmtKind::kSwitch:
+      walk_stmt_mut(*static_cast<SwitchStmt&>(stmt).body, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace socrates::ir

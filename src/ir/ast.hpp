@@ -1,0 +1,424 @@
+// Abstract syntax tree for the C subset.
+//
+// The tree is an owning unique_ptr hierarchy.  Every node supports
+// deep-clone() because the weaver's Multiversioning strategy clones
+// whole kernel functions, and supports structural walking through the
+// free functions in this header (used by the Milepost-style feature
+// extractor and by the logical-LOC counter).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socrates::ir {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kCharLit,
+  kIdent,
+  kUnary,
+  kBinary,
+  kAssign,
+  kConditional,
+  kCall,
+  kIndex,
+  kMember,
+  kCast,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+
+  virtual ExprPtr clone() const = 0;
+};
+
+/// Integer literal; keeps the original spelling (suffixes, hex).
+struct IntLit : Expr {
+  explicit IntLit(std::string s) : Expr(ExprKind::kIntLit), spelling(std::move(s)) {}
+  std::string spelling;
+  ExprPtr clone() const override;
+};
+
+struct FloatLit : Expr {
+  explicit FloatLit(std::string s) : Expr(ExprKind::kFloatLit), spelling(std::move(s)) {}
+  std::string spelling;
+  ExprPtr clone() const override;
+};
+
+struct StringLit : Expr {
+  explicit StringLit(std::string s) : Expr(ExprKind::kStringLit), spelling(std::move(s)) {}
+  std::string spelling;  ///< includes the quotes
+  ExprPtr clone() const override;
+};
+
+struct CharLit : Expr {
+  explicit CharLit(std::string s) : Expr(ExprKind::kCharLit), spelling(std::move(s)) {}
+  std::string spelling;  ///< includes the quotes
+  ExprPtr clone() const override;
+};
+
+struct Ident : Expr {
+  explicit Ident(std::string n) : Expr(ExprKind::kIdent), name(std::move(n)) {}
+  std::string name;
+  ExprPtr clone() const override;
+};
+
+/// Prefix or postfix unary expression ("-x", "!x", "x++", "*p", "&v").
+struct UnaryExpr : Expr {
+  UnaryExpr(std::string o, ExprPtr e, bool pre)
+      : Expr(ExprKind::kUnary), op(std::move(o)), operand(std::move(e)), is_prefix(pre) {}
+  std::string op;
+  ExprPtr operand;
+  bool is_prefix;
+  ExprPtr clone() const override;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(std::string o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(std::move(o)), lhs(std::move(l)), rhs(std::move(r)) {}
+  std::string op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  ExprPtr clone() const override;
+};
+
+/// Assignment, including compound forms ("=", "+=", "<<=", ...).
+struct AssignExpr : Expr {
+  AssignExpr(std::string o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kAssign), op(std::move(o)), lhs(std::move(l)), rhs(std::move(r)) {}
+  std::string op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  ExprPtr clone() const override;
+};
+
+struct ConditionalExpr : Expr {
+  ConditionalExpr(ExprPtr c, ExprPtr t, ExprPtr f)
+      : Expr(ExprKind::kConditional),
+        cond(std::move(c)),
+        then_expr(std::move(t)),
+        else_expr(std::move(f)) {}
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+  ExprPtr clone() const override;
+};
+
+struct CallExpr : Expr {
+  CallExpr(std::string c, std::vector<ExprPtr> a)
+      : Expr(ExprKind::kCall), callee(std::move(c)), args(std::move(a)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  ExprPtr clone() const override;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr b, ExprPtr i)
+      : Expr(ExprKind::kIndex), base(std::move(b)), index(std::move(i)) {}
+  ExprPtr base;
+  ExprPtr index;
+  ExprPtr clone() const override;
+};
+
+struct MemberExpr : Expr {
+  MemberExpr(ExprPtr b, std::string m, bool arr)
+      : Expr(ExprKind::kMember), base(std::move(b)), member(std::move(m)), is_arrow(arr) {}
+  ExprPtr base;
+  std::string member;
+  bool is_arrow;
+  ExprPtr clone() const override;
+};
+
+struct CastExpr : Expr {
+  CastExpr(std::string t, ExprPtr e)
+      : Expr(ExprKind::kCast), type_text(std::move(t)), operand(std::move(e)) {}
+  std::string type_text;
+  ExprPtr operand;
+  ExprPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+/// A '#pragma' line; `raw` is everything after the '#pragma' keyword,
+/// e.g. "omp parallel for num_threads(4)" or "GCC optimize(\"O2\")".
+struct Pragma {
+  std::string raw;
+  bool is_omp() const;
+  bool is_gcc_optimize() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kExpr,
+  kDecl,
+  kCompound,
+  kIf,
+  kFor,
+  kWhile,
+  kDoWhile,
+  kSwitch,
+  kCaseLabel,
+  kReturn,
+  kBreak,
+  kContinue,
+  kPragma,
+  kEmpty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind;
+
+  virtual StmtPtr clone() const = 0;
+};
+
+/// One declared variable, also used for function parameters.
+/// `type_text` is the specifier part ("double", "unsigned int", ...);
+/// `array_dims` holds one expression per bracket pair (nullptr for []).
+struct VarDecl {
+  std::string type_text;
+  std::string name;
+  int pointer_depth = 0;
+  std::vector<ExprPtr> array_dims;
+  ExprPtr init;  ///< may be null
+
+  VarDecl clone() const;
+};
+
+struct ExprStmt : Stmt {
+  explicit ExprStmt(ExprPtr e) : Stmt(StmtKind::kExpr), expr(std::move(e)) {}
+  ExprPtr expr;
+  StmtPtr clone() const override;
+};
+
+struct DeclStmt : Stmt {
+  explicit DeclStmt(std::vector<VarDecl> d) : Stmt(StmtKind::kDecl), decls(std::move(d)) {}
+  std::vector<VarDecl> decls;  ///< "int i, j;" declares two
+  StmtPtr clone() const override;
+};
+
+struct CompoundStmt : Stmt {
+  CompoundStmt() : Stmt(StmtKind::kCompound) {}
+  std::vector<StmtPtr> stmts;
+  StmtPtr clone() const override;
+  std::unique_ptr<CompoundStmt> clone_compound() const;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
+      : Stmt(StmtKind::kIf), cond(std::move(c)), then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  ///< may be null
+  StmtPtr clone() const override;
+};
+
+struct ForStmt : Stmt {
+  ForStmt() : Stmt(StmtKind::kFor) {}
+  StmtPtr init;  ///< DeclStmt or ExprStmt or null
+  ExprPtr cond;  ///< may be null
+  ExprPtr inc;   ///< may be null
+  StmtPtr body;
+  StmtPtr clone() const override;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr c, StmtPtr b)
+      : Stmt(StmtKind::kWhile), cond(std::move(c)), body(std::move(b)) {}
+  ExprPtr cond;
+  StmtPtr body;
+  StmtPtr clone() const override;
+};
+
+struct DoWhileStmt : Stmt {
+  DoWhileStmt(StmtPtr b, ExprPtr c)
+      : Stmt(StmtKind::kDoWhile), body(std::move(b)), cond(std::move(c)) {}
+  StmtPtr body;
+  ExprPtr cond;
+  StmtPtr clone() const override;
+};
+
+/// switch (cond) { ... } — the body is always a compound statement.
+struct SwitchStmt : Stmt {
+  SwitchStmt(ExprPtr c, StmtPtr b)
+      : Stmt(StmtKind::kSwitch), cond(std::move(c)), body(std::move(b)) {}
+  ExprPtr cond;
+  StmtPtr body;
+  StmtPtr clone() const override;
+};
+
+/// "case <expr>:" or "default:" — a label statement inside a switch
+/// body (C allows statements to follow on the same or the next lines;
+/// we model labels as standalone statements preceding them).
+struct CaseLabelStmt : Stmt {
+  explicit CaseLabelStmt(ExprPtr v)
+      : Stmt(StmtKind::kCaseLabel), value(std::move(v)) {}
+  ExprPtr value;  ///< null for "default:"
+  StmtPtr clone() const override;
+};
+
+struct ReturnStmt : Stmt {
+  explicit ReturnStmt(ExprPtr e) : Stmt(StmtKind::kReturn), expr(std::move(e)) {}
+  ExprPtr expr;  ///< may be null
+  StmtPtr clone() const override;
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::kBreak) {}
+  StmtPtr clone() const override;
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::kContinue) {}
+  StmtPtr clone() const override;
+};
+
+/// A pragma appearing at statement position (e.g. "#pragma omp for"
+/// immediately before a loop inside a function body).
+struct PragmaStmt : Stmt {
+  explicit PragmaStmt(Pragma p) : Stmt(StmtKind::kPragma), pragma(std::move(p)) {}
+  Pragma pragma;
+  StmtPtr clone() const override;
+};
+
+struct EmptyStmt : Stmt {
+  EmptyStmt() : Stmt(StmtKind::kEmpty) {}
+  StmtPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Top-level declarations
+// ---------------------------------------------------------------------------
+
+enum class TopLevelKind { kInclude, kDefine, kPragma, kFunction, kGlobalVar, kRaw };
+
+struct TopLevel;
+using TopLevelPtr = std::unique_ptr<TopLevel>;
+
+struct TopLevel {
+  explicit TopLevel(TopLevelKind k) : kind(k) {}
+  virtual ~TopLevel() = default;
+  TopLevel(const TopLevel&) = delete;
+  TopLevel& operator=(const TopLevel&) = delete;
+
+  TopLevelKind kind;
+
+  virtual TopLevelPtr clone() const = 0;
+};
+
+struct IncludeDirective : TopLevel {
+  explicit IncludeDirective(std::string t)
+      : TopLevel(TopLevelKind::kInclude), target(std::move(t)) {}
+  std::string target;  ///< with delimiters: "<stdio.h>" or "\"margot.h\""
+  TopLevelPtr clone() const override;
+};
+
+struct DefineDirective : TopLevel {
+  explicit DefineDirective(std::string b) : TopLevel(TopLevelKind::kDefine), body(std::move(b)) {}
+  std::string body;  ///< everything after "#define"
+  TopLevelPtr clone() const override;
+};
+
+struct TopLevelPragma : TopLevel {
+  explicit TopLevelPragma(Pragma p) : TopLevel(TopLevelKind::kPragma), pragma(std::move(p)) {}
+  Pragma pragma;
+  TopLevelPtr clone() const override;
+};
+
+struct FunctionDecl : TopLevel {
+  FunctionDecl() : TopLevel(TopLevelKind::kFunction) {}
+  std::string return_type = "void";
+  int return_pointer_depth = 0;
+  bool is_static = false;
+  std::string name;
+  std::vector<VarDecl> params;
+  std::unique_ptr<CompoundStmt> body;  ///< null for a prototype
+  TopLevelPtr clone() const override;
+  std::unique_ptr<FunctionDecl> clone_function() const;
+};
+
+struct GlobalVarDecl : TopLevel {
+  explicit GlobalVarDecl(std::vector<VarDecl> d)
+      : TopLevel(TopLevelKind::kGlobalVar), decls(std::move(d)) {}
+  std::vector<VarDecl> decls;
+  TopLevelPtr clone() const override;
+};
+
+/// Verbatim pass-through for constructs outside the subset (typedefs
+/// and similar), stored as raw text ending in ';'.
+struct RawTopLevel : TopLevel {
+  explicit RawTopLevel(std::string t) : TopLevel(TopLevelKind::kRaw), text(std::move(t)) {}
+  std::string text;
+  TopLevelPtr clone() const override;
+};
+
+/// A whole parsed source file.
+struct TranslationUnit {
+  std::vector<TopLevelPtr> items;
+
+  TranslationUnit() = default;
+  TranslationUnit(const TranslationUnit&) = delete;
+  TranslationUnit& operator=(const TranslationUnit&) = delete;
+  TranslationUnit(TranslationUnit&&) = default;
+  TranslationUnit& operator=(TranslationUnit&&) = default;
+
+  TranslationUnit clone() const;
+
+  /// First function with the given name, or nullptr.
+  FunctionDecl* find_function(const std::string& name);
+  const FunctionDecl* find_function(const std::string& name) const;
+
+  /// All function definitions (bodies present), in declaration order.
+  std::vector<FunctionDecl*> functions();
+  std::vector<const FunctionDecl*> functions() const;
+};
+
+// ---------------------------------------------------------------------------
+// Walkers
+// ---------------------------------------------------------------------------
+
+/// Calls `fn` on `expr` and every sub-expression, pre-order.
+void walk_expr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+
+/// Calls `fn` on `stmt` and every nested statement, pre-order; also
+/// walks into initializer expressions via `expr_fn` when provided.
+void walk_stmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+
+/// Walks every expression reachable from `stmt` (conditions,
+/// increments, initializers, expression statements).
+void walk_stmt_exprs(const Stmt& stmt, const std::function<void(const Expr&)>& fn);
+
+/// Mutable pre-order statement walk (used by the weaver).
+void walk_stmt_mut(Stmt& stmt, const std::function<void(Stmt&)>& fn);
+
+}  // namespace socrates::ir

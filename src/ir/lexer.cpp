@@ -1,0 +1,254 @@
+#include "ir/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <unordered_set>
+
+namespace socrates::ir {
+
+bool is_c_keyword(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "auto",     "break",    "case",     "char",   "const",    "continue",
+      "default",  "do",       "double",   "else",   "enum",     "extern",
+      "float",    "for",      "goto",     "if",     "inline",   "int",
+      "long",     "register", "restrict", "return", "short",    "signed",
+      "sizeof",   "static",   "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",     "volatile", "while",
+  };
+  return kKeywords.count(word) > 0;
+}
+
+LexError::LexError(const std::string& message, int line, int column)
+    : std::runtime_error([&] {
+        std::ostringstream os;
+        os << "lex error at " << line << ':' << column << ": " << message;
+        return os.str();
+      }()),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+/// Multi-character punctuators, longest first so maximal munch works.
+constexpr std::array<std::string_view, 19> kLongPuncts = {
+    "<<=", ">>=", "...",                                    // 3 chars
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",   // 2 chars
+    "&&", "||", "+=", "-=", "*=", "/=", "%=",
+};
+
+constexpr std::array<std::string_view, 4> kLongPuncts2 = {"&=", "|=", "^=", "##"};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  bool match_str(std::string_view s) const {
+    return src_.substr(pos_, s.size()) == s;
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  void advance_by(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) advance();
+  }
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+  bool at_line_start() const { return column_at_token_ == 1; }
+  void note_token_start() {
+    column_at_token_ = column_;
+    token_line_ = line_;
+  }
+  int token_line() const { return token_line_; }
+  int token_column() const { return column_at_token_; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int column_at_token_ = 1;
+  int token_line_ = 1;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+  bool line_has_token = false;  // tracks whether '#' is the first non-ws on its line
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+
+    if (c == '\n') {
+      cur.advance();
+      line_has_token = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      const int start_line = cur.line();
+      const int start_col = cur.column();
+      cur.advance_by(2);
+      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) cur.advance();
+      if (cur.done()) throw LexError("unterminated block comment", start_line, start_col);
+      cur.advance_by(2);
+      continue;
+    }
+
+    cur.note_token_start();
+
+    // Preprocessor directive: '#' as first token of a line; capture the
+    // whole (continuation-joined) line.
+    if (c == '#' && !line_has_token) {
+      cur.advance();  // '#'
+      std::string text;
+      while (!cur.done()) {
+        if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+          cur.advance_by(2);
+          text += ' ';
+          continue;
+        }
+        if (cur.peek() == '\n') break;
+        text += cur.advance();
+      }
+      tokens.push_back(Token{TokenKind::kDirective, std::string(text), cur.token_line(),
+                             cur.token_column()});
+      continue;
+    }
+
+    line_has_token = true;
+
+    if (is_ident_start(c)) {
+      std::string word;
+      while (!cur.done() && is_ident_char(cur.peek())) word += cur.advance();
+      const TokenKind kind = is_c_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+      tokens.push_back(Token{kind, std::move(word), cur.token_line(), cur.token_column()});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      std::string num;
+      bool is_float = false;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        num += cur.advance();
+        num += cur.advance();
+        while (!cur.done() && std::isxdigit(static_cast<unsigned char>(cur.peek())))
+          num += cur.advance();
+      } else {
+        while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek())))
+          num += cur.advance();
+        if (cur.peek() == '.') {
+          is_float = true;
+          num += cur.advance();
+          while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek())))
+            num += cur.advance();
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          is_float = true;
+          num += cur.advance();
+          if (cur.peek() == '+' || cur.peek() == '-') num += cur.advance();
+          while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek())))
+            num += cur.advance();
+        }
+      }
+      // Suffixes (f, F, l, L, u, U) — kept in the spelling.
+      while (cur.peek() == 'f' || cur.peek() == 'F' || cur.peek() == 'l' ||
+             cur.peek() == 'L' || cur.peek() == 'u' || cur.peek() == 'U') {
+        if (cur.peek() == 'f' || cur.peek() == 'F') is_float = true;
+        num += cur.advance();
+      }
+      tokens.push_back(Token{is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
+                             std::move(num), cur.token_line(), cur.token_column()});
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = cur.line();
+      const int start_col = cur.column();
+      std::string lit;
+      lit += cur.advance();
+      while (!cur.done() && cur.peek() != quote) {
+        if (cur.peek() == '\\') lit += cur.advance();
+        if (cur.done()) break;
+        lit += cur.advance();
+      }
+      if (cur.done())
+        throw LexError(quote == '"' ? "unterminated string literal"
+                                    : "unterminated character literal",
+                       start_line, start_col);
+      lit += cur.advance();
+      tokens.push_back(Token{quote == '"' ? TokenKind::kStringLiteral : TokenKind::kCharLiteral,
+                             std::move(lit), cur.token_line(), cur.token_column()});
+      continue;
+    }
+
+    // Punctuation: maximal munch.
+    bool matched = false;
+    for (const auto p : kLongPuncts) {
+      if (cur.match_str(p)) {
+        cur.advance_by(p.size());
+        tokens.push_back(
+            Token{TokenKind::kPunct, std::string(p), cur.token_line(), cur.token_column()});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const auto p : kLongPuncts2) {
+      if (cur.match_str(p)) {
+        cur.advance_by(p.size());
+        tokens.push_back(
+            Token{TokenKind::kPunct, std::string(p), cur.token_line(), cur.token_column()});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static const std::string kSingles = "+-*/%<>=!&|^~?:;,.(){}[]#";
+    if (kSingles.find(c) != std::string::npos) {
+      cur.advance();
+      tokens.push_back(
+          Token{TokenKind::kPunct, std::string(1, c), cur.token_line(), cur.token_column()});
+      continue;
+    }
+
+    throw LexError(std::string("unexpected character '") + c + "'", cur.line(), cur.column());
+  }
+
+  tokens.push_back(Token{TokenKind::kEnd, "", cur.line(), cur.column()});
+  return tokens;
+}
+
+}  // namespace socrates::ir

@@ -1,0 +1,34 @@
+// Hand-written lexer for the C subset used by the Polybench kernels.
+//
+// Supported: identifiers, keywords, integer / floating literals
+// (including hex and exponents), string and character literals, all
+// multi-character operators of C, line and block comments, and
+// preprocessor directives (captured whole, with backslash-newline
+// continuation).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/token.hpp"
+
+namespace socrates::ir {
+
+/// Thrown on malformed input (unterminated string, stray byte, ...).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenizes `source`; the result always ends with a kEnd token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace socrates::ir

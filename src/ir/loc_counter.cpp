@@ -1,0 +1,67 @@
+#include "ir/loc_counter.hpp"
+
+namespace socrates::ir {
+
+std::size_t logical_loc(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kExpr:
+    case StmtKind::kDecl:
+    case StmtKind::kReturn:
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+    case StmtKind::kPragma:
+    case StmtKind::kCaseLabel:
+    case StmtKind::kEmpty:
+      return 1;
+    case StmtKind::kCompound: {
+      std::size_t total = 0;
+      for (const auto& s : static_cast<const CompoundStmt&>(stmt).stmts)
+        total += logical_loc(*s);
+      return total;
+    }
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      std::size_t total = 1 + logical_loc(*s.then_branch);
+      if (s.else_branch) total += logical_loc(*s.else_branch);
+      return total;
+    }
+    case StmtKind::kFor: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      return 1 + (s.body ? logical_loc(*s.body) : 0);
+    }
+    case StmtKind::kWhile:
+      return 1 + logical_loc(*static_cast<const WhileStmt&>(stmt).body);
+    case StmtKind::kDoWhile:
+      return 2 + logical_loc(*static_cast<const DoWhileStmt&>(stmt).body);
+    case StmtKind::kSwitch:
+      return 1 + logical_loc(*static_cast<const SwitchStmt&>(stmt).body);
+  }
+  return 0;
+}
+
+std::size_t logical_loc(const FunctionDecl& fn) {
+  return 1 + (fn.body ? logical_loc(*fn.body) : 0);
+}
+
+std::size_t logical_loc(const TranslationUnit& tu) {
+  std::size_t total = 0;
+  for (const auto& item : tu.items) {
+    switch (item->kind) {
+      case TopLevelKind::kInclude:
+      case TopLevelKind::kDefine:
+      case TopLevelKind::kPragma:
+      case TopLevelKind::kRaw:
+        total += 1;
+        break;
+      case TopLevelKind::kGlobalVar:
+        total += static_cast<const GlobalVarDecl&>(*item).decls.size();
+        break;
+      case TopLevelKind::kFunction:
+        total += logical_loc(static_cast<const FunctionDecl&>(*item));
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace socrates::ir

@@ -1,0 +1,124 @@
+#include "ir/omp.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::ir {
+
+namespace {
+
+const char* kDirectiveWords[] = {
+    "parallel", "for", "sections", "section", "single", "master",
+    "critical", "barrier", "atomic", "task", "simd", "teams",
+};
+
+bool is_directive_word(const std::string& w) {
+  for (const char* d : kDirectiveWords)
+    if (w == d) return true;
+  return false;
+}
+
+/// Splits "omp parallel for num_threads(4) proc_bind(close) nowait"
+/// into word / word(arg) chunks, respecting nested parentheses.
+std::vector<std::string> chunk_pragma(const std::string& text) {
+  std::vector<std::string> chunks;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= text.size()) break;
+    std::string chunk;
+    int depth = 0;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (depth == 0 && std::isspace(static_cast<unsigned char>(c))) break;
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      chunk += c;
+      ++i;
+    }
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+}  // namespace
+
+bool OmpPragma::has_clause(const std::string& name) const {
+  for (const auto& c : clauses)
+    if (c.name == name) return true;
+  return false;
+}
+
+std::optional<std::string> OmpPragma::clause_argument(const std::string& name) const {
+  for (const auto& c : clauses)
+    if (c.name == name) return c.argument;
+  return std::nullopt;
+}
+
+void OmpPragma::set_clause(const std::string& name, std::optional<std::string> argument) {
+  for (auto& c : clauses) {
+    if (c.name == name) {
+      c.argument = std::move(argument);
+      return;
+    }
+  }
+  clauses.push_back(OmpClause{name, std::move(argument)});
+}
+
+void OmpPragma::remove_clause(const std::string& name) {
+  std::erase_if(clauses, [&](const OmpClause& c) { return c.name == name; });
+}
+
+std::string OmpPragma::render() const {
+  std::string out = "omp " + directive;
+  for (const auto& c : clauses) {
+    out += " " + c.name;
+    if (c.argument) out += "(" + *c.argument + ")";
+  }
+  return out;
+}
+
+std::optional<OmpPragma> parse_omp(const Pragma& pragma) {
+  const std::string text = trim(pragma.raw);
+  if (!starts_with(text, "omp")) return std::nullopt;
+  const auto chunks = chunk_pragma(text.substr(3));
+
+  OmpPragma out;
+  std::size_t i = 0;
+  // Leading chunks that are bare directive words form the directive.
+  while (i < chunks.size() && is_directive_word(chunks[i]) &&
+         chunks[i].find('(') == std::string::npos) {
+    if (!out.directive.empty()) out.directive += " ";
+    out.directive += chunks[i];
+    ++i;
+  }
+  for (; i < chunks.size(); ++i) {
+    const std::string& chunk = chunks[i];
+    const std::size_t open = chunk.find('(');
+    if (open == std::string::npos) {
+      out.clauses.push_back(OmpClause{chunk, std::nullopt});
+      continue;
+    }
+    SOCRATES_REQUIRE_MSG(chunk.back() == ')', "malformed OpenMP clause: " << chunk);
+    out.clauses.push_back(OmpClause{chunk.substr(0, open),
+                                    chunk.substr(open + 1, chunk.size() - open - 2)});
+  }
+  return out;
+}
+
+Pragma gcc_optimize_pragma(const std::string& options) {
+  return Pragma{"GCC optimize(\"" + options + "\")"};
+}
+
+std::optional<std::string> gcc_optimize_options(const Pragma& pragma) {
+  const std::string text = trim(pragma.raw);
+  if (!starts_with(text, "GCC optimize")) return std::nullopt;
+  const std::size_t open = text.find('"');
+  const std::size_t close = text.rfind('"');
+  if (open == std::string::npos || close <= open) return std::nullopt;
+  return text.substr(open + 1, close - open - 1);
+}
+
+}  // namespace socrates::ir

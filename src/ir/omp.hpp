@@ -1,0 +1,56 @@
+// Structured view of OpenMP pragmas.
+//
+// The weaver inspects OpenMP pragma attributes (directive kind, clause
+// values — each inspection counts towards the paper's `Att` metric) and
+// rewrites the num_threads / proc_bind clauses when generating kernel
+// versions, so pragmas need a parse/update/render cycle rather than
+// string pasting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+
+namespace socrates::ir {
+
+/// One OpenMP clause, e.g. name="num_threads", argument="NT" or
+/// name="nowait", argument=nullopt.
+struct OmpClause {
+  std::string name;
+  std::optional<std::string> argument;
+};
+
+/// Parsed "#pragma omp ..." line.
+struct OmpPragma {
+  /// Directive words before the first clause: "parallel for", "for",
+  /// "parallel", "barrier", ...
+  std::string directive;
+  std::vector<OmpClause> clauses;
+
+  bool has_clause(const std::string& name) const;
+  std::optional<std::string> clause_argument(const std::string& name) const;
+
+  /// Adds the clause or replaces its argument when already present.
+  void set_clause(const std::string& name, std::optional<std::string> argument);
+
+  /// Removes every clause with the given name.
+  void remove_clause(const std::string& name);
+
+  /// Renders back to pragma text (without the leading "#pragma ").
+  std::string render() const;
+};
+
+/// Parses `pragma.raw`; returns nullopt when it is not an OpenMP pragma.
+std::optional<OmpPragma> parse_omp(const Pragma& pragma);
+
+/// Builds a "GCC optimize" pragma from a comma-separated option string,
+/// e.g. gcc_optimize_pragma("O2,no-inline") ->
+/// raw == "GCC optimize(\"O2,no-inline\")".
+Pragma gcc_optimize_pragma(const std::string& options);
+
+/// Extracts the option string back out of a GCC optimize pragma, if any.
+std::optional<std::string> gcc_optimize_options(const Pragma& pragma);
+
+}  // namespace socrates::ir

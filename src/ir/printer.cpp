@@ -1,0 +1,331 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::ir {
+
+namespace {
+
+/// Precedence used to decide parenthesisation when printing.  Mirrors
+/// the parser's table; primaries get the highest value.
+int expr_precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kAssign: return 0;
+    case ExprKind::kConditional: return 1;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      const std::string& op = b.op;
+      if (op == "||") return 2;
+      if (op == "&&") return 3;
+      if (op == "|") return 4;
+      if (op == "^") return 5;
+      if (op == "&") return 6;
+      if (op == "==" || op == "!=") return 7;
+      if (op == "<" || op == ">" || op == "<=" || op == ">=") return 8;
+      if (op == "<<" || op == ">>") return 9;
+      if (op == "+" || op == "-") return 10;
+      return 11;  // * / %
+    }
+    case ExprKind::kUnary: return 12;
+    case ExprKind::kCast: return 12;
+    default: return 13;  // postfix & primary
+  }
+}
+
+std::string paren_child(const Expr& child, int parent_prec) {
+  const std::string text = print_expr(child);
+  if (expr_precedence(child) < parent_prec) return "(" + text + ")";
+  return text;
+}
+
+class StmtPrinter {
+ public:
+  explicit StmtPrinter(std::ostringstream& os) : os_(os) {}
+
+  void print(const Stmt& stmt, int indent) {
+    switch (stmt.kind) {
+      case StmtKind::kExpr:
+        line(indent, print_expr(*static_cast<const ExprStmt&>(stmt).expr) + ";");
+        break;
+      case StmtKind::kDecl: {
+        const auto& d = static_cast<const DeclStmt&>(stmt);
+        std::vector<std::string> parts;
+        // "int i, j;" prints each declarator after the shared type once.
+        SOCRATES_ENSURE(!d.decls.empty());
+        std::string text = print_var_decl(d.decls.front());
+        for (std::size_t i = 1; i < d.decls.size(); ++i) {
+          text += ", " + declarator_only(d.decls[i]);
+        }
+        line(indent, text + ";");
+        break;
+      }
+      case StmtKind::kCompound: {
+        const auto& c = static_cast<const CompoundStmt&>(stmt);
+        line(indent, "{");
+        for (const auto& s : c.stmts) print(*s, indent + 1);
+        line(indent, "}");
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        line(indent, "if (" + print_expr(*s.cond) + ")");
+        // Dangling-else protection: a non-compound then-branch followed
+        // by an else must be braced, or the reparse would attach the
+        // else to an inner if.
+        if (s.else_branch && s.then_branch->kind != StmtKind::kCompound) {
+          line(indent, "{");
+          print(*s.then_branch, indent + 1);
+          line(indent, "}");
+        } else {
+          print_branch(*s.then_branch, indent);
+        }
+        if (s.else_branch) {
+          line(indent, "else");
+          print_branch(*s.else_branch, indent);
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        std::string head = "for (";
+        if (s.init) {
+          // The init statement already ends in ';' when printed standalone;
+          // inline it without the newline.
+          head += inline_simple_stmt(*s.init);
+        } else {
+          head += ";";
+        }
+        head += " ";
+        if (s.cond) head += print_expr(*s.cond);
+        head += "; ";
+        if (s.inc) head += print_expr(*s.inc);
+        head += ")";
+        line(indent, head);
+        print_branch(*s.body, indent);
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        line(indent, "while (" + print_expr(*s.cond) + ")");
+        print_branch(*s.body, indent);
+        break;
+      }
+      case StmtKind::kDoWhile: {
+        const auto& s = static_cast<const DoWhileStmt&>(stmt);
+        line(indent, "do");
+        print_branch(*s.body, indent);
+        line(indent, "while (" + print_expr(*s.cond) + ");");
+        break;
+      }
+      case StmtKind::kSwitch: {
+        const auto& s = static_cast<const SwitchStmt&>(stmt);
+        line(indent, "switch (" + print_expr(*s.cond) + ")");
+        print(*s.body, indent);  // always a compound
+        break;
+      }
+      case StmtKind::kCaseLabel: {
+        const auto& s = static_cast<const CaseLabelStmt&>(stmt);
+        line(indent, s.value ? "case " + print_expr(*s.value) + ":" : "default:");
+        break;
+      }
+      case StmtKind::kReturn: {
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        line(indent, s.expr ? "return " + print_expr(*s.expr) + ";" : "return;");
+        break;
+      }
+      case StmtKind::kBreak:
+        line(indent, "break;");
+        break;
+      case StmtKind::kContinue:
+        line(indent, "continue;");
+        break;
+      case StmtKind::kPragma:
+        line(indent, "#pragma " + static_cast<const PragmaStmt&>(stmt).pragma.raw);
+        break;
+      case StmtKind::kEmpty:
+        line(indent, ";");
+        break;
+    }
+  }
+
+ private:
+  void line(int indent, const std::string& text) {
+    os_ << repeated("  ", static_cast<std::size_t>(indent)) << text << '\n';
+  }
+
+  /// Bodies of if/for/while: compounds print at the same indent, single
+  /// statements print one level deeper.
+  void print_branch(const Stmt& body, int indent) {
+    if (body.kind == StmtKind::kCompound) {
+      print(body, indent);
+    } else {
+      print(body, indent + 1);
+    }
+  }
+
+  static std::string inline_simple_stmt(const Stmt& stmt) {
+    if (stmt.kind == StmtKind::kExpr)
+      return print_expr(*static_cast<const ExprStmt&>(stmt).expr) + ";";
+    if (stmt.kind == StmtKind::kDecl) {
+      const auto& d = static_cast<const DeclStmt&>(stmt);
+      SOCRATES_ENSURE(!d.decls.empty());
+      std::string text = print_var_decl(d.decls.front());
+      for (std::size_t i = 1; i < d.decls.size(); ++i)
+        text += ", " + declarator_only(d.decls[i]);
+      return text + ";";
+    }
+    SOCRATES_ENSURE(stmt.kind == StmtKind::kEmpty);
+    return ";";
+  }
+
+  static std::string declarator_only(const VarDecl& d) {
+    std::string text = repeated("*", static_cast<std::size_t>(d.pointer_depth)) + d.name;
+    for (const auto& dim : d.array_dims) {
+      text += "[";
+      if (dim) text += print_expr(*dim);
+      text += "]";
+    }
+    if (d.init) text += " = " + print_expr(*d.init);
+    return text;
+  }
+
+  std::ostringstream& os_;
+};
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit: return static_cast<const IntLit&>(expr).spelling;
+    case ExprKind::kFloatLit: return static_cast<const FloatLit&>(expr).spelling;
+    case ExprKind::kStringLit: return static_cast<const StringLit&>(expr).spelling;
+    case ExprKind::kCharLit: return static_cast<const CharLit&>(expr).spelling;
+    case ExprKind::kIdent: return static_cast<const Ident&>(expr).name;
+    case ExprKind::kUnary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      if (e.op == "sizeof") return "sizeof(" + print_expr(*e.operand) + ")";
+      const std::string inner = paren_child(*e.operand, expr_precedence(expr));
+      return e.is_prefix ? e.op + inner : inner + e.op;
+    }
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      const int prec = expr_precedence(expr);
+      // Left-associative: right child needs parens at equal precedence.
+      const std::string lhs = paren_child(*e.lhs, prec);
+      const std::string rhs_text = print_expr(*e.rhs);
+      const std::string rhs =
+          expr_precedence(*e.rhs) <= prec ? "(" + rhs_text + ")" : rhs_text;
+      return lhs + " " + e.op + " " + rhs;
+    }
+    case ExprKind::kAssign: {
+      const auto& e = static_cast<const AssignExpr&>(expr);
+      // Right-associative: the RHS may be another assignment.
+      return paren_child(*e.lhs, 1) + " " + e.op + " " + print_expr(*e.rhs);
+    }
+    case ExprKind::kConditional: {
+      const auto& e = static_cast<const ConditionalExpr&>(expr);
+      return paren_child(*e.cond, 2) + " ? " + print_expr(*e.then_expr) + " : " +
+             print_expr(*e.else_expr);
+    }
+    case ExprKind::kCall: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      std::string out = e.callee + "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += print_expr(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kIndex: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      return paren_child(*e.base, 13) + "[" + print_expr(*e.index) + "]";
+    }
+    case ExprKind::kMember: {
+      const auto& e = static_cast<const MemberExpr&>(expr);
+      return paren_child(*e.base, 13) + (e.is_arrow ? "->" : ".") + e.member;
+    }
+    case ExprKind::kCast: {
+      const auto& e = static_cast<const CastExpr&>(expr);
+      return "(" + e.type_text + ")" + paren_child(*e.operand, 12);
+    }
+  }
+  SOCRATES_ENSURE(false);
+  return {};
+}
+
+std::string print_var_decl(const VarDecl& d) {
+  std::string text = d.type_text + " " +
+                     repeated("*", static_cast<std::size_t>(d.pointer_depth)) + d.name;
+  for (const auto& dim : d.array_dims) {
+    text += "[";
+    if (dim) text += print_expr(*dim);
+    text += "]";
+  }
+  if (d.init) text += " = " + print_expr(*d.init);
+  return text;
+}
+
+std::string print_signature(const FunctionDecl& fn) {
+  std::string out;
+  if (fn.is_static) out += "static ";
+  out += fn.return_type + " " +
+         repeated("*", static_cast<std::size_t>(fn.return_pointer_depth)) + fn.name + "(";
+  if (fn.params.empty()) {
+    out += "void";
+  } else {
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += print_var_decl(fn.params[i]);
+    }
+  }
+  return out + ")";
+}
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  StmtPrinter printer(os);
+  printer.print(stmt, indent);
+  return os.str();
+}
+
+std::string print(const TranslationUnit& tu) {
+  std::ostringstream os;
+  for (const auto& item : tu.items) {
+    switch (item->kind) {
+      case TopLevelKind::kInclude:
+        os << "#include " << static_cast<const IncludeDirective&>(*item).target << '\n';
+        break;
+      case TopLevelKind::kDefine:
+        os << "#define " << static_cast<const DefineDirective&>(*item).body << '\n';
+        break;
+      case TopLevelKind::kPragma:
+        os << "#pragma " << static_cast<const TopLevelPragma&>(*item).pragma.raw << '\n';
+        break;
+      case TopLevelKind::kFunction: {
+        const auto& fn = static_cast<const FunctionDecl&>(*item);
+        os << print_signature(fn);
+        if (!fn.body) {
+          os << ";\n";
+        } else {
+          os << '\n' << print_stmt(*fn.body, 0);
+        }
+        os << '\n';
+        break;
+      }
+      case TopLevelKind::kGlobalVar: {
+        const auto& g = static_cast<const GlobalVarDecl&>(*item);
+        for (const auto& d : g.decls) os << print_var_decl(d) << ";\n";
+        break;
+      }
+      case TopLevelKind::kRaw:
+        os << static_cast<const RawTopLevel&>(*item).text << '\n';
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace socrates::ir

@@ -1,0 +1,31 @@
+// Pretty printer: AST -> compilable C text.
+//
+// The output of the weaver is produced through this printer, so the
+// woven sources in Table I are real C code, not templates.  Printing is
+// deterministic and idempotent: parse(print(ast)) yields a tree that
+// prints to the same text (the round-trip property tested in
+// tests/ir_roundtrip_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace socrates::ir {
+
+/// Renders a whole translation unit.
+std::string print(const TranslationUnit& tu);
+
+/// Renders a single statement at the given indent level (2 spaces per level).
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+
+/// Renders an expression.
+std::string print_expr(const Expr& expr);
+
+/// Renders a declaration ("double A[n][m]" or "int i = 0").
+std::string print_var_decl(const VarDecl& decl);
+
+/// Renders a function signature without the body or trailing ';'.
+std::string print_signature(const FunctionDecl& fn);
+
+}  // namespace socrates::ir

@@ -1,0 +1,44 @@
+// Token definitions for the C-subset front end.
+//
+// The lexer produces a flat token stream; preprocessor directives are
+// captured as single line-tokens (kDirective) because the weaver treats
+// #include / #define / #pragma lines as first-class join points rather
+// than expanding them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace socrates::ir {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kCharLiteral,
+  kPunct,      ///< operators and punctuation, text holds the spelling
+  kDirective,  ///< a whole preprocessor line, text holds it without '#'
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< spelling (for kDirective: the line after '#')
+  int line = 0;      ///< 1-based source line
+  int column = 0;    ///< 1-based source column
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_punct(const char* spelling) const {
+    return kind == TokenKind::kPunct && text == spelling;
+  }
+  bool is_keyword(const char* spelling) const {
+    return kind == TokenKind::kKeyword && text == spelling;
+  }
+};
+
+/// Returns true for the C keywords the subset understands.
+bool is_c_keyword(const std::string& word);
+
+}  // namespace socrates::ir

@@ -1,0 +1,388 @@
+#include "kernels/polybench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace socrates::kernels {
+
+namespace {
+
+using Matrix = std::vector<double>;  // row-major, dims carried alongside
+
+double checksum(const Matrix& m) {
+  // Polybench-style: sum with a mild positional weight so permuted
+  // results do not collide.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    acc += m[i] * (1.0 + static_cast<double>(i % 7) * 0.125);
+  return acc;
+}
+
+}  // namespace
+
+double run_2mm(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t ni = n, nj = n + n / 4, nk = n - n / 8, nl = n + n / 8;
+  const double alpha = 1.5, beta = 1.2;
+  Matrix a(ni * nk), b(nk * nj), c(nj * nl), d(ni * nl), tmp(ni * nj);
+
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t k = 0; k < nk; ++k)
+      a[i * nk + k] = static_cast<double>((i * k + 1) % ni) / ni;
+  for (std::size_t k = 0; k < nk; ++k)
+    for (std::size_t j = 0; j < nj; ++j)
+      b[k * nj + j] = static_cast<double>(k * (j + 1) % nj) / nj;
+  for (std::size_t j = 0; j < nj; ++j)
+    for (std::size_t l = 0; l < nl; ++l)
+      c[j * nl + l] = static_cast<double>((j * (l + 3) + 1) % nl) / nl;
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t l = 0; l < nl; ++l)
+      d[i * nl + l] = static_cast<double>(i * (l + 2) % nk) / nk;
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < nk; ++k) acc += alpha * a[i * nk + k] * b[k * nj + j];
+      tmp[i * nj + j] = acc;
+    }
+#pragma omp parallel for
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t l = 0; l < nl; ++l) {
+      double acc = d[i * nl + l] * beta;
+      for (std::size_t j = 0; j < nj; ++j) acc += tmp[i * nj + j] * c[j * nl + l];
+      d[i * nl + l] = acc;
+    }
+  return checksum(d);
+}
+
+double run_3mm(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t ni = n, nj = n + n / 8, nk = n - n / 8, nl = n + n / 4,
+                    nm = n - n / 4 + 1;
+  Matrix a(ni * nk), b(nk * nj), c(nj * nm), d(nm * nl);
+  Matrix e(ni * nj), f(nj * nl), g(ni * nl);
+
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t k = 0; k < nk; ++k)
+      a[i * nk + k] = static_cast<double>((i * k + 1) % ni) / (5 * ni);
+  for (std::size_t k = 0; k < nk; ++k)
+    for (std::size_t j = 0; j < nj; ++j)
+      b[k * nj + j] = static_cast<double>((k * (j + 1) + 2) % nj) / (5 * nj);
+  for (std::size_t j = 0; j < nj; ++j)
+    for (std::size_t m = 0; m < nm; ++m)
+      c[j * nm + m] = static_cast<double>(j * (m + 3) % nl) / (5 * nl);
+  for (std::size_t m = 0; m < nm; ++m)
+    for (std::size_t l = 0; l < nl; ++l)
+      d[m * nl + l] = static_cast<double>((m * (l + 2) + 2) % nk) / (5 * nk);
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < nk; ++k) acc += a[i * nk + k] * b[k * nj + j];
+      e[i * nj + j] = acc;
+    }
+#pragma omp parallel for
+  for (std::size_t j = 0; j < nj; ++j)
+    for (std::size_t l = 0; l < nl; ++l) {
+      double acc = 0.0;
+      for (std::size_t m = 0; m < nm; ++m) acc += c[j * nm + m] * d[m * nl + l];
+      f[j * nl + l] = acc;
+    }
+#pragma omp parallel for
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t l = 0; l < nl; ++l) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < nj; ++j) acc += e[i * nj + j] * f[j * nl + l];
+      g[i * nl + l] = acc;
+    }
+  return checksum(g);
+}
+
+double run_atax(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t m = n, nn = n + n / 4;
+  Matrix a(m * nn);
+  std::vector<double> x(nn), y(nn, 0.0), tmp(m);
+
+  for (std::size_t j = 0; j < nn; ++j)
+    x[j] = 1.0 + static_cast<double>(j) / static_cast<double>(nn);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < nn; ++j)
+      a[i * nn + j] = static_cast<double>((i + j) % nn) / (5.0 * m);
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < nn; ++j) acc += a[i * nn + j] * x[j];
+    tmp[i] = acc;
+  }
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < nn; ++j) y[j] += a[i * nn + j] * tmp[i];
+  return checksum(y);
+}
+
+double run_correlation(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 3);
+  const std::size_t points = n + n / 5, vars = n;
+  const double float_n = static_cast<double>(points);
+  Matrix data(points * vars), corr(vars * vars, 0.0);
+  std::vector<double> mean(vars, 0.0), stddev(vars, 0.0);
+
+  for (std::size_t i = 0; i < points; ++i)
+    for (std::size_t j = 0; j < vars; ++j)
+      data[i * vars + j] =
+          static_cast<double>(i * j) / static_cast<double>(vars) + static_cast<double>(i);
+
+  for (std::size_t j = 0; j < vars; ++j) {
+    for (std::size_t i = 0; i < points; ++i) mean[j] += data[i * vars + j];
+    mean[j] /= float_n;
+  }
+  for (std::size_t j = 0; j < vars; ++j) {
+    for (std::size_t i = 0; i < points; ++i) {
+      const double d = data[i * vars + j] - mean[j];
+      stddev[j] += d * d;
+    }
+    stddev[j] = std::sqrt(stddev[j] / float_n);
+    if (stddev[j] <= 0.1) stddev[j] = 1.0;  // Polybench's epsilon guard
+  }
+#pragma omp parallel for
+  for (std::size_t i = 0; i < points; ++i)
+    for (std::size_t j = 0; j < vars; ++j) {
+      data[i * vars + j] -= mean[j];
+      data[i * vars + j] /= std::sqrt(float_n) * stddev[j];
+    }
+#pragma omp parallel for
+  for (std::size_t i = 0; i < vars - 1; ++i) {
+    corr[i * vars + i] = 1.0;
+    for (std::size_t j = i + 1; j < vars; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < points; ++k)
+        acc += data[k * vars + i] * data[k * vars + j];
+      corr[i * vars + j] = acc;
+      corr[j * vars + i] = acc;
+    }
+  }
+  corr[(vars - 1) * vars + (vars - 1)] = 1.0;
+  return checksum(corr);
+}
+
+double run_doitgen(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t nr = n / 2 + 1, nq = n / 2 + 2, np = n;
+  Matrix a(nr * nq * np), c4(np * np), sum(np);
+
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t q = 0; q < nq; ++q)
+      for (std::size_t p = 0; p < np; ++p)
+        a[(r * nq + q) * np + p] =
+            static_cast<double>((r * q + p) % np) / static_cast<double>(np);
+  for (std::size_t i = 0; i < np; ++i)
+    for (std::size_t j = 0; j < np; ++j)
+      c4[i * np + j] = static_cast<double>(i * j % np) / static_cast<double>(np);
+
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::size_t p = 0; p < np; ++p) {
+        double acc = 0.0;
+        for (std::size_t s = 0; s < np; ++s) acc += a[(r * nq + q) * np + s] * c4[s * np + p];
+        sum[p] = acc;
+      }
+      for (std::size_t p = 0; p < np; ++p) a[(r * nq + q) * np + p] = sum[p];
+    }
+  return checksum(a);
+}
+
+double run_gemver(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const double alpha = 1.5, beta = 1.2;
+  Matrix a(n * n);
+  std::vector<double> u1(n), v1(n), u2(n), v2(n), w(n, 0.0), x(n, 0.0), y(n), z(n);
+
+  const double fn = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fi = static_cast<double>(i);
+    u1[i] = fi;
+    u2[i] = ((fi + 1.0) / fn) / 2.0;
+    v1[i] = ((fi + 1.0) / fn) / 4.0;
+    v2[i] = ((fi + 1.0) / fn) / 6.0;
+    y[i] = ((fi + 1.0) / fn) / 8.0;
+    z[i] = ((fi + 1.0) / fn) / 9.0;
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = static_cast<double>(i * j % n) / fn;
+  }
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < n; ++j) acc += beta * a[j * n + i] * y[j];
+    x[i] = acc;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] += z[i];
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = w[i];
+    for (std::size_t j = 0; j < n; ++j) acc += alpha * a[i * n + j] * x[j];
+    w[i] = acc;
+  }
+  return checksum(w);
+}
+
+double run_jacobi_2d(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 4);
+  const std::size_t tsteps = std::max<std::size_t>(2, n / 8);
+  Matrix a(n * n), b(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = (static_cast<double>(i) * (j + 2) + 2.0) / static_cast<double>(n);
+      b[i * n + j] = (static_cast<double>(i) * (j + 3) + 3.0) / static_cast<double>(n);
+    }
+
+  for (std::size_t t = 0; t < tsteps; ++t) {
+#pragma omp parallel for
+    for (std::size_t i = 1; i < n - 1; ++i)
+      for (std::size_t j = 1; j < n - 1; ++j)
+        b[i * n + j] = 0.2 * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] +
+                              a[(i + 1) * n + j] + a[(i - 1) * n + j]);
+#pragma omp parallel for
+    for (std::size_t i = 1; i < n - 1; ++i)
+      for (std::size_t j = 1; j < n - 1; ++j)
+        a[i * n + j] = 0.2 * (b[i * n + j] + b[i * n + j - 1] + b[i * n + j + 1] +
+                              b[(i + 1) * n + j] + b[(i - 1) * n + j]);
+  }
+  return checksum(a);
+}
+
+double run_mvt(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  Matrix a(n * n);
+  std::vector<double> x1(n), x2(n), y1(n), y2(n);
+  const double fn = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fi = static_cast<double>(i);
+    x1[i] = fi / fn;
+    x2[i] = (fi + 1.0) / fn;
+    y1[i] = (fi + 3.0) / fn;
+    y2[i] = (fi + 4.0) / fn;
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = static_cast<double>(i * j % n) / fn;
+  }
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x1[i];
+    for (std::size_t j = 0; j < n; ++j) acc += a[i * n + j] * y1[j];
+    x1[i] = acc;
+  }
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x2[i];
+    for (std::size_t j = 0; j < n; ++j) acc += a[j * n + i] * y2[j];
+    x2[i] = acc;
+  }
+  return checksum(x1) + checksum(x2);
+}
+
+double run_nussinov(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 4);
+  // Bases 0..3 (A,C,G,U); Watson-Crick-ish pairing: i+j == 3.
+  std::vector<int> seq(n);
+  for (std::size_t i = 0; i < n; ++i) seq[i] = static_cast<int>((i + 1) % 4);
+  std::vector<double> table(n * n, 0.0);
+
+  const auto match = [&](std::size_t b1, std::size_t b2) {
+    return seq[b1] + seq[b2] == 3 ? 1.0 : 0.0;
+  };
+
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double best = table[i * n + j];
+      if (j >= 1) best = std::max(best, table[i * n + j - 1]);
+      if (i < n - 1) best = std::max(best, table[(i + 1) * n + j]);
+      if (j >= 1 && i < n - 1) {
+        const double diag = table[(i + 1) * n + j - 1];
+        best = std::max(best, i < j - 1 ? diag + match(i, j) : diag);
+      }
+      for (std::size_t k = i + 1; k < j; ++k)
+        best = std::max(best, table[i * n + k] + table[(k + 1) * n + j]);
+      table[i * n + j] = best;
+    }
+  }
+  return checksum(table);
+}
+
+double run_seidel_2d(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 4);
+  const std::size_t tsteps = std::max<std::size_t>(2, n / 16);
+  Matrix a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = (static_cast<double>(i) * (j + 2) + 2.0) / static_cast<double>(n);
+
+  for (std::size_t t = 0; t < tsteps; ++t)
+    for (std::size_t i = 1; i < n - 1; ++i)
+      for (std::size_t j = 1; j < n - 1; ++j)
+        a[i * n + j] =
+            (a[(i - 1) * n + j - 1] + a[(i - 1) * n + j] + a[(i - 1) * n + j + 1] +
+             a[i * n + j - 1] + a[i * n + j] + a[i * n + j + 1] +
+             a[(i + 1) * n + j - 1] + a[(i + 1) * n + j] + a[(i + 1) * n + j + 1]) /
+            9.0;
+  return checksum(a);
+}
+
+double run_syr2k(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t m = n - n / 6;
+  const double alpha = 1.5, beta = 1.2;
+  Matrix a(n * m), b(n * m), c(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      a[i * m + j] = static_cast<double>((i * j + 1) % n) / static_cast<double>(n);
+      b[i * m + j] = static_cast<double>((i * j + 2) % m) / static_cast<double>(m);
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      c[i * n + j] = static_cast<double>((i * j + 3) % n) / static_cast<double>(m);
+  }
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) c[i * n + j] *= beta;
+    for (std::size_t k = 0; k < m; ++k)
+      for (std::size_t j = 0; j <= i; ++j)
+        c[i * n + j] += a[j * m + k] * alpha * b[i * m + k] +
+                        b[j * m + k] * alpha * a[i * m + k];
+  }
+  return checksum(c);
+}
+
+double run_syrk(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t m = n - n / 6;
+  const double alpha = 1.5, beta = 1.2;
+  Matrix a(n * m), c(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j)
+      a[i * m + j] = static_cast<double>((i * j + 1) % n) / static_cast<double>(n);
+    for (std::size_t j = 0; j < n; ++j)
+      c[i * n + j] = static_cast<double>((i * j + 2) % m) / static_cast<double>(m);
+  }
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) c[i * n + j] *= beta;
+    for (std::size_t k = 0; k < m; ++k)
+      for (std::size_t j = 0; j <= i; ++j)
+        c[i * n + j] += alpha * a[i * m + k] * a[j * m + k];
+  }
+  return checksum(c);
+}
+
+}  // namespace socrates::kernels

@@ -1,0 +1,59 @@
+// Real, runnable C++ implementations of the 12 Polybench/C benchmarks
+// used in the paper's evaluation (Section III): 2mm, 3mm, atax,
+// correlation, doitgen, gemver, jacobi-2d, mvt, nussinov, seidel-2d,
+// syr2k, syrk.
+//
+// Each kernel follows the reference Polybench algorithm, initializes
+// its inputs deterministically (the same formulas Polybench uses) and
+// returns a checksum of the output array so results are verifiable and
+// the compiler cannot dead-code-eliminate the work.  The examples run
+// these for real; the figure benches use the platform model (this
+// container has one core — see DESIGN.md §2).
+//
+// `n` scales every matrix dimension; kernels use Polybench's standard
+// dimension ratios internally.  All kernels are parallelized with
+// OpenMP where the reference benchmark is (the paper targets the
+// OpenMP Polybench suite).
+#pragma once
+
+#include <cstddef>
+
+namespace socrates::kernels {
+
+/// D := alpha*A*B*C + beta*D  (two matrix multiplications).
+double run_2mm(std::size_t n);
+
+/// G := (A*B)*(C*D)  (three matrix multiplications).
+double run_3mm(std::size_t n);
+
+/// y := A^T * (A * x)  (matrix transpose-vector product chain).
+double run_atax(std::size_t n);
+
+/// Correlation matrix of a data matrix (mean/stddev normalization).
+double run_correlation(std::size_t n);
+
+/// Multi-resolution analysis kernel: sum := A x C4 over 3D data.
+double run_doitgen(std::size_t n);
+
+/// BLAS gemver: A := A + u1*v1' + u2*v2'; x := beta*A'*y + z; w := alpha*A*x.
+double run_gemver(std::size_t n);
+
+/// 2-D Jacobi stencil, TSTEPS iterations of a 5-point update.
+double run_jacobi_2d(std::size_t n);
+
+/// x1 := x1 + A*y1; x2 := x2 + A'*y2  (matrix-vector products).
+double run_mvt(std::size_t n);
+
+/// Nussinov RNA base-pair maximization (dynamic programming).
+double run_nussinov(std::size_t n);
+
+/// 2-D Gauss-Seidel stencil (loop-carried dependences; serial sweeps).
+double run_seidel_2d(std::size_t n);
+
+/// Symmetric rank-2k update: C := alpha*A*B' + alpha*B*A' + beta*C.
+double run_syr2k(std::size_t n);
+
+/// Symmetric rank-k update: C := alpha*A*A' + beta*C.
+double run_syrk(std::size_t n);
+
+}  // namespace socrates::kernels

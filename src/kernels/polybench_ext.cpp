@@ -1,0 +1,196 @@
+#include "kernels/polybench_ext.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace socrates::kernels {
+
+namespace {
+
+using Matrix = std::vector<double>;
+
+double checksum(const Matrix& m) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    acc += m[i] * (1.0 + static_cast<double>(i % 7) * 0.125);
+  return acc;
+}
+
+}  // namespace
+
+double run_gemm(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t ni = n, nj = n + n / 8, nk = n - n / 8;
+  const double alpha = 1.5, beta = 1.2;
+  Matrix a(ni * nk), b(nk * nj), c(ni * nj);
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t k = 0; k < nk; ++k)
+      a[i * nk + k] = static_cast<double>((i * k + 1) % ni) / ni;
+  for (std::size_t k = 0; k < nk; ++k)
+    for (std::size_t j = 0; j < nj; ++j)
+      b[k * nj + j] = static_cast<double>(k * (j + 2) % nj) / nj;
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j)
+      c[i * nj + j] = static_cast<double>((i * j + 3) % ni) / nk;
+
+#pragma omp parallel for
+  for (std::size_t i = 0; i < ni; ++i) {
+    for (std::size_t j = 0; j < nj; ++j) c[i * nj + j] *= beta;
+    for (std::size_t k = 0; k < nk; ++k)
+      for (std::size_t j = 0; j < nj; ++j)
+        c[i * nj + j] += alpha * a[i * nk + k] * b[k * nj + j];
+  }
+  return checksum(c);
+}
+
+double run_bicg(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t rows = n + n / 5, cols = n;
+  Matrix a(rows * cols);
+  std::vector<double> s(cols, 0.0), q(rows, 0.0), p(cols), r(rows);
+  for (std::size_t j = 0; j < cols; ++j)
+    p[j] = static_cast<double>(j % cols) / cols;
+  for (std::size_t i = 0; i < rows; ++i) {
+    r[i] = static_cast<double>(i % rows) / rows;
+    for (std::size_t j = 0; j < cols; ++j)
+      a[i * cols + j] = static_cast<double>(i * (j + 1) % rows) / rows;
+  }
+
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) s[j] += r[i] * a[i * cols + j];
+#pragma omp parallel for
+  for (std::size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) acc += a[i * cols + j] * p[j];
+    q[i] = acc;
+  }
+  return checksum(s) + checksum(q);
+}
+
+double run_trmm(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  const std::size_t m = n, nn = n + n / 6;
+  const double alpha = 1.5;
+  Matrix a(m * m), b(m * nn);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < i; ++j)
+      a[i * m + j] = static_cast<double>((i + j) % m) / m;
+    a[i * m + i] = 1.0;
+    for (std::size_t j = 0; j < nn; ++j)
+      b[i * nn + j] = static_cast<double>(nn + (i - j)) / nn;
+  }
+
+#pragma omp parallel for
+  for (std::size_t j = 0; j < nn; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = b[i * nn + j];
+      for (std::size_t k = i + 1; k < m; ++k) acc += a[k * m + i] * b[k * nn + j];
+      b[i * nn + j] = alpha * acc;
+    }
+  return checksum(b);
+}
+
+namespace {
+
+/// Diagonally dominant SPD-ish matrix shared by cholesky and lu.
+Matrix factorization_input(std::size_t n) {
+  Matrix a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j)
+      a[i * n + j] = static_cast<double>(-static_cast<double>(j % n)) / n + 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) a[i * n + j] = 0.0;
+    a[i * n + i] = 1.0;
+  }
+  // A := B * B^T of the triangular seed, guaranteed SPD (Polybench's
+  // own trick).
+  Matrix spd(n * n, 0.0);
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t s = 0; s <= std::min(r, t); ++s)
+        spd[r * n + t] += a[r * n + s] * a[t * n + s];
+  return spd;
+}
+
+}  // namespace
+
+double run_cholesky(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  Matrix a = factorization_input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) acc -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = acc / a[j * n + j];
+    }
+    double diag = a[i * n + i];
+    for (std::size_t k = 0; k < i; ++k) diag -= a[i * n + k] * a[i * n + k];
+    SOCRATES_ENSURE(diag > 0.0);
+    a[i * n + i] = std::sqrt(diag);
+  }
+  // Checksum the lower triangle only (the factor).
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      acc += a[i * n + j] * (1.0 + static_cast<double>((i * n + j) % 7) * 0.125);
+  return acc;
+}
+
+double run_lu(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 2);
+  Matrix a = factorization_input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) acc -= a[i * n + k] * a[k * n + j];
+      a[i * n + j] = acc / a[j * n + j];
+    }
+#pragma omp parallel for
+    for (std::size_t j = i; j < n; ++j) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < i; ++k) acc -= a[i * n + k] * a[k * n + j];
+      a[i * n + j] = acc;
+    }
+  }
+  return checksum(a);
+}
+
+double run_heat_3d(std::size_t n) {
+  SOCRATES_REQUIRE(n >= 4);
+  const std::size_t tsteps = std::max<std::size_t>(2, n / 10);
+  Matrix a(n * n * n), b(n * n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        a[(i * n + j) * n + k] = b[(i * n + j) * n + k] =
+            static_cast<double>(i + j + (n - k)) * 10.0 / n;
+
+  const auto at = [n](Matrix& m, std::size_t i, std::size_t j,
+                      std::size_t k) -> double& { return m[(i * n + j) * n + k]; };
+
+  for (std::size_t t = 0; t < tsteps; ++t) {
+#pragma omp parallel for
+    for (std::size_t i = 1; i < n - 1; ++i)
+      for (std::size_t j = 1; j < n - 1; ++j)
+        for (std::size_t k = 1; k < n - 1; ++k)
+          at(b, i, j, k) =
+              0.125 * (at(a, i + 1, j, k) - 2.0 * at(a, i, j, k) + at(a, i - 1, j, k)) +
+              0.125 * (at(a, i, j + 1, k) - 2.0 * at(a, i, j, k) + at(a, i, j - 1, k)) +
+              0.125 * (at(a, i, j, k + 1) - 2.0 * at(a, i, j, k) + at(a, i, j, k - 1)) +
+              at(a, i, j, k);
+#pragma omp parallel for
+    for (std::size_t i = 1; i < n - 1; ++i)
+      for (std::size_t j = 1; j < n - 1; ++j)
+        for (std::size_t k = 1; k < n - 1; ++k)
+          at(a, i, j, k) =
+              0.125 * (at(b, i + 1, j, k) - 2.0 * at(b, i, j, k) + at(b, i - 1, j, k)) +
+              0.125 * (at(b, i, j + 1, k) - 2.0 * at(b, i, j, k) + at(b, i, j - 1, k)) +
+              0.125 * (at(b, i, j, k + 1) - 2.0 * at(b, i, j, k) + at(b, i, j, k - 1)) +
+              at(b, i, j, k);
+  }
+  return checksum(a);
+}
+
+}  // namespace socrates::kernels

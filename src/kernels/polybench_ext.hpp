@@ -1,0 +1,37 @@
+// Extended Polybench kernels, beyond the 12 the paper evaluates.
+//
+// The paper's campaign uses 12 applications; the Polybench suite is
+// larger, and a framework users adopt should not be hard-wired to the
+// evaluation set.  These six cover the structural classes the original
+// 12 miss: a plain gemm, a dual matvec (bicg), a triangular multiply
+// (trmm), two factorizations with loop-carried dependences and
+// triangular iteration spaces (cholesky, lu) and a 3-D stencil
+// (heat-3d).  Same contract as polybench.hpp: deterministic inputs,
+// checksum of the output.
+#pragma once
+
+#include <cstddef>
+
+namespace socrates::kernels {
+
+/// C := alpha*A*B + beta*C.
+double run_gemm(std::size_t n);
+
+/// s := A^T * r;  q := A * p  (BiCG sub-kernel).
+double run_bicg(std::size_t n);
+
+/// B := alpha * A * B with A unit lower triangular.
+double run_trmm(std::size_t n);
+
+/// In-place Cholesky factorization of a symmetric positive-definite
+/// matrix (lower triangle).
+double run_cholesky(std::size_t n);
+
+/// In-place LU decomposition without pivoting (diagonally dominant
+/// input keeps it stable).
+double run_lu(std::size_t n);
+
+/// 3-D heat-equation stencil, TSTEPS Jacobi-style sweeps.
+double run_heat_3d(std::size_t n);
+
+}  // namespace socrates::kernels

@@ -1,0 +1,149 @@
+#include "kernels/registry.hpp"
+
+#include "kernels/polybench.hpp"
+#include "kernels/polybench_ext.hpp"
+#include "support/error.hpp"
+
+namespace socrates::kernels {
+
+namespace {
+
+using platform::KernelModelParams;
+
+/// Calibration notes (see DESIGN.md §2, substitution 1):
+///   seq_work_s        — single-thread -O2 time on the reference (LARGE)
+///                       dataset, scaled so 2mm's tuned/untuned extremes
+///                       land near the paper's Figure 4 range (1.1-15 s);
+///   parallel_fraction — loops outside "#pragma omp parallel for" are
+///                       serial (atax/gemver have serial sweeps,
+///                       seidel-2d is dependence-limited);
+///   mem_intensity     — matvec/rank-1-update kernels are bandwidth
+///                       bound, matmul kernels compute bound, stencils
+///                       in between;
+///   the flag affinities follow each kernel's structure (tight regular
+///   nests unroll well; correlation calls sqrt so inlining matters;
+///   nussinov is branchy and calls helpers in its hot loop).
+KernelModelParams params(const char* name, double w, double fpar, double mem,
+                         double unroll, double vec, double fp, double branchy,
+                         double calls, double icache, double ivopt, double loopopt) {
+  KernelModelParams p;
+  p.name = name;
+  p.seq_work_s = w;
+  p.parallel_fraction = fpar;
+  p.mem_intensity = mem;
+  p.unroll_affinity = unroll;
+  p.vectorization_affinity = vec;
+  p.fp_ratio = fp;
+  p.branchiness = branchy;
+  p.call_density = calls;
+  p.icache_sensitivity = icache;
+  p.ivopt_sensitivity = ivopt;
+  p.loop_opt_sensitivity = loopopt;
+  return p;
+}
+
+std::vector<BenchmarkInfo> build_registry() {
+  std::vector<BenchmarkInfo> v;
+  v.push_back({"2mm", "kernel_2mm",
+               params("2mm", 13.0, 0.99, 0.25, 0.70, 0.85, 0.95, 0.05, 0.02, 0.15,
+                      0.60, 0.60),
+               run_2mm});
+  v.push_back({"3mm", "kernel_3mm",
+               params("3mm", 16.0, 0.99, 0.25, 0.70, 0.85, 0.95, 0.05, 0.02, 0.20,
+                      0.60, 0.60),
+               run_3mm});
+  v.push_back({"atax", "kernel_atax",
+               params("atax", 2.2, 0.92, 0.72, 0.35, 0.60, 0.90, 0.06, 0.02, 0.10,
+                      0.45, 0.50),
+               run_atax});
+  v.push_back({"correlation", "kernel_correlation",
+               params("correlation", 7.5, 0.97, 0.45, 0.45, 0.60, 0.92, 0.30, 0.25,
+                      0.25, 0.50, 0.50),
+               run_correlation});
+  v.push_back({"doitgen", "kernel_doitgen",
+               params("doitgen", 5.0, 0.98, 0.35, 0.60, 0.70, 0.95, 0.04, 0.02, 0.20,
+                      0.65, 0.55),
+               run_doitgen});
+  v.push_back({"gemver", "kernel_gemver",
+               params("gemver", 3.0, 0.96, 0.75, 0.40, 0.65, 0.93, 0.05, 0.02, 0.12,
+                      0.50, 0.45),
+               run_gemver});
+  v.push_back({"jacobi-2d", "kernel_jacobi_2d",
+               params("jacobi-2d", 9.0, 0.985, 0.60, 0.50, 0.80, 0.95, 0.07, 0.01,
+                      0.15, 0.55, 0.35),
+               run_jacobi_2d});
+  v.push_back({"mvt", "kernel_mvt",
+               params("mvt", 2.0, 0.95, 0.70, 0.40, 0.60, 0.92, 0.04, 0.01, 0.10,
+                      0.50, 0.50),
+               run_mvt});
+  v.push_back({"nussinov", "kernel_nussinov",
+               params("nussinov", 8.0, 0.90, 0.40, 0.30, 0.20, 0.60, 0.60, 0.55,
+                      0.30, 0.40, 0.45),
+               run_nussinov});
+  v.push_back({"seidel-2d", "kernel_seidel_2d",
+               params("seidel-2d", 6.0, 0.40, 0.50, 0.45, 0.30, 0.95, 0.05, 0.01,
+                      0.10, 0.60, 0.40),
+               run_seidel_2d});
+  v.push_back({"syr2k", "kernel_syr2k",
+               params("syr2k", 7.0, 0.98, 0.30, 0.65, 0.75, 0.95, 0.12, 0.02, 0.15,
+                      0.55, 0.55),
+               run_syr2k});
+  v.push_back({"syrk", "kernel_syrk",
+               params("syrk", 5.5, 0.98, 0.30, 0.65, 0.75, 0.95, 0.12, 0.02, 0.12,
+                      0.55, 0.55),
+               run_syrk});
+  return v;
+}
+
+std::vector<BenchmarkInfo> build_extended_registry() {
+  std::vector<BenchmarkInfo> v;
+  v.push_back({"gemm", "kernel_gemm",
+               params("gemm", 9.0, 0.99, 0.25, 0.70, 0.85, 0.95, 0.04, 0.02, 0.15,
+                      0.60, 0.60),
+               run_gemm});
+  v.push_back({"bicg", "kernel_bicg",
+               params("bicg", 2.4, 0.93, 0.72, 0.35, 0.60, 0.90, 0.05, 0.02, 0.10,
+                      0.45, 0.50),
+               run_bicg});
+  v.push_back({"trmm", "kernel_trmm",
+               params("trmm", 6.0, 0.98, 0.30, 0.60, 0.70, 0.95, 0.15, 0.02, 0.15,
+                      0.55, 0.55),
+               run_trmm});
+  v.push_back({"cholesky", "kernel_cholesky",
+               // Triangular dependences limit parallelism; sqrt calls.
+               params("cholesky", 7.0, 0.70, 0.35, 0.45, 0.45, 0.95, 0.20, 0.20, 0.20,
+                      0.50, 0.50),
+               run_cholesky});
+  v.push_back({"lu", "kernel_lu",
+               params("lu", 9.5, 0.75, 0.35, 0.50, 0.55, 0.95, 0.15, 0.02, 0.20,
+                      0.55, 0.50),
+               run_lu});
+  v.push_back({"heat-3d", "kernel_heat_3d",
+               params("heat-3d", 10.0, 0.985, 0.65, 0.50, 0.80, 0.95, 0.07, 0.01,
+                      0.20, 0.55, 0.35),
+               run_heat_3d});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& all_benchmarks() {
+  static const std::vector<BenchmarkInfo> kRegistry = build_registry();
+  return kRegistry;
+}
+
+const std::vector<BenchmarkInfo>& extended_benchmarks() {
+  static const std::vector<BenchmarkInfo> kRegistry = build_extended_registry();
+  return kRegistry;
+}
+
+const BenchmarkInfo& find_benchmark(const std::string& name) {
+  for (const auto& b : all_benchmarks())
+    if (b.name == name) return b;
+  for (const auto& b : extended_benchmarks())
+    if (b.name == name) return b;
+  SOCRATES_REQUIRE_MSG(false, "unknown benchmark '" << name << "'");
+  return all_benchmarks().front();  // unreachable
+}
+
+}  // namespace socrates::kernels

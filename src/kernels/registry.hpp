@@ -1,0 +1,35 @@
+// Benchmark registry: one row per Polybench application tying together
+// everything SOCRATES knows about it — the C source (weaver input), the
+// calibrated platform-model parameters (simulated hardware behaviour)
+// and the real C++ runner (actual execution for the examples).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platform/kernel_model.hpp"
+
+namespace socrates::kernels {
+
+struct BenchmarkInfo {
+  std::string name;                       ///< Polybench name, e.g. "2mm"
+  std::string kernel_function;            ///< e.g. "kernel_2mm"
+  platform::KernelModelParams model;      ///< calibrated model parameters
+  std::function<double(std::size_t)> run; ///< real execution, returns checksum
+};
+
+/// The paper's 12 benchmarks in Table I order (the evaluation set every
+/// figure/table bench iterates).
+const std::vector<BenchmarkInfo>& all_benchmarks();
+
+/// The extended suite (gemm, bicg, trmm, cholesky, lu, heat-3d) —
+/// available to the toolchain and examples but not part of the paper's
+/// campaign.
+const std::vector<BenchmarkInfo>& extended_benchmarks();
+
+/// Lookup by name across both sets; throws on unknown names.
+const BenchmarkInfo& find_benchmark(const std::string& name);
+
+}  // namespace socrates::kernels

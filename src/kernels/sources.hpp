@@ -1,0 +1,28 @@
+// Embedded Polybench/C benchmark sources.
+//
+// These are the inputs of the SOCRATES toolchain: real C sources in the
+// front end's subset, following the reference Polybench structure
+// (size #defines, global arrays, init_array, the kernel_* function with
+// its OpenMP pragmas, print_array and main).  The weaver parses these,
+// applies the Multiversioning and Autotuner LARA strategies, and the
+// Table I bench counts attributes/actions/LOC on the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace socrates::kernels {
+
+/// The benchmark names used throughout the paper, in Table I order.
+const std::vector<std::string>& benchmark_names();
+
+/// Additional Polybench kernels beyond the paper's evaluation set
+/// (gemm, bicg, trmm, cholesky, lu, heat-3d).  The paper benches only
+/// use benchmark_names(); the extended set widens the library.
+const std::vector<std::string>& extended_benchmark_names();
+
+/// The C source of one benchmark (paper or extended set).  Throws for
+/// unknown names.
+const std::string& benchmark_source(const std::string& name);
+
+}  // namespace socrates::kernels

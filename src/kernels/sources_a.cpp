@@ -1,0 +1,476 @@
+// Benchmark sources, part 1: 2mm, 3mm, atax, correlation, doitgen, gemver.
+#include "kernels/sources_detail.hpp"
+
+namespace socrates::kernels::detail {
+
+const char* const kSource2mm = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define NI 800
+#define NJ 900
+#define NK 1100
+#define NL 1200
+
+double tmp[NI][NJ];
+double A[NI][NK];
+double B[NK][NJ];
+double C[NJ][NL];
+double D[NI][NL];
+
+void init_array(int ni, int nj, int nk, int nl, double *alpha, double *beta)
+{
+  int i;
+  int j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nk; j++)
+      A[i][j] = (double)((i * j + 1) % ni) / ni;
+  for (i = 0; i < nk; i++)
+    for (j = 0; j < nj; j++)
+      B[i][j] = (double)(i * (j + 1) % nj) / nj;
+  for (i = 0; i < nj; i++)
+    for (j = 0; j < nl; j++)
+      C[i][j] = (double)((i * (j + 3) + 1) % nl) / nl;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+      D[i][j] = (double)(i * (j + 2) % nk) / nk;
+}
+
+void kernel_2mm(int ni, int nj, int nk, int nl, double alpha, double beta)
+{
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nj; j++)
+    {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < nk; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+    {
+      D[i][j] *= beta;
+      for (k = 0; k < nj; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}
+
+void print_array(int ni, int nl)
+{
+  int i;
+  int j;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+    {
+      fprintf(stderr, "%0.2lf ", D[i][j]);
+      if ((i * ni + j) % 20 == 0)
+        fprintf(stderr, "\n");
+    }
+}
+
+int main(int argc, char **argv)
+{
+  int ni = NI;
+  int nj = NJ;
+  int nk = NK;
+  int nl = NL;
+  double alpha;
+  double beta;
+  init_array(ni, nj, nk, nl, &alpha, &beta);
+  kernel_2mm(ni, nj, nk, nl, alpha, beta);
+  if (argc > 42)
+    print_array(ni, nl);
+  return 0;
+}
+)SRC";
+
+const char* const kSource3mm = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define NI 800
+#define NJ 900
+#define NK 1000
+#define NL 1100
+#define NM 1200
+
+double E[NI][NJ];
+double A[NI][NK];
+double B[NK][NJ];
+double F[NJ][NL];
+double C[NJ][NM];
+double D[NM][NL];
+double G[NI][NL];
+
+void init_array(int ni, int nj, int nk, int nl, int nm)
+{
+  int i;
+  int j;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nk; j++)
+      A[i][j] = (double)((i * j + 1) % ni) / (5 * ni);
+  for (i = 0; i < nk; i++)
+    for (j = 0; j < nj; j++)
+      B[i][j] = (double)((i * (j + 1) + 2) % nj) / (5 * nj);
+  for (i = 0; i < nj; i++)
+    for (j = 0; j < nm; j++)
+      C[i][j] = (double)(i * (j + 3) % nl) / (5 * nl);
+  for (i = 0; i < nm; i++)
+    for (j = 0; j < nl; j++)
+      D[i][j] = (double)((i * (j + 2) + 2) % nk) / (5 * nk);
+}
+
+void kernel_3mm(int ni, int nj, int nk, int nl, int nm)
+{
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nj; j++)
+    {
+      E[i][j] = 0.0;
+      for (k = 0; k < nk; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < nj; i++)
+    for (j = 0; j < nl; j++)
+    {
+      F[i][j] = 0.0;
+      for (k = 0; k < nm; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+    {
+      G[i][j] = 0.0;
+      for (k = 0; k < nj; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+
+void print_array(int ni, int nl)
+{
+  int i;
+  int j;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nl; j++)
+      fprintf(stderr, "%0.2lf ", G[i][j]);
+}
+
+int main(int argc, char **argv)
+{
+  int ni = NI;
+  int nj = NJ;
+  int nk = NK;
+  int nl = NL;
+  int nm = NM;
+  init_array(ni, nj, nk, nl, nm);
+  kernel_3mm(ni, nj, nk, nl, nm);
+  if (argc > 42)
+    print_array(ni, nl);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceAtax = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define M 1900
+#define N 2100
+
+double A[M][N];
+double x[N];
+double y[N];
+double tmp[M];
+
+void init_array(int m, int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    x[i] = 1.0 + i / (double)n;
+  for (i = 0; i < m; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = (double)((i + j) % n) / (5 * m);
+}
+
+void kernel_atax(int m, int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    y[i] = 0.0;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < m; i++)
+  {
+    tmp[i] = 0.0;
+    for (j = 0; j < n; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+  }
+  for (i = 0; i < m; i++)
+    for (j = 0; j < n; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+}
+
+void print_array(int n)
+{
+  int i;
+  for (i = 0; i < n; i++)
+    fprintf(stderr, "%0.2lf ", y[i]);
+}
+
+int main(int argc, char **argv)
+{
+  int m = M;
+  int n = N;
+  init_array(m, n);
+  kernel_atax(m, n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceCorrelation = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define K 1200
+#define M 1000
+
+double data[K][M];
+double corr[M][M];
+double mean[M];
+double stddev[M];
+
+void init_array(int k, int m, double *float_n)
+{
+  int i;
+  int j;
+  *float_n = (double)k;
+  for (i = 0; i < k; i++)
+    for (j = 0; j < m; j++)
+      data[i][j] = (double)(i * j) / m + i;
+}
+
+void kernel_correlation(int k, int m, double float_n)
+{
+  int i;
+  int j;
+  int l;
+  double eps = 0.1;
+  for (j = 0; j < m; j++)
+  {
+    mean[j] = 0.0;
+    for (i = 0; i < k; i++)
+      mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (j = 0; j < m; j++)
+  {
+    stddev[j] = 0.0;
+    for (i = 0; i < k; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] /= float_n;
+    stddev[j] = sqrt(stddev[j]);
+    stddev[j] = stddev[j] <= eps ? 1.0 : stddev[j];
+  }
+  #pragma omp parallel for private(j)
+  for (i = 0; i < k; i++)
+    for (j = 0; j < m; j++)
+    {
+      data[i][j] -= mean[j];
+      data[i][j] /= sqrt(float_n) * stddev[j];
+    }
+  #pragma omp parallel for private(j, l)
+  for (i = 0; i < m - 1; i++)
+  {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < m; j++)
+    {
+      corr[i][j] = 0.0;
+      for (l = 0; l < k; l++)
+        corr[i][j] += data[l][i] * data[l][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[m - 1][m - 1] = 1.0;
+}
+
+void print_array(int m)
+{
+  int i;
+  int j;
+  for (i = 0; i < m; i++)
+    for (j = 0; j < m; j++)
+      fprintf(stderr, "%0.2lf ", corr[i][j]);
+}
+
+int main(int argc, char **argv)
+{
+  int k = K;
+  int m = M;
+  double float_n;
+  init_array(k, m, &float_n);
+  kernel_correlation(k, m, float_n);
+  if (argc > 42)
+    print_array(m);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceDoitgen = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define NQ 140
+#define NR 150
+#define NP 160
+
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NP];
+
+void init_array(int nr, int nq, int np)
+{
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < nr; i++)
+    for (j = 0; j < nq; j++)
+      for (k = 0; k < np; k++)
+        A[i][j][k] = (double)((i * j + k) % np) / np;
+  for (i = 0; i < np; i++)
+    for (j = 0; j < np; j++)
+      C4[i][j] = (double)(i * j % np) / np;
+}
+
+void kernel_doitgen(int nr, int nq, int np)
+{
+  int r;
+  int q;
+  int p;
+  int s;
+  #pragma omp parallel for private(q, p, s)
+  for (r = 0; r < nr; r++)
+    for (q = 0; q < nq; q++)
+    {
+      for (p = 0; p < np; p++)
+      {
+        sum[p] = 0.0;
+        for (s = 0; s < np; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < np; p++)
+        A[r][q][p] = sum[p];
+    }
+}
+
+void print_array(int nr, int nq, int np)
+{
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < nr; i++)
+    for (j = 0; j < nq; j++)
+      for (k = 0; k < np; k++)
+        fprintf(stderr, "%0.2lf ", A[i][j][k]);
+}
+
+int main(int argc, char **argv)
+{
+  int nr = NR;
+  int nq = NQ;
+  int np = NP;
+  init_array(nr, nq, np);
+  kernel_doitgen(nr, nq, np);
+  if (argc > 42)
+    print_array(nr, nq, np);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceGemver = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 2000
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+
+void init_array(int n, double *alpha, double *beta)
+{
+  int i;
+  int j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < n; i++)
+  {
+    u1[i] = i;
+    u2[i] = ((i + 1.0) / n) / 2.0;
+    v1[i] = ((i + 1.0) / n) / 4.0;
+    v2[i] = ((i + 1.0) / n) / 6.0;
+    y[i] = ((i + 1.0) / n) / 8.0;
+    z[i] = ((i + 1.0) / n) / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (j = 0; j < n; j++)
+      A[i][j] = (double)(i * j % n) / n;
+  }
+}
+
+void kernel_gemver(int n, double alpha, double beta)
+{
+  int i;
+  int j;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (i = 0; i < n; i++)
+    x[i] = x[i] + z[i];
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}
+
+void print_array(int n)
+{
+  int i;
+  for (i = 0; i < n; i++)
+    fprintf(stderr, "%0.2lf ", w[i]);
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  double alpha;
+  double beta;
+  init_array(n, &alpha, &beta);
+  kernel_gemver(n, alpha, beta);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+}  // namespace socrates::kernels::detail

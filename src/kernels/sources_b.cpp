@@ -1,0 +1,433 @@
+// Benchmark sources, part 2: jacobi-2d, mvt, nussinov, seidel-2d,
+// syr2k, syrk — plus the name/source lookup tables.
+#include "kernels/sources.hpp"
+#include "kernels/sources_detail.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace socrates::kernels {
+
+namespace detail {
+
+const char* const kSourceJacobi2d = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 1300
+#define TSTEPS 500
+
+double A[N][N];
+double B[N][N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+    {
+      A[i][j] = ((double)i * (j + 2) + 2) / n;
+      B[i][j] = ((double)i * (j + 3) + 3) / n;
+    }
+}
+
+void kernel_jacobi_2d(int tsteps, int n)
+{
+  int t;
+  int i;
+  int j;
+  for (t = 0; t < tsteps; t++)
+  {
+    #pragma omp parallel for private(j)
+    for (i = 1; i < n - 1; i++)
+      for (j = 1; j < n - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][1 + j] + A[1 + i][j] + A[i - 1][j]);
+    #pragma omp parallel for private(j)
+    for (i = 1; i < n - 1; i++)
+      for (j = 1; j < n - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][1 + j] + B[1 + i][j] + B[i - 1][j]);
+  }
+}
+
+void print_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+    {
+      fprintf(stderr, "%0.2lf ", A[i][j]);
+      if ((i * n + j) % 20 == 0)
+        fprintf(stderr, "\n");
+    }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int tsteps = TSTEPS;
+  init_array(n);
+  kernel_jacobi_2d(tsteps, n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceMvt = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 2000
+
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+  {
+    x1[i] = (double)(i % n) / n;
+    x2[i] = (double)((i + 1) % n) / n;
+    y1[i] = (double)((i + 3) % n) / n;
+    y2[i] = (double)((i + 4) % n) / n;
+    for (j = 0; j < n; j++)
+      A[i][j] = (double)(i * j % n) / n;
+  }
+}
+
+void kernel_mvt(int n)
+{
+  int i;
+  int j;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}
+
+void print_array(int n)
+{
+  int i;
+  for (i = 0; i < n; i++)
+    fprintf(stderr, "%0.2lf %0.2lf ", x1[i], x2[i]);
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_mvt(n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceNussinov = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 2500
+
+int seq[N];
+double table[N][N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    seq[i] = (i + 1) % 4;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      table[i][j] = 0.0;
+}
+
+double max_score(double s1, double s2)
+{
+  return s1 >= s2 ? s1 : s2;
+}
+
+double match(int b1, int b2)
+{
+  return b1 + b2 == 3 ? 1.0 : 0.0;
+}
+
+void kernel_nussinov(int n)
+{
+  int i;
+  int j;
+  int k;
+  for (i = n - 1; i >= 0; i--)
+  {
+    #pragma omp parallel for private(k)
+    for (j = i + 1; j < n; j++)
+    {
+      if (j - 1 >= 0)
+        table[i][j] = max_score(table[i][j], table[i][j - 1]);
+      if (i + 1 < n)
+        table[i][j] = max_score(table[i][j], table[i + 1][j]);
+      if (j - 1 >= 0 && i + 1 < n)
+      {
+        if (i < j - 1)
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1] + match(seq[i], seq[j]));
+        else
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1]);
+      }
+      for (k = i + 1; k < j; k++)
+        table[i][j] = max_score(table[i][j], table[i][k] + table[k + 1][j]);
+    }
+  }
+}
+
+void print_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = i; j < n; j++)
+      fprintf(stderr, "%0.2lf ", table[i][j]);
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_nussinov(n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceSeidel2d = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 2000
+#define TSTEPS 100
+
+double A[N][N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      A[i][j] = ((double)i * (j + 2) + 2) / n;
+}
+
+void kernel_seidel_2d(int tsteps, int n)
+{
+  int t;
+  int i;
+  int j;
+  #pragma omp parallel for private(i, j)
+  for (t = 0; t <= tsteps - 1; t++)
+    for (i = 1; i <= n - 2; i++)
+      for (j = 1; j <= n - 2; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] + A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+}
+
+void print_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      fprintf(stderr, "%0.2lf ", A[i][j]);
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int tsteps = TSTEPS;
+  init_array(n);
+  kernel_seidel_2d(tsteps, n);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceSyr2k = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 1200
+#define M 1000
+
+double C[N][N];
+double A[N][M];
+double B[N][M];
+
+void init_array(int n, int m, double *alpha, double *beta)
+{
+  int i;
+  int j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < m; j++)
+    {
+      A[i][j] = (double)((i * j + 1) % n) / n;
+      B[i][j] = (double)((i * j + 2) % m) / m;
+    }
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      C[i][j] = (double)((i * j + 3) % n) / m;
+}
+
+void kernel_syr2k(int n, int m, double alpha, double beta)
+{
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < m; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+}
+
+void print_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      fprintf(stderr, "%0.2lf ", C[i][j]);
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int m = M;
+  double alpha;
+  double beta;
+  init_array(n, m, &alpha, &beta);
+  kernel_syr2k(n, m, alpha, beta);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceSyrk = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 1200
+#define M 1000
+
+double C[N][N];
+double A[N][M];
+
+void init_array(int n, int m, double *alpha, double *beta)
+{
+  int i;
+  int j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < m; j++)
+      A[i][j] = (double)((i * j + 1) % n) / n;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      C[i][j] = (double)((i * j + 2) % m) / m;
+}
+
+void kernel_syrk(int n, int m, double alpha, double beta)
+{
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < m; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+}
+
+void print_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      fprintf(stderr, "%0.2lf ", C[i][j]);
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int m = M;
+  double alpha;
+  double beta;
+  init_array(n, m, &alpha, &beta);
+  kernel_syrk(n, m, alpha, beta);
+  if (argc > 42)
+    print_array(n);
+  return 0;
+}
+)SRC";
+
+}  // namespace detail
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> kNames = {
+      "2mm",      "3mm",       "atax",      "correlation", "doitgen", "gemver",
+      "jacobi-2d", "mvt",      "nussinov",  "seidel-2d",   "syr2k",   "syrk",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& extended_benchmark_names() {
+  static const std::vector<std::string> kNames = {
+      "gemm", "bicg", "trmm", "cholesky", "lu", "heat-3d",
+  };
+  return kNames;
+}
+
+const std::string& benchmark_source(const std::string& name) {
+  static const std::map<std::string, std::string> kSources = {
+      {"2mm", detail::kSource2mm},
+      {"3mm", detail::kSource3mm},
+      {"atax", detail::kSourceAtax},
+      {"correlation", detail::kSourceCorrelation},
+      {"doitgen", detail::kSourceDoitgen},
+      {"gemver", detail::kSourceGemver},
+      {"jacobi-2d", detail::kSourceJacobi2d},
+      {"mvt", detail::kSourceMvt},
+      {"nussinov", detail::kSourceNussinov},
+      {"seidel-2d", detail::kSourceSeidel2d},
+      {"syr2k", detail::kSourceSyr2k},
+      {"syrk", detail::kSourceSyrk},
+      {"gemm", detail::kSourceGemm},
+      {"bicg", detail::kSourceBicg},
+      {"trmm", detail::kSourceTrmm},
+      {"cholesky", detail::kSourceCholesky},
+      {"lu", detail::kSourceLu},
+      {"heat-3d", detail::kSourceHeat3d},
+  };
+  const auto it = kSources.find(name);
+  SOCRATES_REQUIRE_MSG(it != kSources.end(), "unknown benchmark '" << name << "'");
+  return it->second;
+}
+
+}  // namespace socrates::kernels

@@ -1,0 +1,335 @@
+// Benchmark sources, part 3: the extended (beyond-the-paper) kernels —
+// gemm, bicg, trmm, cholesky, lu, heat-3d.
+#include "kernels/sources_detail.hpp"
+
+namespace socrates::kernels::detail {
+
+const char* const kSourceGemm = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define NI 1000
+#define NJ 1100
+#define NK 1200
+
+double C[NI][NJ];
+double A[NI][NK];
+double B[NK][NJ];
+
+void init_array(int ni, int nj, int nk, double *alpha, double *beta)
+{
+  int i;
+  int j;
+  *alpha = 1.5;
+  *beta = 1.2;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nk; j++)
+      A[i][j] = (double)((i * j + 1) % ni) / ni;
+  for (i = 0; i < nk; i++)
+    for (j = 0; j < nj; j++)
+      B[i][j] = (double)(i * (j + 2) % nj) / nj;
+  for (i = 0; i < ni; i++)
+    for (j = 0; j < nj; j++)
+      C[i][j] = (double)((i * j + 3) % ni) / nk;
+}
+
+void kernel_gemm(int ni, int nj, int nk, double alpha, double beta)
+{
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(j, k)
+  for (i = 0; i < ni; i++)
+  {
+    for (j = 0; j < nj; j++)
+      C[i][j] *= beta;
+    for (k = 0; k < nk; k++)
+      for (j = 0; j < nj; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int ni = NI;
+  int nj = NJ;
+  int nk = NK;
+  double alpha;
+  double beta;
+  init_array(ni, nj, nk, &alpha, &beta);
+  kernel_gemm(ni, nj, nk, alpha, beta);
+  if (argc > 42)
+    fprintf(stderr, "%0.2lf", C[0][0]);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceBicg = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define M 1900
+#define N 2100
+
+double A[N][M];
+double s[M];
+double q[N];
+double p[M];
+double r[N];
+
+void init_array(int m, int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < m; i++)
+    p[i] = (double)(i % m) / m;
+  for (i = 0; i < n; i++)
+  {
+    r[i] = (double)(i % n) / n;
+    for (j = 0; j < m; j++)
+      A[i][j] = (double)(i * (j + 1) % n) / n;
+  }
+}
+
+void kernel_bicg(int m, int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < m; i++)
+    s[i] = 0.0;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < m; j++)
+      s[j] = s[j] + r[i] * A[i][j];
+  #pragma omp parallel for private(j)
+  for (i = 0; i < n; i++)
+  {
+    q[i] = 0.0;
+    for (j = 0; j < m; j++)
+      q[i] = q[i] + A[i][j] * p[j];
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int m = M;
+  int n = N;
+  init_array(m, n);
+  kernel_bicg(m, n);
+  if (argc > 42)
+    fprintf(stderr, "%0.2lf %0.2lf", s[0], q[0]);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceTrmm = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define M 1000
+#define N 1200
+
+double A[M][M];
+double B[M][N];
+
+void init_array(int m, int n, double *alpha)
+{
+  int i;
+  int j;
+  *alpha = 1.5;
+  for (i = 0; i < m; i++)
+  {
+    for (j = 0; j < i; j++)
+      A[i][j] = (double)((i + j) % m) / m;
+    A[i][i] = 1.0;
+    for (j = 0; j < n; j++)
+      B[i][j] = (double)(n + (i - j)) / n;
+  }
+}
+
+void kernel_trmm(int m, int n, double alpha)
+{
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(i, k)
+  for (j = 0; j < n; j++)
+    for (i = 0; i < m; i++)
+    {
+      for (k = i + 1; k < m; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+}
+
+int main(int argc, char **argv)
+{
+  int m = M;
+  int n = N;
+  double alpha;
+  init_array(m, n, &alpha);
+  kernel_trmm(m, n, alpha);
+  if (argc > 42)
+    fprintf(stderr, "%0.2lf", B[0][0]);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceCholesky = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N 2000
+
+double A[N][N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % n)) / n + 1.0;
+    for (j = i + 1; j < n; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }
+}
+
+void kernel_cholesky(int n)
+{
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j < i; j++)
+    {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] /= A[j][j];
+    }
+    #pragma omp parallel for
+    for (k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_cholesky(n);
+  if (argc > 42)
+    fprintf(stderr, "%0.2lf", A[0][0]);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceLu = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 2000
+
+double A[N][N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % n)) / n + 1.0;
+    for (j = i + 1; j < n; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }
+}
+
+void kernel_lu(int n)
+{
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j < i; j++)
+    {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] /= A[j][j];
+    }
+    #pragma omp parallel for private(k)
+    for (j = i; j < n; j++)
+      for (k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  init_array(n);
+  kernel_lu(n);
+  if (argc > 42)
+    fprintf(stderr, "%0.2lf", A[0][0]);
+  return 0;
+}
+)SRC";
+
+const char* const kSourceHeat3d = R"SRC(
+#include <stdio.h>
+#include <stdlib.h>
+#define N 120
+#define TSTEPS 500
+
+double A[N][N][N];
+double B[N][N][N];
+
+void init_array(int n)
+{
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      for (k = 0; k < n; k++)
+      {
+        A[i][j][k] = (double)(i + j + (n - k)) * 10.0 / n;
+        B[i][j][k] = A[i][j][k];
+      }
+}
+
+void kernel_heat_3d(int tsteps, int n)
+{
+  int t;
+  int i;
+  int j;
+  int k;
+  for (t = 1; t <= tsteps; t++)
+  {
+    #pragma omp parallel for private(j, k)
+    for (i = 1; i < n - 1; i++)
+      for (j = 1; j < n - 1; j++)
+        for (k = 1; k < n - 1; k++)
+          B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k]) + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k]) + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1]) + A[i][j][k];
+    #pragma omp parallel for private(j, k)
+    for (i = 1; i < n - 1; i++)
+      for (j = 1; j < n - 1; j++)
+        for (k = 1; k < n - 1; k++)
+          A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + B[i - 1][j][k]) + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + B[i][j - 1][k]) + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + B[i][j][k - 1]) + B[i][j][k];
+  }
+}
+
+int main(int argc, char **argv)
+{
+  int n = N;
+  int tsteps = TSTEPS;
+  init_array(n);
+  kernel_heat_3d(tsteps, n);
+  if (argc > 42)
+    fprintf(stderr, "%0.2lf", A[1][1][1]);
+  return 0;
+}
+)SRC";
+
+}  // namespace socrates::kernels::detail

@@ -1,0 +1,28 @@
+// Internal: raw benchmark source constants, split across two
+// translation units to keep file sizes reasonable.
+#pragma once
+
+namespace socrates::kernels::detail {
+
+extern const char* const kSource2mm;
+extern const char* const kSource3mm;
+extern const char* const kSourceAtax;
+extern const char* const kSourceCorrelation;
+extern const char* const kSourceDoitgen;
+extern const char* const kSourceGemver;
+extern const char* const kSourceJacobi2d;
+extern const char* const kSourceMvt;
+extern const char* const kSourceNussinov;
+extern const char* const kSourceSeidel2d;
+extern const char* const kSourceSyr2k;
+extern const char* const kSourceSyrk;
+
+// Extended suite (sources_c.cpp).
+extern const char* const kSourceGemm;
+extern const char* const kSourceBicg;
+extern const char* const kSourceTrmm;
+extern const char* const kSourceCholesky;
+extern const char* const kSourceLu;
+extern const char* const kSourceHeat3d;
+
+}  // namespace socrates::kernels::detail

@@ -1,0 +1,140 @@
+#include "margot/asrtm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace socrates::margot {
+
+Asrtm::Asrtm(KnowledgeBase knowledge) : knowledge_(std::move(knowledge)) {
+  SOCRATES_REQUIRE_MSG(!knowledge_.empty(),
+                       "AS-RTM needs at least one operating point");
+  corrections_.assign(knowledge_.metric_names().size(), 1.0);
+  // Default rank: minimize the first metric (callers normally override).
+  rank_ = Rank{RankDirection::kMinimize, {{0, 1.0}}};
+}
+
+std::size_t Asrtm::add_constraint(Constraint constraint) {
+  SOCRATES_REQUIRE(constraint.metric < knowledge_.metric_names().size());
+  SOCRATES_REQUIRE(constraint.confidence >= 0.0);
+  constraints_.push_back(constraint);
+  return constraints_.size() - 1;
+}
+
+void Asrtm::set_constraint_goal(std::size_t handle, double goal) {
+  SOCRATES_REQUIRE(handle < constraints_.size());
+  constraints_[handle].goal = goal;
+}
+
+void Asrtm::clear_constraints() { constraints_.clear(); }
+
+void Asrtm::set_rank(Rank rank) {
+  for (const auto& term : rank.terms)
+    SOCRATES_REQUIRE(term.metric < knowledge_.metric_names().size());
+  rank_ = std::move(rank);
+}
+
+double Asrtm::expected(const OperatingPoint& op, std::size_t m) const {
+  return op.metrics[m].mean * corrections_[m];
+}
+
+double Asrtm::constraint_value(const OperatingPoint& op, const Constraint& c) const {
+  const double mean = expected(op, c.metric);
+  const double margin = c.confidence * op.metrics[c.metric].stddev * corrections_[c.metric];
+  // Pessimistic direction: upper bound for "<" goals, lower for ">".
+  const bool upper =
+      c.op == ComparisonOp::kLess || c.op == ComparisonOp::kLessEqual;
+  return upper ? mean + margin : mean - margin;
+}
+
+double Asrtm::violation(const OperatingPoint& op, const Constraint& c) const {
+  const double value = constraint_value(op, c);
+  if (compare(value, c.op, c.goal)) return 0.0;
+  return std::abs(value - c.goal);
+}
+
+std::size_t Asrtm::find_best_operating_point() const {
+  // Work on indices; apply constraints from highest priority (lowest
+  // number) to lowest.
+  std::vector<std::size_t> candidates(knowledge_.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+
+  std::vector<const Constraint*> ordered;
+  ordered.reserve(constraints_.size());
+  for (const auto& c : constraints_) ordered.push_back(&c);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Constraint* a, const Constraint* b) {
+                     return a->priority < b->priority;
+                   });
+
+  last_feasible_ = true;
+  for (const Constraint* c : ordered) {
+    std::vector<std::size_t> satisfying;
+    for (const std::size_t i : candidates)
+      if (violation(knowledge_[i], *c) == 0.0) satisfying.push_back(i);
+
+    if (!satisfying.empty()) {
+      candidates = std::move(satisfying);
+      continue;
+    }
+
+    // Infeasible under this constraint: keep the least-violating points
+    // (mARGOt's graceful degradation) and continue with lower-priority
+    // constraints among them.
+    last_feasible_ = false;
+    double min_violation = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : candidates)
+      min_violation = std::min(min_violation, violation(knowledge_[i], *c));
+    std::vector<std::size_t> least;
+    for (const std::size_t i : candidates) {
+      // Tolerate tiny FP differences when comparing violations.
+      if (violation(knowledge_[i], *c) <= min_violation * (1.0 + 1e-12))
+        least.push_back(i);
+    }
+    candidates = std::move(least);
+  }
+  SOCRATES_ENSURE(!candidates.empty());
+
+  // Rank among the survivors.
+  std::size_t best = candidates.front();
+  double best_value = rank_.evaluate(knowledge_[best], corrections_);
+  for (std::size_t k = 1; k < candidates.size(); ++k) {
+    const std::size_t i = candidates[k];
+    const double value = rank_.evaluate(knowledge_[i], corrections_);
+    const bool better = rank_.direction == RankDirection::kMaximize
+                            ? value > best_value
+                            : value < best_value;
+    if (better) {
+      best = i;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+void Asrtm::send_feedback(std::size_t op_index, std::size_t metric, double observed) {
+  SOCRATES_REQUIRE(op_index < knowledge_.size());
+  SOCRATES_REQUIRE(metric < corrections_.size());
+  SOCRATES_REQUIRE(observed > 0.0);
+  const double predicted = knowledge_[op_index].metrics[metric].mean;
+  SOCRATES_REQUIRE_MSG(predicted > 0.0, "cannot adapt a zero-mean metric");
+  const double instant_ratio = observed / predicted;
+  corrections_[metric] =
+      (1.0 - feedback_alpha_) * corrections_[metric] + feedback_alpha_ * instant_ratio;
+}
+
+double Asrtm::correction(std::size_t metric) const {
+  SOCRATES_REQUIRE(metric < corrections_.size());
+  return corrections_[metric];
+}
+
+void Asrtm::reset_feedback() { corrections_.assign(corrections_.size(), 1.0); }
+
+void Asrtm::set_feedback_inertia(double alpha) {
+  SOCRATES_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  feedback_alpha_ = alpha;
+}
+
+}  // namespace socrates::margot

@@ -1,0 +1,89 @@
+// Application-Specific Run-Time Manager (AS-RTM).
+//
+// The decision engine of mARGOt (Section II of the paper): selects the
+// most suitable operating point from the design-time knowledge base,
+// given
+//   i)   the application requirements (prioritized constraints + rank),
+//   ii)  the design-time knowledge (profiled operating points), and
+//   iii) feedback information from the monitors.
+// Constraint handling follows mARGOt's semantics: constraints are
+// applied in priority order; when a constraint filters out every
+// remaining point, the points violating it the least survive (so an
+// infeasible power budget degrades gracefully to the most power-frugal
+// configurations, the behaviour visible at the left edge of Figure 4).
+// Monitor feedback adapts the knowledge online: per-metric correction
+// factors (EWMA of observed/expected) rescale every stored mean, which
+// closes the MAPE-K loop when the platform drifts from its profile.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "margot/operating_point.hpp"
+#include "margot/optimization.hpp"
+
+namespace socrates::margot {
+
+class Asrtm {
+ public:
+  explicit Asrtm(KnowledgeBase knowledge);
+
+  const KnowledgeBase& knowledge() const { return knowledge_; }
+
+  // ---- requirements management (may be called at any time) ------------
+  /// Adds a constraint; returns its handle for later goal updates.
+  std::size_t add_constraint(Constraint constraint);
+  /// Changes the goal value of an existing constraint.
+  void set_constraint_goal(std::size_t handle, double goal);
+  /// Removes every constraint.
+  void clear_constraints();
+  std::size_t constraint_count() const { return constraints_.size(); }
+
+  void set_rank(Rank rank);
+  const Rank& rank() const { return rank_; }
+
+  // ---- decision --------------------------------------------------------
+  /// Index (into the knowledge base) of the best operating point under
+  /// the current requirements and feedback corrections.
+  std::size_t find_best_operating_point() const;
+
+  const OperatingPoint& best_operating_point() const {
+    return knowledge_[find_best_operating_point()];
+  }
+
+  /// True when the returned point satisfies every constraint (false
+  /// when some constraint had to be relaxed).
+  bool last_selection_feasible() const { return last_feasible_; }
+
+  // ---- feedback (knowledge adaptation) ---------------------------------
+  /// Reports an observation of `metric` while `op_index` was applied.
+  /// Updates the correction factor with an EWMA of observed/expected.
+  void send_feedback(std::size_t op_index, std::size_t metric, double observed);
+
+  /// Current correction factor of a metric (1.0 = knowledge matches).
+  double correction(std::size_t metric) const;
+
+  /// Forgets all feedback (e.g. after an input-feature change).
+  void reset_feedback();
+
+  /// EWMA smoothing factor for feedback, in (0, 1]; default 0.3.
+  void set_feedback_inertia(double alpha);
+
+ private:
+  /// Expected (corrected) value of metric `m` for point `op`.
+  double expected(const OperatingPoint& op, std::size_t m) const;
+  /// Pessimistic test value for a constraint (mean +/- conf * stddev).
+  double constraint_value(const OperatingPoint& op, const Constraint& c) const;
+  /// How far `op` is from satisfying `c` (0 when satisfied).
+  double violation(const OperatingPoint& op, const Constraint& c) const;
+
+  KnowledgeBase knowledge_;
+  std::vector<Constraint> constraints_;  ///< insertion order; sorted view built per query
+  Rank rank_;
+  std::vector<double> corrections_;      ///< per metric, multiplicative
+  double feedback_alpha_ = 0.3;
+  mutable bool last_feasible_ = true;
+};
+
+}  // namespace socrates::margot

@@ -1,0 +1,79 @@
+#include "margot/context.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::margot {
+
+std::vector<std::string> ContextMetrics::names() {
+  return {"exec_time_s", "power_w", "throughput"};
+}
+
+Context::Context(KnowledgeBase knowledge, const platform::Clock& clock,
+                 const platform::EnergyCounter& energy, std::size_t monitor_window)
+    : asrtm_([&] {
+        SOCRATES_REQUIRE_MSG(knowledge.metric_names() == ContextMetrics::names(),
+                             "Context requires the (exec_time_s, power_w, throughput) "
+                             "metric schema");
+        return Asrtm(std::move(knowledge));
+      }()),
+      time_monitor_(clock, monitor_window),
+      power_monitor_(clock, energy, monitor_window),
+      energy_monitor_(energy, monitor_window) {}
+
+bool Context::update(std::vector<int>& knobs) {
+  const std::size_t chosen = asrtm_.find_best_operating_point();
+  const bool changed = !has_selection_ || chosen != current_op_;
+  current_op_ = chosen;
+  has_selection_ = true;
+  const OperatingPoint& op = asrtm_.knowledge()[chosen];
+  SOCRATES_REQUIRE_MSG(knobs.size() == op.knobs.size(),
+                       "knob buffer has " << knobs.size() << " entries, expected "
+                                          << op.knobs.size());
+  knobs = op.knobs;
+  return changed;
+}
+
+void Context::start_monitors() {
+  time_monitor_.start();
+  power_monitor_.start();
+  energy_monitor_.start();
+}
+
+std::string Context::log() const {
+  std::ostringstream os;
+  os << "margot:";
+  if (!has_selection_) {
+    os << " no operating point selected yet";
+    return os.str();
+  }
+  const OperatingPoint& op = asrtm_.knowledge()[current_op_];
+  os << " op#" << current_op_ << " knobs=[";
+  for (std::size_t k = 0; k < op.knobs.size(); ++k) {
+    if (k > 0) os << ',';
+    os << op.knobs[k];
+  }
+  os << ']';
+  if (!time_monitor_.stats().empty()) {
+    os << " time=" << format_double(time_monitor_.stats().last() * 1e3, 1) << "ms";
+    os << " power=" << format_double(power_monitor_.stats().last(), 1) << "W";
+  }
+  os << " corr(t,P)=" << format_double(asrtm_.correction(ContextMetrics::kExecTime), 3)
+     << "," << format_double(asrtm_.correction(ContextMetrics::kPower), 3);
+  return os.str();
+}
+
+void Context::stop_monitors() {
+  SOCRATES_REQUIRE_MSG(has_selection_, "stop_monitors() before any update()");
+  const double elapsed = time_monitor_.stop();
+  const double watts = power_monitor_.stop();
+  energy_monitor_.stop();
+
+  asrtm_.send_feedback(current_op_, ContextMetrics::kExecTime, elapsed);
+  asrtm_.send_feedback(current_op_, ContextMetrics::kPower, watts);
+  asrtm_.send_feedback(current_op_, ContextMetrics::kThroughput, 1.0 / elapsed);
+}
+
+}  // namespace socrates::margot

@@ -1,0 +1,80 @@
+// The application-facing mARGOt interface.
+//
+// The paper stresses that mARGOt's intrusiveness "is limited to an
+// initialization call in the application and to start/stop/update calls
+// around the regions of interest".  This class is that generated
+// interface: the weaver's Autotuner strategy inserts exactly the four
+// calls below around the kernel wrapper (Figure 2c):
+//
+//   margot::init(...);                       // once, in main
+//   if (ctx.update(cf, nt, bind)) { ... }    // before the region
+//   ctx.start_monitors();
+//   kernel_wrapper(...);
+//   ctx.stop_monitors();                     // also pushes feedback
+//
+// update() runs the AS-RTM and writes the chosen knob values into the
+// application's control variables; stop_monitors() feeds the observed
+// EFPs back into the knowledge adaptation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "margot/asrtm.hpp"
+#include "margot/monitor.hpp"
+#include "margot/operating_point.hpp"
+#include "platform/clock.hpp"
+#include "platform/rapl.hpp"
+
+namespace socrates::margot {
+
+/// Names of the metrics a Context-managed knowledge base must provide,
+/// in schema order: exec_time_s, power_w, throughput.
+struct ContextMetrics {
+  static constexpr std::size_t kExecTime = 0;
+  static constexpr std::size_t kPower = 1;
+  static constexpr std::size_t kThroughput = 2;
+  static std::vector<std::string> names();
+};
+
+class Context {
+ public:
+  /// `knowledge` must use the ContextMetrics schema.
+  Context(KnowledgeBase knowledge, const platform::Clock& clock,
+          const platform::EnergyCounter& energy, std::size_t monitor_window = 5);
+
+  Asrtm& asrtm() { return asrtm_; }
+  const Asrtm& asrtm() const { return asrtm_; }
+
+  /// Runs the AS-RTM; writes the selected knob values to `knobs`
+  /// (which must have one entry per knob).  Returns true when the
+  /// configuration changed since the previous call.
+  bool update(std::vector<int>& knobs);
+
+  void start_monitors();
+  /// Stops the monitors and pushes exec-time / power / throughput
+  /// feedback for the configuration chosen by the last update().
+  void stop_monitors();
+
+  const TimeMonitor& time_monitor() const { return time_monitor_; }
+  const PowerMonitor& power_monitor() const { return power_monitor_; }
+  const EnergyMonitor& energy_monitor() const { return energy_monitor_; }
+
+  /// Index of the operating point applied by the last update().
+  std::size_t current_operating_point() const { return current_op_; }
+
+  /// One-line status string (mARGOt's margot::log analogue): current
+  /// operating point, last observed EFPs and the correction factors.
+  std::string log() const;
+
+ private:
+  Asrtm asrtm_;
+  TimeMonitor time_monitor_;
+  PowerMonitor power_monitor_;
+  EnergyMonitor energy_monitor_;
+  std::size_t current_op_ = 0;
+  bool has_selection_ = false;
+};
+
+}  // namespace socrates::margot

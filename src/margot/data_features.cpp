@@ -1,0 +1,90 @@
+#include "margot/data_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace socrates::margot {
+
+MultiKnowledge::MultiKnowledge(DataFeatureSchema schema) : schema_(std::move(schema)) {
+  SOCRATES_REQUIRE(!schema_.names.empty());
+  SOCRATES_REQUIRE(schema_.comparisons.size() == schema_.names.size());
+}
+
+void MultiKnowledge::add_cluster(std::vector<double> features, KnowledgeBase knowledge) {
+  SOCRATES_REQUIRE_MSG(features.size() == schema_.size(),
+                       "cluster has " << features.size() << " features, schema has "
+                                      << schema_.size());
+  SOCRATES_REQUIRE(!knowledge.empty());
+  clusters_.push_back(FeatureCluster{std::move(features), std::move(knowledge)});
+}
+
+const FeatureCluster& MultiKnowledge::cluster(std::size_t i) const {
+  SOCRATES_REQUIRE(i < clusters_.size());
+  return clusters_[i];
+}
+
+bool MultiKnowledge::admissible(const std::vector<double>& cluster_features,
+                                const std::vector<double>& observed) const {
+  for (std::size_t d = 0; d < schema_.size(); ++d) {
+    switch (schema_.comparisons[d]) {
+      case FeatureComparison::kDontCare:
+        break;
+      case FeatureComparison::kLessOrEqual:
+        if (!(cluster_features[d] <= observed[d])) return false;
+        break;
+      case FeatureComparison::kGreaterOrEqual:
+        if (!(cluster_features[d] >= observed[d])) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double MultiKnowledge::distance(const std::vector<double>& a,
+                                const std::vector<double>& b) const {
+  // Normalized Euclidean: each dimension is scaled by the larger
+  // magnitude so that features with different units compare fairly.
+  double acc = 0.0;
+  for (std::size_t d = 0; d < schema_.size(); ++d) {
+    const double scale = std::max({std::abs(a[d]), std::abs(b[d]), 1e-12});
+    const double delta = (a[d] - b[d]) / scale;
+    acc += delta * delta;
+  }
+  return std::sqrt(acc);
+}
+
+std::size_t MultiKnowledge::select(const std::vector<double>& observed) const {
+  SOCRATES_REQUIRE_MSG(!clusters_.empty(), "no knowledge clusters registered");
+  SOCRATES_REQUIRE(observed.size() == schema_.size());
+
+  // First pass: nearest among clusters satisfying every comparison.
+  std::size_t best = clusters_.size();
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (!admissible(clusters_[i].features, observed)) continue;
+    const double d = distance(clusters_[i].features, observed);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  if (best != clusters_.size()) return best;
+
+  // Fallback: nearest overall (mARGOt behaves the same when no cluster
+  // is admissible — better approximate knowledge than none).
+  best = 0;
+  best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const double d = distance(clusters_[i].features, observed);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace socrates::margot

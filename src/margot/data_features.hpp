@@ -1,0 +1,71 @@
+// Input-aware application knowledge (mARGOt data features).
+//
+// A kernel's extra-functional behaviour depends on its input: 2mm on a
+// 100x100 matrix has a different time/power surface than on 2000x2000.
+// mARGOt handles this with *data features*: the design-time knowledge
+// is partitioned per input-feature cluster, and at runtime the AS-RTM
+// works on the knowledge whose features are closest to the current
+// input.  SOCRATES inherits the mechanism: one DSE per representative
+// input, one FeatureCluster each, nearest-cluster selection on every
+// input change.  (In the paper's experiments the input is fixed; this
+// module implements the extension the mARGOt line of work describes.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "margot/operating_point.hpp"
+
+namespace socrates::margot {
+
+/// How a feature dimension participates in the distance computation.
+enum class FeatureComparison {
+  kDontCare,      ///< excluded from the distance
+  kLessOrEqual,   ///< candidate clusters must have feature <= observed
+  kGreaterOrEqual,///< candidate clusters must have feature >= observed
+};
+
+/// Declares the data-feature schema of an application.
+struct DataFeatureSchema {
+  std::vector<std::string> names;
+  std::vector<FeatureComparison> comparisons;  ///< same length as names
+
+  std::size_t size() const { return names.size(); }
+};
+
+/// One knowledge base tagged with the input features it was profiled on.
+struct FeatureCluster {
+  std::vector<double> features;
+  KnowledgeBase knowledge;
+};
+
+/// Container of per-input-cluster knowledge with nearest selection.
+class MultiKnowledge {
+ public:
+  explicit MultiKnowledge(DataFeatureSchema schema);
+
+  const DataFeatureSchema& schema() const { return schema_; }
+
+  /// Adds a cluster; `features` must match the schema arity.
+  void add_cluster(std::vector<double> features, KnowledgeBase knowledge);
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  const FeatureCluster& cluster(std::size_t i) const;
+
+  /// Index of the cluster closest to `observed` under normalized
+  /// Euclidean distance, honouring the per-dimension comparison
+  /// constraints (clusters violating a kLessOrEqual/kGreaterOrEqual
+  /// dimension are only used when no cluster satisfies all of them).
+  std::size_t select(const std::vector<double>& observed) const;
+
+ private:
+  double distance(const std::vector<double>& a, const std::vector<double>& b) const;
+  bool admissible(const std::vector<double>& cluster_features,
+                  const std::vector<double>& observed) const;
+
+  DataFeatureSchema schema_;
+  std::vector<FeatureCluster> clusters_;
+};
+
+}  // namespace socrates::margot

@@ -1,0 +1,65 @@
+// Goals: runtime checks of application requirements against monitors.
+//
+// In mARGOt a *goal* pairs a monitor's statistical provider with a
+// comparison and a target value; application code can ask "is the goal
+// currently met?" and react (e.g. log, or trigger a state switch).
+// Goals are observational — the AS-RTM enforces constraints on the
+// knowledge, goals check what actually happened.
+#pragma once
+
+#include <cmath>
+
+#include "margot/monitor.hpp"
+#include "margot/optimization.hpp"
+
+namespace socrates::margot {
+
+/// Which statistic of the monitor the goal observes.
+enum class StatisticalProvider { kAverage, kLast, kMin, kMax };
+
+class Goal {
+ public:
+  /// The goal observes `monitor` (must outlive the goal).
+  Goal(const CircularMonitor& monitor, StatisticalProvider provider, ComparisonOp op,
+       double target)
+      : monitor_(&monitor), provider_(provider), op_(op), target_(target) {}
+
+  /// Current observed value; requires at least one observation.
+  double observed_value() const {
+    switch (provider_) {
+      case StatisticalProvider::kAverage: return monitor_->average();
+      case StatisticalProvider::kLast: return monitor_->last();
+      case StatisticalProvider::kMin: return monitor_->min();
+      case StatisticalProvider::kMax: return monitor_->max();
+    }
+    return 0.0;
+  }
+
+  /// True when the goal is met.  A goal with no observations yet is
+  /// treated as met (nothing contradicts it).
+  bool check() const {
+    if (monitor_->empty()) return true;
+    return compare(observed_value(), op_, target_);
+  }
+
+  /// Relative error towards the target: 0 when met, otherwise
+  /// |observed - target| / |target| (absolute error for target == 0).
+  double relative_error() const {
+    if (check()) return 0.0;
+    const double v = observed_value();
+    return target_ == 0.0 ? v - target_
+                          : std::abs(v - target_) / std::abs(target_);
+  }
+
+  double target() const { return target_; }
+  /// Goals are dynamic: the target may change at runtime.
+  void set_target(double target) { target_ = target; }
+
+ private:
+  const CircularMonitor* monitor_;
+  StatisticalProvider provider_;
+  ComparisonOp op_;
+  double target_;
+};
+
+}  // namespace socrates::margot

@@ -1,0 +1,133 @@
+#include "margot/kb_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::margot {
+
+namespace {
+
+constexpr const char* kKnobsHeader = "# knobs: ";
+constexpr const char* kMetricsHeader = "# metrics: ";
+
+double parse_double(const std::string& cell, std::size_t line_no) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(cell, &consumed);
+    SOCRATES_REQUIRE_MSG(consumed == cell.size(),
+                         "trailing characters in cell '" << cell << "' on line "
+                                                         << line_no);
+    return value;
+  } catch (const std::invalid_argument&) {
+    SOCRATES_REQUIRE_MSG(false, "non-numeric cell '" << cell << "' on line " << line_no);
+  } catch (const std::out_of_range&) {
+    SOCRATES_REQUIRE_MSG(false, "out-of-range cell '" << cell << "' on line " << line_no);
+  }
+  return 0.0;  // unreachable
+}
+
+int parse_int(const std::string& cell, std::size_t line_no) {
+  const double v = parse_double(cell, line_no);
+  const int i = static_cast<int>(v);
+  SOCRATES_REQUIRE_MSG(static_cast<double>(i) == v,
+                       "knob cell '" << cell << "' on line " << line_no
+                                     << " is not an integer");
+  return i;
+}
+
+}  // namespace
+
+void save_knowledge(const KnowledgeBase& kb, std::ostream& out) {
+  out << kKnobsHeader << join(kb.knob_names(), ",") << '\n';
+  out << kMetricsHeader << join(kb.metric_names(), ",") << '\n';
+
+  // Column header row.
+  std::vector<std::string> columns;
+  for (const auto& k : kb.knob_names()) columns.push_back("knob:" + k);
+  for (const auto& m : kb.metric_names()) {
+    columns.push_back(m);
+    columns.push_back(m + ":sd");
+  }
+  out << join(columns, ",") << '\n';
+
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const auto& op : kb.points()) {
+    bool first = true;
+    for (const int k : op.knobs) {
+      if (!first) out << ',';
+      out << k;
+      first = false;
+    }
+    for (const auto& m : op.metrics) out << ',' << m.mean << ',' << m.stddev;
+    out << '\n';
+  }
+}
+
+std::string knowledge_to_string(const KnowledgeBase& kb) {
+  std::ostringstream os;
+  save_knowledge(kb, os);
+  return os.str();
+}
+
+KnowledgeBase load_knowledge(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto next_line = [&]() {
+    SOCRATES_REQUIRE_MSG(static_cast<bool>(std::getline(in, line)),
+                         "unexpected end of knowledge file at line " << line_no);
+    ++line_no;
+  };
+
+  next_line();
+  SOCRATES_REQUIRE_MSG(starts_with(line, kKnobsHeader),
+                       "expected '" << kKnobsHeader << "' header, got '" << line << "'");
+  const auto knob_names = split(trim(line.substr(std::string(kKnobsHeader).size())), ',');
+
+  next_line();
+  SOCRATES_REQUIRE_MSG(starts_with(line, kMetricsHeader),
+                       "expected '" << kMetricsHeader << "' header, got '" << line
+                                    << "'");
+  const auto metric_names =
+      split(trim(line.substr(std::string(kMetricsHeader).size())), ',');
+
+  next_line();  // column header row, validated by arity below
+  const std::size_t expected_cells = knob_names.size() + 2 * metric_names.size();
+  SOCRATES_REQUIRE_MSG(split(line, ',').size() == expected_cells,
+                       "column header arity mismatch on line " << line_no);
+
+  KnowledgeBase kb(knob_names, metric_names);
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    const auto cells = split(line, ',');
+    SOCRATES_REQUIRE_MSG(cells.size() == expected_cells,
+                         "row on line " << line_no << " has " << cells.size()
+                                        << " cells, expected " << expected_cells);
+    OperatingPoint op;
+    std::size_t c = 0;
+    for (std::size_t k = 0; k < knob_names.size(); ++k)
+      op.knobs.push_back(parse_int(cells[c++], line_no));
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+      MetricStats stats;
+      stats.mean = parse_double(cells[c++], line_no);
+      stats.stddev = parse_double(cells[c++], line_no);
+      op.metrics.push_back(stats);
+    }
+    kb.add(std::move(op));
+  }
+  return kb;
+}
+
+KnowledgeBase knowledge_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_knowledge(is);
+}
+
+}  // namespace socrates::margot

@@ -1,0 +1,146 @@
+#include "margot/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace socrates::margot {
+
+CircularMonitor::CircularMonitor(std::size_t window) : window_(window) {
+  SOCRATES_REQUIRE(window >= 1);
+  values_.reserve(window);
+}
+
+void CircularMonitor::push(double value) {
+  if (values_.size() < window_) {
+    values_.push_back(value);
+    return;
+  }
+  values_[next_] = value;
+  next_ = (next_ + 1) % window_;
+}
+
+void CircularMonitor::clear() {
+  values_.clear();
+  next_ = 0;
+}
+
+double CircularMonitor::last() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  if (values_.size() < window_) return values_.back();
+  // The slot just before the insertion cursor holds the newest value.
+  return values_[(next_ + window_ - 1) % window_];
+}
+
+double CircularMonitor::average() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double CircularMonitor::stddev() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  if (values_.size() < 2) return 0.0;
+  const double avg = average();
+  double acc = 0.0;
+  for (const double v : values_) acc += (v - avg) * (v - avg);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double CircularMonitor::min() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double CircularMonitor::max() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+// ---- TimeMonitor -----------------------------------------------------------
+
+TimeMonitor::TimeMonitor(const platform::Clock& clock, std::size_t window)
+    : clock_(clock), stats_(window) {}
+
+void TimeMonitor::start() {
+  SOCRATES_REQUIRE_MSG(!running_, "TimeMonitor::start() while already running");
+  start_time_ = clock_.now_s();
+  running_ = true;
+}
+
+double TimeMonitor::stop() {
+  SOCRATES_REQUIRE_MSG(running_, "TimeMonitor::stop() without start()");
+  running_ = false;
+  const double elapsed = clock_.now_s() - start_time_;
+  stats_.push(elapsed);
+  return elapsed;
+}
+
+// ---- ThroughputMonitor -----------------------------------------------------
+
+ThroughputMonitor::ThroughputMonitor(const platform::Clock& clock, std::size_t window)
+    : clock_(clock), stats_(window) {}
+
+void ThroughputMonitor::start() {
+  SOCRATES_REQUIRE_MSG(!running_, "ThroughputMonitor::start() while already running");
+  start_time_ = clock_.now_s();
+  running_ = true;
+}
+
+double ThroughputMonitor::stop(double units) {
+  SOCRATES_REQUIRE_MSG(running_, "ThroughputMonitor::stop() without start()");
+  SOCRATES_REQUIRE(units > 0.0);
+  running_ = false;
+  const double elapsed = clock_.now_s() - start_time_;
+  SOCRATES_REQUIRE_MSG(elapsed > 0.0, "zero-length throughput region");
+  const double thr = units / elapsed;
+  stats_.push(thr);
+  return thr;
+}
+
+// ---- EnergyMonitor ---------------------------------------------------------
+
+EnergyMonitor::EnergyMonitor(const platform::EnergyCounter& counter, std::size_t window)
+    : counter_(counter), stats_(window) {}
+
+void EnergyMonitor::start() {
+  SOCRATES_REQUIRE_MSG(!running_, "EnergyMonitor::start() while already running");
+  start_energy_uj_ = counter_.energy_uj();
+  running_ = true;
+}
+
+double EnergyMonitor::stop() {
+  SOCRATES_REQUIRE_MSG(running_, "EnergyMonitor::stop() without start()");
+  running_ = false;
+  const double joules = (counter_.energy_uj() - start_energy_uj_) * 1e-6;
+  stats_.push(joules);
+  return joules;
+}
+
+// ---- PowerMonitor ----------------------------------------------------------
+
+PowerMonitor::PowerMonitor(const platform::Clock& clock,
+                           const platform::EnergyCounter& counter, std::size_t window)
+    : clock_(clock), counter_(counter), stats_(window) {}
+
+void PowerMonitor::start() {
+  SOCRATES_REQUIRE_MSG(!running_, "PowerMonitor::start() while already running");
+  start_time_ = clock_.now_s();
+  start_energy_uj_ = counter_.energy_uj();
+  running_ = true;
+}
+
+double PowerMonitor::stop() {
+  SOCRATES_REQUIRE_MSG(running_, "PowerMonitor::stop() without start()");
+  running_ = false;
+  const double elapsed = clock_.now_s() - start_time_;
+  SOCRATES_REQUIRE_MSG(elapsed > 0.0, "zero-length power region");
+  const double joules = (counter_.energy_uj() - start_energy_uj_) * 1e-6;
+  const double watts = joules / elapsed;
+  stats_.push(watts);
+  return watts;
+}
+
+}  // namespace socrates::margot

@@ -1,0 +1,121 @@
+// The mARGOt monitoring infrastructure.
+//
+// Monitors gather insight on the actual behaviour of the target kernel
+// and of the execution environment (Section II of the paper).  Each
+// monitor keeps a circular buffer of the last `window` observations and
+// exposes statistical providers (average, standard deviation, min, max,
+// last).  Concrete monitors wrap the platform time base and the RAPL
+// energy counter:
+//   TimeMonitor       — wall time of a start()/stop() region
+//   ThroughputMonitor — completed units per second of a region
+//   EnergyMonitor     — Joules consumed by a region (RAPL delta)
+//   PowerMonitor      — average Watts over a region (energy / time)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/clock.hpp"
+#include "platform/rapl.hpp"
+
+namespace socrates::margot {
+
+/// Fixed-capacity circular buffer of observations with statistics.
+class CircularMonitor {
+ public:
+  explicit CircularMonitor(std::size_t window = 1);
+
+  void push(double value);
+  void clear();
+
+  std::size_t window() const { return window_; }
+  std::size_t count() const { return values_.size(); }  ///< <= window
+  bool empty() const { return values_.empty(); }
+
+  double last() const;
+  double average() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t window_;
+  std::size_t next_ = 0;       ///< insertion cursor once the buffer is full
+  std::vector<double> values_; ///< grows to `window_` then wraps
+};
+
+/// Measures the wall-clock time of a region in seconds.
+class TimeMonitor {
+ public:
+  TimeMonitor(const platform::Clock& clock, std::size_t window = 1);
+
+  void start();
+  /// Records the elapsed time; requires a prior start().
+  double stop();
+
+  const CircularMonitor& stats() const { return stats_; }
+
+ private:
+  const platform::Clock& clock_;
+  CircularMonitor stats_;
+  double start_time_ = 0.0;
+  bool running_ = false;
+};
+
+/// Units of work completed per second over a region.
+class ThroughputMonitor {
+ public:
+  ThroughputMonitor(const platform::Clock& clock, std::size_t window = 1);
+
+  void start();
+  /// Records `units / elapsed`; requires a prior start().
+  double stop(double units = 1.0);
+
+  const CircularMonitor& stats() const { return stats_; }
+
+ private:
+  const platform::Clock& clock_;
+  CircularMonitor stats_;
+  double start_time_ = 0.0;
+  bool running_ = false;
+};
+
+/// Joules consumed over a region (RAPL counter delta).
+class EnergyMonitor {
+ public:
+  EnergyMonitor(const platform::EnergyCounter& counter, std::size_t window = 1);
+
+  void start();
+  double stop();
+
+  const CircularMonitor& stats() const { return stats_; }
+
+ private:
+  const platform::EnergyCounter& counter_;
+  CircularMonitor stats_;
+  double start_energy_uj_ = 0.0;
+  bool running_ = false;
+};
+
+/// Average power over a region: RAPL energy delta / clock delta.
+class PowerMonitor {
+ public:
+  PowerMonitor(const platform::Clock& clock, const platform::EnergyCounter& counter,
+               std::size_t window = 1);
+
+  void start();
+  double stop();
+
+  const CircularMonitor& stats() const { return stats_; }
+
+ private:
+  const platform::Clock& clock_;
+  const platform::EnergyCounter& counter_;
+  CircularMonitor stats_;
+  double start_time_ = 0.0;
+  double start_energy_uj_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace socrates::margot

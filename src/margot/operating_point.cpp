@@ -1,0 +1,52 @@
+#include "margot/operating_point.hpp"
+
+#include "support/error.hpp"
+
+namespace socrates::margot {
+
+KnowledgeBase::KnowledgeBase(std::vector<std::string> knob_names,
+                             std::vector<std::string> metric_names)
+    : knob_names_(std::move(knob_names)), metric_names_(std::move(metric_names)) {
+  SOCRATES_REQUIRE(!knob_names_.empty());
+  SOCRATES_REQUIRE(!metric_names_.empty());
+}
+
+std::size_t KnowledgeBase::knob_index(const std::string& name) const {
+  for (std::size_t i = 0; i < knob_names_.size(); ++i)
+    if (knob_names_[i] == name) return i;
+  SOCRATES_REQUIRE_MSG(false, "unknown knob '" << name << "'");
+  return 0;  // unreachable
+}
+
+std::size_t KnowledgeBase::metric_index(const std::string& name) const {
+  for (std::size_t i = 0; i < metric_names_.size(); ++i)
+    if (metric_names_[i] == name) return i;
+  SOCRATES_REQUIRE_MSG(false, "unknown metric '" << name << "'");
+  return 0;  // unreachable
+}
+
+void KnowledgeBase::add(OperatingPoint op) {
+  SOCRATES_REQUIRE_MSG(op.knobs.size() == knob_names_.size(),
+                       "operating point has " << op.knobs.size() << " knobs, schema has "
+                                              << knob_names_.size());
+  SOCRATES_REQUIRE_MSG(op.metrics.size() == metric_names_.size(),
+                       "operating point has " << op.metrics.size()
+                                              << " metrics, schema has "
+                                              << metric_names_.size());
+  for (const auto& m : op.metrics) SOCRATES_REQUIRE(m.stddev >= 0.0);
+  SOCRATES_REQUIRE_MSG(!find(op.knobs).has_value(), "duplicate operating point");
+  points_.push_back(std::move(op));
+}
+
+const OperatingPoint& KnowledgeBase::operator[](std::size_t i) const {
+  SOCRATES_REQUIRE(i < points_.size());
+  return points_[i];
+}
+
+std::optional<std::size_t> KnowledgeBase::find(const std::vector<int>& knobs) const {
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    if (points_[i].knobs == knobs) return i;
+  return std::nullopt;
+}
+
+}  // namespace socrates::margot

@@ -1,0 +1,61 @@
+// Operating points and the application knowledge base.
+//
+// mARGOt's design-time knowledge is a list of *operating points*: one
+// entry per explored software-knob configuration, carrying the measured
+// distribution (mean / standard deviation) of every extra-functional
+// property (EFP) of interest.  The AS-RTM selects among these at
+// runtime.  Knob values are stored as integers (indices into the knob's
+// value list) so the knowledge base stays application-agnostic; the
+// SOCRATES layer maps them back to FlagConfig / thread count / binding.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socrates::margot {
+
+/// Distribution of one metric over the profiling runs of one point.
+struct MetricStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// One explored configuration with its measured EFPs.
+struct OperatingPoint {
+  std::vector<int> knobs;          ///< one value per knob, KB-defined order
+  std::vector<MetricStats> metrics;///< one entry per metric, KB-defined order
+};
+
+/// Schema + data of the design-time knowledge.
+class KnowledgeBase {
+ public:
+  KnowledgeBase(std::vector<std::string> knob_names,
+                std::vector<std::string> metric_names);
+
+  const std::vector<std::string>& knob_names() const { return knob_names_; }
+  const std::vector<std::string>& metric_names() const { return metric_names_; }
+
+  std::size_t knob_index(const std::string& name) const;
+  std::size_t metric_index(const std::string& name) const;
+
+  /// Adds a point; its vectors must match the schema sizes.  Duplicate
+  /// knob configurations are rejected.
+  void add(OperatingPoint op);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const OperatingPoint& operator[](std::size_t i) const;
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+  /// Index of the point with exactly these knob values, if any.
+  std::optional<std::size_t> find(const std::vector<int>& knobs) const;
+
+ private:
+  std::vector<std::string> knob_names_;
+  std::vector<std::string> metric_names_;
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace socrates::margot

@@ -1,0 +1,12 @@
+#include "platform/clock.hpp"
+
+#include "support/error.hpp"
+
+namespace socrates::platform {
+
+void VirtualClock::advance(double seconds) {
+  SOCRATES_REQUIRE(seconds >= 0.0);
+  now_ += seconds;
+}
+
+}  // namespace socrates::platform

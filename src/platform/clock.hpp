@@ -1,0 +1,44 @@
+// Time bases.
+//
+// mARGOt monitors timestamp observations; the runtime experiments of
+// the paper replay a 300-second execution trace.  A Clock interface
+// with a real (steady_clock) and a virtual (simulation-driven)
+// implementation lets the same monitor/AS-RTM code run against wall
+// time in the examples and against simulated time in the benches.
+#pragma once
+
+#include <chrono>
+
+namespace socrates::platform {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary epoch; monotone non-decreasing.
+  virtual double now_s() const = 0;
+};
+
+/// Wall time via std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : start_(std::chrono::steady_clock::now()) {}
+  double now_s() const override {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Simulation-driven time: advanced explicitly by the executor.
+class VirtualClock final : public Clock {
+ public:
+  double now_s() const override { return now_; }
+  void advance(double seconds);
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace socrates::platform

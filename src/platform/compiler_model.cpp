@@ -1,0 +1,84 @@
+#include "platform/compiler_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace socrates::platform {
+
+namespace {
+
+double base_level_factor(const KernelModelParams& k, OptLevel level) {
+  switch (level) {
+    case OptLevel::kOs:
+      // Size-optimized code loses scheduling quality but relieves
+      // icache-pressured kernels a little.
+      return 0.86 + 0.05 * k.icache_sensitivity;
+    case OptLevel::kO1:
+      return 0.93;
+    case OptLevel::kO2:
+      return 1.0;
+    case OptLevel::kO3:
+      // O3's win is mostly the vectorizer plus more aggressive
+      // unrolling; branchy or irregular kernels gain little and can
+      // regress slightly from code growth.
+      return 1.0 + 0.10 * k.vectorization_affinity + 0.02 * k.unroll_affinity -
+             0.03 * k.branchiness - 0.02 * k.icache_sensitivity;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double compute_speedup(const KernelModelParams& k, const FlagConfig& config) {
+  double s = base_level_factor(k, config.level());
+  const bool at_o3 = config.level() == OptLevel::kO3;
+
+  if (config.has(Flag::kUnsafeMath)) {
+    // Enables FP reassociation: reductions vectorize, FMA contraction.
+    s *= 1.0 + 0.07 * k.fp_ratio * k.vectorization_affinity + 0.015 * k.fp_ratio;
+  }
+  if (config.has(Flag::kNoGuessBranchProb)) {
+    // Hurts branchy code (no static prediction for layout) but can help
+    // very regular loop nests where the guesses mis-shape the CFG.
+    s *= 1.0 - 0.05 * k.branchiness + 0.02 * (1.0 - k.branchiness);
+  }
+  if (config.has(Flag::kNoIvopts)) {
+    // Induction-variable optimization matters for deep regular nests;
+    // for flat kernels the pass sometimes introduces register pressure.
+    s *= 1.0 - 0.05 * k.ivopt_sensitivity + 0.02 * (1.0 - k.ivopt_sensitivity);
+  }
+  if (config.has(Flag::kNoTreeLoopOptimize)) {
+    // loop_opt_sensitivity < 0.5 encodes kernels where the heuristics
+    // backfire, so disabling the pass is a win there.
+    s *= 1.0 + 0.06 * (0.5 - k.loop_opt_sensitivity);
+  }
+  if (config.has(Flag::kNoInline)) {
+    // Costs call-dense kernels; relieves icache pressure elsewhere.
+    s *= 1.0 - 0.08 * k.call_density + 0.015 * k.icache_sensitivity;
+  }
+  if (config.has(Flag::kUnrollAllLoops)) {
+    // Unrolling pays off on small hot bodies; at O3 part of the benefit
+    // is already captured by the vectorizer's own unrolling.
+    const double gain = (at_o3 ? 0.05 : 0.09) * k.unroll_affinity;
+    s *= 1.0 + gain - 0.05 * k.icache_sensitivity;
+  }
+
+  SOCRATES_ENSURE(s > 0.0);
+  return s;
+}
+
+double core_power_factor(const KernelModelParams& k, const FlagConfig& config) {
+  // Faster code keeps execution units busier: power tracks the
+  // compute speedup sublinearly, with an extra bump for wide vectors.
+  const double s = compute_speedup(k, config);
+  double p = 1.0 + 0.45 * (s - 1.0);
+  if (config.level() == OptLevel::kO3 || config.has(Flag::kUnsafeMath)) {
+    p += 0.03 * k.vectorization_affinity;
+  }
+  if (config.level() == OptLevel::kOs) p -= 0.03;
+  return std::clamp(p, 0.85, 1.20);
+}
+
+}  // namespace socrates::platform

@@ -1,0 +1,28 @@
+// Analytical model of compiler-flag effects.
+//
+// At runtime a SOCRATES binary switches between kernel clones compiled
+// with different "#pragma GCC optimize" option sets.  This container
+// has a single core and one compiler invocation, so the *effect* of a
+// flag configuration is modelled instead: a per-kernel multiplicative
+// speedup on the compute phase (relative to -O2) plus a core-power
+// factor (higher-ILP code draws more power per cycle).  The weaver
+// still performs the real source transformation; only the timing
+// consequence of the flags is analytic.  See DESIGN.md §2 for why this
+// preserves the paper's observable behaviour.
+#pragma once
+
+#include "platform/flags.hpp"
+#include "platform/kernel_model.hpp"
+
+namespace socrates::platform {
+
+/// Multiplicative compute-speed factor of `config` for this kernel,
+/// relative to plain -O2 (which returns exactly 1.0).  Always > 0.
+double compute_speedup(const KernelModelParams& kernel, const FlagConfig& config);
+
+/// Core dynamic-power factor of the generated code relative to -O2.
+/// Denser ILP / wider vectors burn more power per core per second.
+/// Clamped to [0.85, 1.20].
+double core_power_factor(const KernelModelParams& kernel, const FlagConfig& config);
+
+}  // namespace socrates::platform

@@ -1,0 +1,36 @@
+#include "platform/disturbance.hpp"
+
+#include "support/error.hpp"
+
+namespace socrates::platform {
+
+void DisturbanceSchedule::add(Disturbance d) {
+  SOCRATES_REQUIRE(d.end_s > d.start_s);
+  SOCRATES_REQUIRE(d.bandwidth_steal >= 0.0 && d.bandwidth_steal < 1.0);
+  SOCRATES_REQUIRE(d.compute_steal >= 0.0 && d.compute_steal < 1.0);
+  SOCRATES_REQUIRE(d.power_overhead_w >= 0.0);
+  episodes_.push_back(d);
+}
+
+Measurement DisturbanceSchedule::apply(const Measurement& clean,
+                                       const KernelModelParams& kernel,
+                                       double t_s) const {
+  Measurement out = clean;
+  for (const Disturbance& d : episodes_) {
+    if (!d.active_at(t_s)) continue;
+    // Losing a share s of the bandwidth stretches the memory-bound part
+    // of the run by 1/(1-s); the overall slowdown is weighted by the
+    // kernel's memory intensity (and analogously for compute).
+    const double mem_slow =
+        1.0 + kernel.mem_intensity * (1.0 / (1.0 - d.bandwidth_steal) - 1.0);
+    const double comp_slow = 1.0 + (1.0 - kernel.mem_intensity) *
+                                       kernel.parallel_fraction *
+                                       (1.0 / (1.0 - d.compute_steal) - 1.0);
+    out.exec_time_s *= mem_slow * comp_slow;
+    out.avg_power_w += d.power_overhead_w;
+  }
+  out.energy_j = out.exec_time_s * out.avg_power_w;
+  return out;
+}
+
+}  // namespace socrates::platform

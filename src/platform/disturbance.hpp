@@ -1,0 +1,57 @@
+// External-load disturbances.
+//
+// The paper motivates runtime autotuning with environments where "the
+// application workload and resource partitioning change dynamically"
+// and budgets "evolve depending on external events".  This module
+// models the classic case: a co-runner appears on the machine for a
+// while, stealing memory bandwidth and burning power.  The executor
+// applies the active disturbances to every measurement, and — because
+// mARGOt only sees the monitors — the AS-RTM's feedback loop has to
+// *discover* the change through its corrections (the MAPE-K reaction
+// exercised by tests/adaptation and bench/ablation_feedback_adaptation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/kernel_model.hpp"
+#include "platform/perf_model.hpp"
+
+namespace socrates::platform {
+
+/// One co-runner episode on the simulated machine.
+struct Disturbance {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Fraction of the machine's memory bandwidth the co-runner consumes
+  /// while active (0..1).  Slows memory-bound kernels the most.
+  double bandwidth_steal = 0.0;
+  /// Fraction of compute capability consumed (core time stolen by the
+  /// co-runner's threads), applied to the parallel compute phase.
+  double compute_steal = 0.0;
+  /// Extra package power drawn by the co-runner itself.
+  double power_overhead_w = 0.0;
+
+  bool active_at(double t_s) const { return t_s >= start_s && t_s < end_s; }
+};
+
+/// A time-ordered set of disturbances (episodes may overlap; effects
+/// compose multiplicatively for slowdowns and additively for power).
+class DisturbanceSchedule {
+ public:
+  void add(Disturbance d);
+  bool empty() const { return episodes_.empty(); }
+  std::size_t size() const { return episodes_.size(); }
+
+  /// Applies every episode active at time `t_s` to a clean measurement
+  /// of `kernel`.  The slowdown of a bandwidth steal scales with the
+  /// kernel's memory intensity; a compute steal scales with the
+  /// parallel fraction.
+  Measurement apply(const Measurement& clean, const KernelModelParams& kernel,
+                    double t_s) const;
+
+ private:
+  std::vector<Disturbance> episodes_;
+};
+
+}  // namespace socrates::platform

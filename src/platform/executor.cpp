@@ -1,0 +1,36 @@
+#include "platform/executor.hpp"
+
+#include "support/error.hpp"
+
+namespace socrates::platform {
+
+KernelExecutor::KernelExecutor(const PerformanceModel& model, KernelModelParams kernel,
+                               double work_scale, std::uint64_t noise_seed)
+    : model_(model),
+      kernel_(std::move(kernel)),
+      work_scale_(work_scale),
+      noise_(noise_seed) {}
+
+Measurement KernelExecutor::run(const Configuration& config) {
+  Measurement m = model_.evaluate(kernel_, config, &noise_, work_scale_);
+  m = disturbances_.apply(m, kernel_, clock_.now_s());
+  clock_.advance(m.exec_time_s);
+  rapl_.accrue(m.exec_time_s, m.avg_power_w);
+  return m;
+}
+
+void KernelExecutor::idle(double seconds) {
+  clock_.advance(seconds);
+  rapl_.accrue(seconds, model_.machine().idle_power_w);
+}
+
+void KernelExecutor::set_disturbances(DisturbanceSchedule schedule) {
+  disturbances_ = std::move(schedule);
+}
+
+void KernelExecutor::set_work_scale(double work_scale) {
+  SOCRATES_REQUIRE(work_scale > 0.0);
+  work_scale_ = work_scale;
+}
+
+}  // namespace socrates::platform

@@ -1,0 +1,62 @@
+// Simulated kernel executor.
+//
+// Glue between the performance model and the runtime stack: each run()
+// advances a virtual clock by the modelled execution time and deposits
+// the modelled energy into a simulated RAPL counter.  mARGOt's time and
+// energy monitors observe *only* the clock and the counter — exactly
+// the interface they would have on real hardware — so the adaptation
+// logic cannot peek at model internals.
+#pragma once
+
+#include "platform/clock.hpp"
+#include "platform/disturbance.hpp"
+#include "platform/kernel_model.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/rapl.hpp"
+#include "support/rng.hpp"
+
+namespace socrates::platform {
+
+class KernelExecutor {
+ public:
+  /// `work_scale` scales the kernel dataset for every run (Figure 5
+  /// uses a smaller dataset than the static DSE; see DESIGN.md).
+  KernelExecutor(const PerformanceModel& model, KernelModelParams kernel,
+                 double work_scale = 1.0, std::uint64_t noise_seed = 42);
+
+  /// Executes one kernel invocation under `config`: advances the clock,
+  /// accrues energy, returns the measurement.
+  Measurement run(const Configuration& config);
+
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  const SimulatedRapl& rapl() const { return rapl_; }
+  SimulatedRapl& rapl() { return rapl_; }
+  const KernelModelParams& kernel() const { return kernel_; }
+
+  /// Simulated idle time between kernel invocations: advances the
+  /// clock and accrues idle-power energy.
+  void idle(double seconds);
+
+  /// Installs external-load episodes; subsequent run() measurements are
+  /// perturbed by the episodes active at the simulated time.  The
+  /// adaptive layers never see the schedule — only its effect through
+  /// the monitors.
+  void set_disturbances(DisturbanceSchedule schedule);
+  const DisturbanceSchedule& disturbances() const { return disturbances_; }
+
+  /// Changes the dataset scale of subsequent runs (input change).
+  void set_work_scale(double work_scale);
+  double work_scale() const { return work_scale_; }
+
+ private:
+  const PerformanceModel& model_;
+  KernelModelParams kernel_;
+  double work_scale_;
+  Rng noise_;
+  VirtualClock clock_;
+  SimulatedRapl rapl_;
+  DisturbanceSchedule disturbances_;
+};
+
+}  // namespace socrates::platform

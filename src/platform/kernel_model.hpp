@@ -1,0 +1,61 @@
+// Per-kernel characterization consumed by the analytical models.
+//
+// These parameters are the "ground truth hardware behaviour" of a
+// kernel on the modelled machine.  For the 12 Polybench kernels they
+// are hand-calibrated from the kernels' well-known structure (matrix
+// multiplies are compute-bound and vectorize, matvec kernels are
+// bandwidth-bound, seidel-2d has a loop-carried dependence, ...); for
+// synthetic training kernels they are derived from the generator's
+// structural parameters, so static source features and model behaviour
+// stay correlated — which is exactly the signal COBAYN learns.
+#pragma once
+
+#include <string>
+
+namespace socrates::platform {
+
+struct KernelModelParams {
+  std::string name;
+
+  /// Sequential execution time in seconds at -O2, one thread, on the
+  /// reference dataset of the static experiments (Figures 3 and 4).
+  double seq_work_s = 1.0;
+
+  /// Fraction of the work inside OpenMP-parallel regions (Amdahl).
+  double parallel_fraction = 0.95;
+
+  /// Fraction of single-thread execution time stalled on memory; the
+  /// roofline term of the performance model scales from this.
+  double mem_intensity = 0.4;
+
+  /// 0..1: how much the kernel benefits from -funroll-all-loops.
+  double unroll_affinity = 0.5;
+
+  /// 0..1: how much the kernel benefits from the extra vectorization
+  /// enabled at -O3 (and from unsafe-math for FP reductions).
+  double vectorization_affinity = 0.5;
+
+  /// 0..1: fraction of floating-point arithmetic (drives unsafe-math).
+  double fp_ratio = 0.9;
+
+  /// 0..1: density of data-dependent branches (drives
+  /// no-guess-branch-probability both ways).
+  double branchiness = 0.1;
+
+  /// 0..1: density of function calls in hot code (drives no-inline).
+  double call_density = 0.05;
+
+  /// 0..1: instruction-footprint pressure; unrolling hurts when high.
+  double icache_sensitivity = 0.3;
+
+  /// 0..1: how much induction-variable optimization matters (deep
+  /// regular nests benefit, so -fno-ivopts costs them).
+  double ivopt_sensitivity = 0.5;
+
+  /// 0..1: how much tree-loop-optimize (interchange/distribution
+  /// heuristics) helps; for some stencils the heuristics backfire and
+  /// disabling them wins, expressed by a negative-leaning value < 0.5.
+  double loop_opt_sensitivity = 0.5;
+};
+
+}  // namespace socrates::platform

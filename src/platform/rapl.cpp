@@ -1,0 +1,70 @@
+#include "platform/rapl.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::platform {
+
+namespace {
+
+std::vector<std::string> find_package_domains(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return files;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!starts_with(name, "intel-rapl:")) continue;
+    if (name.find(':') != name.rfind(':')) continue;  // skip sub-domains a:b:c
+    const fs::path energy = entry.path() / "energy_uj";
+    std::ifstream in(energy);
+    if (!in.good()) continue;
+    files.push_back(energy.string());
+  }
+  return files;
+}
+
+}  // namespace
+
+bool SysfsRaplReader::available(const std::string& powercap_root) {
+  return !find_package_domains(powercap_root).empty();
+}
+
+SysfsRaplReader::SysfsRaplReader(const std::string& powercap_root)
+    : domain_files_(find_package_domains(powercap_root)) {
+  SOCRATES_REQUIRE_MSG(!domain_files_.empty(),
+                       "no readable intel-rapl package domain under " << powercap_root);
+}
+
+double SysfsRaplReader::energy_uj() const {
+  double total = 0.0;
+  for (const auto& file : domain_files_) {
+    std::ifstream in(file);
+    double value = 0.0;
+    if (in >> value) total += value;
+  }
+  return total;
+}
+
+void SimulatedRapl::accrue(double seconds, double power_w) {
+  SOCRATES_REQUIRE(seconds >= 0.0);
+  SOCRATES_REQUIRE(power_w >= 0.0);
+  energy_uj_ += seconds * power_w * 1e6;
+}
+
+EnergySource make_energy_source() {
+  EnergySource source;
+  if (SysfsRaplReader::available()) {
+    source.counter = std::make_unique<SysfsRaplReader>();
+    return source;
+  }
+  auto simulated = std::make_unique<SimulatedRapl>();
+  source.simulated = simulated.get();
+  source.counter = std::move(simulated);
+  return source;
+}
+
+}  // namespace socrates::platform

@@ -1,0 +1,73 @@
+// RAPL-style energy counters.
+//
+// On the paper's platform power is measured through the Intel RAPL
+// interface.  This module exposes the same contract — a monotonically
+// increasing package-energy counter in microjoules — with two
+// implementations: a sysfs reader for real hardware
+// (/sys/class/powercap/intel-rapl*) and a simulated counter fed by the
+// performance model.  mARGOt's power/energy monitors are written
+// against the EnergyCounter interface, so the whole adaptive stack is
+// oblivious to which one is underneath (the container this repo is
+// built in has no powercap interface; see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace socrates::platform {
+
+class EnergyCounter {
+ public:
+  virtual ~EnergyCounter() = default;
+  /// Cumulative package energy in microjoules.  Monotone.
+  virtual double energy_uj() const = 0;
+  /// Human-readable backend name ("rapl-sysfs", "simulated").
+  virtual std::string backend() const = 0;
+};
+
+/// Reads and sums every package domain under /sys/class/powercap.
+/// Construct only when available() returns true.
+class SysfsRaplReader final : public EnergyCounter {
+ public:
+  /// True when at least one intel-rapl package domain is readable.
+  static bool available(const std::string& powercap_root = "/sys/class/powercap");
+
+  explicit SysfsRaplReader(const std::string& powercap_root = "/sys/class/powercap");
+
+  double energy_uj() const override;
+  std::string backend() const override { return "rapl-sysfs"; }
+
+  /// Paths of the energy_uj files being summed.
+  const std::vector<std::string>& domains() const { return domain_files_; }
+
+ private:
+  std::vector<std::string> domain_files_;
+};
+
+/// Simulated counter: the executor deposits energy as simulated time
+/// advances.
+class SimulatedRapl final : public EnergyCounter {
+ public:
+  double energy_uj() const override { return energy_uj_; }
+  std::string backend() const override { return "simulated"; }
+
+  /// Accrues `seconds` of execution at `power_w` watts.
+  void accrue(double seconds, double power_w);
+
+ private:
+  double energy_uj_ = 0.0;
+};
+
+/// SysfsRaplReader when the host exposes RAPL, otherwise the simulated
+/// counter (returned alongside a non-owning pointer to it so the caller
+/// can feed it).
+struct EnergySource {
+  std::unique_ptr<EnergyCounter> counter;
+  SimulatedRapl* simulated = nullptr;  ///< non-null iff simulated backend
+};
+
+EnergySource make_energy_source();
+
+}  // namespace socrates::platform

@@ -1,0 +1,86 @@
+#include "platform/topology.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace socrates::platform {
+
+const char* to_string(BindingPolicy policy) {
+  return policy == BindingPolicy::kClose ? "close" : "spread";
+}
+
+BindingPolicy binding_from_string(const std::string& text) {
+  if (text == "close") return BindingPolicy::kClose;
+  if (text == "spread") return BindingPolicy::kSpread;
+  SOCRATES_REQUIRE_MSG(false, "unknown binding policy '" << text << "'");
+  return BindingPolicy::kClose;  // unreachable
+}
+
+MachineTopology MachineTopology::xeon_e5_2630_v3() {
+  return MachineTopology{/*sockets=*/2, /*cores_per_socket=*/8, /*threads_per_core=*/2};
+}
+
+std::vector<ThreadPlacement> place_threads(const MachineTopology& topology,
+                                           std::size_t threads, BindingPolicy policy) {
+  SOCRATES_REQUIRE(threads >= 1);
+  SOCRATES_REQUIRE_MSG(threads <= topology.logical_cores(),
+                       "requested " << threads << " threads on a machine with "
+                                    << topology.logical_cores() << " logical cores");
+
+  const std::size_t n_cores = topology.physical_cores();
+  // Build the place (core) visit order for each policy.
+  std::vector<std::pair<std::size_t, std::size_t>> core_order;  // (socket, core)
+  core_order.reserve(n_cores);
+  if (policy == BindingPolicy::kClose) {
+    for (std::size_t s = 0; s < topology.sockets; ++s)
+      for (std::size_t c = 0; c < topology.cores_per_socket; ++c) core_order.emplace_back(s, c);
+  } else {
+    // spread: alternate sockets, stepping through core indices.
+    for (std::size_t c = 0; c < topology.cores_per_socket; ++c)
+      for (std::size_t s = 0; s < topology.sockets; ++s) core_order.emplace_back(s, c);
+  }
+
+  std::vector<ThreadPlacement> placement;
+  placement.reserve(threads);
+  std::size_t t = 0;
+  for (std::size_t slot = 0; slot < topology.threads_per_core && t < threads; ++slot) {
+    for (const auto& [socket, core] : core_order) {
+      if (t >= threads) break;
+      placement.push_back(ThreadPlacement{socket, core, slot});
+      ++t;
+    }
+  }
+  return placement;
+}
+
+PlacementSummary summarize(const MachineTopology& topology,
+                           const std::vector<ThreadPlacement>& placement) {
+  PlacementSummary s;
+  s.threads = placement.size();
+  s.cores_per_socket_used.assign(topology.sockets, 0);
+
+  // Per-core thread counts.
+  std::vector<std::vector<std::size_t>> per_core(
+      topology.sockets, std::vector<std::size_t>(topology.cores_per_socket, 0));
+  for (const auto& p : placement) {
+    SOCRATES_REQUIRE(p.socket < topology.sockets);
+    SOCRATES_REQUIRE(p.core < topology.cores_per_socket);
+    ++per_core[p.socket][p.core];
+  }
+  for (std::size_t socket = 0; socket < topology.sockets; ++socket) {
+    std::size_t used = 0;
+    for (std::size_t core = 0; core < topology.cores_per_socket; ++core) {
+      const std::size_t n = per_core[socket][core];
+      if (n == 0) continue;
+      ++used;
+      if (n >= 2) ++s.cores_with_two;
+    }
+    s.cores_per_socket_used[socket] = used;
+    s.cores_used += used;
+    if (used > 0) ++s.sockets_used;
+  }
+  return s;
+}
+
+}  // namespace socrates::platform

@@ -1,0 +1,67 @@
+// Machine topology and OpenMP thread placement.
+//
+// Models the paper's experimental platform: a 2-socket NUMA machine
+// with two Intel Xeon E5-2630 v3 CPUs (8 cores per socket, 2-way
+// hyperthreading, 16 physical / 32 logical cores).  Thread placement
+// follows the OpenMP 4 semantics of OMP_PLACES=cores with the `close`
+// and `spread` proc_bind policies, which is exactly the knob space
+// SOCRATES exposes (Section II of the paper).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socrates::platform {
+
+/// OpenMP proc_bind policy (the paper's BP knob).
+enum class BindingPolicy { kClose, kSpread };
+
+const char* to_string(BindingPolicy policy);
+BindingPolicy binding_from_string(const std::string& text);
+
+struct MachineTopology {
+  std::size_t sockets = 2;
+  std::size_t cores_per_socket = 8;
+  std::size_t threads_per_core = 2;
+
+  std::size_t physical_cores() const { return sockets * cores_per_socket; }
+  std::size_t logical_cores() const { return physical_cores() * threads_per_core; }
+
+  /// The paper's platform (2x Xeon E5-2630 v3).
+  static MachineTopology xeon_e5_2630_v3();
+};
+
+/// Where one OpenMP thread landed.
+struct ThreadPlacement {
+  std::size_t socket = 0;
+  std::size_t core = 0;  ///< core index within the socket
+  std::size_t slot = 0;  ///< 0 = first hw thread on the core, 1 = second
+};
+
+/// Aggregated view of a placement, consumed by the performance model.
+struct PlacementSummary {
+  std::size_t threads = 0;
+  std::size_t sockets_used = 0;
+  std::size_t cores_used = 0;          ///< physical cores with >= 1 thread
+  std::size_t cores_with_two = 0;      ///< physical cores running 2 threads
+  std::vector<std::size_t> cores_per_socket_used;  ///< per-socket core counts
+};
+
+/// Places `threads` OpenMP threads on the machine under OMP_PLACES=cores.
+///
+/// close : consecutive threads on consecutive cores (socket 0 first);
+///         once every core has one thread, a second round fills the
+///         remaining hyperthread slots in the same order.
+/// spread: threads are distributed round-robin across sockets, then
+///         across cores within each socket, maximising distance.
+///
+/// Preconditions: 1 <= threads <= topology.logical_cores().
+std::vector<ThreadPlacement> place_threads(const MachineTopology& topology,
+                                           std::size_t threads, BindingPolicy policy);
+
+/// Summarizes a placement (counts used by the perf/power model).
+PlacementSummary summarize(const MachineTopology& topology,
+                           const std::vector<ThreadPlacement>& placement);
+
+}  // namespace socrates::platform

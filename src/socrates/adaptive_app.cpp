@@ -1,0 +1,40 @@
+#include "socrates/adaptive_app.hpp"
+
+#include "kernels/registry.hpp"
+#include "support/error.hpp"
+
+namespace socrates {
+
+AdaptiveApplication::AdaptiveApplication(AdaptiveBinary binary,
+                                         const platform::PerformanceModel& platform,
+                                         double work_scale, std::uint64_t noise_seed)
+    : binary_(std::move(binary)),
+      executor_(platform, kernels::find_benchmark(binary_.benchmark).model, work_scale,
+                noise_seed),
+      context_(binary_.knowledge, executor_.clock(), executor_.rapl()) {}
+
+TraceSample AdaptiveApplication::run_iteration() {
+  TraceSample sample;
+  sample.configuration_changed = context_.update(knobs_);
+
+  const platform::Configuration config = dse::decode_knobs(binary_.space, knobs_);
+
+  context_.start_monitors();
+  const platform::Measurement m = executor_.run(config);
+  context_.stop_monitors();
+
+  sample.timestamp_s = executor_.clock().now_s();
+  sample.exec_time_s = m.exec_time_s;
+  sample.power_w = m.avg_power_w;
+  sample.config_name = binary_.space.configs[static_cast<std::size_t>(knobs_[0])].name;
+  sample.threads = config.threads;
+  sample.binding = config.binding;
+  return sample;
+}
+
+void AdaptiveApplication::run_until(double until_s, std::vector<TraceSample>& trace) {
+  SOCRATES_REQUIRE(until_s >= now_s());
+  while (now_s() < until_s) trace.push_back(run_iteration());
+}
+
+}  // namespace socrates

@@ -1,0 +1,72 @@
+// The adaptive application at runtime.
+//
+// Drives a woven, knowledge-equipped benchmark the way the generated
+// binary of Figure 2c runs: every iteration performs
+//     margot_update(...)        -> AS-RTM picks the operating point
+//     margot_start_monitors()
+//     kernel_wrapper(...)        -> the chosen clone executes
+//     margot_stop_monitors()     -> EFP feedback flows back
+// against the simulated machine (virtual clock + simulated RAPL).
+// Application requirements can change while the app runs — Figure 5
+// switches the rank from Throughput/Watt^2 to Throughput and back —
+// and the recorded trace exposes the selected knobs over time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "margot/context.hpp"
+#include "platform/executor.hpp"
+#include "socrates/toolchain.hpp"
+
+namespace socrates {
+
+/// One kernel invocation in the trace.
+struct TraceSample {
+  double timestamp_s = 0.0;      ///< simulated time at iteration end
+  double exec_time_s = 0.0;      ///< observed kernel time
+  double power_w = 0.0;          ///< observed average power
+  std::string config_name;       ///< selected compiler configuration
+  std::size_t threads = 0;       ///< selected OpenMP thread count
+  platform::BindingPolicy binding = platform::BindingPolicy::kClose;
+  bool configuration_changed = false;
+};
+
+class AdaptiveApplication {
+ public:
+  /// `binary` is moved in; `platform` must outlive the application.
+  AdaptiveApplication(AdaptiveBinary binary, const platform::PerformanceModel& platform,
+                      double work_scale = 1.0, std::uint64_t noise_seed = 7);
+
+  /// The mARGOt context (to set goals, constraints and ranks).
+  margot::Context& margot() { return context_; }
+  margot::Asrtm& asrtm() { return context_.asrtm(); }
+
+  /// Simulated time since the application started.
+  double now_s() const { return executor_.clock().now_s(); }
+
+  /// Runs one update/start/kernel/stop iteration; returns the sample.
+  TraceSample run_iteration();
+
+  /// Runs iterations until `now_s() >= until_s`; samples are appended
+  /// to `trace`.
+  void run_until(double until_s, std::vector<TraceSample>& trace);
+
+  /// Installs external-load episodes on the underlying machine (see
+  /// platform::DisturbanceSchedule).  The AS-RTM is not told — it must
+  /// react through monitor feedback.
+  void set_disturbances(platform::DisturbanceSchedule schedule) {
+    executor_.set_disturbances(std::move(schedule));
+  }
+
+  const AdaptiveBinary& binary() const { return binary_; }
+
+ private:
+  AdaptiveBinary binary_;
+  platform::KernelExecutor executor_;
+  margot::Context context_;
+  std::vector<int> knobs_{0, 0, 0};
+};
+
+}  // namespace socrates

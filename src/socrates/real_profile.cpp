@@ -1,0 +1,55 @@
+#include "socrates/real_profile.hpp"
+
+#include "kernels/registry.hpp"
+#include "margot/monitor.hpp"
+#include "platform/clock.hpp"
+#include "platform/rapl.hpp"
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+
+namespace socrates {
+
+RealMeasurement profile_real_kernel(const std::string& benchmark,
+                                    std::size_t problem_size,
+                                    std::size_t repetitions) {
+  SOCRATES_REQUIRE(repetitions >= 1);
+  const auto& bench = kernels::find_benchmark(benchmark);
+
+  RealMeasurement out;
+  out.benchmark = benchmark;
+  out.problem_size = problem_size;
+  out.repetitions = repetitions;
+
+  const platform::SteadyClock clock;
+  const auto energy = platform::make_energy_source();
+  out.energy_backend = energy.counter->backend();
+  out.energy_available = energy.simulated == nullptr;
+
+  margot::TimeMonitor time_monitor(clock, repetitions);
+  margot::EnergyMonitor energy_monitor(*energy.counter, repetitions);
+
+  out.checksum = bench.run(problem_size);  // warm-up (page faults, caches)
+
+  RunningStats time_stats;
+  RunningStats energy_stats;
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    energy_monitor.start();
+    time_monitor.start();
+    const double checksum = bench.run(problem_size);
+    time_stats.add(time_monitor.stop());
+    energy_stats.add(energy_monitor.stop());
+    SOCRATES_ENSURE(checksum == out.checksum);  // determinism witness
+  }
+
+  out.exec_time_mean_s = time_stats.mean();
+  out.exec_time_stddev_s = time_stats.stddev();
+  out.exec_time_min_s = time_stats.min();
+  if (out.energy_available) {
+    out.energy_mean_j = energy_stats.mean();
+    out.avg_power_w =
+        out.exec_time_mean_s > 0.0 ? out.energy_mean_j / out.exec_time_mean_s : 0.0;
+  }
+  return out;
+}
+
+}  // namespace socrates

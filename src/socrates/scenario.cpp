@@ -1,0 +1,41 @@
+#include "socrates/scenario.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace socrates {
+
+Scenario& Scenario::at(double at_s, std::string description, Action action) {
+  SOCRATES_REQUIRE(at_s >= 0.0);
+  SOCRATES_REQUIRE(action != nullptr);
+  events_.push_back(Event{at_s, std::move(description), std::move(action)});
+  return *this;
+}
+
+std::vector<TraceSample> Scenario::run(AdaptiveApplication& app,
+                                       double duration_s) const {
+  SOCRATES_REQUIRE(duration_s > 0.0);
+
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) { return a->at_s < b->at_s; });
+
+  fired_.clear();
+  const double start = app.now_s();
+  std::vector<TraceSample> trace;
+  for (const Event* event : ordered) {
+    if (event->at_s >= duration_s) break;
+    app.run_until(start + event->at_s, trace);
+    log_info() << "scenario event at " << event->at_s << "s: " << event->description;
+    event->action(app);
+    fired_.push_back(event->description);
+  }
+  app.run_until(start + duration_s, trace);
+  return trace;
+}
+
+}  // namespace socrates

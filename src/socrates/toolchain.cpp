@@ -1,0 +1,95 @@
+#include "socrates/toolchain.hpp"
+
+#include "features/params_from_features.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sources.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace socrates {
+
+Toolchain::Toolchain(const platform::PerformanceModel& platform, ToolchainOptions options)
+    : platform_(platform), options_(options) {
+  SOCRATES_REQUIRE(options_.custom_configs >= 1);
+  SOCRATES_REQUIRE(options_.dse_repetitions >= 1);
+}
+
+void Toolchain::train_cobayn() {
+  if (!cobayn_.empty()) return;
+  log_info() << "training COBAYN on " << options_.corpus_size << " synthetic kernels";
+  const auto corpus = cobayn::make_corpus(options_.corpus_size, options_.seed);
+  cobayn_.push_back(cobayn::CobaynModel::train(corpus, platform_));
+}
+
+const cobayn::CobaynModel& Toolchain::cobayn_model() const {
+  SOCRATES_REQUIRE_MSG(!cobayn_.empty(), "COBAYN model not trained yet");
+  return cobayn_.front();
+}
+
+AdaptiveBinary Toolchain::build(const std::string& benchmark_name,
+                                double work_scale_override) {
+  SOCRATES_REQUIRE(work_scale_override >= 0.0);
+  const double work_scale =
+      work_scale_override > 0.0 ? work_scale_override : options_.work_scale;
+  const auto& bench = kernels::find_benchmark(benchmark_name);
+  return build_impl(benchmark_name, kernels::benchmark_source(benchmark_name),
+                    bench.model, work_scale);
+}
+
+AdaptiveBinary Toolchain::build_from_source(const std::string& name,
+                                            const std::string& source,
+                                            double seq_work_s) {
+  const auto features = cobayn::kernel_features_of_source(source);
+  const auto params = features::estimate_model_params(features, name, seq_work_s);
+  return build_impl(name, source, params, options_.work_scale);
+}
+
+AdaptiveBinary Toolchain::build_impl(const std::string& name, const std::string& source,
+                                     const platform::KernelModelParams& params,
+                                     double work_scale) {
+  train_cobayn();
+
+  AdaptiveBinary out{name,
+                     {},
+                     {},
+                     {},
+                     {},
+                     {},
+                     margot::KnowledgeBase({"config", "threads", "binding"},
+                                           {"exec_time_s", "power_w", "throughput"})};
+
+  // 1. Static features (GCC-Milepost stage).
+  out.kernel_features = cobayn::kernel_features_of_source(source);
+
+  // 2. Compiler-space pruning (COBAYN stage).
+  out.custom_configs =
+      options_.use_paper_cfs
+          ? platform::paper_custom_configs()
+          : cobayn_model().predict_named(out.kernel_features, options_.custom_configs);
+
+  // Reduced design space: the 4 standard levels + the CFs.
+  std::vector<platform::NamedConfig> configs = platform::standard_levels();
+  for (const auto& cf : out.custom_configs) configs.push_back(cf);
+
+  // 3. Weaving (LARA/MANET stage).
+  const std::vector<platform::BindingPolicy> bindings = {
+      platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread};
+  out.woven = weaver::weave_benchmark(name, source, configs, bindings);
+
+  // 4. Design-space exploration (mARGOt profiling task).
+  out.space = dse::DesignSpace{configs, {}, bindings};
+  for (std::size_t t = 1; t <= platform_.topology().logical_cores(); ++t)
+    out.space.thread_counts.push_back(t);
+  out.profile = dse::full_factorial_dse(platform_, params, out.space,
+                                        options_.dse_repetitions, options_.seed + 17,
+                                        work_scale);
+
+  // 5. Application knowledge for the AS-RTM.
+  out.knowledge = dse::to_knowledge_base(out.profile);
+
+  log_info() << "built adaptive binary for " << name << ": " << out.profile.size()
+             << " operating points, " << out.woven.report.weaved_loc << " weaved LOC";
+  return out;
+}
+
+}  // namespace socrates

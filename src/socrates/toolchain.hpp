@@ -1,0 +1,89 @@
+// The SOCRATES toolchain (Figure 1 of the paper).
+//
+// End-to-end flow from an original benchmark source to the adaptive
+// application:
+//   1. parse the source and extract Milepost-style static features of
+//      every kernel (GCC-Milepost stage);
+//   2. query the trained COBAYN model for the most promising custom
+//      flag configurations (CF1..CFn), pruning the 128-point compiler
+//      space to the reduced design space (standard levels + CFs);
+//   3. weave the application: Multiversioning + Autotuner LARA
+//      strategies generate the tunable, mARGOt-enabled source;
+//   4. profile the full factorial design space (DSE) into the
+//      application knowledge;
+//   5. hand the knowledge to the AS-RTM — the adaptive binary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cobayn/cobayn.hpp"
+#include "dse/dse.hpp"
+#include "features/features.hpp"
+#include "margot/operating_point.hpp"
+#include "platform/perf_model.hpp"
+#include "weaver/report.hpp"
+
+namespace socrates {
+
+struct ToolchainOptions {
+  std::size_t corpus_size = 48;     ///< synthetic kernels for COBAYN training
+  std::uint64_t seed = 2018;        ///< master seed (DATE'18 vintage)
+  std::size_t custom_configs = 4;   ///< how many CFs COBAYN suggests
+  std::size_t dse_repetitions = 5;  ///< profiling runs per design point
+  /// Use the paper's published CF1-CF4 instead of the trained model's
+  /// predictions (the figure benches do, for comparability).
+  bool use_paper_cfs = false;
+  double work_scale = 1.0;          ///< dataset scale for profiling
+};
+
+/// Everything the toolchain produced for one benchmark.
+struct AdaptiveBinary {
+  std::string benchmark;
+  features::FeatureVector kernel_features;
+  std::vector<platform::NamedConfig> custom_configs;  ///< CF1..CFn
+  weaver::WovenBenchmark woven;
+  dse::DesignSpace space;
+  std::vector<dse::ProfiledPoint> profile;
+  margot::KnowledgeBase knowledge;
+};
+
+class Toolchain {
+ public:
+  Toolchain(const platform::PerformanceModel& platform, ToolchainOptions options = {});
+
+  /// Trains COBAYN on the synthetic corpus.  Implicit on first build().
+  void train_cobayn();
+  bool cobayn_trained() const { return !cobayn_.empty(); }
+  const cobayn::CobaynModel& cobayn_model() const;
+
+  /// Runs the full flow for one registered Polybench benchmark.
+  /// `work_scale_override` (> 0) profiles the DSE at a different
+  /// dataset scale than options().work_scale — used by the input-aware
+  /// builder to produce one knowledge cluster per representative input.
+  AdaptiveBinary build(const std::string& benchmark_name,
+                       double work_scale_override = 0.0);
+
+  /// Runs the full flow on an *arbitrary* C source (any file with a
+  /// kernel_* function and a main).  With no hand-calibrated model, the
+  /// kernel's platform behaviour is estimated from its static features
+  /// (features::estimate_model_params); `seq_work_s` supplies the
+  /// sequential baseline time the estimator cannot infer statically.
+  AdaptiveBinary build_from_source(const std::string& name, const std::string& source,
+                                   double seq_work_s = 5.0);
+
+  const ToolchainOptions& options() const { return options_; }
+
+ private:
+  AdaptiveBinary build_impl(const std::string& name, const std::string& source,
+                            const platform::KernelModelParams& params,
+                            double work_scale);
+
+  const platform::PerformanceModel& platform_;
+  ToolchainOptions options_;
+  std::vector<cobayn::CobaynModel> cobayn_;  ///< 0 or 1 element (late init)
+};
+
+}  // namespace socrates

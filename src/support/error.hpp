@@ -1,0 +1,60 @@
+// Contract-checking helpers used across the SOCRATES code base.
+//
+// The library favours wide, checked interfaces: violated preconditions
+// throw socrates::ContractViolation (a std::logic_error) carrying the
+// failed expression and its source location, so misuse is diagnosed at
+// the call site instead of corrupting downstream state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace socrates {
+
+/// Thrown when a precondition / postcondition / invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace socrates
+
+/// Precondition check: throws ContractViolation when `expr` is false.
+#define SOCRATES_REQUIRE(expr)                                                \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::socrates::detail::contract_fail("Precondition", #expr, __FILE__,      \
+                                        __LINE__, "");                        \
+  } while (false)
+
+/// Precondition check with an explanatory message (streamed).
+#define SOCRATES_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream os_;                                                 \
+      os_ << msg;                                                             \
+      ::socrates::detail::contract_fail("Precondition", #expr, __FILE__,      \
+                                        __LINE__, os_.str());                 \
+    }                                                                         \
+  } while (false)
+
+/// Internal-invariant check: logic errors inside the library itself.
+#define SOCRATES_ENSURE(expr)                                                 \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::socrates::detail::contract_fail("Invariant", #expr, __FILE__,         \
+                                        __LINE__, "");                        \
+  } while (false)

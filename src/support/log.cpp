@@ -1,0 +1,35 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace socrates {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info ";
+    case LogLevel::kWarn:  return "warn ";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_sink(std::ostream* sink) { g_sink = sink; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  os << "[socrates:" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace socrates

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// SOCRATES components report progress (toolchain stages, AS-RTM
+// decisions) through this logger; tests silence it, benches keep it at
+// Info.  Not thread-safe by design: the whole framework drives a single
+// simulated machine from one thread.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace socrates {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Redirects output (default: std::cerr).  Pass nullptr to restore.
+  static void set_sink(std::ostream* sink);
+
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace socrates

@@ -1,0 +1,38 @@
+// Small string helpers shared by the lexer, the weaver and the
+// table-printing code.  Header-only free functions, no global state.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socrates {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strips leading / trailing whitespace.
+std::string trim(std::string_view text);
+
+/// Joins with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True if `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+/// Formats a double with `decimals` digits after the point.
+std::string format_double(double value, int decimals);
+
+/// Repeats `unit` `count` times (used for indentation).
+std::string repeated(std::string_view unit, std::size_t count);
+
+}  // namespace socrates

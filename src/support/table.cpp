@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SOCRATES_REQUIRE(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  SOCRATES_REQUIRE(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SOCRATES_REQUIRE_MSG(cells.size() == headers_.size(),
+                       "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const auto render_cell = [&](const std::string& text, std::size_t c) {
+    const std::size_t pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kLeft) return text + repeated(" ", pad);
+    return repeated(" ", pad) + text;
+  };
+
+  std::size_t total = 2 * (headers_.size() - 1);
+  for (const std::size_t w : widths) total += w;
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "  ";
+    os << render_cell(headers_[c], c);
+  }
+  os << '\n' << repeated("-", total) << '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << repeated("-", total) << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << render_cell(row.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace socrates

@@ -1,0 +1,47 @@
+// Column-aligned plain-text tables.
+//
+// Every bench binary reproduces a table or a figure of the paper by
+// printing rows; this formatter keeps that output aligned and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace socrates {
+
+/// Per-column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, add rows, render to string.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers, all right-aligned
+  /// except the first (typically a row label).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Overrides the alignment of column `col`.
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with two spaces between columns and a header underline.
+  std::string str() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace socrates

@@ -1,0 +1,82 @@
+#include "weaver/margot_header.hpp"
+
+namespace socrates::weaver {
+
+const std::string& margot_header_source() {
+  static const std::string kHeader = R"C(/* margot.h — C interface of the mARGOt autotuner (SOCRATES build).
+ *
+ * The weaver's Autotuner strategy surrounds every kernel-wrapper call
+ * with this API:
+ *
+ *   margot_update(&version_var, &threads_var);
+ *   margot_start_monitors();
+ *   kernel_wrapper(...);
+ *   margot_stop_monitors();
+ *
+ * and inserts one margot_init() at the beginning of main.
+ */
+#ifndef SOCRATES_MARGOT_H
+#define SOCRATES_MARGOT_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Initializes the autotuner (loads the application knowledge). */
+void margot_init(void);
+
+/* Runs the AS-RTM and writes the chosen configuration into the
+ * application's control variables.  Returns 1 when the configuration
+ * changed since the previous call, 0 otherwise. */
+int margot_update(int *version, int *num_threads);
+
+/* Starts / stops the monitor set around the region of interest; stop
+ * also feeds the observations back into the knowledge adaptation. */
+void margot_start_monitors(void);
+void margot_stop_monitors(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* SOCRATES_MARGOT_H */
+)C";
+  return kHeader;
+}
+
+const std::string& margot_stub_source() {
+  static const std::string kStub = R"C(/* margot_stub.c — reference stand-alone implementation of margot.h.
+ * Cycles deterministically through the first 16 versions and a small
+ * thread ladder; replace with the generated bridge into the C++
+ * runtime for real adaptation. */
+#include "margot.h"
+
+static int margot_call_count = 0;
+
+void margot_init(void)
+{
+  margot_call_count = 0;
+}
+
+int margot_update(int *version, int *num_threads)
+{
+  const int threads_ladder[4] = {1, 4, 16, 32};
+  const int old_version = *version;
+  *version = margot_call_count % 16;
+  *num_threads = threads_ladder[(margot_call_count / 16) % 4];
+  margot_call_count++;
+  return *version != old_version || margot_call_count == 1;
+}
+
+void margot_start_monitors(void)
+{
+}
+
+void margot_stop_monitors(void)
+{
+}
+)C";
+  return kStub;
+}
+
+}  // namespace socrates::weaver

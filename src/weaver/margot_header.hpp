@@ -1,0 +1,27 @@
+// The C-facing mARGOt interface the woven code includes.
+//
+// The Autotuner strategy inserts `#include "margot.h"` plus calls to
+// the four functions below.  This module embeds that header (and a
+// reference stub implementation) so the weaver's output is genuinely
+// compilable C: the compile test writes both next to the woven source
+// and runs the system C compiler over it.  In a full deployment the
+// stub is replaced by the generated bridge into the C++ runtime
+// (margot::Context), exactly how mARGOt's high-level interface wraps
+// its C++ core for C applications.
+#pragma once
+
+#include <string>
+
+namespace socrates::weaver {
+
+/// Contents of "margot.h": declarations of margot_init,
+/// margot_update(version*, threads*), margot_start_monitors,
+/// margot_stop_monitors.
+const std::string& margot_header_source();
+
+/// A self-contained reference implementation ("margot_stub.c"): cycles
+/// deterministically through versions so a woven binary can run
+/// without the C++ runtime (useful for smoke-testing woven output).
+const std::string& margot_stub_source();
+
+}  // namespace socrates::weaver

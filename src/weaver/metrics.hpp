@@ -1,0 +1,25 @@
+// Weaving metrics (Table I of the paper).
+//
+// The paper instruments its LARA strategies with two counters:
+//   Att — number of attributes checked about the source code (function
+//         signature information, OpenMP pragma information, ...);
+//   Act — number of actions performed on the code (code insertions,
+//         cloning, pragma insertion).
+// Every attribute accessor and every action of our weaver bumps these
+// through the shared WeavingMetrics, so the Table I reproduction counts
+// exactly what the strategies really did.
+#pragma once
+
+#include <cstddef>
+
+namespace socrates::weaver {
+
+struct WeavingMetrics {
+  std::size_t attributes_checked = 0;  ///< Att column
+  std::size_t actions_performed = 0;   ///< Act column
+
+  void att(std::size_t n = 1) { attributes_checked += n; }
+  void act(std::size_t n = 1) { actions_performed += n; }
+};
+
+}  // namespace socrates::weaver

@@ -1,0 +1,35 @@
+#include "weaver/report.hpp"
+
+#include "ir/loc_counter.hpp"
+#include "ir/parser.hpp"
+#include "weaver/aspects.hpp"
+
+namespace socrates::weaver {
+
+WovenBenchmark weave_benchmark(const std::string& name, const std::string& source,
+                               const std::vector<platform::NamedConfig>& configs,
+                               const std::vector<platform::BindingPolicy>& bindings) {
+  WovenBenchmark out;
+  out.unit = ir::parse(source);
+  out.report.benchmark = name;
+  out.report.original_loc = ir::logical_loc(out.unit);
+  out.report.strategy_loc = strategy_logical_loc();
+
+  WeavingMetrics metrics;
+  Weaver weaver(out.unit, metrics);
+  out.kernels = apply_multiversioning(weaver, configs, bindings);
+  apply_autotuner(weaver, out.kernels);
+
+  out.report.attributes = metrics.attributes_checked;
+  out.report.actions = metrics.actions_performed;
+  out.report.weaved_loc = ir::logical_loc(out.unit);
+  return out;
+}
+
+WovenBenchmark weave_benchmark_paper_space(const std::string& name,
+                                           const std::string& source) {
+  return weave_benchmark(name, source, platform::reduced_design_space(),
+                         {platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread});
+}
+
+}  // namespace socrates::weaver

@@ -1,0 +1,47 @@
+// End-to-end weaving of one benchmark + the Table I metrics row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "platform/flags.hpp"
+#include "platform/topology.hpp"
+#include "weaver/strategies.hpp"
+
+namespace socrates::weaver {
+
+/// One row of Table I.
+struct WeaveReport {
+  std::string benchmark;
+  std::size_t attributes = 0;    ///< Att
+  std::size_t actions = 0;       ///< Act
+  std::size_t original_loc = 0;  ///< O-LOC (logical)
+  std::size_t weaved_loc = 0;    ///< W-LOC (logical)
+  std::size_t strategy_loc = 0;  ///< LARA aspect logical LOC (Bloat denominator)
+
+  std::size_t delta_loc() const { return weaved_loc - original_loc; }  ///< D-LOC
+  double bloat() const {
+    return static_cast<double>(delta_loc()) / static_cast<double>(strategy_loc);
+  }
+};
+
+/// A fully woven benchmark: the adaptive source plus its metrics.
+struct WovenBenchmark {
+  ir::TranslationUnit unit;
+  std::vector<MultiversionedKernel> kernels;
+  WeaveReport report;
+};
+
+/// Parses `source`, applies Multiversioning then Autotuner with the
+/// given version space, and collects the Table I metrics.
+WovenBenchmark weave_benchmark(const std::string& name, const std::string& source,
+                               const std::vector<platform::NamedConfig>& configs,
+                               const std::vector<platform::BindingPolicy>& bindings);
+
+/// Convenience: the paper's version space — reduced_design_space() x
+/// {close, spread}.
+WovenBenchmark weave_benchmark_paper_space(const std::string& name,
+                                           const std::string& source);
+
+}  // namespace socrates::weaver

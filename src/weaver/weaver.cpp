@@ -1,0 +1,259 @@
+#include "weaver/weaver.hpp"
+
+#include "ir/parser.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace socrates::weaver {
+
+Weaver::Weaver(ir::TranslationUnit& tu, WeavingMetrics& metrics)
+    : tu_(tu), metrics_(metrics) {}
+
+// ---- select -----------------------------------------------------------------
+
+std::vector<ir::FunctionDecl*> Weaver::select_functions() { return tu_.functions(); }
+
+std::vector<ir::FunctionDecl*> Weaver::select_functions_with_prefix(
+    const std::string& prefix) {
+  std::vector<ir::FunctionDecl*> out;
+  for (ir::FunctionDecl* fn : tu_.functions()) {
+    metrics_.att();  // name inspection during the match
+    if (starts_with(fn->name, prefix)) out.push_back(fn);
+  }
+  return out;
+}
+
+std::vector<ir::PragmaStmt*> Weaver::select_omp_pragmas(ir::FunctionDecl& fn) {
+  std::vector<ir::PragmaStmt*> out;
+  SOCRATES_REQUIRE(fn.body != nullptr);
+  ir::walk_stmt_mut(*fn.body, [&](ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::kPragma) return;
+    auto& p = static_cast<ir::PragmaStmt&>(s);
+    metrics_.att();  // pragma-kind inspection
+    if (p.pragma.is_omp()) out.push_back(&p);
+  });
+  return out;
+}
+
+std::vector<ir::Stmt*> Weaver::select_loops(ir::FunctionDecl& fn) {
+  std::vector<ir::Stmt*> out;
+  SOCRATES_REQUIRE(fn.body != nullptr);
+  ir::walk_stmt_mut(*fn.body, [&](ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kFor || s.kind == ir::StmtKind::kWhile ||
+        s.kind == ir::StmtKind::kDoWhile)
+      out.push_back(&s);
+  });
+  return out;
+}
+
+std::vector<ir::CallExpr*> Weaver::select_calls(ir::FunctionDecl& fn,
+                                                const std::string& callee) {
+  std::vector<ir::CallExpr*> out;
+  SOCRATES_REQUIRE(fn.body != nullptr);
+  ir::walk_stmt_exprs(*fn.body, [&](const ir::Expr& e) {
+    if (e.kind != ir::ExprKind::kCall) return;
+    metrics_.att();  // callee-name inspection during the match
+    auto& call = const_cast<ir::CallExpr&>(static_cast<const ir::CallExpr&>(e));
+    if (call.callee == callee) out.push_back(&call);
+  });
+  return out;
+}
+
+// ---- attributes ----------------------------------------------------------------
+
+std::string Weaver::att_name(const ir::FunctionDecl& fn) {
+  metrics_.att();
+  return fn.name;
+}
+
+std::string Weaver::att_return_type(const ir::FunctionDecl& fn) {
+  metrics_.att();
+  return fn.return_type;
+}
+
+std::size_t Weaver::att_param_count(const ir::FunctionDecl& fn) {
+  metrics_.att();
+  return fn.params.size();
+}
+
+const ir::VarDecl& Weaver::att_param(const ir::FunctionDecl& fn, std::size_t i) {
+  SOCRATES_REQUIRE(i < fn.params.size());
+  metrics_.att(2);  // $param.type and $param.name
+  return fn.params[i];
+}
+
+bool Weaver::att_has_omp(ir::FunctionDecl& fn) {
+  bool found = false;
+  SOCRATES_REQUIRE(fn.body != nullptr);
+  ir::walk_stmt_mut(*fn.body, [&](ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::kPragma) return;
+    metrics_.att();
+    if (static_cast<ir::PragmaStmt&>(s).pragma.is_omp()) found = true;
+  });
+  return found;
+}
+
+ir::OmpPragma Weaver::att_omp_info(const ir::PragmaStmt& pragma) {
+  const auto parsed = ir::parse_omp(pragma.pragma);
+  SOCRATES_REQUIRE_MSG(parsed.has_value(), "not an OpenMP pragma: " << pragma.pragma.raw);
+  // Directive plus one attribute read per clause, as a LARA aspect
+  // inspecting "OpenMP pragma information" would perform.
+  metrics_.att(1 + parsed->clauses.size());
+  return *parsed;
+}
+
+std::size_t Weaver::att_loop_depth(const ir::Stmt& loop) {
+  metrics_.att();
+  std::size_t depth = 0;
+  ir::walk_stmt(loop, [&](const ir::Stmt& s) {
+    if (&s == &loop) return;
+    if (s.kind == ir::StmtKind::kFor || s.kind == ir::StmtKind::kWhile ||
+        s.kind == ir::StmtKind::kDoWhile)
+      ++depth;  // counts nested loops, an upper bound on extra depth
+  });
+  return depth;
+}
+
+std::string Weaver::att_callee(const ir::CallExpr& call) {
+  metrics_.att();
+  return call.callee;
+}
+
+// ---- actions --------------------------------------------------------------------
+
+std::size_t Weaver::index_of_function(const ir::FunctionDecl& fn) const {
+  for (std::size_t i = 0; i < tu_.items.size(); ++i)
+    if (tu_.items[i].get() == &fn) return i;
+  SOCRATES_REQUIRE_MSG(false, "function '" << fn.name << "' is not part of this unit");
+  return 0;  // unreachable
+}
+
+ir::FunctionDecl* Weaver::act_clone_function(const ir::FunctionDecl& fn,
+                                             const std::string& new_name) {
+  const std::size_t at = index_of_function(fn);
+  auto clone = fn.clone_function();
+  clone->name = new_name;
+  ir::FunctionDecl* raw = clone.get();
+  tu_.items.insert(tu_.items.begin() + static_cast<std::ptrdiff_t>(at) + 1,
+                   std::move(clone));
+  metrics_.act();
+  return raw;
+}
+
+void Weaver::act_insert_pragma_before(const ir::FunctionDecl& fn, ir::Pragma pragma) {
+  const std::size_t at = index_of_function(fn);
+  tu_.items.insert(tu_.items.begin() + static_cast<std::ptrdiff_t>(at),
+                   std::make_unique<ir::TopLevelPragma>(std::move(pragma)));
+  metrics_.act();
+}
+
+void Weaver::act_insert_pragma_after(const ir::FunctionDecl& fn, ir::Pragma pragma) {
+  const std::size_t at = index_of_function(fn);
+  tu_.items.insert(tu_.items.begin() + static_cast<std::ptrdiff_t>(at) + 1,
+                   std::make_unique<ir::TopLevelPragma>(std::move(pragma)));
+  metrics_.act();
+}
+
+void Weaver::act_set_pragma(ir::PragmaStmt& pragma, std::string new_raw) {
+  pragma.pragma.raw = std::move(new_raw);
+  metrics_.act();
+}
+
+void Weaver::act_add_include(const std::string& target) {
+  // After the last existing include (or at the very top).
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < tu_.items.size(); ++i)
+    if (tu_.items[i]->kind == ir::TopLevelKind::kInclude) at = i + 1;
+  tu_.items.insert(tu_.items.begin() + static_cast<std::ptrdiff_t>(at),
+                   std::make_unique<ir::IncludeDirective>(target));
+  metrics_.act();
+}
+
+void Weaver::act_add_global(ir::VarDecl decl) {
+  // Before the first function definition.
+  std::size_t at = tu_.items.size();
+  for (std::size_t i = 0; i < tu_.items.size(); ++i) {
+    if (tu_.items[i]->kind == ir::TopLevelKind::kFunction) {
+      at = i;
+      break;
+    }
+  }
+  std::vector<ir::VarDecl> decls;
+  decls.push_back(std::move(decl));
+  tu_.items.insert(tu_.items.begin() + static_cast<std::ptrdiff_t>(at),
+                   std::make_unique<ir::GlobalVarDecl>(std::move(decls)));
+  metrics_.act();
+}
+
+ir::FunctionDecl* Weaver::act_add_function(std::unique_ptr<ir::FunctionDecl> fn) {
+  ir::FunctionDecl* raw = fn.get();
+  tu_.items.push_back(std::move(fn));
+  metrics_.act();
+  return raw;
+}
+
+void Weaver::act_retarget_call(ir::CallExpr& call, const std::string& new_callee) {
+  call.callee = new_callee;
+  metrics_.act();
+}
+
+void Weaver::act_insert_at_begin(ir::FunctionDecl& fn, ir::StmtPtr stmt) {
+  SOCRATES_REQUIRE(fn.body != nullptr);
+  fn.body->stmts.insert(fn.body->stmts.begin(), std::move(stmt));
+  metrics_.act();
+}
+
+namespace {
+
+/// True when the statement (non-recursively through compounds) contains
+/// a call to `callee` in any of its expressions.
+bool stmt_calls(const ir::Stmt& stmt, const std::string& callee) {
+  if (stmt.kind == ir::StmtKind::kCompound) return false;  // handled per child
+  bool found = false;
+  ir::walk_stmt_exprs(stmt, [&](const ir::Expr& e) {
+    if (e.kind == ir::ExprKind::kCall &&
+        static_cast<const ir::CallExpr&>(e).callee == callee)
+      found = true;
+  });
+  return found;
+}
+
+}  // namespace
+
+std::size_t Weaver::act_insert_around_calls(ir::FunctionDecl& fn,
+                                            const std::string& callee,
+                                            const std::vector<std::string>& before,
+                                            const std::vector<std::string>& after) {
+  SOCRATES_REQUIRE(fn.body != nullptr);
+  // Collect the compound blocks first: inserting while the walker is
+  // iterating a block's statement vector would invalidate its iterators.
+  std::vector<ir::CompoundStmt*> blocks;
+  ir::walk_stmt_mut(*fn.body, [&](ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kCompound)
+      blocks.push_back(&static_cast<ir::CompoundStmt&>(s));
+  });
+
+  std::size_t sites = 0;
+  for (ir::CompoundStmt* block : blocks) {
+    for (std::size_t i = 0; i < block->stmts.size(); ++i) {
+      if (!stmt_calls(*block->stmts[i], callee)) continue;
+      // After-statements first (insertion index stays valid), reversed
+      // so they end up in the given order.
+      for (std::size_t k = after.size(); k-- > 0;) {
+        block->stmts.insert(block->stmts.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                            ir::parse_statement(after[k]));
+        metrics_.act();
+      }
+      for (std::size_t k = before.size(); k-- > 0;) {
+        block->stmts.insert(block->stmts.begin() + static_cast<std::ptrdiff_t>(i),
+                            ir::parse_statement(before[k]));
+        metrics_.act();
+      }
+      i += before.size() + after.size();  // skip the fresh statements
+      ++sites;
+    }
+  }
+  return sites;
+}
+
+}  // namespace socrates::weaver

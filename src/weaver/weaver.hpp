@@ -1,0 +1,99 @@
+// The aspect weaver: LARA-style join points and actions over the C AST.
+//
+// LARA aspects `select` join points (files, functions, loops, calls,
+// pragmas), read their *attributes*, and `apply` *actions* (insert,
+// clone, replace, def).  MANET is the source-to-source compiler that
+// executes those aspects on C code.  This class is the equivalent
+// engine: a thin, metered layer over ir::TranslationUnit whose
+// attribute reads count towards Att and whose mutations count towards
+// Act (Table I semantics).  The strategies in strategies.hpp are
+// written exclusively against this interface — they never touch the
+// AST directly — mirroring the separation between LARA aspect code and
+// the weaving engine.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "ir/omp.hpp"
+#include "weaver/metrics.hpp"
+
+namespace socrates::weaver {
+
+class Weaver {
+ public:
+  /// The weaver mutates `tu` in place; both references must outlive it.
+  Weaver(ir::TranslationUnit& tu, WeavingMetrics& metrics);
+
+  ir::TranslationUnit& unit() { return tu_; }
+  WeavingMetrics& metrics() { return metrics_; }
+
+  // ---- select ----------------------------------------------------------
+  /// All function definitions (join point "function").
+  std::vector<ir::FunctionDecl*> select_functions();
+  /// Function definitions whose name starts with `prefix`.
+  std::vector<ir::FunctionDecl*> select_functions_with_prefix(const std::string& prefix);
+  /// OpenMP pragma statements inside a function (join point "pragma").
+  std::vector<ir::PragmaStmt*> select_omp_pragmas(ir::FunctionDecl& fn);
+  /// Loop statements inside a function (join point "loop").
+  std::vector<ir::Stmt*> select_loops(ir::FunctionDecl& fn);
+  /// Call expressions to `callee` anywhere in a function body.
+  std::vector<ir::CallExpr*> select_calls(ir::FunctionDecl& fn, const std::string& callee);
+
+  // ---- attributes (each read counts towards Att) -------------------------
+  std::string att_name(const ir::FunctionDecl& fn);
+  std::string att_return_type(const ir::FunctionDecl& fn);
+  std::size_t att_param_count(const ir::FunctionDecl& fn);
+  /// Reads one parameter's type and name (counts as two attributes,
+  /// like LARA's $param.type and $param.name).
+  const ir::VarDecl& att_param(const ir::FunctionDecl& fn, std::size_t i);
+  /// Whether the function contains at least one OpenMP pragma.
+  bool att_has_omp(ir::FunctionDecl& fn);
+  /// Structured OpenMP info of a pragma (directive + each clause read
+  /// counts; mirrors the paper's "OpenMP pragma information").
+  ir::OmpPragma att_omp_info(const ir::PragmaStmt& pragma);
+  /// Loop nest depth of a loop statement's body.
+  std::size_t att_loop_depth(const ir::Stmt& loop);
+  /// Callee name of a call expression.
+  std::string att_callee(const ir::CallExpr& call);
+
+  // ---- actions (each counts towards Act) ----------------------------------
+  /// Clones `fn` under a new name, inserting the clone right after the
+  /// original.  Returns the clone.
+  ir::FunctionDecl* act_clone_function(const ir::FunctionDecl& fn,
+                                       const std::string& new_name);
+  /// Inserts a top-level pragma immediately before `fn`.
+  void act_insert_pragma_before(const ir::FunctionDecl& fn, ir::Pragma pragma);
+  /// Inserts a top-level pragma immediately after `fn`.
+  void act_insert_pragma_after(const ir::FunctionDecl& fn, ir::Pragma pragma);
+  /// Overwrites the raw text of an existing pragma statement.
+  void act_set_pragma(ir::PragmaStmt& pragma, std::string new_raw);
+  /// Adds an #include at the top of the file (after existing includes).
+  void act_add_include(const std::string& target);
+  /// Declares a global variable before the first function.
+  void act_add_global(ir::VarDecl decl);
+  /// Appends a new function definition at the end of the unit.
+  ir::FunctionDecl* act_add_function(std::unique_ptr<ir::FunctionDecl> fn);
+  /// Renames the callee of a call expression.
+  void act_retarget_call(ir::CallExpr& call, const std::string& new_callee);
+  /// Inserts a statement at the very beginning of a function body.
+  void act_insert_at_begin(ir::FunctionDecl& fn, ir::StmtPtr stmt);
+  /// Surrounds every statement containing a call to `callee` inside
+  /// `fn` with the given statements (parsed from C text; `before` in
+  /// order above the call, `after` in order below it).  Returns the
+  /// number of call sites found.
+  std::size_t act_insert_around_calls(ir::FunctionDecl& fn, const std::string& callee,
+                                      const std::vector<std::string>& before,
+                                      const std::vector<std::string>& after);
+
+ private:
+  ir::TranslationUnit& tu_;
+  WeavingMetrics& metrics_;
+
+  std::size_t index_of_function(const ir::FunctionDecl& fn) const;
+};
+
+}  // namespace socrates::weaver

@@ -1,0 +1,257 @@
+// Tests for the Bayesian-network engine: discretizer, CPT fitting,
+// inference, sampling and K2 structure learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/discretizer.hpp"
+#include "bayes/network.hpp"
+#include "bayes/structure_learning.hpp"
+#include "support/error.hpp"
+
+namespace socrates::bayes {
+namespace {
+
+// ---- Discretizer -------------------------------------------------------------
+
+TEST(Discretizer, EqualFrequencyBins) {
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 90; ++i) rows.push_back({static_cast<double>(i)});
+  Discretizer d;
+  d.fit(rows, 3);
+  EXPECT_EQ(d.columns(), 1u);
+  EXPECT_EQ(d.cardinality(0), 3u);
+  EXPECT_EQ(d.transform(0, 0.0), 0u);
+  EXPECT_EQ(d.transform(0, 45.0), 1u);
+  EXPECT_EQ(d.transform(0, 89.0), 2u);
+}
+
+TEST(Discretizer, ConstantColumnCollapsesToOneBin) {
+  std::vector<std::vector<double>> rows(20, std::vector<double>{7.0});
+  Discretizer d;
+  d.fit(rows, 4);
+  EXPECT_EQ(d.cardinality(0), 1u);
+  EXPECT_EQ(d.transform(0, 7.0), 0u);
+  EXPECT_EQ(d.transform(0, -100.0), 0u);
+}
+
+TEST(Discretizer, OutOfRangeValuesClampToEdgeBins) {
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({static_cast<double>(i)});
+  Discretizer d;
+  d.fit(rows, 3);
+  EXPECT_EQ(d.transform(0, -5.0), 0u);
+  EXPECT_EQ(d.transform(0, 1e9), d.cardinality(0) - 1);
+}
+
+TEST(Discretizer, TransformRowChecksWidth) {
+  Discretizer d;
+  d.fit({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}}, 2);
+  EXPECT_THROW(d.transform_row({1.0}), ContractViolation);
+  EXPECT_EQ(d.transform_row({1.0, 6.0}).size(), 2u);
+}
+
+// ---- BayesNet ------------------------------------------------------------------
+
+std::vector<Variable> two_binary() {
+  return {Variable{"a", 2}, Variable{"b", 2}};
+}
+
+TEST(BayesNet, RejectsCycles) {
+  BayesNet net(two_binary());
+  net.add_edge(0, 1);
+  EXPECT_THROW(net.add_edge(1, 0), ContractViolation);
+  EXPECT_THROW(net.add_edge(0, 0), ContractViolation);
+}
+
+TEST(BayesNet, RejectsDuplicateEdges) {
+  BayesNet net(two_binary());
+  net.add_edge(0, 1);
+  EXPECT_THROW(net.add_edge(0, 1), ContractViolation);
+}
+
+TEST(BayesNet, IndexOfByName) {
+  BayesNet net({Variable{"x", 2}, Variable{"y", 3}});
+  EXPECT_EQ(net.index_of("y"), 1u);
+  EXPECT_THROW(net.index_of("zzz"), ContractViolation);
+}
+
+TEST(BayesNet, FitRecoversMarginal) {
+  BayesNet net({Variable{"coin", 2}});
+  Dataset data;
+  for (int i = 0; i < 75; ++i) data.push_back({1});
+  for (int i = 0; i < 25; ++i) data.push_back({0});
+  net.fit(data, 1.0);
+  // Laplace: P(1) = 76/102
+  EXPECT_NEAR(net.conditional(0, {1}), 76.0 / 102.0, 1e-12);
+}
+
+TEST(BayesNet, FitRecoversConditional) {
+  BayesNet net(two_binary());
+  net.add_edge(0, 1);
+  Dataset data;
+  // b copies a, 40 samples each side.
+  for (int i = 0; i < 40; ++i) {
+    data.push_back({0, 0});
+    data.push_back({1, 1});
+  }
+  net.fit(data, 0.5);
+  EXPECT_GT(net.conditional(1, {0, 0}), 0.95);
+  EXPECT_GT(net.conditional(1, {1, 1}), 0.95);
+  EXPECT_LT(net.conditional(1, {0, 1}), 0.05);
+}
+
+TEST(BayesNet, LogJointIsSumOfLogs) {
+  BayesNet net(two_binary());
+  net.add_edge(0, 1);
+  Dataset data = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};
+  net.fit(data);
+  const FullAssignment a = {1, 0};
+  EXPECT_NEAR(net.log_joint(a),
+              std::log(net.conditional(0, a)) + std::log(net.conditional(1, a)), 1e-12);
+}
+
+TEST(BayesNet, PosteriorSumsToOne) {
+  BayesNet net({Variable{"f", 3}, Variable{"x", 2}, Variable{"y", 2}});
+  net.add_edge(0, 1);
+  net.add_edge(1, 2);
+  Dataset data;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i)
+    data.push_back({static_cast<std::size_t>(rng.uniform_int(0, 2)),
+                    static_cast<std::size_t>(rng.uniform_int(0, 1)),
+                    static_cast<std::size_t>(rng.uniform_int(0, 1))});
+  net.fit(data);
+  Assignment evidence(3, std::nullopt);
+  evidence[0] = 1;
+  const auto post = net.posterior_over({1, 2}, evidence);
+  ASSERT_EQ(post.size(), 4u);
+  double sum = 0.0;
+  for (const double p : post) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BayesNet, PosteriorTracksDependence) {
+  BayesNet net(two_binary());
+  net.add_edge(0, 1);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({0, 0});
+    data.push_back({1, 1});
+  }
+  net.fit(data, 0.1);
+  Assignment evidence(2, std::nullopt);
+  evidence[0] = 1;
+  const auto post = net.posterior_over({1}, evidence);
+  EXPECT_GT(post[1], 0.95);  // P(b=1 | a=1)
+}
+
+TEST(BayesNet, PosteriorRejectsBadQueryPartition) {
+  BayesNet net(two_binary());
+  net.fit({{0, 0}, {1, 1}});
+  Assignment evidence(2, std::nullopt);
+  evidence[0] = 1;
+  // Variable 0 is both evidence and query -> contract violation.
+  EXPECT_THROW(net.posterior_over({0, 1}, evidence), ContractViolation);
+  // Variable 1 is neither -> also a violation.
+  EXPECT_THROW(net.posterior_over({}, evidence), ContractViolation);
+}
+
+TEST(BayesNet, SamplingMatchesMarginals) {
+  BayesNet net(two_binary());
+  net.add_edge(0, 1);
+  Dataset data;
+  for (int i = 0; i < 80; ++i) data.push_back({1, 1});
+  for (int i = 0; i < 20; ++i) data.push_back({0, 0});
+  net.fit(data, 0.01);
+  Rng rng(21);
+  int ones = 0;
+  for (int i = 0; i < 5000; ++i) ones += static_cast<int>(net.sample(rng)[0]);
+  EXPECT_NEAR(ones / 5000.0, 0.8, 0.03);
+}
+
+TEST(BayesNet, TopologicalOrderRespectsEdges) {
+  BayesNet net({Variable{"a", 2}, Variable{"b", 2}, Variable{"c", 2}, Variable{"d", 2}});
+  net.add_edge(0, 1);
+  net.add_edge(0, 2);
+  net.add_edge(1, 3);
+  net.add_edge(2, 3);
+  const auto order = net.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(BayesNet, ParameterCount) {
+  BayesNet net({Variable{"a", 3}, Variable{"b", 2}});
+  net.add_edge(0, 1);
+  // a: 2 free params; b: 3 rows x 1 free = 3.
+  EXPECT_EQ(net.parameter_count(), 5u);
+}
+
+// ---- structure learning ---------------------------------------------------------
+
+TEST(K2, RecoversStrongDependence) {
+  // y = x (strong), z independent noise.
+  Rng rng(17);
+  std::vector<Variable> vars = {Variable{"x", 2}, Variable{"y", 2}, Variable{"z", 2}};
+  Dataset data;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t x = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    const std::size_t y = rng.uniform() < 0.95 ? x : 1 - x;
+    const std::size_t z = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    data.push_back({x, y, z});
+  }
+  const BayesNet net = k2_search(vars, data, {0, 1, 2});
+  ASSERT_EQ(net.parents(1).size(), 1u);
+  EXPECT_EQ(net.parents(1)[0], 0u);
+  EXPECT_TRUE(net.parents(2).empty());  // no spurious edge to noise
+}
+
+TEST(K2, RespectsMaxParents) {
+  Rng rng(19);
+  std::vector<Variable> vars;
+  for (int i = 0; i < 5; ++i) vars.push_back(Variable{"v" + std::to_string(i), 2});
+  Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    FullAssignment row(5);
+    for (int v = 0; v < 4; ++v) row[v] = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    row[4] = (row[0] ^ row[1] ^ row[2] ^ row[3]) != 0 ? 1u : 0u;
+    data.push_back(row);
+  }
+  K2Options opts;
+  opts.max_parents = 2;
+  const BayesNet net = k2_search(vars, data, {0, 1, 2, 3, 4}, opts);
+  EXPECT_LE(net.parents(4).size(), 2u);
+}
+
+TEST(K2, BicPenalizesComplexity) {
+  // With almost no data, adding parents must not pay off.
+  std::vector<Variable> vars = {Variable{"a", 2}, Variable{"b", 2}};
+  Dataset data = {{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  const BayesNet net = k2_search(vars, data, {0, 1});
+  EXPECT_TRUE(net.parents(1).empty());
+}
+
+TEST(K2, NetworkScoreImprovesWithRightEdge) {
+  Rng rng(23);
+  std::vector<Variable> vars = {Variable{"x", 2}, Variable{"y", 2}};
+  Dataset data;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t x = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    data.push_back({x, x});
+  }
+  BayesNet with_edge(vars);
+  with_edge.add_edge(0, 1);
+  with_edge.fit(data);
+  BayesNet without(vars);
+  without.fit(data);
+  EXPECT_GT(network_bic_score(with_edge, data), network_bic_score(without, data));
+}
+
+}  // namespace
+}  // namespace socrates::bayes

@@ -1,0 +1,215 @@
+// Tests for the synthetic corpus generator and the COBAYN model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cobayn/cobayn.hpp"
+#include "cobayn/corpus.hpp"
+#include "cobayn/evaluation.hpp"
+#include "ir/parser.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sources.hpp"
+#include "platform/compiler_model.hpp"
+#include "support/error.hpp"
+
+namespace socrates::cobayn {
+namespace {
+
+const platform::PerformanceModel& model() {
+  static const platform::PerformanceModel kModel =
+      platform::PerformanceModel::paper_platform();
+  return kModel;
+}
+
+const CobaynModel& trained() {
+  static const CobaynModel kModel = [] {
+    return CobaynModel::train(make_corpus(48, 2018), model());
+  }();
+  return kModel;
+}
+
+// ---- corpus ------------------------------------------------------------------
+
+TEST(Corpus, GeneratedSourcesParse) {
+  for (const auto& k : make_corpus(16, 7)) {
+    EXPECT_NO_THROW(ir::parse(k.source)) << k.spec.name;
+  }
+}
+
+TEST(Corpus, GeneratedKernelHasExpectedStructure) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.loop_nests = 2;
+  spec.nest_depth = 2;
+  spec.body_ops = 3;
+  spec.has_branch = true;
+  spec.has_call = true;
+  const auto tu = ir::parse(generate_source(spec));
+  EXPECT_NE(tu.find_function("kernel_t"), nullptr);
+  EXPECT_NE(tu.find_function("helper"), nullptr);
+  EXPECT_NE(tu.find_function("main"), nullptr);
+  const auto fv = kernel_features_of_source(generate_source(spec));
+  EXPECT_EQ(fv[features::kNumLoops], 4.0);  // 2 nests x depth 2
+  EXPECT_GE(fv[features::kNumIfs], 2.0);
+  EXPECT_GE(fv[features::kNumCalls], 2.0);
+}
+
+TEST(Corpus, SpecDrivesModelParamsConsistently) {
+  Rng rng(3);
+  SyntheticSpec branchy;
+  branchy.name = "b";
+  branchy.has_branch = true;
+  SyntheticSpec straight = branchy;
+  straight.name = "s";
+  straight.has_branch = false;
+  EXPECT_GT(derive_model_params(branchy, rng).branchiness,
+            derive_model_params(straight, rng).branchiness);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  const auto a = make_corpus(8, 42);
+  const auto b = make_corpus(8, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].params.unroll_affinity, b[i].params.unroll_affinity);
+  }
+}
+
+TEST(Corpus, Diversity) {
+  const auto corpus = make_corpus(40, 5);
+  std::set<std::string> sources;
+  for (const auto& k : corpus) sources.insert(k.source);
+  EXPECT_GT(sources.size(), 20u);
+}
+
+// ---- model -------------------------------------------------------------------
+
+TEST(Cobayn, TrainingProducesRowsAndParameters) {
+  EXPECT_GE(trained().training_rows(), 48u * 13u / 2);  // ~13 good configs/kernel
+  EXPECT_GT(trained().network().parameter_count(), 10u);
+}
+
+TEST(Cobayn, PredictionsAreRankedAndDistinct) {
+  const auto fv = kernel_features_of_source(kernels::benchmark_source("2mm"));
+  const auto ranked = trained().predict(fv, 8);
+  ASSERT_EQ(ranked.size(), 8u);
+  std::set<std::string> distinct;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    distinct.insert(ranked[i].config.pragma_options());
+    if (i > 0) EXPECT_LE(ranked[i].probability, ranked[i - 1].probability);
+    EXPECT_GT(ranked[i].probability, 0.0);
+  }
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(Cobayn, PredictNamedUsesCfNames) {
+  const auto fv = kernel_features_of_source(kernels::benchmark_source("atax"));
+  const auto named = trained().predict_named(fv, 4);
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].name, "CF1");
+  EXPECT_EQ(named[3].name, "CF4");
+}
+
+TEST(Cobayn, PredictedConfigsBeatWorstConfigs) {
+  // Prediction quality: across the 12 evaluation kernels, the best of
+  // the 4 predicted configs must beat the *median* config of the full
+  // 128-point space on modelled execution time for most kernels.
+  const auto space = platform::cobayn_search_space();
+  std::size_t wins = 0;
+  for (const auto& b : kernels::all_benchmarks()) {
+    const auto fv = kernel_features_of_source(kernels::benchmark_source(b.name));
+    const auto predicted = trained().predict(fv, 4);
+
+    std::vector<double> all_times;
+    platform::Configuration rc;
+    rc.threads = 16;
+    for (const auto& f : space) {
+      rc.flags = f;
+      all_times.push_back(model().evaluate(b.model, rc).exec_time_s);
+    }
+    std::sort(all_times.begin(), all_times.end());
+    const double median = all_times[all_times.size() / 2];
+
+    double best_predicted = 1e100;
+    for (const auto& p : predicted) {
+      rc.flags = p.config;
+      best_predicted = std::min(best_predicted, model().evaluate(b.model, rc).exec_time_s);
+    }
+    if (best_predicted < median) ++wins;
+  }
+  EXPECT_GE(wins, 9u) << "predictions should be informative for most kernels";
+}
+
+TEST(Cobayn, UntrainedModelRejectsQueries) {
+  // train() is the only constructor path; here we only verify the
+  // corpus-size contract.
+  EXPECT_THROW(CobaynModel::train(make_corpus(2, 1), model()), ContractViolation);
+}
+
+TEST(Cobayn, FeatureProjectionIndicesValid) {
+  for (const std::size_t idx : CobaynModel::model_feature_indices())
+    EXPECT_LT(idx, features::kFeatureCount);
+}
+
+TEST(Cobayn, KernelFeaturesOfSourceRequiresKernel) {
+  EXPECT_THROW(kernel_features_of_source("int main(void) { return 0; }"),
+               ContractViolation);
+}
+
+TEST(Cobayn, SampledConfigsAreDistinctAndBiased) {
+  const auto fv = kernel_features_of_source(kernels::benchmark_source("2mm"));
+  Rng rng(31);
+  const auto sampled = trained().sample_configs(rng, fv, 16);
+  ASSERT_EQ(sampled.size(), 16u);
+  std::set<std::string> distinct;
+  for (const auto& c : sampled) distinct.insert(c.pragma_options());
+  EXPECT_EQ(distinct.size(), 16u);
+
+  // Sampling is biased towards the posterior mode: over many draws the
+  // exact-top-1 config must appear as the first sample most of the time
+  // relative to a uniform 1/128 baseline.
+  const auto top = trained().predict(fv, 1).front().config;
+  int hits = 0;
+  for (int round = 0; round < 200; ++round) {
+    Rng r(static_cast<std::uint64_t>(round) + 1000);
+    if (trained().sample_configs(r, fv, 1).front() == top) ++hits;
+  }
+  EXPECT_GT(hits, 10);  // uniform would give ~1.6 of 200
+}
+
+TEST(Cobayn, CrossValidationGeneralizes) {
+  // On held-out kernels the predictions must beat -O3 on average and
+  // approach the oracle as the prediction budget grows.
+  const auto corpus = make_corpus(20, 9);
+  const auto cv1 = cross_validate(corpus, model(), 1);
+  const auto cv4 = cross_validate(corpus, model(), 4);
+  EXPECT_EQ(cv1.folds.size(), corpus.size());
+  EXPECT_LT(cv1.geomean_predicted_slowdown, cv1.geomean_o3_slowdown);
+  EXPECT_LE(cv4.geomean_predicted_slowdown, cv1.geomean_predicted_slowdown + 1e-12);
+  EXPECT_GE(cv4.geomean_predicted_slowdown, 1.0);  // cannot beat the oracle
+  EXPECT_GT(cv4.wins_vs_o3, corpus.size() / 2);
+}
+
+TEST(Cobayn, CrossValidationFoldsAreConsistent) {
+  const auto corpus = make_corpus(8, 3);
+  const auto cv = cross_validate(corpus, model(), 2);
+  for (const auto& fold : cv.folds) {
+    EXPECT_GE(fold.predicted_time_s, fold.oracle_time_s);
+    EXPECT_GE(fold.o2_time_s, fold.oracle_time_s);
+    EXPECT_GE(fold.o3_time_s, fold.oracle_time_s * 0.999);
+  }
+}
+
+TEST(Cobayn, CrossValidationRejectsTinyCorpus) {
+  EXPECT_THROW(cross_validate(make_corpus(4, 1), model(), 1), ContractViolation);
+}
+
+TEST(Cobayn, SampleRejectsBadCounts) {
+  const auto fv = kernel_features_of_source(kernels::benchmark_source("mvt"));
+  Rng rng(1);
+  EXPECT_THROW(trained().sample_configs(rng, fv, 0), ContractViolation);
+  EXPECT_THROW(trained().sample_configs(rng, fv, 129), ContractViolation);
+}
+
+}  // namespace
+}  // namespace socrates::cobayn

@@ -1,0 +1,158 @@
+// Tests for the Milepost-style static feature extractor.
+#include <gtest/gtest.h>
+
+#include "features/features.hpp"
+#include "ir/parser.hpp"
+#include "kernels/sources.hpp"
+#include "support/error.hpp"
+
+namespace socrates::features {
+namespace {
+
+FeatureVector features_of(const char* src, const char* fn_name = nullptr) {
+  static std::vector<ir::TranslationUnit> keep_alive;
+  keep_alive.push_back(ir::parse(src));
+  const auto& tu = keep_alive.back();
+  const ir::FunctionDecl* fn =
+      fn_name ? tu.find_function(fn_name) : tu.functions().front();
+  return extract_features(*fn);
+}
+
+TEST(Features, NamesAlignWithCount) {
+  EXPECT_EQ(FeatureVector::names().size(), kFeatureCount);
+  for (const auto& n : FeatureVector::names()) EXPECT_FALSE(n.empty());
+}
+
+TEST(Features, CountsLoopsAndDepth) {
+  const auto f = features_of(
+      "void f(int n) { int i; int j;\n"
+      "for (i = 0; i < n; i++) for (j = 0; j < n; j++) g(i); \n"
+      "while (n > 0) n--; }");
+  EXPECT_EQ(f[kNumLoops], 3.0);
+  EXPECT_EQ(f[kMaxLoopDepth], 2.0);
+}
+
+TEST(Features, PerfectNestDetection) {
+  const auto f = features_of(
+      "void f(int n) { int i; int j;\n"
+      "for (i = 0; i < n; i++)\n"
+      "  for (j = 0; j < n; j++)\n"
+      "    a[i][j] = 0; }");
+  EXPECT_EQ(f[kNumPerfectNests], 1.0);  // the outer loop's body is one loop
+}
+
+TEST(Features, OperatorMix) {
+  const auto f = features_of(
+      "void f(int a, int b) { int x; x = a + b - 1; x = a * b / 2; x = a % b;\n"
+      "if (a < b && a != 0) x = ~a | b; }");
+  EXPECT_EQ(f[kNumAddSub], 2.0);
+  EXPECT_EQ(f[kNumMulDiv], 2.0);
+  EXPECT_EQ(f[kNumMod], 1.0);
+  EXPECT_EQ(f[kNumComparisons], 2.0);
+  EXPECT_EQ(f[kNumLogicalOps], 1.0);
+  EXPECT_EQ(f[kNumBitwiseOps], 2.0);
+}
+
+TEST(Features, CompoundAssignsCountBothWays) {
+  const auto f = features_of("void f(int x) { x += 1; x *= 2; x = 0; }");
+  EXPECT_EQ(f[kNumAssignments], 1.0);
+  EXPECT_EQ(f[kNumCompoundAssigns], 2.0);
+  EXPECT_EQ(f[kNumAddSub], 1.0);
+  EXPECT_EQ(f[kNumMulDiv], 1.0);
+}
+
+TEST(Features, CallsAndDistinctCallees) {
+  const auto f = features_of("void f(int x) { g(x); g(x + 1); h(g(x)); }");
+  EXPECT_EQ(f[kNumCalls], 4.0);
+  EXPECT_EQ(f[kNumDistinctCallees], 2.0);
+}
+
+TEST(Features, ArrayAccessChain) {
+  const auto f = features_of("void f(int i, int j) { A[i][j] = B[i] + C[i][j][0]; }");
+  EXPECT_EQ(f[kNumArrayAccesses], 6.0);  // every index node counts
+  EXPECT_EQ(f[kMaxIndexChain], 3.0);
+}
+
+TEST(Features, ParamClassification) {
+  const auto f = features_of("void f(int n, double *p, double A[8][8], float x) { }");
+  EXPECT_EQ(f[kNumParams], 4.0);
+  EXPECT_EQ(f[kNumPointerParams], 1.0);
+  EXPECT_EQ(f[kNumArrayParams], 1.0);
+  EXPECT_EQ(f[kNumFloatDecls], 3.0);  // p, A, x
+  EXPECT_EQ(f[kNumIntDecls], 1.0);
+}
+
+TEST(Features, OmpPragmasCounted) {
+  const auto f = features_of(
+      "void f(int n) { int i;\n#pragma omp parallel for\n"
+      "for (i = 0; i < n; i++) g(i);\n#pragma omp barrier\n}");
+  EXPECT_EQ(f[kNumOmpPragmas], 2.0);
+}
+
+TEST(Features, FloatOpRatioBounds) {
+  const auto fp = features_of("void f(double a) { double x; x = a * 2.0; }");
+  const auto ip = features_of("void f(int a) { int x; x = a * 2; }");
+  EXPECT_GT(fp[kFloatOpRatio], 0.5);
+  EXPECT_LT(ip[kFloatOpRatio], 0.5);
+}
+
+TEST(Features, PrototypeRejected) {
+  const auto tu = ir::parse("void f(int n);");
+  EXPECT_THROW(extract_features(*tu.find_function("f")), ContractViolation);
+}
+
+// ---- over the real benchmark corpus (parameterized sanity) -------------------
+
+class BenchmarkFeatures : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkFeatures, KernelIsFoundAndNonTrivial) {
+  const auto tu = ir::parse(kernels::benchmark_source(GetParam()));
+  const auto kf = extract_kernel_features(tu);
+  ASSERT_EQ(kf.size(), 1u) << "exactly one kernel_* per benchmark";
+  const auto& f = kf.front().second;
+  EXPECT_GE(f[kNumLoops], 1.0);
+  EXPECT_GE(f[kNumStmts], 3.0);
+  EXPECT_GE(f[kMaxLoopDepth], 1.0);
+}
+
+TEST_P(BenchmarkFeatures, OmpBenchmarksHavePragmas) {
+  const auto tu = ir::parse(kernels::benchmark_source(GetParam()));
+  const auto kf = extract_kernel_features(tu);
+  EXPECT_GE(kf.front().second[kNumOmpPragmas], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkFeatures,
+                         ::testing::ValuesIn(kernels::benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+INSTANTIATE_TEST_SUITE_P(ExtendedBenchmarks, BenchmarkFeatures,
+                         ::testing::ValuesIn(kernels::extended_benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+
+TEST(Features, MatmulDeeperThanMatvec) {
+  const auto mm = ir::parse(kernels::benchmark_source("2mm"));
+  const auto mv = ir::parse(kernels::benchmark_source("mvt"));
+  const auto f_mm = extract_kernel_features(mm).front().second;
+  const auto f_mv = extract_kernel_features(mv).front().second;
+  EXPECT_GT(f_mm[kMaxLoopDepth], f_mv[kMaxLoopDepth]);
+}
+
+TEST(Features, NussinovIsBranchyAndCallsHelpers) {
+  const auto tu = ir::parse(kernels::benchmark_source("nussinov"));
+  const auto f = extract_kernel_features(tu).front().second;
+  EXPECT_GE(f[kNumIfs], 3.0);
+  EXPECT_GE(f[kNumCalls], 4.0);
+}
+
+}  // namespace
+}  // namespace socrates::features

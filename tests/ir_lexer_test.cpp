@@ -1,0 +1,129 @@
+// Unit tests for the C-subset lexer.
+#include <gtest/gtest.h>
+
+#include "ir/lexer.hpp"
+
+namespace socrates::ir {
+namespace {
+
+std::vector<Token> lex_all(const char* src) { return lex(src); }
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = lex_all("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::kEnd));
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  const auto tokens = lex_all("int foo_1 _bar while");
+  EXPECT_TRUE(tokens[0].is_keyword("int"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[1].text, "foo_1");
+  EXPECT_EQ(tokens[2].text, "_bar");
+  EXPECT_TRUE(tokens[3].is_keyword("while"));
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = lex_all("42 0x1F 7u 9L");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kIntLiteral));
+  EXPECT_EQ(tokens[1].text, "0x1F");
+  EXPECT_EQ(tokens[2].text, "7u");
+  EXPECT_EQ(tokens[3].text, "9L");
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto tokens = lex_all("1.5 2. .25 1e9 3.0e-2 1.0f");
+  for (int i = 0; i < 6; ++i)
+    EXPECT_TRUE(tokens[i].is(TokenKind::kFloatLiteral)) << "token " << i;
+}
+
+TEST(Lexer, FloatSuffixPromotesIntToFloat) {
+  const auto tokens = lex_all("5f");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kFloatLiteral));
+}
+
+TEST(Lexer, StringAndCharLiterals) {
+  const auto tokens = lex_all(R"("hi\n" 'x' '\t')");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kStringLiteral));
+  EXPECT_EQ(tokens[0].text, "\"hi\\n\"");
+  EXPECT_TRUE(tokens[1].is(TokenKind::kCharLiteral));
+  EXPECT_EQ(tokens[2].text, "'\\t'");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex_all("\"oops"), LexError);
+}
+
+TEST(Lexer, MaximalMunchOperators) {
+  const auto tokens = lex_all("a <<= b >> c <= d++ + ++e");
+  EXPECT_TRUE(tokens[1].is_punct("<<="));
+  EXPECT_TRUE(tokens[3].is_punct(">>"));
+  EXPECT_TRUE(tokens[5].is_punct("<="));
+  EXPECT_TRUE(tokens[7].is_punct("++"));
+  EXPECT_TRUE(tokens[8].is_punct("+"));
+  EXPECT_TRUE(tokens[9].is_punct("++"));
+}
+
+TEST(Lexer, ArrowAndEllipsis) {
+  const auto tokens = lex_all("p->q ...");
+  EXPECT_TRUE(tokens[1].is_punct("->"));
+  EXPECT_TRUE(tokens[3].is_punct("..."));
+}
+
+TEST(Lexer, LineCommentsIgnored) {
+  const auto tokens = lex_all("a // comment with * tokens\nb");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, BlockCommentsIgnored) {
+  const auto tokens = lex_all("a /* x\ny */ b");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex_all("/* never closed"), LexError);
+}
+
+TEST(Lexer, DirectiveCapturesWholeLine) {
+  const auto tokens = lex_all("#include <stdio.h>\nint x;");
+  ASSERT_TRUE(tokens[0].is(TokenKind::kDirective));
+  EXPECT_EQ(tokens[0].text, "include <stdio.h>");
+  EXPECT_TRUE(tokens[1].is_keyword("int"));
+}
+
+TEST(Lexer, DirectiveWithContinuation) {
+  const auto tokens = lex_all("#define ADD(a, b) \\\n  ((a) + (b))\nx");
+  ASSERT_TRUE(tokens[0].is(TokenKind::kDirective));
+  EXPECT_NE(tokens[0].text.find("((a) + (b))"), std::string::npos);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(Lexer, HashMidLineIsNotDirective) {
+  // A '#' after other tokens on the line is lexed as punctuation.
+  const auto tokens = lex_all("a #");
+  EXPECT_TRUE(tokens[1].is_punct("#"));
+}
+
+TEST(Lexer, PragmaDirective) {
+  const auto tokens = lex_all("#pragma omp parallel for num_threads(4)");
+  ASSERT_TRUE(tokens[0].is(TokenKind::kDirective));
+  EXPECT_EQ(tokens[0].text, "pragma omp parallel for num_threads(4)");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto tokens = lex_all("a\n  bb\n");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, RejectsStrayBytes) {
+  EXPECT_THROW(lex_all("int $x;"), LexError);
+}
+
+}  // namespace
+}  // namespace socrates::ir

@@ -1,0 +1,106 @@
+// Tests for the OpenMP pragma model and the logical-LOC counter.
+#include <gtest/gtest.h>
+
+#include "ir/loc_counter.hpp"
+#include "ir/omp.hpp"
+#include "ir/parser.hpp"
+
+namespace socrates::ir {
+namespace {
+
+TEST(Omp, ParsesDirectiveAndClauses) {
+  const Pragma p{"omp parallel for num_threads(4) proc_bind(close) nowait"};
+  const auto info = parse_omp(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->directive, "parallel for");
+  EXPECT_EQ(info->clause_argument("num_threads"), "4");
+  EXPECT_EQ(info->clause_argument("proc_bind"), "close");
+  EXPECT_TRUE(info->has_clause("nowait"));
+  EXPECT_EQ(info->clause_argument("nowait"), std::nullopt);
+}
+
+TEST(Omp, NonOmpPragmaYieldsNullopt) {
+  EXPECT_FALSE(parse_omp(Pragma{"GCC optimize(\"O2\")"}).has_value());
+}
+
+TEST(Omp, ClauseWithExpressionArgument) {
+  const auto info = parse_omp(Pragma{"omp parallel for private(i, j) num_threads(n + 1)"});
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->clause_argument("private"), "i, j");
+  EXPECT_EQ(info->clause_argument("num_threads"), "n + 1");
+}
+
+TEST(Omp, SetClauseReplacesOrAdds) {
+  auto info = *parse_omp(Pragma{"omp parallel for num_threads(2)"});
+  info.set_clause("num_threads", std::string("NT"));
+  info.set_clause("proc_bind", std::string("spread"));
+  EXPECT_EQ(info.clause_argument("num_threads"), "NT");
+  const std::string out = info.render();
+  EXPECT_EQ(out, "omp parallel for num_threads(NT) proc_bind(spread)");
+}
+
+TEST(Omp, RemoveClause) {
+  auto info = *parse_omp(Pragma{"omp for nowait schedule(static)"});
+  info.remove_clause("nowait");
+  EXPECT_FALSE(info.has_clause("nowait"));
+  EXPECT_TRUE(info.has_clause("schedule"));
+}
+
+TEST(Omp, RenderRoundTrips) {
+  const Pragma p{"omp parallel for private(j, k) num_threads(8)"};
+  const auto info = *parse_omp(p);
+  const auto reparsed = *parse_omp(Pragma{info.render()});
+  EXPECT_EQ(reparsed.directive, info.directive);
+  EXPECT_EQ(reparsed.clauses.size(), info.clauses.size());
+}
+
+TEST(Omp, GccOptimizePragmaHelpers) {
+  const Pragma p = gcc_optimize_pragma("O2,no-inline-functions");
+  EXPECT_TRUE(p.is_gcc_optimize());
+  EXPECT_EQ(gcc_optimize_options(p), "O2,no-inline-functions");
+  EXPECT_EQ(gcc_optimize_options(Pragma{"omp for"}), std::nullopt);
+}
+
+// ---- logical LOC -------------------------------------------------------------
+
+TEST(LogicalLoc, SimpleStatementsCountOne) {
+  EXPECT_EQ(logical_loc(*parse_statement("x = 1;")), 1u);
+  EXPECT_EQ(logical_loc(*parse_statement("return x;")), 1u);
+  EXPECT_EQ(logical_loc(*parse_statement("int a, b;")), 1u);
+}
+
+TEST(LogicalLoc, CompoundIsFree) {
+  EXPECT_EQ(logical_loc(*parse_statement("{ x = 1; y = 2; }")), 2u);
+  EXPECT_EQ(logical_loc(*parse_statement("{ }")), 0u);
+}
+
+TEST(LogicalLoc, ControlFlowCounts) {
+  EXPECT_EQ(logical_loc(*parse_statement("if (a) x = 1; else x = 2;")), 3u);
+  EXPECT_EQ(logical_loc(*parse_statement("for (i = 0; i < n; i++) x += i;")), 2u);
+  EXPECT_EQ(logical_loc(*parse_statement("while (a) { x = 1; y = 2; }")), 3u);
+  EXPECT_EQ(logical_loc(*parse_statement("do x--; while (x);")), 3u);
+}
+
+TEST(LogicalLoc, FunctionAddsSignatureLine) {
+  const auto tu = parse("void f(void) { x = 1; y = 2; }");
+  EXPECT_EQ(logical_loc(static_cast<const FunctionDecl&>(*tu.items[0])), 3u);
+}
+
+TEST(LogicalLoc, TranslationUnitCountsDirectivesAndGlobals) {
+  const auto tu = parse(
+      "#include <stdio.h>\n#define N 4\ndouble A[N];\nint x, y;\n"
+      "void f(void) { x = 1; }\n");
+  // include(1) + define(1) + A(1) + x,y(2) + f(2) = 7
+  EXPECT_EQ(logical_loc(tu), 7u);
+}
+
+TEST(LogicalLoc, PragmasCount) {
+  const auto tu = parse(
+      "void f(int n) {\n  int i;\n  #pragma omp parallel for\n"
+      "  for (i = 0; i < n; i++)\n    g(i);\n}\n");
+  // signature + decl + pragma + for + call = 5
+  EXPECT_EQ(logical_loc(tu), 5u);
+}
+
+}  // namespace
+}  // namespace socrates::ir

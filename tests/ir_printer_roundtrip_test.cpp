@@ -1,0 +1,98 @@
+// Printer tests + the parse/print round-trip property over all twelve
+// embedded Polybench sources (parameterized).
+#include <gtest/gtest.h>
+
+#include "kernels/sources.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace socrates::ir {
+namespace {
+
+std::string rt(const char* src) { return print_expr(*parse_expression(src)); }
+
+TEST(Printer, PreservesPrecedenceWithoutRedundantParens) {
+  EXPECT_EQ(rt("a + b * c"), "a + b * c");
+  EXPECT_EQ(rt("(a + b) * c"), "(a + b) * c");
+  EXPECT_EQ(rt("a - (b - c)"), "a - (b - c)");
+  EXPECT_EQ(rt("a - b - c"), "a - b - c");
+}
+
+TEST(Printer, UnaryAndCast) {
+  EXPECT_EQ(rt("-(a + b)"), "-(a + b)");
+  EXPECT_EQ(rt("(double)x / y"), "(double)x / y");
+  EXPECT_EQ(rt("(double)(x / y)"), "(double)(x / y)");
+}
+
+TEST(Printer, ConditionalAndAssignment) {
+  EXPECT_EQ(rt("x = a > b ? a : b"), "x = a > b ? a : b");
+  EXPECT_EQ(rt("x += y"), "x += y");
+}
+
+TEST(Printer, IndexAndCall) {
+  EXPECT_EQ(rt("A[i][j] + f(x, 1)"), "A[i][j] + f(x, 1)");
+}
+
+TEST(Printer, StatementShapes) {
+  const auto s = parse_statement("if (a) { x = 1; } else x = 2;");
+  const std::string out = print_stmt(*s);
+  EXPECT_NE(out.find("if (a)"), std::string::npos);
+  EXPECT_NE(out.find("else"), std::string::npos);
+}
+
+TEST(Printer, ForHeaderInlinesInit) {
+  const auto s = parse_statement("for (int i = 0; i < n; i++) x += i;");
+  const std::string out = print_stmt(*s);
+  EXPECT_NE(out.find("for (int i = 0; i < n; i++)"), std::string::npos);
+}
+
+TEST(Printer, MultiDeclaratorRoundTrip) {
+  const auto s = parse_statement("int i, j = 2, k;");
+  EXPECT_EQ(print_stmt(*s), "int i, j = 2, k;\n");
+}
+
+TEST(Printer, SignatureOfArrayParams) {
+  const auto tu = parse("void f(double A[800][900], int n) { }");
+  const auto& fn = static_cast<const FunctionDecl&>(*tu.items[0]);
+  EXPECT_EQ(print_signature(fn), "void f(double A[800][900], int n)");
+}
+
+/// The fixpoint property: after one parse/print cycle the text is
+/// stable under further cycles.
+class RoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTrip, ParsePrintFixpoint) {
+  const std::string& source = kernels::benchmark_source(GetParam());
+  const std::string once = print(parse(source));
+  const std::string twice = print(parse(once));
+  EXPECT_EQ(once, twice) << "benchmark " << GetParam();
+}
+
+TEST_P(RoundTrip, ReparseKeepsStructure) {
+  const std::string& source = kernels::benchmark_source(GetParam());
+  const auto tu1 = parse(source);
+  const auto tu2 = parse(print(tu1));
+  EXPECT_EQ(tu1.items.size(), tu2.items.size());
+  EXPECT_EQ(tu1.functions().size(), tu2.functions().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RoundTrip,
+                         ::testing::ValuesIn(kernels::benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+INSTANTIATE_TEST_SUITE_P(ExtendedBenchmarks, RoundTrip,
+                         ::testing::ValuesIn(kernels::extended_benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+
+}  // namespace
+}  // namespace socrates::ir

@@ -1,0 +1,187 @@
+// Tests for the real Polybench kernel implementations and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/polybench.hpp"
+#include "kernels/polybench_ext.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sources.hpp"
+#include "support/error.hpp"
+
+namespace socrates::kernels {
+namespace {
+
+TEST(Registry, TwelveBenchmarksInTableOrder) {
+  const auto& all = all_benchmarks();
+  ASSERT_EQ(all.size(), 12u);
+  EXPECT_EQ(all.front().name, "2mm");
+  EXPECT_EQ(all.back().name, "syrk");
+  EXPECT_EQ(benchmark_names().size(), 12u);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].name, benchmark_names()[i]);
+}
+
+TEST(Registry, LookupAndUnknown) {
+  EXPECT_EQ(find_benchmark("jacobi-2d").kernel_function, "kernel_jacobi_2d");
+  EXPECT_EQ(find_benchmark("gemm").kernel_function, "kernel_gemm");  // extended set
+  EXPECT_THROW(find_benchmark("floyd-warshall"), ContractViolation);
+}
+
+TEST(Registry, ExtendedSuiteIsComplete) {
+  const auto& ext = extended_benchmarks();
+  ASSERT_EQ(ext.size(), 6u);
+  ASSERT_EQ(extended_benchmark_names().size(), 6u);
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    EXPECT_EQ(ext[i].name, extended_benchmark_names()[i]);
+    EXPECT_GT(ext[i].model.seq_work_s, 0.0);
+    // Every extended benchmark has a weavable source with its kernel.
+    const auto& src = benchmark_source(ext[i].name);
+    EXPECT_NE(src.find("void " + ext[i].kernel_function), std::string::npos);
+  }
+}
+
+TEST(Registry, ModelParamsAreSane) {
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_GT(b.model.seq_work_s, 0.0) << b.name;
+    EXPECT_GT(b.model.parallel_fraction, 0.0) << b.name;
+    EXPECT_LE(b.model.parallel_fraction, 1.0) << b.name;
+    EXPECT_GE(b.model.mem_intensity, 0.0) << b.name;
+    EXPECT_LE(b.model.mem_intensity, 1.0) << b.name;
+  }
+}
+
+TEST(Registry, SourcesContainTheKernelFunction) {
+  for (const auto& b : all_benchmarks()) {
+    const auto& src = benchmark_source(b.name);
+    EXPECT_NE(src.find("void " + b.kernel_function), std::string::npos) << b.name;
+    EXPECT_NE(src.find("#pragma omp parallel for"), std::string::npos) << b.name;
+  }
+}
+
+// ---- real kernel execution ----------------------------------------------------
+
+class KernelRun : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelRun, DeterministicChecksum) {
+  const auto& bench = find_benchmark(GetParam());
+  const double a = bench.run(24);
+  const double b = bench.run(24);
+  EXPECT_TRUE(std::isfinite(a)) << GetParam();
+  EXPECT_DOUBLE_EQ(a, b) << GetParam();
+}
+
+TEST_P(KernelRun, ChecksumDependsOnSize) {
+  const auto& bench = find_benchmark(GetParam());
+  EXPECT_NE(bench.run(16), bench.run(24)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, KernelRun,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+INSTANTIATE_TEST_SUITE_P(ExtendedBenchmarks, KernelRun,
+                         ::testing::ValuesIn(kernels::extended_benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+
+TEST(KernelCorrectness, Atax2x2ByHand) {
+  // For n=2: m=2, nn=2. x = [1+0/2, 1+1/2] = [1, 1.5];
+  // A[i][j] = ((i+j) % 2) / 10 -> [[0, .1], [.1, 0]].
+  // tmp = A*x = [.15, .1]; y = A^T*tmp = [.01, .015].
+  // checksum weights: 1.0, 1.125 -> 0.01 + 0.015*1.125 = 0.026875.
+  EXPECT_NEAR(run_atax(2), 0.026875, 1e-12);
+}
+
+TEST(KernelCorrectness, Mvt2x2ByHand) {
+  // n=2: x1=[0,.5], x2=[.5,1], y1=[1.5,2], y2=[2,2.5],
+  // A[i][j]=(i*j%n)/n = [[0,0],[0,.5]].
+  // x1' = x1 + A*y1  = [0, .5 + .5*2]   = [0, 1.5]
+  // x2' = x2 + A'*y2 = [.5, 1 + .5*2.5] = [.5, 2.25]
+  // checksum = (0 + 1.5*1.125) + (.5 + 2.25*1.125) = 4.71875.
+  EXPECT_NEAR(run_mvt(2), 4.71875, 1e-12);
+}
+
+TEST(KernelCorrectness, JacobiConvergesTowardsSmoothField) {
+  // A Jacobi sweep is an averaging operator: the checksum stays finite
+  // and bounded by the initial field's magnitude.
+  const double c = run_jacobi_2d(32);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(c, 0.0);
+}
+
+TEST(KernelCorrectness, NussinovScoreWithinBounds) {
+  // Each table cell is at most n/2 pairings; checksum must be bounded.
+  const double c = run_nussinov(16);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 16.0 * 16.0 * 8.0 * 2.0);
+}
+
+TEST(KernelCorrectness, CorrelationDiagonalIsOne) {
+  // The correlation matrix has a unit diagonal; with the positional
+  // checksum weights a lower bound of the diagonal mass must be present.
+  const double c = run_correlation(8);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(c, 8.0 * 0.9);  // at least ~the diagonal mass
+}
+
+TEST(KernelCorrectness, Gemm2x2ByHand) {
+  // n=2 -> ni=nj=nk=2; A=[[.5,.5],[.5,0]], B=[[0,0],[0,.5]],
+  // C=[[.5,.5],[.5,0]]; C := 1.2*C + 1.5*A*B = [[.6,.975],[.6,0]].
+  // checksum = .6 + .975*1.125 + .6*1.25 = 2.446875.
+  EXPECT_NEAR(run_gemm(2), 2.446875, 1e-12);
+}
+
+TEST(KernelCorrectness, Bicg2x2ByHand) {
+  // rows=cols=2; p=r=[0,.5]; A=[[0,0],[.5,0]].
+  // s = A^T r = [.25, 0]; q = A p = [0, 0]; checksum sum = 0.25.
+  EXPECT_NEAR(run_bicg(2), 0.25, 1e-12);
+}
+
+TEST(KernelCorrectness, Trmm2x2ByHand) {
+  // m=n=2; A=[[1,0],[.5,1]] (unit lower), B=[[1,.5],[1.5,1]].
+  // B := 1.5 * A^T-style triangular update =
+  //   [[1.5*(1+.5*1.5), 1.5*(.5+.5*1)], [1.5*1.5, 1.5*1]]
+  //   = [[2.625, 1.5], [2.25, 1.5]].
+  // checksum = 2.625 + 1.5*1.125 + 2.25*1.25 + 1.5*1.375 = 9.1875.
+  EXPECT_NEAR(run_trmm(2), 9.1875, 1e-12);
+}
+
+TEST(KernelCorrectness, CholeskyFactorIsFinitePositiveDiagonal) {
+  // The SPD input guarantees the factorization completes (the internal
+  // SOCRATES_ENSURE(diag > 0) would throw otherwise).
+  EXPECT_NO_THROW(run_cholesky(24));
+  EXPECT_TRUE(std::isfinite(run_cholesky(24)));
+}
+
+TEST(KernelCorrectness, LuOnTriangularInputIsStable) {
+  const double a = run_lu(24);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_DOUBLE_EQ(a, run_lu(24));
+}
+
+TEST(KernelCorrectness, Heat3dStaysBounded) {
+  // The stencil is an averaging operator with a source term; values
+  // must stay finite and positive for the bounded initial field.
+  const double c = run_heat_3d(12);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(c, 0.0);
+}
+
+TEST(KernelCorrectness, RejectsTooSmallSizes) {
+  EXPECT_THROW(run_2mm(1), ContractViolation);
+  EXPECT_THROW(run_jacobi_2d(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace socrates::kernels

@@ -1,0 +1,141 @@
+// Tests for input-aware multi-knowledge (mARGOt data features) and the
+// knowledge-base (de)serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "margot/data_features.hpp"
+#include "margot/kb_io.hpp"
+#include "support/error.hpp"
+
+namespace socrates::margot {
+namespace {
+
+KnowledgeBase kb_with(double time_mean) {
+  KnowledgeBase kb({"config"}, {"exec_time_s", "power_w", "throughput"});
+  kb.add(OperatingPoint{
+      {0}, {{time_mean, 0.01}, {60.0, 1.0}, {1.0 / time_mean, 0.001}}});
+  return kb;
+}
+
+DataFeatureSchema size_schema() {
+  return DataFeatureSchema{{"matrix_size"}, {FeatureComparison::kDontCare}};
+}
+
+TEST(MultiKnowledge, SelectsNearestCluster) {
+  MultiKnowledge mk(size_schema());
+  mk.add_cluster({100.0}, kb_with(0.1));
+  mk.add_cluster({1000.0}, kb_with(1.0));
+  mk.add_cluster({4000.0}, kb_with(8.0));
+  EXPECT_EQ(mk.select({120.0}), 0u);
+  EXPECT_EQ(mk.select({900.0}), 1u);
+  EXPECT_EQ(mk.select({9999.0}), 2u);
+}
+
+TEST(MultiKnowledge, TwoDimensionalDistanceIsNormalized) {
+  // Dimensions with wildly different units must both matter.
+  MultiKnowledge mk(DataFeatureSchema{{"rows", "sparsity"},
+                                      {FeatureComparison::kDontCare,
+                                       FeatureComparison::kDontCare}});
+  mk.add_cluster({1000.0, 0.9}, kb_with(1.0));
+  mk.add_cluster({1000.0, 0.1}, kb_with(2.0));
+  EXPECT_EQ(mk.select({1000.0, 0.85}), 0u);
+  EXPECT_EQ(mk.select({1000.0, 0.15}), 1u);
+}
+
+TEST(MultiKnowledge, GreaterOrEqualConstraintFiltersClusters) {
+  // "use knowledge profiled on inputs at least as large as the current
+  // one" — a pessimistic sizing rule.
+  MultiKnowledge mk(DataFeatureSchema{{"size"}, {FeatureComparison::kGreaterOrEqual}});
+  mk.add_cluster({100.0}, kb_with(0.1));
+  mk.add_cluster({1000.0}, kb_with(1.0));
+  // 150 is closer to 100, but 100 < 150 violates the constraint.
+  EXPECT_EQ(mk.select({150.0}), 1u);
+}
+
+TEST(MultiKnowledge, LessOrEqualConstraint) {
+  MultiKnowledge mk(DataFeatureSchema{{"size"}, {FeatureComparison::kLessOrEqual}});
+  mk.add_cluster({100.0}, kb_with(0.1));
+  mk.add_cluster({1000.0}, kb_with(1.0));
+  EXPECT_EQ(mk.select({900.0}), 0u);  // 1000 > 900 violates <=
+}
+
+TEST(MultiKnowledge, FallsBackWhenNoClusterAdmissible) {
+  MultiKnowledge mk(DataFeatureSchema{{"size"}, {FeatureComparison::kGreaterOrEqual}});
+  mk.add_cluster({100.0}, kb_with(0.1));
+  mk.add_cluster({1000.0}, kb_with(1.0));
+  // Nothing is >= 5000; nearest overall must be returned.
+  EXPECT_EQ(mk.select({5000.0}), 1u);
+}
+
+TEST(MultiKnowledge, ContractChecks) {
+  MultiKnowledge mk(size_schema());
+  EXPECT_THROW(mk.select({1.0}), ContractViolation);  // no clusters yet
+  EXPECT_THROW(mk.add_cluster({1.0, 2.0}, kb_with(1.0)), ContractViolation);
+  mk.add_cluster({10.0}, kb_with(1.0));
+  EXPECT_THROW(mk.select({1.0, 2.0}), ContractViolation);
+}
+
+// ---- knowledge base IO ----------------------------------------------------------
+
+KnowledgeBase sample_kb() {
+  KnowledgeBase kb({"config", "threads", "binding"},
+                   {"exec_time_s", "power_w", "throughput"});
+  kb.add(OperatingPoint{{0, 1, 0}, {{11.86, 0.21}, {55.4, 0.4}, {0.0843, 0.0015}}});
+  kb.add(OperatingPoint{{7, 32, 1}, {{0.997, 0.013}, {136.4, 1.9}, {1.003, 0.013}}});
+  kb.add(OperatingPoint{{3, 8, 0}, {{2.152, 0.04}, {86.4, 0.8}, {0.4647, 0.009}}});
+  return kb;
+}
+
+TEST(KbIo, RoundTripsExactly) {
+  const auto kb = sample_kb();
+  const auto loaded = knowledge_from_string(knowledge_to_string(kb));
+  ASSERT_EQ(loaded.size(), kb.size());
+  EXPECT_EQ(loaded.knob_names(), kb.knob_names());
+  EXPECT_EQ(loaded.metric_names(), kb.metric_names());
+  for (std::size_t i = 0; i < kb.size(); ++i) {
+    EXPECT_EQ(loaded[i].knobs, kb[i].knobs);
+    for (std::size_t m = 0; m < kb[i].metrics.size(); ++m) {
+      EXPECT_DOUBLE_EQ(loaded[i].metrics[m].mean, kb[i].metrics[m].mean);
+      EXPECT_DOUBLE_EQ(loaded[i].metrics[m].stddev, kb[i].metrics[m].stddev);
+    }
+  }
+}
+
+TEST(KbIo, FormatIsHumanReadable) {
+  const std::string text = knowledge_to_string(sample_kb());
+  EXPECT_NE(text.find("# knobs: config,threads,binding"), std::string::npos);
+  EXPECT_NE(text.find("# metrics: exec_time_s,power_w,throughput"), std::string::npos);
+  EXPECT_NE(text.find("knob:config"), std::string::npos);
+}
+
+TEST(KbIo, RejectsMissingHeaders) {
+  EXPECT_THROW(knowledge_from_string("1,2,3\n"), ContractViolation);
+  EXPECT_THROW(knowledge_from_string("# knobs: a\nrubbish\n"), ContractViolation);
+}
+
+TEST(KbIo, RejectsWrongArityRows) {
+  std::string text = knowledge_to_string(sample_kb());
+  text += "1,2,3\n";  // truncated row
+  EXPECT_THROW(knowledge_from_string(text), ContractViolation);
+}
+
+TEST(KbIo, RejectsNonNumericCells) {
+  std::string text =
+      "# knobs: k\n# metrics: m\nknob:k,m,m:sd\nxyz,1.0,0.0\n";
+  EXPECT_THROW(knowledge_from_string(text), ContractViolation);
+}
+
+TEST(KbIo, RejectsFractionalKnobs) {
+  std::string text = "# knobs: k\n# metrics: m\nknob:k,m,m:sd\n1.5,1.0,0.0\n";
+  EXPECT_THROW(knowledge_from_string(text), ContractViolation);
+}
+
+TEST(KbIo, SkipsBlankLines) {
+  std::string text = knowledge_to_string(sample_kb());
+  text += "\n\n";
+  EXPECT_EQ(knowledge_from_string(text).size(), 3u);
+}
+
+}  // namespace
+}  // namespace socrates::margot

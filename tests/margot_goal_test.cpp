@@ -1,0 +1,69 @@
+// Tests for the Goal abstraction (monitor-observing requirement checks).
+#include <gtest/gtest.h>
+
+#include "margot/goal.hpp"
+
+namespace socrates::margot {
+namespace {
+
+TEST(Goal, EmptyMonitorIsTreatedAsMet) {
+  CircularMonitor m(4);
+  const Goal g(m, StatisticalProvider::kAverage, ComparisonOp::kLess, 10.0);
+  EXPECT_TRUE(g.check());
+  EXPECT_EQ(g.relative_error(), 0.0);
+}
+
+TEST(Goal, ChecksAverageProvider) {
+  CircularMonitor m(4);
+  Goal g(m, StatisticalProvider::kAverage, ComparisonOp::kLess, 10.0);
+  m.push(4.0);
+  m.push(8.0);
+  EXPECT_TRUE(g.check());  // avg 6 < 10
+  m.push(30.0);
+  EXPECT_FALSE(g.check());  // avg 14
+  EXPECT_NEAR(g.observed_value(), 14.0, 1e-12);
+}
+
+TEST(Goal, ProvidersSelectTheRightStatistic) {
+  CircularMonitor m(8);
+  for (const double v : {1.0, 5.0, 3.0}) m.push(v);
+  EXPECT_DOUBLE_EQ(Goal(m, StatisticalProvider::kLast, ComparisonOp::kLess, 0)
+                       .observed_value(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(Goal(m, StatisticalProvider::kMin, ComparisonOp::kLess, 0)
+                       .observed_value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(Goal(m, StatisticalProvider::kMax, ComparisonOp::kLess, 0)
+                       .observed_value(),
+                   5.0);
+}
+
+TEST(Goal, RelativeError) {
+  CircularMonitor m(2);
+  m.push(120.0);
+  const Goal g(m, StatisticalProvider::kLast, ComparisonOp::kLessEqual, 100.0);
+  EXPECT_FALSE(g.check());
+  EXPECT_NEAR(g.relative_error(), 0.2, 1e-12);
+}
+
+TEST(Goal, DynamicTarget) {
+  CircularMonitor m(2);
+  m.push(120.0);
+  Goal g(m, StatisticalProvider::kLast, ComparisonOp::kLessEqual, 100.0);
+  EXPECT_FALSE(g.check());
+  g.set_target(150.0);
+  EXPECT_TRUE(g.check());
+  EXPECT_EQ(g.target(), 150.0);
+}
+
+TEST(Goal, GreaterGoals) {
+  CircularMonitor m(2);
+  m.push(0.8);
+  const Goal g(m, StatisticalProvider::kLast, ComparisonOp::kGreaterEqual, 1.0);
+  EXPECT_FALSE(g.check());
+  m.push(1.2);
+  EXPECT_TRUE(g.check());
+}
+
+}  // namespace
+}  // namespace socrates::margot

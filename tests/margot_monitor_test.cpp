@@ -1,0 +1,132 @@
+// Tests for the mARGOt monitoring infrastructure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "margot/monitor.hpp"
+#include "platform/clock.hpp"
+#include "platform/rapl.hpp"
+#include "support/error.hpp"
+
+namespace socrates::margot {
+namespace {
+
+TEST(CircularMonitor, StatsOverPartialWindow) {
+  CircularMonitor m(5);
+  m.push(1.0);
+  m.push(3.0);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.average(), 2.0);
+  EXPECT_DOUBLE_EQ(m.last(), 3.0);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 3.0);
+  EXPECT_NEAR(m.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CircularMonitor, WindowEvictsOldest) {
+  CircularMonitor m(3);
+  for (const double v : {1.0, 2.0, 3.0, 10.0}) m.push(v);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_DOUBLE_EQ(m.average(), 5.0);  // {2, 3, 10}
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.last(), 10.0);
+}
+
+TEST(CircularMonitor, LastIsCorrectAfterManyWraps) {
+  CircularMonitor m(4);
+  for (int i = 0; i < 23; ++i) m.push(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(m.last(), 22.0);
+  EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(CircularMonitor, ClearResets) {
+  CircularMonitor m(2);
+  m.push(1.0);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_THROW(m.last(), ContractViolation);
+}
+
+TEST(CircularMonitor, WindowOfOne) {
+  CircularMonitor m(1);
+  m.push(1.0);
+  m.push(7.0);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.average(), 7.0);
+  EXPECT_EQ(m.stddev(), 0.0);
+}
+
+TEST(TimeMonitor, MeasuresVirtualRegions) {
+  platform::VirtualClock clock;
+  TimeMonitor tm(clock, 3);
+  tm.start();
+  clock.advance(0.25);
+  EXPECT_DOUBLE_EQ(tm.stop(), 0.25);
+  tm.start();
+  clock.advance(0.75);
+  tm.stop();
+  EXPECT_DOUBLE_EQ(tm.stats().average(), 0.5);
+}
+
+TEST(TimeMonitor, StartStopProtocolEnforced) {
+  platform::VirtualClock clock;
+  TimeMonitor tm(clock);
+  EXPECT_THROW(tm.stop(), ContractViolation);
+  tm.start();
+  EXPECT_THROW(tm.start(), ContractViolation);
+}
+
+TEST(ThroughputMonitor, UnitsPerSecond) {
+  platform::VirtualClock clock;
+  ThroughputMonitor tm(clock, 2);
+  tm.start();
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(tm.stop(), 2.0);  // 1 unit / 0.5 s
+  tm.start();
+  clock.advance(2.0);
+  EXPECT_DOUBLE_EQ(tm.stop(4.0), 2.0);  // 4 units / 2 s
+}
+
+TEST(ThroughputMonitor, ZeroLengthRegionRejected) {
+  platform::VirtualClock clock;
+  ThroughputMonitor tm(clock);
+  tm.start();
+  EXPECT_THROW(tm.stop(), ContractViolation);
+}
+
+TEST(EnergyMonitor, DeltaInJoules) {
+  platform::SimulatedRapl rapl;
+  EnergyMonitor em(rapl, 2);
+  em.start();
+  rapl.accrue(2.0, 50.0);  // 100 J
+  EXPECT_DOUBLE_EQ(em.stop(), 100.0);
+}
+
+TEST(PowerMonitor, AverageWatts) {
+  platform::VirtualClock clock;
+  platform::SimulatedRapl rapl;
+  PowerMonitor pm(clock, rapl, 2);
+  pm.start();
+  clock.advance(2.0);
+  rapl.accrue(2.0, 80.0);
+  EXPECT_DOUBLE_EQ(pm.stop(), 80.0);
+  pm.start();
+  clock.advance(1.0);
+  rapl.accrue(1.0, 40.0);
+  pm.stop();
+  EXPECT_DOUBLE_EQ(pm.stats().average(), 60.0);
+}
+
+TEST(PowerMonitor, InterleavedRegionsSeeOnlyTheirEnergy) {
+  platform::VirtualClock clock;
+  platform::SimulatedRapl rapl;
+  PowerMonitor pm(clock, rapl, 4);
+  rapl.accrue(5.0, 100.0);  // energy before the region must not count
+  pm.start();
+  clock.advance(1.0);
+  rapl.accrue(1.0, 30.0);
+  EXPECT_DOUBLE_EQ(pm.stop(), 30.0);
+}
+
+}  // namespace
+}  // namespace socrates::margot

@@ -1,0 +1,100 @@
+// Tests for the external-load disturbance model.
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hpp"
+#include "platform/disturbance.hpp"
+#include "platform/executor.hpp"
+#include "support/error.hpp"
+
+namespace socrates::platform {
+namespace {
+
+Measurement clean() {
+  Measurement m;
+  m.exec_time_s = 1.0;
+  m.avg_power_w = 100.0;
+  m.energy_j = 100.0;
+  return m;
+}
+
+KernelModelParams mem_kernel() {
+  KernelModelParams k;
+  k.mem_intensity = 0.8;
+  k.parallel_fraction = 0.95;
+  return k;
+}
+
+KernelModelParams compute_kernel() {
+  KernelModelParams k;
+  k.mem_intensity = 0.1;
+  k.parallel_fraction = 0.95;
+  return k;
+}
+
+TEST(Disturbance, InactiveOutsideWindow) {
+  DisturbanceSchedule sched;
+  sched.add({10.0, 20.0, 0.5, 0.0, 15.0});
+  const auto before = sched.apply(clean(), mem_kernel(), 5.0);
+  EXPECT_DOUBLE_EQ(before.exec_time_s, 1.0);
+  EXPECT_DOUBLE_EQ(before.avg_power_w, 100.0);
+  const auto after = sched.apply(clean(), mem_kernel(), 20.0);  // end is exclusive
+  EXPECT_DOUBLE_EQ(after.exec_time_s, 1.0);
+}
+
+TEST(Disturbance, BandwidthStealHurtsMemoryBoundMore) {
+  DisturbanceSchedule sched;
+  sched.add({0.0, 100.0, 0.5, 0.0, 0.0});
+  const auto mem = sched.apply(clean(), mem_kernel(), 1.0);
+  const auto comp = sched.apply(clean(), compute_kernel(), 1.0);
+  EXPECT_GT(mem.exec_time_s, comp.exec_time_s);
+  EXPECT_GT(mem.exec_time_s, 1.0);
+}
+
+TEST(Disturbance, ComputeStealHurtsComputeBoundMore) {
+  DisturbanceSchedule sched;
+  sched.add({0.0, 100.0, 0.0, 0.5, 0.0});
+  const auto mem = sched.apply(clean(), mem_kernel(), 1.0);
+  const auto comp = sched.apply(clean(), compute_kernel(), 1.0);
+  EXPECT_GT(comp.exec_time_s, mem.exec_time_s);
+}
+
+TEST(Disturbance, PowerOverheadAddsAndEnergyIsConsistent) {
+  DisturbanceSchedule sched;
+  sched.add({0.0, 10.0, 0.0, 0.0, 25.0});
+  const auto m = sched.apply(clean(), mem_kernel(), 1.0);
+  EXPECT_DOUBLE_EQ(m.avg_power_w, 125.0);
+  EXPECT_NEAR(m.energy_j, m.exec_time_s * m.avg_power_w, 1e-12);
+}
+
+TEST(Disturbance, OverlappingEpisodesCompose) {
+  DisturbanceSchedule sched;
+  sched.add({0.0, 10.0, 0.3, 0.0, 10.0});
+  sched.add({5.0, 15.0, 0.3, 0.0, 10.0});
+  const auto one = sched.apply(clean(), mem_kernel(), 2.0);
+  const auto both = sched.apply(clean(), mem_kernel(), 7.0);
+  EXPECT_GT(both.exec_time_s, one.exec_time_s);
+  EXPECT_DOUBLE_EQ(both.avg_power_w, 120.0);
+}
+
+TEST(Disturbance, RejectsMalformedEpisodes) {
+  DisturbanceSchedule sched;
+  EXPECT_THROW(sched.add({5.0, 5.0, 0.1, 0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(sched.add({0.0, 1.0, 1.0, 0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(sched.add({0.0, 1.0, 0.0, 0.0, -1.0}), ContractViolation);
+}
+
+TEST(Disturbance, ExecutorAppliesScheduleAtSimulatedTime) {
+  const auto model = PerformanceModel::paper_platform();
+  KernelExecutor exec(model, kernels::find_benchmark("gemver").model, 1.0, 3);
+  const Configuration c{FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose};
+  const double clean_time = exec.run(c).exec_time_s;
+
+  DisturbanceSchedule sched;
+  sched.add({exec.clock().now_s(), exec.clock().now_s() + 1000.0, 0.6, 0.0, 20.0});
+  exec.set_disturbances(std::move(sched));
+  const auto disturbed = exec.run(c);
+  EXPECT_GT(disturbed.exec_time_s, clean_time * 1.3);
+}
+
+}  // namespace
+}  // namespace socrates::platform

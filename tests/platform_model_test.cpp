@@ -1,0 +1,253 @@
+// Property tests for the compiler-effect and performance/power models.
+// These pin down the trade-off shapes the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hpp"
+#include "platform/compiler_model.hpp"
+#include "platform/perf_model.hpp"
+#include "support/error.hpp"
+
+namespace socrates::platform {
+namespace {
+
+const PerformanceModel& model() {
+  static const PerformanceModel kModel = PerformanceModel::paper_platform();
+  return kModel;
+}
+
+KernelModelParams kernel(const char* name) {
+  return kernels::find_benchmark(name).model;
+}
+
+Measurement eval(const KernelModelParams& k, const FlagConfig& f, std::size_t threads,
+                 BindingPolicy b) {
+  return model().evaluate(k, Configuration{f, threads, b});
+}
+
+// ---- compiler model -----------------------------------------------------------
+
+TEST(CompilerModel, O2IsTheBaseline) {
+  for (const auto& b : kernels::all_benchmarks())
+    EXPECT_DOUBLE_EQ(compute_speedup(b.model, FlagConfig(OptLevel::kO2)), 1.0) << b.name;
+}
+
+TEST(CompilerModel, OsSlowerThanO2) {
+  for (const auto& b : kernels::all_benchmarks())
+    EXPECT_LT(compute_speedup(b.model, FlagConfig(OptLevel::kOs)), 1.0) << b.name;
+}
+
+TEST(CompilerModel, O3HelpsVectorizableKernels) {
+  EXPECT_GT(compute_speedup(kernel("2mm"), FlagConfig(OptLevel::kO3)), 1.05);
+  // nussinov is branchy and barely vectorizes: O3 gain is marginal.
+  EXPECT_LT(compute_speedup(kernel("nussinov"), FlagConfig(OptLevel::kO3)), 1.02);
+}
+
+TEST(CompilerModel, NoInlineHurtsCallDenseKernels) {
+  const FlagConfig no_inline = FlagConfig(OptLevel::kO2).with(Flag::kNoInline);
+  EXPECT_LT(compute_speedup(kernel("nussinov"), no_inline), 1.0);
+  // 2mm has no calls in the hot loop: no-inline is nearly free.
+  EXPECT_GT(compute_speedup(kernel("2mm"), no_inline), 0.99);
+}
+
+TEST(CompilerModel, UnrollHelpsTightNests) {
+  const FlagConfig unroll = FlagConfig(OptLevel::kO2).with(Flag::kUnrollAllLoops);
+  EXPECT_GT(compute_speedup(kernel("2mm"), unroll), 1.0);
+}
+
+TEST(CompilerModel, DifferentKernelsPreferDifferentConfigs) {
+  // The premise of the whole paper: no one-fits-all configuration.
+  std::size_t distinct_best = 0;
+  std::vector<std::string> bests;
+  for (const auto& b : kernels::all_benchmarks()) {
+    double best_speedup = 0.0;
+    std::string best_name;
+    for (const auto& named : reduced_design_space()) {
+      const double s = compute_speedup(b.model, named.config);
+      if (s > best_speedup) {
+        best_speedup = s;
+        best_name = named.name;
+      }
+    }
+    bests.push_back(best_name);
+  }
+  std::sort(bests.begin(), bests.end());
+  distinct_best = std::unique(bests.begin(), bests.end()) - bests.begin();
+  EXPECT_GE(distinct_best, 2u);
+}
+
+TEST(CompilerModel, PowerFactorWithinBounds) {
+  for (const auto& b : kernels::all_benchmarks()) {
+    for (const auto& f : cobayn_search_space()) {
+      const double p = core_power_factor(b.model, f);
+      EXPECT_GE(p, 0.85);
+      EXPECT_LE(p, 1.20);
+    }
+  }
+}
+
+// ---- performance model ------------------------------------------------------------
+
+TEST(PerfModel, DeterministicWithoutNoise) {
+  const auto a = eval(kernel("2mm"), FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose);
+  const auto b = eval(kernel("2mm"), FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose);
+  EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+  EXPECT_DOUBLE_EQ(a.avg_power_w, b.avg_power_w);
+}
+
+TEST(PerfModel, SingleThreadMatchesSeqWorkScale) {
+  // At 1 thread / O2, time ~= seq_work (turbo makes it a bit faster).
+  const auto m = eval(kernel("2mm"), FlagConfig(OptLevel::kO2), 1, BindingPolicy::kClose);
+  EXPECT_GT(m.exec_time_s, kernel("2mm").seq_work_s * 0.6);
+  EXPECT_LT(m.exec_time_s, kernel("2mm").seq_work_s * 1.1);
+}
+
+class ThreadsMonotone : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ThreadsMonotone, MoreThreadsNeverSlowerMuch) {
+  // Execution time is non-increasing in thread count up to roofline
+  // saturation; allow a 2% slack for turbo-frequency effects.
+  const auto k = kernel(GetParam().c_str());
+  for (const auto binding : {BindingPolicy::kClose, BindingPolicy::kSpread}) {
+    double prev = 1e100;
+    for (std::size_t t = 1; t <= 32; ++t) {
+      const auto m = eval(k, FlagConfig(OptLevel::kO2), t, binding);
+      EXPECT_LT(m.exec_time_s, prev * 1.02)
+          << GetParam() << " threads=" << t << " " << to_string(binding);
+      prev = m.exec_time_s;
+    }
+  }
+}
+
+TEST_P(ThreadsMonotone, PowerIncreasesWithThreads) {
+  // Amdahl-limited kernels (seidel-2d) spend most wall time in the
+  // serial phase even at 32 threads, so the requirement is strictly
+  // increasing power, with a 1.5x bar only for scalable kernels.
+  const auto k = kernel(GetParam().c_str());
+  const auto p1 = eval(k, FlagConfig(OptLevel::kO2), 1, BindingPolicy::kClose);
+  const auto p32 = eval(k, FlagConfig(OptLevel::kO2), 32, BindingPolicy::kClose);
+  EXPECT_GT(p32.avg_power_w, p1.avg_power_w * 1.05);
+  if (k.parallel_fraction > 0.9) EXPECT_GT(p32.avg_power_w, p1.avg_power_w * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ThreadsMonotone,
+                         ::testing::Values("2mm", "atax", "jacobi-2d", "nussinov",
+                                           "seidel-2d", "syrk"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(PerfModel, MemoryBoundKernelPrefersSpreadAtMidThreads) {
+  // gemver is bandwidth bound: at 8 threads, spread sees both memory
+  // controllers while close saturates one socket.
+  const auto k = kernel("gemver");
+  const auto close8 = eval(k, FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose);
+  const auto spread8 = eval(k, FlagConfig(OptLevel::kO2), 8, BindingPolicy::kSpread);
+  EXPECT_LT(spread8.exec_time_s, close8.exec_time_s);
+}
+
+TEST(PerfModel, CloseOnFewThreadsDrawsLessPower) {
+  // One parked socket saves uncore power.
+  const auto k = kernel("2mm");
+  const auto close4 = eval(k, FlagConfig(OptLevel::kO2), 4, BindingPolicy::kClose);
+  const auto spread4 = eval(k, FlagConfig(OptLevel::kO2), 4, BindingPolicy::kSpread);
+  EXPECT_LT(close4.avg_power_w, spread4.avg_power_w);
+}
+
+TEST(PerfModel, ComputeBoundKernelScalesFurther) {
+  const auto k2mm = kernel("2mm");     // beta = 0.25
+  const auto katax = kernel("atax");   // beta = 0.72
+  const auto s2mm = eval(k2mm, FlagConfig(OptLevel::kO2), 1, BindingPolicy::kClose)
+                        .exec_time_s /
+                    eval(k2mm, FlagConfig(OptLevel::kO2), 16, BindingPolicy::kClose)
+                        .exec_time_s;
+  const auto satax = eval(katax, FlagConfig(OptLevel::kO2), 1, BindingPolicy::kClose)
+                         .exec_time_s /
+                     eval(katax, FlagConfig(OptLevel::kO2), 16, BindingPolicy::kClose)
+                         .exec_time_s;
+  EXPECT_GT(s2mm, satax);
+  EXPECT_LT(satax, 5.0);  // bandwidth wall
+}
+
+TEST(PerfModel, SeidelIsAmdahlLimited) {
+  const auto k = kernel("seidel-2d");  // parallel fraction 0.4
+  const auto t1 = eval(k, FlagConfig(OptLevel::kO2), 1, BindingPolicy::kClose);
+  const auto t32 = eval(k, FlagConfig(OptLevel::kO2), 32, BindingPolicy::kClose);
+  EXPECT_LT(t1.exec_time_s / t32.exec_time_s, 1.8);
+}
+
+TEST(PerfModel, PowerWithinPlatformEnvelope) {
+  for (const auto& b : kernels::all_benchmarks()) {
+    for (const std::size_t t : {1u, 8u, 16u, 32u}) {
+      for (const auto binding : {BindingPolicy::kClose, BindingPolicy::kSpread}) {
+        const auto m = eval(b.model, FlagConfig(OptLevel::kO3), t, binding);
+        EXPECT_GT(m.avg_power_w, 40.0) << b.name;
+        EXPECT_LT(m.avg_power_w, 180.0) << b.name;
+      }
+    }
+  }
+}
+
+TEST(PerfModel, EnergyIsTimeTimesPower) {
+  const auto m = eval(kernel("syrk"), FlagConfig(OptLevel::kO3), 12, BindingPolicy::kSpread);
+  EXPECT_NEAR(m.energy_j, m.exec_time_s * m.avg_power_w, 1e-9);
+}
+
+TEST(PerfModel, WorkScaleShrinksTimeSuperlinearly) {
+  // A tenth of the dataset runs *more* than ten times faster: the
+  // smaller working set is partially cache resident, so the memory
+  // share of the run shrinks too (locality term of the model).
+  const auto k = kernel("2mm");
+  const Configuration c{FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose};
+  const auto full = model().evaluate(k, c, nullptr, 1.0);
+  const auto tenth = model().evaluate(k, c, nullptr, 0.1);
+  EXPECT_GT(full.exec_time_s / tenth.exec_time_s, 10.0);
+  EXPECT_LT(full.exec_time_s / tenth.exec_time_s, 14.0);
+}
+
+TEST(PerfModel, SmallerDatasetIsLessMemoryBound) {
+  // gemver is bandwidth bound at full size; at 1% size it should scale
+  // further with threads (the bandwidth wall moved up).
+  const auto k = kernel("gemver");
+  const auto speedup_at = [&](double scale) {
+    const auto t1 = model().evaluate(
+        k, Configuration{FlagConfig(OptLevel::kO2), 1, BindingPolicy::kClose}, nullptr,
+        scale);
+    const auto t16 = model().evaluate(
+        k, Configuration{FlagConfig(OptLevel::kO2), 16, BindingPolicy::kClose}, nullptr,
+        scale);
+    return t1.exec_time_s / t16.exec_time_s;
+  };
+  EXPECT_GT(speedup_at(0.01), speedup_at(1.0) * 1.10);
+}
+
+TEST(PerfModel, NoiseIsBoundedAndReproducible) {
+  Rng noise1(5);
+  Rng noise2(5);
+  const auto k = kernel("mvt");
+  const Configuration c{FlagConfig(OptLevel::kO2), 4, BindingPolicy::kClose};
+  const auto base = model().evaluate(k, c);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = model().evaluate(k, c, &noise1);
+    const auto b = model().evaluate(k, c, &noise2);
+    EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+    EXPECT_NEAR(a.exec_time_s, base.exec_time_s, base.exec_time_s * 0.15);
+  }
+}
+
+TEST(PerfModel, RejectsBadConfigurations) {
+  const auto k = kernel("2mm");
+  EXPECT_THROW(
+      model().evaluate(k, Configuration{FlagConfig(OptLevel::kO2), 0,
+                                        BindingPolicy::kClose}),
+      ContractViolation);
+  EXPECT_THROW(
+      model().evaluate(k, Configuration{FlagConfig(OptLevel::kO2), 64,
+                                        BindingPolicy::kClose}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace socrates::platform

@@ -1,0 +1,112 @@
+// Tests for the energy counters, clocks and the simulated executor.
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hpp"
+#include "platform/clock.hpp"
+#include "platform/executor.hpp"
+#include "platform/rapl.hpp"
+#include "support/error.hpp"
+
+namespace socrates::platform {
+namespace {
+
+TEST(SimulatedRapl, AccruesEnergy) {
+  SimulatedRapl rapl;
+  EXPECT_EQ(rapl.energy_uj(), 0.0);
+  rapl.accrue(2.0, 50.0);  // 100 J
+  EXPECT_DOUBLE_EQ(rapl.energy_uj(), 100e6);
+  rapl.accrue(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(rapl.energy_uj(), 110e6);
+}
+
+TEST(SimulatedRapl, IsMonotone) {
+  SimulatedRapl rapl;
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    rapl.accrue(0.5, 60.0);
+    EXPECT_GE(rapl.energy_uj(), prev);
+    prev = rapl.energy_uj();
+  }
+}
+
+TEST(SimulatedRapl, RejectsNegativeInputs) {
+  SimulatedRapl rapl;
+  EXPECT_THROW(rapl.accrue(-1.0, 10.0), ContractViolation);
+  EXPECT_THROW(rapl.accrue(1.0, -10.0), ContractViolation);
+}
+
+TEST(SysfsRapl, GracefulWhenUnavailable) {
+  // The sysfs path may or may not exist in the build environment; both
+  // outcomes must be consistent.
+  const bool avail = SysfsRaplReader::available("/nonexistent/powercap");
+  EXPECT_FALSE(avail);
+  EXPECT_THROW(SysfsRaplReader("/nonexistent/powercap"), ContractViolation);
+}
+
+TEST(EnergySource, FallsBackToSimulated) {
+  const auto source = make_energy_source();
+  ASSERT_NE(source.counter, nullptr);
+  if (source.simulated != nullptr) {
+    EXPECT_EQ(source.counter->backend(), "simulated");
+    source.simulated->accrue(1.0, 42.0);
+    EXPECT_DOUBLE_EQ(source.counter->energy_uj(), 42e6);
+  } else {
+    EXPECT_EQ(source.counter->backend(), "rapl-sysfs");
+  }
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_s(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 2.0);
+  EXPECT_THROW(clock.advance(-1.0), ContractViolation);
+}
+
+TEST(SteadyClock, MovesForward) {
+  SteadyClock clock;
+  const double a = clock.now_s();
+  // Burn a few cycles; steady_clock must not go backwards.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  EXPECT_GE(clock.now_s(), a);
+}
+
+TEST(Executor, RunAdvancesClockAndEnergy) {
+  const auto model = PerformanceModel::paper_platform();
+  KernelExecutor exec(model, kernels::find_benchmark("2mm").model);
+  const Configuration c{FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose};
+  const auto m = exec.run(c);
+  EXPECT_DOUBLE_EQ(exec.clock().now_s(), m.exec_time_s);
+  EXPECT_NEAR(exec.rapl().energy_uj(), m.energy_j * 1e6, 1.0);
+}
+
+TEST(Executor, IdleBurnsIdlePower) {
+  const auto model = PerformanceModel::paper_platform();
+  KernelExecutor exec(model, kernels::find_benchmark("mvt").model);
+  exec.idle(10.0);
+  EXPECT_DOUBLE_EQ(exec.clock().now_s(), 10.0);
+  EXPECT_DOUBLE_EQ(exec.rapl().energy_uj(),
+                   10.0 * model.machine().idle_power_w * 1e6);
+}
+
+TEST(Executor, WorkScaleShortensRuns) {
+  const auto model = PerformanceModel::paper_platform();
+  KernelExecutor big(model, kernels::find_benchmark("2mm").model, 1.0, 1);
+  KernelExecutor small(model, kernels::find_benchmark("2mm").model, 0.01, 1);
+  const Configuration c{FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose};
+  EXPECT_GT(big.run(c).exec_time_s, small.run(c).exec_time_s * 50);
+}
+
+TEST(Executor, NoiseSeedReproducesTraces) {
+  const auto model = PerformanceModel::paper_platform();
+  const Configuration c{FlagConfig(OptLevel::kO3), 16, BindingPolicy::kSpread};
+  KernelExecutor a(model, kernels::find_benchmark("syrk").model, 1.0, 77);
+  KernelExecutor b(model, kernels::find_benchmark("syrk").model, 1.0, 77);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.run(c).exec_time_s, b.run(c).exec_time_s);
+}
+
+}  // namespace
+}  // namespace socrates::platform

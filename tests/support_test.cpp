@@ -1,0 +1,219 @@
+// Unit tests for the support library: PRNG, statistics, strings, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace socrates {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool seen_lo = false;
+  bool seen_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen_lo |= v == 3;
+    seen_hi |= v == 7;
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalFactorSigmaZeroIsOne) {
+  Rng rng(1);
+  EXPECT_EQ(rng.lognormal_factor(0.0), 1.0);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedPickRejectsAllZero) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_pick(weights), ContractViolation);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+// ---- statistics --------------------------------------------------------------
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Quantile, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 2.0, 3.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Boxplot, SummaryBasics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const auto s = boxplot_summary(v);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.q1, 25.75, 1e-9);
+  EXPECT_NEAR(s.q3, 75.25, 1e-9);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_EQ(s.n_outliers, 0u);
+  EXPECT_EQ(s.whisker_low, 1.0);
+  EXPECT_EQ(s.whisker_high, 100.0);
+}
+
+TEST(Boxplot, DetectsOutliers) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1000};
+  const auto s = boxplot_summary(v);
+  EXPECT_EQ(s.n_outliers, 1u);
+  EXPECT_LT(s.whisker_high, 1000.0);
+  EXPECT_EQ(s.max, 1000.0);
+}
+
+TEST(Statistics, NormalizedBy) {
+  const auto out = normalized_by({2.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_THROW(normalized_by({1.0}, 0.0), ContractViolation);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean_of({2.0, 8.0}), 4.0);
+  EXPECT_THROW(geometric_mean_of({1.0, -1.0}), ContractViolation);
+}
+
+// ---- strings --------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, TrimAndJoin) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("kernel_2mm", "kernel_"));
+  EXPECT_FALSE(starts_with("ker", "kernel_"));
+  EXPECT_TRUE(ends_with("file.c", ".c"));
+  EXPECT_TRUE(contains("abcdef", "cde"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("f(x)", "f(", "g("), "g(x)");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+// ---- table ------------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Right-aligned numeric column: "22" ends each row at the same offset.
+  EXPECT_NE(out.find("     1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace socrates

@@ -1,0 +1,195 @@
+// Tests for the weaver engine: join points, attributes and actions.
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "support/error.hpp"
+#include "weaver/aspects.hpp"
+#include "weaver/weaver.hpp"
+
+namespace socrates::weaver {
+namespace {
+
+const char* kSmallApp = R"(
+#include <stdio.h>
+
+int g;
+
+void kernel_work(int n)
+{
+  int i;
+  #pragma omp parallel for
+  for (i = 0; i < n; i++)
+    g += i;
+}
+
+int main(int argc, char **argv)
+{
+  kernel_work(10);
+  kernel_work(20);
+  return 0;
+}
+)";
+
+struct Fixture {
+  ir::TranslationUnit tu = ir::parse(kSmallApp);
+  WeavingMetrics metrics;
+  Weaver weaver{tu, metrics};
+};
+
+TEST(Weaver, SelectFunctionsFindsDefinitions) {
+  Fixture f;
+  EXPECT_EQ(f.weaver.select_functions().size(), 2u);
+  const auto kernels = f.weaver.select_functions_with_prefix("kernel_");
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0]->name, "kernel_work");
+}
+
+TEST(Weaver, AttributeReadsCount) {
+  Fixture f;
+  auto* fn = f.tu.find_function("kernel_work");
+  const std::size_t before = f.metrics.attributes_checked;
+  f.weaver.att_name(*fn);
+  f.weaver.att_return_type(*fn);
+  f.weaver.att_param_count(*fn);
+  f.weaver.att_param(*fn, 0);  // counts 2 (type + name)
+  EXPECT_EQ(f.metrics.attributes_checked - before, 5u);
+}
+
+TEST(Weaver, OmpPragmaSelectionAndInfo) {
+  Fixture f;
+  auto* fn = f.tu.find_function("kernel_work");
+  const auto pragmas = f.weaver.select_omp_pragmas(*fn);
+  ASSERT_EQ(pragmas.size(), 1u);
+  const auto info = f.weaver.att_omp_info(*pragmas[0]);
+  EXPECT_EQ(info.directive, "parallel for");
+}
+
+TEST(Weaver, SelectLoopsAndDepth) {
+  Fixture f;
+  auto* fn = f.tu.find_function("kernel_work");
+  const auto loops = f.weaver.select_loops(*fn);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(f.weaver.att_loop_depth(*loops[0]), 0u);
+}
+
+TEST(Weaver, SelectCallsByName) {
+  Fixture f;
+  auto* main_fn = f.tu.find_function("main");
+  EXPECT_EQ(f.weaver.select_calls(*main_fn, "kernel_work").size(), 2u);
+  EXPECT_EQ(f.weaver.select_calls(*main_fn, "nothing").size(), 0u);
+}
+
+TEST(Weaver, CloneFunctionInsertsAfterOriginal) {
+  Fixture f;
+  auto* fn = f.tu.find_function("kernel_work");
+  auto* clone = f.weaver.act_clone_function(*fn, "kernel_work_v1");
+  EXPECT_EQ(clone->name, "kernel_work_v1");
+  EXPECT_EQ(f.metrics.actions_performed, 1u);
+  // Clone is printed after the original and is structurally identical.
+  const std::string out = ir::print(f.tu);
+  EXPECT_LT(out.find("void kernel_work(int n)"), out.find("void kernel_work_v1(int n)"));
+  // Mutating the clone must not affect the original (deep copy).
+  clone->body->stmts.clear();
+  EXPECT_FALSE(f.tu.find_function("kernel_work")->body->stmts.empty());
+}
+
+TEST(Weaver, InsertPragmasAroundFunction) {
+  Fixture f;
+  auto* fn = f.tu.find_function("kernel_work");
+  f.weaver.act_insert_pragma_before(*fn, ir::Pragma{"GCC optimize(\"O3\")"});
+  f.weaver.act_insert_pragma_after(*fn, ir::Pragma{"GCC pop_options"});
+  const std::string out = ir::print(f.tu);
+  EXPECT_LT(out.find("#pragma GCC optimize(\"O3\")"), out.find("void kernel_work"));
+  EXPECT_LT(out.find("void kernel_work"), out.find("#pragma GCC pop_options"));
+}
+
+TEST(Weaver, AddIncludeAfterExistingOnes) {
+  Fixture f;
+  f.weaver.act_add_include("\"margot.h\"");
+  const std::string out = ir::print(f.tu);
+  EXPECT_LT(out.find("#include <stdio.h>"), out.find("#include \"margot.h\""));
+  EXPECT_LT(out.find("#include \"margot.h\""), out.find("int g;"));
+}
+
+TEST(Weaver, AddGlobalBeforeFirstFunction) {
+  Fixture f;
+  ir::VarDecl d;
+  d.type_text = "int";
+  d.name = "__margot_version";
+  d.init = ir::parse_expression("0");
+  f.weaver.act_add_global(std::move(d));
+  const std::string out = ir::print(f.tu);
+  EXPECT_LT(out.find("int __margot_version = 0;"), out.find("void kernel_work"));
+}
+
+TEST(Weaver, RetargetCall) {
+  Fixture f;
+  auto* main_fn = f.tu.find_function("main");
+  for (auto* call : f.weaver.select_calls(*main_fn, "kernel_work"))
+    f.weaver.act_retarget_call(*call, "kernel_work_wrapper");
+  const std::string out = ir::print(f.tu);
+  EXPECT_NE(out.find("kernel_work_wrapper(10);"), std::string::npos);
+  EXPECT_NE(out.find("kernel_work_wrapper(20);"), std::string::npos);
+}
+
+TEST(Weaver, InsertAtBegin) {
+  Fixture f;
+  auto* main_fn = f.tu.find_function("main");
+  f.weaver.act_insert_at_begin(*main_fn, ir::parse_statement("margot_init();"));
+  EXPECT_EQ(ir::print_stmt(*main_fn->body->stmts.front()), "margot_init();\n");
+}
+
+TEST(Weaver, InsertAroundCallsWrapsEverySite) {
+  Fixture f;
+  auto* main_fn = f.tu.find_function("main");
+  const std::size_t sites = f.weaver.act_insert_around_calls(
+      *main_fn, "kernel_work", {"before_a();", "before_b();"}, {"after();"});
+  EXPECT_EQ(sites, 2u);
+  const std::string out = ir::print(f.tu);
+  // Order at each site: before_a, before_b, call, after.
+  const auto a = out.find("before_a();");
+  const auto b = out.find("before_b();", a);
+  const auto c = out.find("kernel_work(10);", b);
+  const auto d = out.find("after();", c);
+  EXPECT_NE(d, std::string::npos);
+  EXPECT_TRUE(a < b && b < c && c < d);
+}
+
+TEST(Weaver, WovenOutputStillParses) {
+  Fixture f;
+  auto* fn = f.tu.find_function("kernel_work");
+  f.weaver.act_clone_function(*fn, "kernel_work_o3_close");
+  f.weaver.act_insert_pragma_before(*fn, ir::Pragma{"GCC optimize(\"O3\")"});
+  auto* main_fn = f.tu.find_function("main");
+  f.weaver.act_insert_around_calls(*main_fn, "kernel_work", {"margot_update();"},
+                                   {"margot_stop_monitors();"});
+  const std::string out = ir::print(f.tu);
+  EXPECT_NO_THROW(ir::parse(out));
+}
+
+TEST(Weaver, ForeignFunctionRejected) {
+  Fixture f;
+  const auto other = ir::parse("void alien(void) { }");
+  const auto* alien = other.find_function("alien");
+  EXPECT_THROW(f.weaver.act_insert_pragma_before(*alien, ir::Pragma{"x"}),
+               ContractViolation);
+}
+
+// ---- aspects ------------------------------------------------------------------
+
+TEST(Aspects, StrategySourcesAreNonTrivial) {
+  EXPECT_GT(lara_logical_loc(multiversioning_aspect()), 40u);
+  EXPECT_GT(lara_logical_loc(autotuner_aspect()), 10u);
+  EXPECT_EQ(strategy_logical_loc(), lara_logical_loc(multiversioning_aspect()) +
+                                        lara_logical_loc(autotuner_aspect()));
+}
+
+TEST(Aspects, LocCounterSkipsCommentsAndBlanks) {
+  EXPECT_EQ(lara_logical_loc("// only a comment\n\n  \n"), 0u);
+  EXPECT_EQ(lara_logical_loc("a = 1;\n// c\nb = 2;\n"), 2u);
+  EXPECT_EQ(lara_logical_loc("/* block\n comment */\nx\n"), 1u);
+}
+
+}  // namespace
+}  // namespace socrates::weaver
