@@ -21,3 +21,4 @@ socrates_bench(ablation_input_aware)
 socrates_bench(ablation_dse_strategies)
 socrates_bench(ablation_feedback_adaptation)
 socrates_bench(ablation_margot_overhead)
+socrates_bench(ablation_fault_tolerance)

@@ -12,6 +12,7 @@ Asrtm::Asrtm(KnowledgeBase knowledge) : knowledge_(std::move(knowledge)) {
   SOCRATES_REQUIRE_MSG(!knowledge_.empty(),
                        "AS-RTM needs at least one operating point");
   corrections_.assign(knowledge_.metric_names().size(), 1.0);
+  health_.assign(knowledge_.size(), OpHealth{});
   // Default rank: minimize the first metric (callers normally override).
   rank_ = Rank{RankDirection::kMinimize, {{0, 1.0}}};
 }
@@ -56,10 +57,28 @@ double Asrtm::violation(const OperatingPoint& op, const Constraint& c) const {
 }
 
 std::size_t Asrtm::find_best_operating_point() const {
-  // Work on indices; apply constraints from highest priority (lowest
-  // number) to lowest.
-  std::vector<std::size_t> candidates(knowledge_.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  // Work on indices; quarantined points are excluded up front, then
+  // constraints apply from highest priority (lowest number) to lowest.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(knowledge_.size());
+  for (std::size_t i = 0; i < knowledge_.size(); ++i)
+    if (!is_quarantined(i)) candidates.push_back(i);
+
+  if (candidates.empty()) {
+    // Every clone is quarantined: fall back to the historically safest
+    // point (fewest quarantines, then shortest remaining cooldown) so
+    // the application keeps making progress.
+    std::size_t safest = 0;
+    for (std::size_t i = 1; i < health_.size(); ++i) {
+      const OpHealth& a = health_[i];
+      const OpHealth& b = health_[safest];
+      if (a.times_quarantined < b.times_quarantined ||
+          (a.times_quarantined == b.times_quarantined && a.cooldown < b.cooldown))
+        safest = i;
+    }
+    last_feasible_ = false;
+    return safest;
+  }
 
   std::vector<const Constraint*> ordered;
   ordered.reserve(constraints_.size());
@@ -135,6 +154,109 @@ void Asrtm::reset_feedback() { corrections_.assign(corrections_.size(), 1.0); }
 void Asrtm::set_feedback_inertia(double alpha) {
   SOCRATES_REQUIRE(alpha > 0.0 && alpha <= 1.0);
   feedback_alpha_ = alpha;
+}
+
+// ---- variant-fault quarantine ----------------------------------------------
+
+void Asrtm::set_quarantine_options(QuarantineOptions options) {
+  SOCRATES_REQUIRE(options.failure_threshold >= 1);
+  SOCRATES_REQUIRE(options.base_cooldown >= 1);
+  SOCRATES_REQUIRE(options.max_cooldown >= options.base_cooldown);
+  quarantine_ = options;
+}
+
+void Asrtm::quarantine_op(OpHealth& health) {
+  // Exponential backoff: double the cooldown on every re-quarantine.
+  const std::size_t shift = std::min<std::size_t>(health.times_quarantined, 32);
+  const std::size_t cooldown = quarantine_.base_cooldown << shift;
+  health.cooldown = std::min(cooldown, quarantine_.max_cooldown);
+  ++health.times_quarantined;
+  health.consecutive_failures = 0;
+  health.probing = false;
+  ++quarantine_events_;
+}
+
+void Asrtm::report_variant_failure(std::size_t op_index) {
+  SOCRATES_REQUIRE(op_index < health_.size());
+  OpHealth& health = health_[op_index];
+  ++health.consecutive_failures;
+  // A failure during the post-cooldown probe re-quarantines at once.
+  if (health.probing || health.consecutive_failures >= quarantine_.failure_threshold)
+    quarantine_op(health);
+}
+
+void Asrtm::report_variant_success(std::size_t op_index) {
+  SOCRATES_REQUIRE(op_index < health_.size());
+  OpHealth& health = health_[op_index];
+  health.consecutive_failures = 0;
+  health.probing = false;
+}
+
+void Asrtm::advance_quarantine() {
+  for (OpHealth& health : health_) {
+    if (health.cooldown == 0) continue;
+    if (--health.cooldown == 0) health.probing = true;
+  }
+}
+
+bool Asrtm::is_quarantined(std::size_t op_index) const {
+  SOCRATES_REQUIRE(op_index < health_.size());
+  return health_[op_index].cooldown > 0;
+}
+
+std::size_t Asrtm::quarantined_count() const {
+  std::size_t n = 0;
+  for (const OpHealth& health : health_)
+    if (health.cooldown > 0) ++n;
+  return n;
+}
+
+// ---- OscillationWatchdog ---------------------------------------------------
+
+OscillationWatchdog::OscillationWatchdog() : OscillationWatchdog(Options()) {}
+
+OscillationWatchdog::OscillationWatchdog(Options options) : options_(options) {
+  SOCRATES_REQUIRE(options.window >= 1);
+  SOCRATES_REQUIRE(options.max_switches >= 1);
+  SOCRATES_REQUIRE(options.hold_iterations >= 1);
+  switch_ring_.assign(options.window, false);
+}
+
+std::size_t OscillationWatchdog::filter(std::size_t chosen) {
+  if (!has_applied_) {
+    has_applied_ = true;
+    applied_ = chosen;
+    return chosen;
+  }
+  if (hold_remaining_ > 0) {
+    --hold_remaining_;
+    switch_ring_[ring_next_] = false;
+    ring_next_ = (ring_next_ + 1) % options_.window;
+    return applied_;
+  }
+  const bool switched = chosen != applied_;
+  switch_ring_[ring_next_] = switched;
+  ring_next_ = (ring_next_ + 1) % options_.window;
+  if (switched) {
+    std::size_t switches = 0;
+    for (const bool s : switch_ring_)
+      if (s) ++switches;
+    if (switches > options_.max_switches) {
+      // Thrashing: suppress this switch and hold the applied point.
+      ++trips_;
+      hold_remaining_ = options_.hold_iterations;
+      return applied_;
+    }
+  }
+  applied_ = chosen;
+  return chosen;
+}
+
+void OscillationWatchdog::reset() {
+  switch_ring_.assign(options_.window, false);
+  ring_next_ = 0;
+  has_applied_ = false;
+  hold_remaining_ = 0;
 }
 
 }  // namespace socrates::margot

@@ -14,6 +14,16 @@
 // Monitor feedback adapts the knowledge online: per-metric correction
 // factors (EWMA of observed/expected) rescale every stored mean, which
 // closes the MAPE-K loop when the platform drifts from its profile.
+//
+// Two graceful-degradation mechanisms defend the decision loop against
+// the faults of platform/fault_injection.hpp:
+//   - operating points whose compiled clone repeatedly fails are
+//     *quarantined* (excluded from selection) and re-probed after an
+//     exponentially growing cooldown; when every point is quarantined,
+//     selection falls back to the historically safest one;
+//   - an OscillationWatchdog (used by margot::Context) holds the
+//     current configuration when noisy feedback makes the selection
+//     thrash between points.
 #pragma once
 
 #include <cstddef>
@@ -70,7 +80,41 @@ class Asrtm {
   /// EWMA smoothing factor for feedback, in (0, 1]; default 0.3.
   void set_feedback_inertia(double alpha);
 
+  // ---- variant-fault quarantine ----------------------------------------
+  struct QuarantineOptions {
+    std::size_t failure_threshold = 2;  ///< consecutive failures to quarantine
+    std::size_t base_cooldown = 8;      ///< iterations before the first re-probe
+    std::size_t max_cooldown = 512;     ///< backoff ceiling
+  };
+
+  void set_quarantine_options(QuarantineOptions options);
+
+  /// Reports that the clone behind `op_index` crashed or produced a
+  /// runaway result.  After `failure_threshold` consecutive failures
+  /// (immediately when the point was re-probing) the point is
+  /// quarantined for base_cooldown * 2^(times quarantined) iterations.
+  void report_variant_failure(std::size_t op_index);
+  /// Reports a healthy run of `op_index`; resets its failure streak.
+  void report_variant_success(std::size_t op_index);
+  /// Advances quarantine cooldowns by one iteration; points whose
+  /// cooldown expires become eligible again, on probation: one more
+  /// failure re-quarantines them immediately with a doubled cooldown.
+  void advance_quarantine();
+
+  bool is_quarantined(std::size_t op_index) const;
+  std::size_t quarantined_count() const;
+  /// Total quarantine events since construction.
+  std::size_t quarantine_events() const { return quarantine_events_; }
+
  private:
+  struct OpHealth {
+    std::size_t consecutive_failures = 0;
+    std::size_t times_quarantined = 0;
+    std::size_t cooldown = 0;   ///< > 0: quarantined for this many iterations
+    bool probing = false;       ///< cooldown expired, not yet proven healthy
+  };
+
+  void quarantine_op(OpHealth& health);
   /// Expected (corrected) value of metric `m` for point `op`.
   double expected(const OperatingPoint& op, std::size_t m) const;
   /// Pessimistic test value for a constraint (mean +/- conf * stddev).
@@ -84,6 +128,46 @@ class Asrtm {
   std::vector<double> corrections_;      ///< per metric, multiplicative
   double feedback_alpha_ = 0.3;
   mutable bool last_feasible_ = true;
+  QuarantineOptions quarantine_;
+  std::vector<OpHealth> health_;         ///< one entry per operating point
+  std::size_t quarantine_events_ = 0;
+};
+
+/// Dampens configuration thrashing: feeds on the point chosen each
+/// iteration and, when more than `max_switches` switches land inside
+/// the trailing `window` iterations, holds the previously applied point
+/// for `hold_iterations` before listening to the AS-RTM again.  Noisy
+/// feedback (spiked sensors, heavy-tailed timing) otherwise makes the
+/// selection oscillate between near-equivalent points, and every switch
+/// pays the paper's reconfiguration overhead.
+class OscillationWatchdog {
+ public:
+  struct Options {
+    std::size_t window = 12;
+    std::size_t max_switches = 4;
+    std::size_t hold_iterations = 10;
+  };
+
+  OscillationWatchdog();
+  explicit OscillationWatchdog(Options options);
+
+  /// Returns the point to actually apply: `chosen`, or the held point
+  /// while a hold-down is active.
+  std::size_t filter(std::size_t chosen);
+
+  bool holding() const { return hold_remaining_ > 0; }
+  /// Times the watchdog tripped into a hold-down.
+  std::size_t trips() const { return trips_; }
+  void reset();
+
+ private:
+  Options options_;
+  std::vector<bool> switch_ring_;   ///< trailing window of "changed" flags
+  std::size_t ring_next_ = 0;
+  std::size_t applied_ = 0;
+  bool has_applied_ = false;
+  std::size_t hold_remaining_ = 0;
+  std::size_t trips_ = 0;
 };
 
 }  // namespace socrates::margot

@@ -1,5 +1,6 @@
 #include "margot/context.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -9,6 +10,24 @@ namespace socrates::margot {
 
 std::vector<std::string> ContextMetrics::names() {
   return {"exec_time_s", "power_w", "throughput"};
+}
+
+RobustnessOptions RobustnessOptions::hardened() {
+  RobustnessOptions options;
+  options.harden_monitors = true;
+  options.outlier_filter = true;
+  options.variant_quarantine = true;
+  options.oscillation_watchdog = true;
+  return options;
+}
+
+RobustnessOptions RobustnessOptions::raw() {
+  RobustnessOptions options;
+  options.harden_monitors = false;
+  options.outlier_filter = false;
+  options.variant_quarantine = false;
+  options.oscillation_watchdog = false;
+  return options;
 }
 
 Context::Context(KnowledgeBase knowledge, const platform::Clock& clock,
@@ -23,8 +42,30 @@ Context::Context(KnowledgeBase knowledge, const platform::Clock& clock,
       power_monitor_(clock, energy, monitor_window),
       energy_monitor_(energy, monitor_window) {}
 
+void Context::set_robustness(const RobustnessOptions& options) {
+  SOCRATES_REQUIRE(options.runaway_factor > 1.0);
+  robustness_ = options;
+  time_monitor_.set_hardened(options.harden_monitors);
+  power_monitor_.set_hardened(options.harden_monitors);
+  energy_monitor_.set_hardened(options.harden_monitors);
+  power_monitor_.set_wrap_range_uj(options.wrap_range_uj);
+  energy_monitor_.set_wrap_range_uj(options.wrap_range_uj);
+  for (CircularMonitor* stats :
+       {&time_monitor_.mutable_stats(), &power_monitor_.mutable_stats(),
+        &energy_monitor_.mutable_stats()}) {
+    if (options.outlier_filter)
+      stats->enable_outlier_filter(options.hampel);
+    else
+      stats->disable_outlier_filter();
+  }
+  asrtm_.set_quarantine_options(options.quarantine);
+  watchdog_ = OscillationWatchdog(options.watchdog);
+}
+
 bool Context::update(std::vector<int>& knobs) {
-  const std::size_t chosen = asrtm_.find_best_operating_point();
+  if (robustness_.variant_quarantine) asrtm_.advance_quarantine();
+  std::size_t chosen = asrtm_.find_best_operating_point();
+  if (robustness_.oscillation_watchdog) chosen = watchdog_.filter(chosen);
   const bool changed = !has_selection_ || chosen != current_op_;
   current_op_ = chosen;
   has_selection_ = true;
@@ -40,6 +81,17 @@ void Context::start_monitors() {
   time_monitor_.start();
   power_monitor_.start();
   energy_monitor_.start();
+}
+
+void Context::cancel_monitors() {
+  time_monitor_.cancel();
+  power_monitor_.cancel();
+  energy_monitor_.cancel();
+}
+
+void Context::report_variant_crash() {
+  SOCRATES_REQUIRE_MSG(has_selection_, "report_variant_crash() before any update()");
+  if (robustness_.variant_quarantine) asrtm_.report_variant_failure(current_op_);
 }
 
 std::string Context::log() const {
@@ -62,7 +114,17 @@ std::string Context::log() const {
   }
   os << " corr(t,P)=" << format_double(asrtm_.correction(ContextMetrics::kExecTime), 3)
      << "," << format_double(asrtm_.correction(ContextMetrics::kPower), 3);
+  if (asrtm_.quarantined_count() > 0)
+    os << " quarantined=" << asrtm_.quarantined_count();
   return os.str();
+}
+
+void Context::send_feedback_checked(std::size_t metric, double observed,
+                                    bool rejected) {
+  // send_feedback requires a positive, finite observation; anything
+  // else (or a sample the hardened monitor rejected) is skipped.
+  if (rejected || !std::isfinite(observed) || observed <= 0.0) return;
+  asrtm_.send_feedback(current_op_, metric, observed);
 }
 
 void Context::stop_monitors() {
@@ -71,9 +133,25 @@ void Context::stop_monitors() {
   const double watts = power_monitor_.stop();
   energy_monitor_.stop();
 
-  asrtm_.send_feedback(current_op_, ContextMetrics::kExecTime, elapsed);
-  asrtm_.send_feedback(current_op_, ContextMetrics::kPower, watts);
-  asrtm_.send_feedback(current_op_, ContextMetrics::kThroughput, 1.0 / elapsed);
+  if (robustness_.variant_quarantine && std::isfinite(elapsed) && elapsed > 0.0) {
+    // Acceptance test against the (corrected) expectation: a runaway
+    // run means the clone returned garbage, not that the platform
+    // drifted eight-fold in one iteration.
+    const double expected = asrtm_.knowledge()[current_op_].metrics[ContextMetrics::kExecTime].mean *
+                            asrtm_.correction(ContextMetrics::kExecTime);
+    if (expected > 0.0 && elapsed > robustness_.runaway_factor * expected) {
+      asrtm_.report_variant_failure(current_op_);
+      return;  // a garbage run must not steer the corrections
+    }
+    asrtm_.report_variant_success(current_op_);
+  }
+
+  send_feedback_checked(ContextMetrics::kExecTime, elapsed,
+                        time_monitor_.last_rejected());
+  send_feedback_checked(ContextMetrics::kPower, watts, power_monitor_.last_rejected());
+  if (std::isfinite(elapsed) && elapsed > 0.0)
+    send_feedback_checked(ContextMetrics::kThroughput, 1.0 / elapsed,
+                          time_monitor_.last_rejected());
 }
 
 }  // namespace socrates::margot

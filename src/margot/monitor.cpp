@@ -7,23 +7,76 @@
 
 namespace socrates::margot {
 
+namespace {
+
+/// Consistency constant of the MAD estimator for normal data.
+constexpr double kMadToSigma = 1.4826;
+
+double median_of(std::vector<double> v) {
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double hi = v[mid];
+  if (n % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
 CircularMonitor::CircularMonitor(std::size_t window) : window_(window) {
   SOCRATES_REQUIRE(window >= 1);
   values_.reserve(window);
 }
 
-void CircularMonitor::push(double value) {
+bool CircularMonitor::push(double value) {
+  if (filter_enabled_ && is_outlier(value)) {
+    ++consecutive_rejections_;
+    if (consecutive_rejections_ <= filter_.max_consecutive) {
+      ++outliers_rejected_;
+      return false;
+    }
+    // Enough consecutive flags: this is a level shift, not a spike.
+  }
+  consecutive_rejections_ = 0;
   if (values_.size() < window_) {
     values_.push_back(value);
-    return;
+    return true;
   }
   values_[next_] = value;
   next_ = (next_ + 1) % window_;
+  return true;
+}
+
+bool CircularMonitor::is_outlier(double value) const {
+  if (values_.size() < filter_.min_samples) return false;
+  const double med = median();
+  const double spread = kMadToSigma * mad();
+  if (spread <= 0.0) return false;  // no dispersion information
+  return std::abs(value - med) > filter_.threshold * spread;
 }
 
 void CircularMonitor::clear() {
   values_.clear();
   next_ = 0;
+  consecutive_rejections_ = 0;
+  outliers_rejected_ = 0;
+}
+
+void CircularMonitor::enable_outlier_filter() { enable_outlier_filter(OutlierFilter()); }
+
+void CircularMonitor::enable_outlier_filter(OutlierFilter filter) {
+  SOCRATES_REQUIRE(filter.threshold > 0.0);
+  SOCRATES_REQUIRE(filter.min_samples >= 1);
+  SOCRATES_REQUIRE(filter.max_consecutive >= 1);
+  filter_enabled_ = true;
+  filter_ = filter;
+}
+
+void CircularMonitor::disable_outlier_filter() {
+  filter_enabled_ = false;
+  consecutive_rejections_ = 0;
 }
 
 double CircularMonitor::last() const {
@@ -59,88 +112,162 @@ double CircularMonitor::max() const {
   return *std::max_element(values_.begin(), values_.end());
 }
 
-// ---- TimeMonitor -----------------------------------------------------------
+double CircularMonitor::median() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  return median_of(values_);
+}
 
-TimeMonitor::TimeMonitor(const platform::Clock& clock, std::size_t window)
-    : clock_(clock), stats_(window) {}
+double CircularMonitor::mad() const {
+  SOCRATES_REQUIRE(!values_.empty());
+  const double med = median_of(values_);
+  std::vector<double> deviations;
+  deviations.reserve(values_.size());
+  for (const double v : values_) deviations.push_back(std::abs(v - med));
+  return median_of(std::move(deviations));
+}
 
-void TimeMonitor::start() {
-  SOCRATES_REQUIRE_MSG(!running_, "TimeMonitor::start() while already running");
-  start_time_ = clock_.now_s();
+// ---- RegionMonitorBase -----------------------------------------------------
+
+void RegionMonitorBase::begin(const char* who) {
+  SOCRATES_REQUIRE_MSG(!running_, who << "::start() while already running");
   running_ = true;
 }
 
-double TimeMonitor::stop() {
-  SOCRATES_REQUIRE_MSG(running_, "TimeMonitor::stop() without start()");
+void RegionMonitorBase::end(const char* who) {
+  SOCRATES_REQUIRE_MSG(running_, who << "::stop() without start()");
   running_ = false;
+}
+
+double RegionMonitorBase::record(double value, bool valid) {
+  last_observation_ = value;
+  if (hardened_ && !valid) {
+    last_rejected_ = true;
+    ++rejected_;
+    return value;
+  }
+  last_rejected_ = !stats_.push(value);
+  if (last_rejected_) ++rejected_;
+  return value;
+}
+
+// ---- TimeMonitor -----------------------------------------------------------
+
+TimeMonitor::TimeMonitor(const platform::Clock& clock, std::size_t window)
+    : RegionMonitorBase(window), clock_(clock) {}
+
+void TimeMonitor::start() {
+  begin("TimeMonitor");
+  start_time_ = clock_.now_s();
+}
+
+double TimeMonitor::stop() {
+  end("TimeMonitor");
   const double elapsed = clock_.now_s() - start_time_;
-  stats_.push(elapsed);
-  return elapsed;
+  return record(elapsed, std::isfinite(elapsed) && elapsed >= 0.0);
+}
+
+void TimeMonitor::cancel() {
+  SOCRATES_REQUIRE_MSG(running_, "TimeMonitor::cancel() without start()");
+  running_ = false;
 }
 
 // ---- ThroughputMonitor -----------------------------------------------------
 
 ThroughputMonitor::ThroughputMonitor(const platform::Clock& clock, std::size_t window)
-    : clock_(clock), stats_(window) {}
+    : RegionMonitorBase(window), clock_(clock) {}
 
 void ThroughputMonitor::start() {
-  SOCRATES_REQUIRE_MSG(!running_, "ThroughputMonitor::start() while already running");
+  begin("ThroughputMonitor");
   start_time_ = clock_.now_s();
-  running_ = true;
 }
 
 double ThroughputMonitor::stop(double units) {
-  SOCRATES_REQUIRE_MSG(running_, "ThroughputMonitor::stop() without start()");
+  end("ThroughputMonitor");
   SOCRATES_REQUIRE(units > 0.0);
-  running_ = false;
   const double elapsed = clock_.now_s() - start_time_;
-  SOCRATES_REQUIRE_MSG(elapsed > 0.0, "zero-length throughput region");
+  SOCRATES_REQUIRE_MSG(elapsed != 0.0, "zero-length throughput region");
   const double thr = units / elapsed;
-  stats_.push(thr);
-  return thr;
+  return record(thr, std::isfinite(thr) && thr > 0.0);
+}
+
+void ThroughputMonitor::cancel() {
+  SOCRATES_REQUIRE_MSG(running_, "ThroughputMonitor::cancel() without start()");
+  running_ = false;
 }
 
 // ---- EnergyMonitor ---------------------------------------------------------
 
+namespace {
+
+/// Wrap-corrects `delta_uj` when it is negative but lands inside the
+/// register range after adding one wrap; returns whether it did.
+bool correct_wrap(double& delta_uj, double wrap_range_uj) {
+  if (!(delta_uj < 0.0) || !std::isfinite(delta_uj)) return false;
+  const double corrected = delta_uj + wrap_range_uj;
+  if (corrected < 0.0 || corrected > wrap_range_uj) return false;
+  delta_uj = corrected;
+  return true;
+}
+
+}  // namespace
+
 EnergyMonitor::EnergyMonitor(const platform::EnergyCounter& counter, std::size_t window)
-    : counter_(counter), stats_(window) {}
+    : RegionMonitorBase(window), counter_(counter) {}
 
 void EnergyMonitor::start() {
-  SOCRATES_REQUIRE_MSG(!running_, "EnergyMonitor::start() while already running");
+  begin("EnergyMonitor");
   start_energy_uj_ = counter_.energy_uj();
-  running_ = true;
 }
 
 double EnergyMonitor::stop() {
-  SOCRATES_REQUIRE_MSG(running_, "EnergyMonitor::stop() without start()");
+  end("EnergyMonitor");
+  double delta_uj = counter_.energy_uj() - start_energy_uj_;
+  if (hardened() && correct_wrap(delta_uj, wrap_range_uj_)) ++wraps_corrected_;
+  const double joules = delta_uj * 1e-6;
+  return record(joules, std::isfinite(joules) && joules > 0.0);
+}
+
+void EnergyMonitor::cancel() {
+  SOCRATES_REQUIRE_MSG(running_, "EnergyMonitor::cancel() without start()");
   running_ = false;
-  const double joules = (counter_.energy_uj() - start_energy_uj_) * 1e-6;
-  stats_.push(joules);
-  return joules;
+}
+
+void EnergyMonitor::set_wrap_range_uj(double range_uj) {
+  SOCRATES_REQUIRE(range_uj > 0.0);
+  wrap_range_uj_ = range_uj;
 }
 
 // ---- PowerMonitor ----------------------------------------------------------
 
 PowerMonitor::PowerMonitor(const platform::Clock& clock,
                            const platform::EnergyCounter& counter, std::size_t window)
-    : clock_(clock), counter_(counter), stats_(window) {}
+    : RegionMonitorBase(window), clock_(clock), counter_(counter) {}
 
 void PowerMonitor::start() {
-  SOCRATES_REQUIRE_MSG(!running_, "PowerMonitor::start() while already running");
+  begin("PowerMonitor");
   start_time_ = clock_.now_s();
   start_energy_uj_ = counter_.energy_uj();
-  running_ = true;
 }
 
 double PowerMonitor::stop() {
-  SOCRATES_REQUIRE_MSG(running_, "PowerMonitor::stop() without start()");
-  running_ = false;
+  end("PowerMonitor");
   const double elapsed = clock_.now_s() - start_time_;
-  SOCRATES_REQUIRE_MSG(elapsed > 0.0, "zero-length power region");
-  const double joules = (counter_.energy_uj() - start_energy_uj_) * 1e-6;
-  const double watts = joules / elapsed;
-  stats_.push(watts);
-  return watts;
+  SOCRATES_REQUIRE_MSG(elapsed != 0.0, "zero-length power region");
+  double delta_uj = counter_.energy_uj() - start_energy_uj_;
+  if (hardened() && correct_wrap(delta_uj, wrap_range_uj_)) ++wraps_corrected_;
+  const double watts = delta_uj * 1e-6 / elapsed;
+  const bool valid = std::isfinite(watts) && watts > 0.0 && elapsed > 0.0;
+  return record(watts, valid);
+}
+
+void PowerMonitor::cancel() {
+  SOCRATES_REQUIRE_MSG(running_, "PowerMonitor::cancel() without start()");
+  running_ = false;
+}
+
+void PowerMonitor::set_wrap_range_uj(double range_uj) {
+  SOCRATES_REQUIRE(range_uj > 0.0);
+  wrap_range_uj_ = range_uj;
 }
 
 }  // namespace socrates::margot

@@ -1,5 +1,7 @@
 #include "platform/executor.hpp"
 
+#include <sstream>
+
 #include "support/error.hpp"
 
 namespace socrates::platform {
@@ -9,11 +11,35 @@ KernelExecutor::KernelExecutor(const PerformanceModel& model, KernelModelParams 
     : model_(model),
       kernel_(std::move(kernel)),
       work_scale_(work_scale),
-      noise_(noise_seed) {}
+      noise_(noise_seed),
+      fault_rng_(noise_seed ^ 0x9e3779b97f4a7c15ULL),
+      faulty_clock_(clock_, faults_, noise_seed ^ 0xc10cULL),
+      faulty_rapl_(rapl_, clock_, faults_, noise_seed ^ 0xfa017ULL) {}
 
 Measurement KernelExecutor::run(const Configuration& config) {
   Measurement m = model_.evaluate(kernel_, config, &noise_, work_scale_);
   m = disturbances_.apply(m, kernel_, clock_.now_s());
+
+  const auto roll = faults_.roll_variant(config, clock_.now_s(), fault_rng_);
+  if (roll.outcome == FaultSchedule::VariantOutcome::kCrash) {
+    // The run dies after a fraction of its time; the machine still
+    // spent that time and energy.
+    const double partial = m.exec_time_s * roll.fault->crash_fraction;
+    clock_.advance(partial);
+    rapl_.accrue(partial, m.avg_power_w);
+    std::ostringstream os;
+    os << "variant crash: clone '" << config.flags.pragma_options() << "' died after "
+       << partial << " s";
+    throw VariantCrash(os.str(), partial);
+  }
+  if (roll.outcome == FaultSchedule::VariantOutcome::kGarbage) {
+    // A pathological execution (denormals, mistuned clone): wildly
+    // inflated runtime with skewed power draw.
+    m.exec_time_s *= roll.fault->garbage_scale * fault_rng_.uniform(0.5, 1.5);
+    m.avg_power_w *= fault_rng_.uniform(0.3, 1.2);
+    m.energy_j = m.exec_time_s * m.avg_power_w;
+  }
+
   clock_.advance(m.exec_time_s);
   rapl_.accrue(m.exec_time_s, m.avg_power_w);
   return m;
@@ -26,6 +52,10 @@ void KernelExecutor::idle(double seconds) {
 
 void KernelExecutor::set_disturbances(DisturbanceSchedule schedule) {
   disturbances_ = std::move(schedule);
+}
+
+void KernelExecutor::set_faults(FaultSchedule schedule) {
+  faults_ = std::move(schedule);
 }
 
 void KernelExecutor::set_work_scale(double work_scale) {

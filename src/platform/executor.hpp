@@ -5,11 +5,16 @@
 // the modelled energy into a simulated RAPL counter.  mARGOt's time and
 // energy monitors observe *only* the clock and the counter — exactly
 // the interface they would have on real hardware — so the adaptation
-// logic cannot peek at model internals.
+// logic cannot peek at model internals.  When a FaultSchedule is
+// installed, the monitors additionally observe the clock and counter
+// *through* the schedule's sensor faults (sensor_clock() /
+// sensor_counter()), and run() may crash or return garbage for the
+// clones the schedule marks faulty.
 #pragma once
 
 #include "platform/clock.hpp"
 #include "platform/disturbance.hpp"
+#include "platform/fault_injection.hpp"
 #include "platform/kernel_model.hpp"
 #include "platform/perf_model.hpp"
 #include "platform/rapl.hpp"
@@ -25,7 +30,9 @@ class KernelExecutor {
                  double work_scale = 1.0, std::uint64_t noise_seed = 42);
 
   /// Executes one kernel invocation under `config`: advances the clock,
-  /// accrues energy, returns the measurement.
+  /// accrues energy, returns the measurement.  Throws VariantCrash when
+  /// the fault schedule makes this clone crash (the clock and counter
+  /// still advance by the partial run).
   Measurement run(const Configuration& config);
 
   VirtualClock& clock() { return clock_; }
@@ -33,6 +40,14 @@ class KernelExecutor {
   const SimulatedRapl& rapl() const { return rapl_; }
   SimulatedRapl& rapl() { return rapl_; }
   const KernelModelParams& kernel() const { return kernel_; }
+
+  /// The time base as the *monitors* should see it: the true clock
+  /// filtered through the fault schedule (identical to clock() while no
+  /// clock faults are active).
+  const Clock& sensor_clock() const { return faulty_clock_; }
+
+  /// The energy counter as the monitors should see it (see above).
+  const EnergyCounter& sensor_counter() const { return faulty_rapl_; }
 
   /// Simulated idle time between kernel invocations: advances the
   /// clock and accrues idle-power energy.
@@ -44,6 +59,11 @@ class KernelExecutor {
   /// the monitors.
   void set_disturbances(DisturbanceSchedule schedule);
   const DisturbanceSchedule& disturbances() const { return disturbances_; }
+
+  /// Installs sensor / variant faults; like disturbances, the adaptive
+  /// layers only ever see their effects.
+  void set_faults(FaultSchedule schedule);
+  const FaultSchedule& faults() const { return faults_; }
 
   /// Changes the dataset scale of subsequent runs (input change).
   void set_work_scale(double work_scale);
@@ -57,6 +77,10 @@ class KernelExecutor {
   VirtualClock clock_;
   SimulatedRapl rapl_;
   DisturbanceSchedule disturbances_;
+  FaultSchedule faults_;
+  Rng fault_rng_;                   ///< separate stream: faults never shift noise
+  FaultyClock faulty_clock_;        ///< sensor view over clock_ + faults_
+  FaultyEnergyCounter faulty_rapl_; ///< sensor view over rapl_ + faults_
 };
 
 }  // namespace socrates::platform

@@ -1,0 +1,117 @@
+#include "platform/fault_injection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace socrates::platform {
+
+const char* to_string(SensorFaultKind kind) {
+  switch (kind) {
+    case SensorFaultKind::kCounterWrap: return "counter-wrap";
+    case SensorFaultKind::kStuckCounter: return "stuck-counter";
+    case SensorFaultKind::kReadFailure: return "read-failure";
+    case SensorFaultKind::kSpike: return "spike";
+    case SensorFaultKind::kClockJitter: return "clock-jitter";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(SensorFault fault) {
+  SOCRATES_REQUIRE(fault.end_s > fault.start_s);
+  SOCRATES_REQUIRE(fault.probability >= 0.0 && fault.probability <= 1.0);
+  SOCRATES_REQUIRE(fault.magnitude >= 0.0);
+  if (fault.kind == SensorFaultKind::kCounterWrap)
+    SOCRATES_REQUIRE_MSG(fault.magnitude > 0.0, "wrap range must be positive");
+  sensor_faults_.push_back(fault);
+}
+
+void FaultSchedule::add(VariantFault fault) {
+  SOCRATES_REQUIRE(fault.end_s > fault.start_s);
+  SOCRATES_REQUIRE(fault.crash_probability >= 0.0 && fault.crash_probability <= 1.0);
+  SOCRATES_REQUIRE(fault.garbage_probability >= 0.0 && fault.garbage_probability <= 1.0);
+  SOCRATES_REQUIRE(fault.crash_fraction >= 0.0 && fault.crash_fraction <= 1.0);
+  // A crash that consumes no simulated time would let run_until() spin
+  // forever on a quarantine-less stack.
+  if (fault.crash_probability > 0.0)
+    SOCRATES_REQUIRE_MSG(fault.crash_fraction > 0.0,
+                         "crashing variants must burn some time before dying");
+  SOCRATES_REQUIRE(fault.garbage_scale > 0.0);
+  variant_faults_.push_back(fault);
+}
+
+double FaultSchedule::corrupt_energy_reading(double clean_uj, double t_s, Rng& rng,
+                                             StuckState& stuck) const {
+  double value = clean_uj;
+  bool stuck_active = false;
+  for (const SensorFault& f : sensor_faults_) {
+    if (!f.active_at(t_s)) continue;
+    switch (f.kind) {
+      case SensorFaultKind::kCounterWrap:
+        value = std::fmod(value, f.magnitude);
+        break;
+      case SensorFaultKind::kStuckCounter:
+        stuck_active = true;
+        if (!stuck.latched) {
+          stuck.latched = true;
+          stuck.value_uj = value;
+        }
+        value = stuck.value_uj;
+        break;
+      case SensorFaultKind::kReadFailure:
+        if (rng.uniform() < f.probability)
+          return std::numeric_limits<double>::quiet_NaN();
+        break;
+      case SensorFaultKind::kSpike:
+        if (rng.uniform() < f.probability) value += f.magnitude;
+        break;
+      case SensorFaultKind::kClockJitter:
+        break;  // handled by corrupt_timestamp
+    }
+  }
+  if (!stuck_active) stuck.latched = false;
+  return value;
+}
+
+double FaultSchedule::corrupt_timestamp(double clean_s, double t_s, Rng& rng) const {
+  double value = clean_s;
+  for (const SensorFault& f : sensor_faults_) {
+    if (f.kind != SensorFaultKind::kClockJitter || !f.active_at(t_s)) continue;
+    value += rng.normal(0.0, f.magnitude);
+  }
+  return value;
+}
+
+FaultSchedule::VariantRoll FaultSchedule::roll_variant(const Configuration& config,
+                                                       double t_s, Rng& rng) const {
+  for (const VariantFault& f : variant_faults_) {
+    if (!f.active_at(t_s) || !(f.config == config.flags)) continue;
+    if (f.crash_probability > 0.0 && rng.uniform() < f.crash_probability)
+      return {VariantOutcome::kCrash, &f};
+    if (f.garbage_probability > 0.0 && rng.uniform() < f.garbage_probability)
+      return {VariantOutcome::kGarbage, &f};
+  }
+  return {};
+}
+
+FaultyEnergyCounter::FaultyEnergyCounter(const EnergyCounter& inner, const Clock& clock,
+                                         const FaultSchedule& faults, std::uint64_t seed)
+    : inner_(inner), clock_(clock), faults_(faults), rng_(seed) {}
+
+double FaultyEnergyCounter::energy_uj() const {
+  return faults_.corrupt_energy_reading(inner_.energy_uj(), clock_.now_s(), rng_,
+                                        stuck_);
+}
+
+FaultyClock::FaultyClock(const Clock& inner, const FaultSchedule& faults,
+                         std::uint64_t seed)
+    : inner_(inner), faults_(faults), rng_(seed) {}
+
+double FaultyClock::now_s() const {
+  const double clean = inner_.now_s();
+  return faults_.corrupt_timestamp(clean, clean, rng_);
+}
+
+}  // namespace socrates::platform

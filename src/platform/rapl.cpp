@@ -34,17 +34,26 @@ bool SysfsRaplReader::available(const std::string& powercap_root) {
 }
 
 SysfsRaplReader::SysfsRaplReader(const std::string& powercap_root)
-    : domain_files_(find_package_domains(powercap_root)) {
+    : domain_files_(find_package_domains(powercap_root)),
+      last_values_(domain_files_.size(), 0.0) {
   SOCRATES_REQUIRE_MSG(!domain_files_.empty(),
                        "no readable intel-rapl package domain under " << powercap_root);
 }
 
 double SysfsRaplReader::energy_uj() const {
   double total = 0.0;
-  for (const auto& file : domain_files_) {
-    std::ifstream in(file);
+  for (std::size_t i = 0; i < domain_files_.size(); ++i) {
+    std::ifstream in(domain_files_[i]);
     double value = 0.0;
-    if (in >> value) total += value;
+    if (in >> value) {
+      last_values_[i] = value;
+      total += value;
+    } else {
+      // Domain vanished or turned unreadable: substitute its last good
+      // value so the summed counter neither drops nor throws.
+      ++read_errors_;
+      total += last_values_[i];
+    }
   }
   return total;
 }

@@ -11,12 +11,18 @@
 // built in has no powercap interface; see DESIGN.md §2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace socrates::platform {
+
+/// Range of the RAPL energy register: 32 bits of microjoules.  Real
+/// counters wrap modulo this value every few minutes under load; the
+/// hardened energy/power monitors correct deltas that straddle a wrap.
+inline constexpr double kRaplWrapRangeUj = 4294967296.0;
 
 class EnergyCounter {
  public:
@@ -28,7 +34,11 @@ class EnergyCounter {
 };
 
 /// Reads and sums every package domain under /sys/class/powercap.
-/// Construct only when available() returns true.
+/// Construct only when available() returns true.  Domain files that
+/// become unreadable (hot-unplug, permission flip, vanished hwmon)
+/// after construction are skipped at read time: the last value seen for
+/// that domain is substituted so the sum stays monotone, and the
+/// failure is tallied in read_errors().
 class SysfsRaplReader final : public EnergyCounter {
  public:
   /// True when at least one intel-rapl package domain is readable.
@@ -42,8 +52,13 @@ class SysfsRaplReader final : public EnergyCounter {
   /// Paths of the energy_uj files being summed.
   const std::vector<std::string>& domains() const { return domain_files_; }
 
+  /// Number of per-domain reads that failed since construction.
+  std::size_t read_errors() const { return read_errors_; }
+
  private:
   std::vector<std::string> domain_files_;
+  mutable std::vector<double> last_values_;  ///< per domain, last good read
+  mutable std::size_t read_errors_ = 0;
 };
 
 /// Simulated counter: the executor deposits energy as simulated time

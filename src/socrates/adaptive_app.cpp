@@ -5,30 +5,57 @@
 
 namespace socrates {
 
+namespace {
+
+/// The monitor's view of the last region: the accepted observation, or
+/// the window's robust center when the sample was rejected (the best
+/// estimate a hardened stack can report).
+double observed_value(const margot::RegionMonitorBase& monitor) {
+  if (!monitor.last_rejected()) return monitor.last_observation();
+  return monitor.stats().empty() ? 0.0 : monitor.stats().median();
+}
+
+}  // namespace
+
 AdaptiveApplication::AdaptiveApplication(AdaptiveBinary binary,
                                          const platform::PerformanceModel& platform,
                                          double work_scale, std::uint64_t noise_seed)
     : binary_(std::move(binary)),
       executor_(platform, kernels::find_benchmark(binary_.benchmark).model, work_scale,
                 noise_seed),
-      context_(binary_.knowledge, executor_.clock(), executor_.rapl()) {}
+      context_(binary_.knowledge, executor_.sensor_clock(), executor_.sensor_counter()) {}
 
 TraceSample AdaptiveApplication::run_iteration() {
   TraceSample sample;
   sample.configuration_changed = context_.update(knobs_);
 
   const platform::Configuration config = dse::decode_knobs(binary_.space, knobs_);
+  sample.config_name = binary_.space.configs[static_cast<std::size_t>(knobs_[0])].name;
+  sample.threads = config.threads;
+  sample.binding = config.binding;
 
   context_.start_monitors();
-  const platform::Measurement m = executor_.run(config);
+  platform::Measurement m;
+  try {
+    m = executor_.run(config);
+  } catch (const platform::VariantCrash&) {
+    context_.cancel_monitors();
+    context_.report_variant_crash();
+    sample.crashed = true;
+    sample.timestamp_s = executor_.clock().now_s();
+    return sample;
+  }
   context_.stop_monitors();
 
   sample.timestamp_s = executor_.clock().now_s();
   sample.exec_time_s = m.exec_time_s;
   sample.power_w = m.avg_power_w;
-  sample.config_name = binary_.space.configs[static_cast<std::size_t>(knobs_[0])].name;
-  sample.threads = config.threads;
-  sample.binding = config.binding;
+  sample.observed_time_s = observed_value(context_.time_monitor());
+  sample.observed_power_w = observed_value(context_.power_monitor());
+  sample.observed_energy_j = observed_value(context_.energy_monitor());
+  sample.sample_rejected = context_.time_monitor().last_rejected() ||
+                           context_.power_monitor().last_rejected() ||
+                           context_.energy_monitor().last_rejected();
   return sample;
 }
 

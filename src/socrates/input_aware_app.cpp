@@ -40,7 +40,8 @@ InputAwareApplication::InputAwareApplication(InputAwareBinary binary,
   contexts_.reserve(binary_.knowledge.cluster_count());
   for (std::size_t i = 0; i < binary_.knowledge.cluster_count(); ++i) {
     contexts_.push_back(std::make_unique<margot::Context>(
-        binary_.knowledge.cluster(i).knowledge, executor_.clock(), executor_.rapl()));
+        binary_.knowledge.cluster(i).knowledge, executor_.sensor_clock(),
+        executor_.sensor_counter()));
   }
 }
 

@@ -128,5 +128,72 @@ TEST(PowerMonitor, InterleavedRegionsSeeOnlyTheirEnergy) {
   EXPECT_DOUBLE_EQ(pm.stop(), 30.0);
 }
 
+TEST(AllMonitors, StopWithoutStartIsACleanError) {
+  platform::VirtualClock clock;
+  platform::SimulatedRapl rapl;
+  TimeMonitor tm(clock);
+  ThroughputMonitor thm(clock);
+  EnergyMonitor em(rapl);
+  PowerMonitor pm(clock, rapl);
+  // Every monitor reports the misuse as a ContractViolation instead of
+  // recording a garbage region from uninitialized start state.
+  EXPECT_THROW(tm.stop(), ContractViolation);
+  EXPECT_THROW(thm.stop(), ContractViolation);
+  EXPECT_THROW(em.stop(), ContractViolation);
+  EXPECT_THROW(pm.stop(), ContractViolation);
+  // The failed stop() leaves the monitor usable.
+  tm.start();
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(tm.stop(), 0.5);
+}
+
+TEST(AllMonitors, DoubleStopIsACleanError) {
+  platform::VirtualClock clock;
+  platform::SimulatedRapl rapl;
+  EnergyMonitor em(rapl);
+  em.start();
+  rapl.accrue(1.0, 10.0);
+  em.stop();
+  EXPECT_THROW(em.stop(), ContractViolation);
+  PowerMonitor pm(clock, rapl);
+  pm.start();
+  clock.advance(1.0);
+  rapl.accrue(1.0, 10.0);
+  pm.stop();
+  EXPECT_THROW(pm.stop(), ContractViolation);
+}
+
+TEST(AllMonitors, CancelAbandonsTheRegionWithoutRecording) {
+  platform::VirtualClock clock;
+  platform::SimulatedRapl rapl;
+  TimeMonitor tm(clock);
+  ThroughputMonitor thm(clock);
+  EnergyMonitor em(rapl);
+  PowerMonitor pm(clock, rapl);
+  // cancel() before start() is the same protocol violation as stop().
+  EXPECT_THROW(tm.cancel(), ContractViolation);
+  EXPECT_THROW(thm.cancel(), ContractViolation);
+  EXPECT_THROW(em.cancel(), ContractViolation);
+  EXPECT_THROW(pm.cancel(), ContractViolation);
+
+  tm.start();
+  thm.start();
+  em.start();
+  pm.start();
+  clock.advance(3.0);
+  rapl.accrue(3.0, 100.0);
+  tm.cancel();
+  thm.cancel();
+  em.cancel();
+  pm.cancel();
+  EXPECT_FALSE(tm.running());
+  EXPECT_TRUE(tm.stats().empty());  // nothing was recorded
+  EXPECT_TRUE(em.stats().empty());
+  // And the monitors are immediately reusable.
+  tm.start();
+  clock.advance(0.25);
+  EXPECT_DOUBLE_EQ(tm.stop(), 0.25);
+}
+
 }  // namespace
 }  // namespace socrates::margot

@@ -83,6 +83,39 @@ TEST(Disturbance, RejectsMalformedEpisodes) {
   EXPECT_THROW(sched.add({0.0, 1.0, 0.0, 0.0, -1.0}), ContractViolation);
 }
 
+TEST(Disturbance, ZeroAndNegativeLengthEpisodesRejected) {
+  DisturbanceSchedule sched;
+  EXPECT_THROW(sched.add({10.0, 10.0, 0.1, 0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(sched.add({10.0, 9.0, 0.1, 0.0, 0.0}), ContractViolation);
+  EXPECT_TRUE(sched.empty());  // nothing was half-added
+}
+
+TEST(Disturbance, StartInclusiveEndExclusive) {
+  DisturbanceSchedule sched;
+  sched.add({10.0, 20.0, 0.5, 0.0, 25.0});
+  // The episode is a half-open interval [start_s, end_s).
+  EXPECT_GT(sched.apply(clean(), mem_kernel(), 10.0).exec_time_s, 1.0);
+  EXPECT_GT(sched.apply(clean(), mem_kernel(), 20.0 - 1e-9).exec_time_s, 1.0);
+  EXPECT_DOUBLE_EQ(sched.apply(clean(), mem_kernel(), 20.0).exec_time_s, 1.0);
+  EXPECT_DOUBLE_EQ(sched.apply(clean(), mem_kernel(), 20.0).avg_power_w, 100.0);
+}
+
+TEST(Disturbance, OverlapComposesMultiplicativelyForSlowdown) {
+  DisturbanceSchedule one;
+  one.add({0.0, 10.0, 0.4, 0.0, 15.0});
+  DisturbanceSchedule two;
+  two.add({0.0, 10.0, 0.4, 0.0, 15.0});
+  two.add({0.0, 10.0, 0.4, 0.0, 15.0});
+
+  const double single = one.apply(clean(), mem_kernel(), 1.0).exec_time_s;
+  const auto both = two.apply(clean(), mem_kernel(), 1.0);
+  // Slowdowns multiply (each steal stretches what the other left);
+  // power overheads add.
+  EXPECT_NEAR(both.exec_time_s, single * single, 1e-12);
+  EXPECT_DOUBLE_EQ(both.avg_power_w, 130.0);
+  EXPECT_NEAR(both.energy_j, both.exec_time_s * both.avg_power_w, 1e-12);
+}
+
 TEST(Disturbance, ExecutorAppliesScheduleAtSimulatedTime) {
   const auto model = PerformanceModel::paper_platform();
   KernelExecutor exec(model, kernels::find_benchmark("gemver").model, 1.0, 3);

@@ -1,0 +1,196 @@
+// Tests for the platform fault-injection framework: sensor-fault
+// corruption of the energy/clock sensor path and variant faults
+// (crashing / garbage compiler-config clones) in the executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/registry.hpp"
+#include "platform/executor.hpp"
+#include "platform/fault_injection.hpp"
+#include "support/error.hpp"
+
+namespace socrates::platform {
+namespace {
+
+TEST(FaultSchedule, RejectsMalformedFaults) {
+  FaultSchedule sched;
+  EXPECT_THROW(sched.add(SensorFault{SensorFaultKind::kSpike, 5.0, 5.0, 1.0, 1.0}),
+               ContractViolation);
+  EXPECT_THROW(sched.add(SensorFault{SensorFaultKind::kSpike, 0.0, 1.0, 1.0, 2.0}),
+               ContractViolation);
+  EXPECT_THROW(sched.add(SensorFault{SensorFaultKind::kCounterWrap, 0.0, 1.0,
+                                     /*magnitude=*/0.0, 1.0}),
+               ContractViolation);
+  VariantFault vf;
+  vf.crash_probability = 1.5;
+  EXPECT_THROW(sched.add(vf), ContractViolation);
+  VariantFault zero_time_crash;
+  zero_time_crash.crash_probability = 0.5;
+  zero_time_crash.crash_fraction = 0.0;
+  EXPECT_THROW(sched.add(zero_time_crash), ContractViolation);
+}
+
+TEST(FaultyEnergyCounter, PassesThroughWithEmptySchedule) {
+  VirtualClock clock;
+  SimulatedRapl rapl;
+  FaultSchedule sched;
+  FaultyEnergyCounter faulty(rapl, clock, sched);
+  rapl.accrue(2.0, 50.0);
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), rapl.energy_uj());
+  EXPECT_EQ(faulty.backend(), "faulty(simulated)");
+}
+
+TEST(FaultyEnergyCounter, CounterWrapAppliesModulo) {
+  VirtualClock clock;
+  SimulatedRapl rapl;
+  FaultSchedule sched;
+  const double wrap = 1e9;  // a 1000 J register
+  sched.add(SensorFault{SensorFaultKind::kCounterWrap, 0.0, 100.0, wrap, 1.0});
+  FaultyEnergyCounter faulty(rapl, clock, sched);
+
+  rapl.accrue(11.0, 100.0);  // 1100 J = 1.1e9 uJ
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), std::fmod(1.1e9, wrap));
+  EXPECT_DOUBLE_EQ(rapl.energy_uj(), 1.1e9);  // the true counter is untouched
+}
+
+TEST(FaultyEnergyCounter, WrapInactiveOutsideEpisode) {
+  VirtualClock clock;
+  SimulatedRapl rapl;
+  FaultSchedule sched;
+  sched.add(SensorFault{SensorFaultKind::kCounterWrap, 10.0, 20.0, 1e9, 1.0});
+  FaultyEnergyCounter faulty(rapl, clock, sched);
+  rapl.accrue(11.0, 100.0);
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), 1.1e9);  // t=0: fault not active
+  clock.advance(20.0);
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), 1.1e9);  // t=20: episode over
+}
+
+TEST(FaultyEnergyCounter, StuckCounterFreezesThenRecovers) {
+  VirtualClock clock;
+  SimulatedRapl rapl;
+  FaultSchedule sched;
+  sched.add(SensorFault{SensorFaultKind::kStuckCounter, 1.0, 2.0, 0.0, 1.0});
+  FaultyEnergyCounter faulty(rapl, clock, sched);
+
+  rapl.accrue(1.0, 100.0);
+  clock.advance(1.0);  // enter the episode
+  const double frozen = faulty.energy_uj();
+  rapl.accrue(1.0, 100.0);
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), frozen);  // still the latched value
+  clock.advance(1.5);  // leave the episode
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), rapl.energy_uj());
+}
+
+TEST(FaultyEnergyCounter, ReadFailureYieldsNaN) {
+  VirtualClock clock;
+  SimulatedRapl rapl;
+  FaultSchedule sched;
+  sched.add(SensorFault{SensorFaultKind::kReadFailure, 0.0, 100.0, 0.0, 1.0});
+  FaultyEnergyCounter faulty(rapl, clock, sched);
+  rapl.accrue(1.0, 100.0);
+  EXPECT_TRUE(std::isnan(faulty.energy_uj()));
+}
+
+TEST(FaultyEnergyCounter, SpikeInflatesSingleRead) {
+  VirtualClock clock;
+  SimulatedRapl rapl;
+  FaultSchedule sched;
+  sched.add(SensorFault{SensorFaultKind::kSpike, 0.0, 100.0, /*uJ=*/5e8, 1.0});
+  FaultyEnergyCounter faulty(rapl, clock, sched);
+  rapl.accrue(1.0, 100.0);  // 1e8 uJ
+  EXPECT_DOUBLE_EQ(faulty.energy_uj(), 1e8 + 5e8);
+}
+
+TEST(FaultyClock, JitterPerturbsOnlyInsideEpisode) {
+  VirtualClock clock;
+  FaultSchedule sched;
+  sched.add(SensorFault{SensorFaultKind::kClockJitter, 10.0, 20.0, /*sigma=*/0.5, 1.0});
+  FaultyClock faulty(clock, sched);
+
+  clock.advance(5.0);
+  EXPECT_DOUBLE_EQ(faulty.now_s(), 5.0);  // outside: exact passthrough
+  clock.advance(10.0);                    // t=15, inside
+  double max_dev = 0.0;
+  for (int i = 0; i < 32; ++i)
+    max_dev = std::max(max_dev, std::abs(faulty.now_s() - 15.0));
+  EXPECT_GT(max_dev, 1e-3);  // jitter visibly perturbs the reading
+}
+
+TEST(Executor, VariantCrashThrowsAndBurnsPartialTime) {
+  const auto model = PerformanceModel::paper_platform();
+  const Configuration c{FlagConfig(OptLevel::kO3), 8, BindingPolicy::kClose};
+
+  KernelExecutor clean(model, kernels::find_benchmark("2mm").model, 1.0, 5);
+  const double nominal = clean.run(c).exec_time_s;
+
+  KernelExecutor exec(model, kernels::find_benchmark("2mm").model, 1.0, 5);
+  FaultSchedule sched;
+  VariantFault vf;
+  vf.config = FlagConfig(OptLevel::kO3);
+  vf.crash_probability = 1.0;
+  vf.crash_fraction = 0.25;
+  sched.add(vf);
+  exec.set_faults(std::move(sched));
+
+  EXPECT_THROW(exec.run(c), VariantCrash);
+  EXPECT_NEAR(exec.clock().now_s(), 0.25 * nominal, 0.05 * nominal);
+  EXPECT_GT(exec.rapl().energy_uj(), 0.0);  // the partial run cost energy
+}
+
+TEST(Executor, VariantGarbageInflatesMeasurement) {
+  const auto model = PerformanceModel::paper_platform();
+  const Configuration c{FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose};
+
+  KernelExecutor clean(model, kernels::find_benchmark("atax").model, 1.0, 5);
+  const double nominal = clean.run(c).exec_time_s;
+
+  KernelExecutor exec(model, kernels::find_benchmark("atax").model, 1.0, 5);
+  FaultSchedule sched;
+  VariantFault vf;
+  vf.config = FlagConfig(OptLevel::kO2);
+  vf.garbage_probability = 1.0;
+  vf.garbage_scale = 50.0;
+  sched.add(vf);
+  exec.set_faults(std::move(sched));
+
+  const auto m = exec.run(c);
+  EXPECT_GT(m.exec_time_s, 20.0 * nominal);  // 50x scaled by U(0.5, 1.5)
+  EXPECT_NEAR(m.energy_j, m.exec_time_s * m.avg_power_w, 1e-9);
+}
+
+TEST(Executor, VariantFaultOnlyHitsItsConfig) {
+  const auto model = PerformanceModel::paper_platform();
+  KernelExecutor exec(model, kernels::find_benchmark("2mm").model, 1.0, 5);
+  FaultSchedule sched;
+  VariantFault vf;
+  vf.config = FlagConfig(OptLevel::kO3);
+  vf.crash_probability = 1.0;
+  vf.crash_fraction = 0.5;
+  sched.add(vf);
+  exec.set_faults(std::move(sched));
+
+  const Configuration other{FlagConfig(OptLevel::kO2), 8, BindingPolicy::kClose};
+  EXPECT_NO_THROW(exec.run(other));
+}
+
+TEST(Executor, SensorFaultsDoNotPerturbTrueMeasurements) {
+  // Sensor faults corrupt only the monitors' view; the machine itself
+  // (and the noise stream) is unchanged.
+  const auto model = PerformanceModel::paper_platform();
+  const Configuration c{FlagConfig(OptLevel::kO2), 16, BindingPolicy::kSpread};
+
+  KernelExecutor clean(model, kernels::find_benchmark("syrk").model, 1.0, 77);
+  KernelExecutor faulted(model, kernels::find_benchmark("syrk").model, 1.0, 77);
+  FaultSchedule sched;
+  sched.add(SensorFault{SensorFaultKind::kCounterWrap, 0.0, 1e9, 1e8, 1.0});
+  sched.add(SensorFault{SensorFaultKind::kSpike, 0.0, 1e9, 5e8, 0.5});
+  faulted.set_faults(std::move(sched));
+
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(clean.run(c).exec_time_s, faulted.run(c).exec_time_s);
+  EXPECT_NE(faulted.sensor_counter().energy_uj(), faulted.rapl().energy_uj());
+}
+
+}  // namespace
+}  // namespace socrates::platform

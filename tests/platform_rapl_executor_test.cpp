@@ -1,6 +1,9 @@
 // Tests for the energy counters, clocks and the simulated executor.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "kernels/registry.hpp"
 #include "platform/clock.hpp"
 #include "platform/executor.hpp"
@@ -41,6 +44,61 @@ TEST(SysfsRapl, GracefulWhenUnavailable) {
   const bool avail = SysfsRaplReader::available("/nonexistent/powercap");
   EXPECT_FALSE(avail);
   EXPECT_THROW(SysfsRaplReader("/nonexistent/powercap"), ContractViolation);
+}
+
+/// A throwaway powercap tree under the system temp directory.
+class FakePowercap {
+ public:
+  FakePowercap() : root_(std::filesystem::temp_directory_path() /
+                         "socrates_powercap_test") {
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_ / "intel-rapl:0");
+    std::filesystem::create_directories(root_ / "intel-rapl:1");
+    std::filesystem::create_directories(root_ / "intel-rapl:0:0");  // sub-domain
+    write(0, 1000.0);
+    write(1, 2000.0);
+    std::ofstream(root_ / "intel-rapl:0:0" / "energy_uj") << "99999\n";
+  }
+  ~FakePowercap() { std::filesystem::remove_all(root_); }
+
+  void write(int domain, double uj) {
+    std::ofstream out(root_ / ("intel-rapl:" + std::to_string(domain)) /
+                      "energy_uj");
+    out << uj << "\n";
+  }
+  void remove(int domain) {
+    std::filesystem::remove(root_ / ("intel-rapl:" + std::to_string(domain)) /
+                            "energy_uj");
+  }
+  std::string path() const { return root_.string(); }
+
+ private:
+  std::filesystem::path root_;
+};
+
+TEST(SysfsRapl, ReadsAndSumsPackageDomainsOnly) {
+  FakePowercap tree;
+  ASSERT_TRUE(SysfsRaplReader::available(tree.path()));
+  SysfsRaplReader reader(tree.path());
+  EXPECT_EQ(reader.domains().size(), 2u);  // the a:b:c sub-domain is skipped
+  EXPECT_DOUBLE_EQ(reader.energy_uj(), 3000.0);
+  EXPECT_EQ(reader.read_errors(), 0u);
+}
+
+TEST(SysfsRapl, VanishedDomainFileSkippedAtReadTime) {
+  FakePowercap tree;
+  SysfsRaplReader reader(tree.path());
+  EXPECT_DOUBLE_EQ(reader.energy_uj(), 3000.0);
+
+  // Hot-unplug: one domain's energy_uj file disappears after init.
+  tree.remove(1);
+  EXPECT_DOUBLE_EQ(reader.energy_uj(), 3000.0);  // last good value substituted
+  EXPECT_EQ(reader.read_errors(), 1u);
+
+  // The surviving domain still updates; the counter never goes back.
+  tree.write(0, 1500.0);
+  EXPECT_DOUBLE_EQ(reader.energy_uj(), 3500.0);
+  EXPECT_EQ(reader.read_errors(), 2u);
 }
 
 TEST(EnergySource, FallsBackToSimulated) {
