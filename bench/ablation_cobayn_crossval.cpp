@@ -12,6 +12,7 @@
 #include "cobayn/evaluation.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/task_pool.hpp"
 
 int main() {
   using namespace socrates;
@@ -22,10 +23,16 @@ int main() {
   const auto model = platform::PerformanceModel::paper_platform();
   const auto corpus = cobayn::make_corpus(32, 2018);
 
+  // The 32 LOO folds fan out over the task pool (SOCRATES_JOBS); the
+  // summary is identical at any job count.
+  TaskPool pool;
+  cobayn::TrainOptions train;
+  train.pool = &pool;
+
   TextTable table({"Prediction budget", "geomean slowdown", "-O3 geomean",
                    "folds beating -O3"});
   for (const std::size_t top_n : {1u, 2u, 4u, 8u}) {
-    const auto cv = cobayn::cross_validate(corpus, model, top_n);
+    const auto cv = cobayn::cross_validate(corpus, model, top_n, train);
     table.add_row({"top-" + std::to_string(top_n),
                    format_double(cv.geomean_predicted_slowdown, 4),
                    format_double(cv.geomean_o3_slowdown, 4),
@@ -35,7 +42,7 @@ int main() {
   std::fputs(table.str().c_str(), stdout);
 
   // Worst folds at top-4 (where the model is least sure).
-  const auto cv4 = cobayn::cross_validate(corpus, model, 4);
+  const auto cv4 = cobayn::cross_validate(corpus, model, 4, train);
   double worst = 0.0;
   std::string worst_name;
   for (const auto& fold : cv4.folds) {

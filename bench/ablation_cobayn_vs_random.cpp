@@ -16,6 +16,7 @@
 #include "cobayn/cobayn.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/sources.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 #include "support/strings.hpp"
@@ -28,8 +29,11 @@ int main() {
   std::printf("(best-of-4 modelled exec time, as slowdown vs the 128-point oracle)\n\n");
 
   const auto model = platform::PerformanceModel::paper_platform();
-  const auto corpus = cobayn::make_corpus(48, 2018);
-  const auto cobayn_model = cobayn::CobaynModel::train(corpus, model);
+  // Corpus evaluation + training run through the pipeline: the 48
+  // kernels are labelled in parallel and the trained model is a cached
+  // artifact shared with every other pipeline binary.
+  Pipeline pipeline(model, ToolchainOptions{.corpus_size = 48, .seed = 2018});
+  const auto& cobayn_model = pipeline.cobayn_model();
   const auto space = platform::cobayn_search_space();
 
   platform::Configuration rc;

@@ -17,6 +17,7 @@
 #include "kernels/registry.hpp"
 #include "margot/asrtm.hpp"
 #include "margot/context.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -55,6 +56,8 @@ int main() {
 
   const auto model = platform::PerformanceModel::paper_platform();
   const auto space = dse::DesignSpace::paper_space(model.topology());
+  Pipeline pipeline(model);
+  TaskPool& pool = pipeline.pool();
 
   TextTable table({"Benchmark", "points", "full", "strat-6", "rand-25%", "rand-10%"});
   std::vector<double> strat_regret, r25_regret, r10_regret;
@@ -62,10 +65,14 @@ int main() {
   for (const char* name : {"2mm", "atax", "jacobi-2d", "nussinov", "gemver", "syrk"}) {
     const auto& kernel = kernels::find_benchmark(name).model;
 
-    const auto full = dse::full_factorial_dse(model, kernel, space, 3, 2018);
-    const auto strat = dse::stratified_dse(model, kernel, space, 6, 3, 2018);
-    const auto rand25 = dse::random_subset_dse(model, kernel, space, 0.25, 3, 2018);
-    const auto rand10 = dse::random_subset_dse(model, kernel, space, 0.10, 3, 2018);
+    // Full factorial through the pipeline (cached artifact); the
+    // sampling strategies share its task pool.
+    const auto full = pipeline.profile_space(name, space, 3, 2018);
+    const auto strat = dse::stratified_dse(model, kernel, space, 6, 3, 2018, 1.0, &pool);
+    const auto rand25 =
+        dse::random_subset_dse(model, kernel, space, 0.25, 3, 2018, 1.0, &pool);
+    const auto rand10 =
+        dse::random_subset_dse(model, kernel, space, 0.10, 3, 2018, 1.0, &pool);
 
     const auto t_full = sweep_choices(model, kernel, space, full);
     const auto regret_of = [&](const std::vector<dse::ProfiledPoint>& pts) {

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "socrates/adaptive_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -81,9 +81,9 @@ RunResult run(bool hardened) {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 3;
   opts.work_scale = 0.02;
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
-  AdaptiveApplication app(toolchain.build("2mm"), model, opts.work_scale);
+  AdaptiveApplication app(pipeline.build("2mm"), model, opts.work_scale);
   app.asrtm().set_rank(margot::Rank::minimize_exec_time(M::kExecTime));
   app.asrtm().add_constraint(
       {M::kPower, margot::ComparisonOp::kLessEqual, kPowerCapW, 0, 1.0});

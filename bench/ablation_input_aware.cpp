@@ -18,7 +18,7 @@
 #include "kernels/registry.hpp"
 #include "margot/context.hpp"
 #include "socrates/input_aware_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -68,10 +68,10 @@ int main() {
   ToolchainOptions opts;
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 3;
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
-  const auto multi = build_input_aware(toolchain, "gemver", {0.01, 0.2, 1.0});
-  const auto single = toolchain.build("gemver", /*work_scale=*/1.0);
+  const auto multi = build_input_aware(pipeline, "gemver", {0.01, 0.2, 1.0});
+  const auto single = pipeline.build("gemver", /*work_scale=*/1.0);
 
   TextTable table({"input scale", "cluster", "multi-KB regret", "single-KB regret"});
   std::vector<double> multi_regret;

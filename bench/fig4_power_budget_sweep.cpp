@@ -14,9 +14,9 @@
 #include <cstdio>
 
 #include "dse/dse.hpp"
-#include "kernels/registry.hpp"
 #include "margot/asrtm.hpp"
 #include "margot/context.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -28,10 +28,9 @@ int main() {
 
   const auto model = platform::PerformanceModel::paper_platform();
   const auto space = dse::DesignSpace::paper_space(model.topology());
-  const auto& bench = kernels::find_benchmark("2mm");
+  Pipeline pipeline(model);
   const auto points =
-      dse::full_factorial_dse(model, bench.model, space, /*repetitions=*/5,
-                              /*seed=*/2018);
+      pipeline.profile_space("2mm", space, /*repetitions=*/5, /*seed=*/2018);
 
   margot::Asrtm asrtm(dse::to_knowledge_base(points));
   asrtm.set_rank(margot::Rank::minimize_exec_time(M::kExecTime));

@@ -16,7 +16,7 @@
 
 #include "margot/state_manager.hpp"
 #include "socrates/adaptive_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -33,9 +33,9 @@ int main() {
   opts.use_paper_cfs = true;    // the figure uses the published CF1-CF4
   opts.dse_repetitions = 5;
   opts.work_scale = 0.01;       // the runtime experiment's smaller dataset
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
-  AdaptiveApplication app(toolchain.build("2mm"), model, opts.work_scale);
+  AdaptiveApplication app(pipeline.build("2mm"), model, opts.work_scale);
 
   // Two named mARGOt states; the requirement change is a state switch.
   margot::StateManager states(app.asrtm());

@@ -15,8 +15,10 @@
 // track each benchmark's kernel structure.  See EXPERIMENTS.md.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "kernels/sources.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "weaver/aspects.hpp"
@@ -32,10 +34,21 @@ int main() {
 
   double att = 0, act = 0, oloc = 0, wloc = 0, dloc = 0, bloat = 0;
   const auto& names = kernels::benchmark_names();
-  for (const auto& name : names) {
-    const auto woven =
-        weaver::weave_benchmark_paper_space(name, kernels::benchmark_source(name));
-    const auto& r = woven.report;
+
+  // Weave every benchmark through the pipeline's Weave stage; the
+  // benchmarks are independent, so they fan out over the task pool and
+  // the table is assembled serially in registry order.
+  const auto model = platform::PerformanceModel::paper_platform();
+  Pipeline pipeline(model);
+  std::vector<weaver::WovenBenchmark> woven(names.size());
+  pipeline.pool().parallel_for(names.size(), [&](std::size_t i) {
+    woven[i] = weaver::weave_benchmark_paper_space(names[i],
+                                                   kernels::benchmark_source(names[i]));
+  });
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& name = names[i];
+    const auto& r = woven[i].report;
     table.add_row({name, std::to_string(r.attributes), std::to_string(r.actions),
                    std::to_string(r.original_loc), std::to_string(r.weaved_loc),
                    std::to_string(r.delta_loc()), format_double(r.bloat(), 2)});

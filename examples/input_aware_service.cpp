@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "socrates/input_aware_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 
 int main() {
@@ -25,11 +25,11 @@ int main() {
   ToolchainOptions opts;
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 3;
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
   std::printf("== input-aware service: gemver with varying batch sizes ==\n\n");
 
-  InputAwareApplication app(build_input_aware(toolchain, "gemver", {0.01, 0.2, 1.0}),
+  InputAwareApplication app(build_input_aware(pipeline, "gemver", {0.01, 0.2, 1.0}),
                             model);
   app.set_rank_all(margot::Rank::maximize_throughput(M::kThroughput));
 

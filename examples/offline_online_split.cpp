@@ -14,7 +14,7 @@
 #include "margot/kb_io.hpp"
 #include "socrates/adaptive_app.hpp"
 #include "socrates/real_profile.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 
 int main() {
   using namespace socrates;
@@ -28,8 +28,8 @@ int main() {
     ToolchainOptions opts;
     opts.use_paper_cfs = true;
     opts.dse_repetitions = 5;
-    Toolchain toolchain(model, opts);
-    const auto binary = toolchain.build("2mm");
+    Pipeline pipeline(model, opts);
+    const auto binary = pipeline.build("2mm");
     std::ofstream out(kb_path);
     margot::save_knowledge(binary.knowledge, out);
     std::printf("offline: profiled %zu operating points -> %s\n",
@@ -48,8 +48,8 @@ int main() {
     ToolchainOptions opts;
     opts.use_paper_cfs = true;
     opts.dse_repetitions = 1;  // throwaway: only the space layout is used
-    Toolchain toolchain(model, opts);
-    auto binary = toolchain.build("2mm");
+    Pipeline pipeline(model, opts);
+    auto binary = pipeline.build("2mm");
     binary.knowledge = std::move(knowledge);
 
     AdaptiveApplication app(std::move(binary), model);

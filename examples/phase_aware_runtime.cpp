@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "socrates/adaptive_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 
 namespace {
@@ -41,12 +41,12 @@ int main() {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 3;
   opts.work_scale = 0.02;
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
   std::printf("== phase-aware pipeline: per-kernel policies ==\n\n");
 
   for (const char* name : {"syrk", "gemver", "nussinov"}) {
-    AdaptiveApplication app(toolchain.build(name), model, opts.work_scale);
+    AdaptiveApplication app(pipeline.build(name), model, opts.work_scale);
 
     // Interactive phase: meet an SLA of 60% of this kernel's peak
     // throughput, and among the points that do, burn the least power.

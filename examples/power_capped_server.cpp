@@ -14,7 +14,7 @@
 
 #include "kernels/registry.hpp"
 #include "socrates/adaptive_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
 
 int main() {
@@ -26,12 +26,12 @@ int main() {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 3;
   opts.work_scale = 0.02;
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
   // The day's cap schedule (W): generous -> brownout -> recovery.
   const std::vector<double> caps = {130.0, 110.0, 70.0, 55.0, 90.0, 140.0};
 
-  AdaptiveApplication app(toolchain.build("2mm"), model, opts.work_scale);
+  AdaptiveApplication app(pipeline.build("2mm"), model, opts.work_scale);
   app.asrtm().set_rank(margot::Rank::minimize_exec_time(M::kExecTime));
   const auto cap_constraint = app.asrtm().add_constraint(
       {M::kPower, margot::ComparisonOp::kLessEqual, caps[0], 0, 1.0});

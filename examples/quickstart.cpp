@@ -11,7 +11,7 @@
 
 #include "kernels/registry.hpp"
 #include "socrates/adaptive_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 
 int main() {
   using namespace socrates;
@@ -30,8 +30,8 @@ int main() {
   ToolchainOptions opts;
   opts.use_paper_cfs = true;  // skip COBAYN training for a fast start
   opts.dse_repetitions = 3;
-  Toolchain toolchain(model, opts);
-  auto binary = toolchain.build("2mm");
+  Pipeline pipeline(model, opts);
+  auto binary = pipeline.build("2mm");
   std::printf("adaptive binary:   %zu operating points, %zu kernel versions, "
               "%zu weaved LOC\n",
               binary.knowledge.size(), binary.woven.kernels[0].versions.size(),

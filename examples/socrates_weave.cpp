@@ -23,7 +23,7 @@
 #include "ir/printer.hpp"
 #include "kernels/sources.hpp"
 #include "margot/context.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "weaver/report.hpp"
 
 namespace {
@@ -83,10 +83,10 @@ int main(int argc, char** argv) {
       const auto model = platform::PerformanceModel::paper_platform();
       ToolchainOptions opts;
       opts.dse_repetitions = 3;
-      Toolchain toolchain(model, opts);
+      Pipeline pipeline(model, opts);
       const auto binary = is_bundled(target)
-                              ? toolchain.build(target)
-                              : toolchain.build_from_source(target, source);
+                              ? pipeline.build(target)
+                              : pipeline.build_from_source(target, source);
 
       std::printf("COBAYN-reduced compiler space:");
       for (const auto& c : binary.space.configs) std::printf(" %s", c.name.c_str());

@@ -17,7 +17,7 @@
 #include "margot/context.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/sources.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 #include "support/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -30,10 +30,10 @@ int main(int argc, char** argv) {
   ToolchainOptions opts;
   opts.corpus_size = 48;
   opts.dse_repetitions = 3;
-  Toolchain toolchain(model, opts);
+  Pipeline pipeline(model, opts);
 
   std::printf("==== SOCRATES toolchain tour: %s ====\n\n", name.c_str());
-  const auto binary = toolchain.build(name);
+  const auto binary = pipeline.build(name);
 
   // Stage 1: static features.
   std::printf("[1] GCC-Milepost static features of %s:\n",
@@ -79,5 +79,11 @@ int main(int argc, char** argv) {
               binary.space.configs[static_cast<std::size_t>(op.knobs[0])].name.c_str(),
               config.threads, platform::to_string(config.binding),
               op.metrics[M::kExecTime].mean * 1e3, op.metrics[M::kPower].mean);
+
+  // Under the hood: the staged pipeline that ran all of the above.
+  std::printf("\nPipeline stages (%zu jobs):\n", pipeline.pool().jobs());
+  for (const auto& stage : pipeline.last_report().stages)
+    std::printf("      %-14s %8.3f ms%s\n", stage.name.c_str(),
+                stage.seconds * 1e3, stage.cache_hit ? "  (cache hit)" : "");
   return 0;
 }

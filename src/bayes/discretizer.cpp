@@ -1,7 +1,10 @@
 #include "bayes/discretizer.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
+#include "support/serialize.hpp"
 #include "support/error.hpp"
 #include "support/statistics.hpp"
 
@@ -50,6 +53,33 @@ std::vector<std::size_t> Discretizer::transform_row(const std::vector<double>& r
   std::vector<std::size_t> out(row.size());
   for (std::size_t c = 0; c < row.size(); ++c) out[c] = transform(c, row[c]);
   return out;
+}
+
+void Discretizer::save(std::ostream& out) const {
+  out << "discretizer v1 " << cuts_.size() << '\n';
+  for (const auto& cuts : cuts_) {
+    out << cuts.size();
+    for (const double c : cuts) out << ' ' << format_exact(c);
+    out << '\n';
+  }
+}
+
+Discretizer Discretizer::load(std::istream& in) {
+  std::string magic, version;
+  std::size_t columns = 0;
+  in >> magic >> version >> columns;
+  SOCRATES_REQUIRE_MSG(in && magic == "discretizer" && version == "v1",
+                       "not a discretizer artifact");
+  Discretizer d;
+  d.cuts_.resize(columns);
+  for (auto& cuts : d.cuts_) {
+    std::size_t count = 0;
+    in >> count;
+    SOCRATES_REQUIRE_MSG(in, "truncated discretizer artifact");
+    cuts.resize(count);
+    for (double& c : cuts) c = parse_exact(in);
+  }
+  return d;
 }
 
 }  // namespace socrates::bayes

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 namespace socrates::bayes {
@@ -32,6 +33,14 @@ class Discretizer {
 
   /// Transforms a full row; `row.size()` must equal columns().
   std::vector<std::size_t> transform_row(const std::vector<double>& row) const;
+
+  /// Writes the cut points in a stable text format (hexfloat doubles,
+  /// exact round trip) — the artifact-cache representation.
+  void save(std::ostream& out) const;
+
+  /// Parses a discretizer written by save().  Throws ContractViolation
+  /// on malformed input.
+  static Discretizer load(std::istream& in);
 
  private:
   /// cuts_[c] holds ascending inner cut points; value v falls in the

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
+#include "support/serialize.hpp"
 #include "support/error.hpp"
 
 namespace socrates::bayes {
@@ -205,6 +208,63 @@ std::vector<std::size_t> BayesNet::topological_order() const {
     }
   }
   return order;
+}
+
+void BayesNet::save(std::ostream& out) const {
+  out << "bayesnet v1 " << vars_.size() << ' ' << (fitted_ ? 1 : 0) << '\n';
+  for (const auto& v : vars_) out << v.name << ' ' << v.cardinality << '\n';
+  for (const auto& ps : parents_) {
+    out << ps.size();
+    for (const std::size_t p : ps) out << ' ' << p;
+    out << '\n';
+  }
+  if (!fitted_) return;
+  for (const auto& cpt : cpts_) {
+    out << cpt.size();
+    for (const double p : cpt) out << ' ' << format_exact(p);
+    out << '\n';
+  }
+}
+
+BayesNet BayesNet::load(std::istream& in) {
+  std::string magic, version;
+  std::size_t n_vars = 0;
+  int fitted = 0;
+  in >> magic >> version >> n_vars >> fitted;
+  SOCRATES_REQUIRE_MSG(in && magic == "bayesnet" && version == "v1" && n_vars > 0,
+                       "not a bayesnet artifact");
+  std::vector<Variable> vars(n_vars);
+  for (auto& v : vars) {
+    in >> v.name >> v.cardinality;
+    SOCRATES_REQUIRE_MSG(in && v.cardinality >= 1, "malformed bayesnet variable");
+  }
+  BayesNet net(std::move(vars));
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    std::size_t count = 0;
+    in >> count;
+    SOCRATES_REQUIRE_MSG(in && count < n_vars, "malformed bayesnet parent list");
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t p = 0;
+      in >> p;
+      SOCRATES_REQUIRE_MSG(in, "truncated bayesnet parent list");
+      net.add_edge(p, v);  // validates range, duplicates and acyclicity
+    }
+  }
+  if (fitted != 0) {
+    net.cpts_.resize(n_vars);
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      std::size_t len = 0;
+      in >> len;
+      std::size_t rows = 1;
+      for (const std::size_t p : net.parents_[v]) rows *= net.vars_[p].cardinality;
+      SOCRATES_REQUIRE_MSG(in && len == rows * net.vars_[v].cardinality,
+                           "bayesnet CPT size mismatch for " << net.vars_[v].name);
+      net.cpts_[v].resize(len);
+      for (double& p : net.cpts_[v]) p = parse_exact(in);
+    }
+    net.fitted_ = true;
+  }
+  return net;
 }
 
 std::size_t BayesNet::parameter_count() const {

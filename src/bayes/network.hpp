@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -80,6 +81,15 @@ class BayesNet {
 
   /// Number of free parameters across all CPTs.
   std::size_t parameter_count() const;
+
+  /// Writes variables, edges and CPTs in a stable text format
+  /// (hexfloat doubles, exact round trip) — the artifact-cache
+  /// representation of a trained model.
+  void save(std::ostream& out) const;
+
+  /// Parses a network written by save().  Throws ContractViolation on
+  /// malformed input.
+  static BayesNet load(std::istream& in);
 
  private:
   std::size_t cpt_row_index(std::size_t var, const FullAssignment& assignment) const;

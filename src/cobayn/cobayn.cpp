@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
+#include "support/serialize.hpp"
 #include "ir/parser.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -63,20 +66,26 @@ CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
   SOCRATES_REQUIRE(options.good_share > 0.0 && options.good_share <= 1.0);
 
   CobaynModel model;
+  TaskPool& executor = options.pool != nullptr ? *options.pool : TaskPool::shared();
 
   // ---- feature extraction + discretizer fit ---------------------------
-  std::vector<std::vector<double>> feature_rows;
-  feature_rows.reserve(corpus.size());
-  for (const auto& kernel : corpus) {
-    const auto fv = kernel_features_of_source(kernel.source);
-    feature_rows.push_back(model.project_features(fv));
-  }
+  // Each kernel's parse + feature extraction is independent; every task
+  // writes only its own row, so the result matches the serial loop.
+  std::vector<std::vector<double>> feature_rows(corpus.size());
+  executor.parallel_for(corpus.size(), [&](std::size_t ki) {
+    const auto fv = kernel_features_of_source(corpus[ki].source);
+    feature_rows[ki] = model.project_features(fv);
+  });
   model.discretizer_.fit(feature_rows, options.feature_bins);
 
   // ---- iterative compilation: label good configurations ----------------
+  // The 128-configuration sweep per kernel is deterministic (no noise
+  // stream), so kernels can be labelled in parallel into per-kernel
+  // slots; rows are then appended serially in corpus order, which keeps
+  // the dataset byte-identical at any job count.
   const auto space = platform::cobayn_search_space();
-  bayes::Dataset data;
-  for (std::size_t ki = 0; ki < corpus.size(); ++ki) {
+  std::vector<std::vector<bayes::FullAssignment>> kernel_rows(corpus.size());
+  executor.parallel_for(corpus.size(), [&](std::size_t ki) {
     platform::Configuration run_config;
     run_config.threads = options.profile_threads;
     run_config.binding = platform::BindingPolicy::kClose;
@@ -94,6 +103,7 @@ CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
                                               static_cast<double>(timed.size()))));
 
     const auto binned = model.discretizer_.transform_row(feature_rows[ki]);
+    kernel_rows[ki].reserve(keep);
     for (std::size_t g = 0; g < keep; ++g) {
       bayes::FullAssignment row;
       row.reserve(binned.size() + kFlagVars);
@@ -102,9 +112,12 @@ CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
       row.push_back(combo >> platform::kFlagCount);  // level bit
       for (std::size_t f = 0; f < platform::kFlagCount; ++f)
         row.push_back((combo >> (platform::kFlagCount - 1 - f)) & 1u);
-      data.push_back(std::move(row));
+      kernel_rows[ki].push_back(std::move(row));
     }
-  }
+  });
+  bayes::Dataset data;
+  for (auto& rows : kernel_rows)
+    for (auto& row : rows) data.push_back(std::move(row));
   model.training_rows_ = data.size();
 
   // ---- structure + parameter learning ----------------------------------
@@ -135,6 +148,25 @@ CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
 const bayes::BayesNet& CobaynModel::network() const {
   SOCRATES_REQUIRE_MSG(!net_.empty(), "model is not trained");
   return net_.front();
+}
+
+void CobaynModel::save(std::ostream& out) const {
+  out << "cobayn v1 " << training_rows_ << ' ' << net_.size() << '\n';
+  discretizer_.save(out);
+  if (!net_.empty()) net_.front().save(out);
+}
+
+CobaynModel CobaynModel::load(std::istream& in) {
+  std::string magic, version;
+  std::size_t rows = 0, nets = 0;
+  in >> magic >> version >> rows >> nets;
+  SOCRATES_REQUIRE_MSG(in && magic == "cobayn" && version == "v1" && nets <= 1,
+                       "not a cobayn artifact");
+  CobaynModel model;
+  model.training_rows_ = rows;
+  model.discretizer_ = bayes::Discretizer::load(in);
+  if (nets == 1) model.net_.push_back(bayes::BayesNet::load(in));
+  return model;
 }
 
 std::vector<RankedConfig> CobaynModel::predict(const features::FeatureVector& fv,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "bayes/discretizer.hpp"
@@ -23,6 +24,7 @@
 #include "features/features.hpp"
 #include "platform/flags.hpp"
 #include "platform/perf_model.hpp"
+#include "support/task_pool.hpp"
 
 namespace socrates::cobayn {
 
@@ -31,6 +33,10 @@ struct TrainOptions {
   double good_share = 0.10;           ///< top decile = "good" configurations
   std::size_t profile_threads = 16;   ///< thread count used while labelling
   bayes::K2Options k2;                ///< structure-search options
+  /// Executor for the per-kernel labelling sweep (and, in
+  /// cross_validate, the folds).  nullptr = TaskPool::shared().
+  /// The result is identical at any job count.
+  TaskPool* pool = nullptr;
 };
 
 /// A flag configuration with its posterior probability.
@@ -69,6 +75,15 @@ class CobaynModel {
 
   const bayes::BayesNet& network() const;
   std::size_t training_rows() const { return training_rows_; }
+
+  /// Writes the trained model (discretizer + network) in a stable text
+  /// format with exact double round trip — the artifact-cache
+  /// representation.
+  void save(std::ostream& out) const;
+
+  /// Parses a model written by save().  Throws ContractViolation on
+  /// malformed input.
+  static CobaynModel load(std::istream& in);
 
  private:
   CobaynModel() = default;

@@ -15,11 +15,12 @@ CrossValidationSummary cross_validate(const std::vector<TrainingKernel>& corpus,
 
   const auto space = platform::cobayn_search_space();
 
-  CrossValidationSummary summary;
-  std::vector<double> predicted_slowdowns;
-  std::vector<double> o3_slowdowns;
-
-  for (std::size_t fold = 0; fold < corpus.size(); ++fold) {
+  // Folds are independent: each writes only its own slot, so the
+  // summary (assembled serially in fold order below) is identical at
+  // any job count.  Nested parallelism inside train() inlines serially.
+  std::vector<FoldResult> fold_results(corpus.size());
+  TaskPool& executor = options.pool != nullptr ? *options.pool : TaskPool::shared();
+  executor.parallel_for(corpus.size(), [&](std::size_t fold) {
     std::vector<TrainingKernel> training;
     training.reserve(corpus.size() - 1);
     for (std::size_t i = 0; i < corpus.size(); ++i)
@@ -49,6 +50,13 @@ CrossValidationSummary cross_validate(const std::vector<TrainingKernel>& corpus,
     for (const auto& p : model.predict(fv, top_n))
       result.predicted_time_s = std::min(result.predicted_time_s, time_of(p.config));
 
+    fold_results[fold] = std::move(result);
+  });
+
+  CrossValidationSummary summary;
+  std::vector<double> predicted_slowdowns;
+  std::vector<double> o3_slowdowns;
+  for (FoldResult& result : fold_results) {
     predicted_slowdowns.push_back(result.predicted_slowdown());
     o3_slowdowns.push_back(result.o3_slowdown());
     if (result.predicted_time_s <= result.o3_time_s * 1.001) ++summary.wins_vs_o3;

@@ -1,6 +1,13 @@
 #include "dse/dse.hpp"
 
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+
 #include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/serialize.hpp"
 #include "support/statistics.hpp"
 
 namespace socrates::dse {
@@ -14,59 +21,133 @@ DesignSpace DesignSpace::paper_space(const platform::MachineTopology& topology) 
   return space;
 }
 
+ProfiledPoint profile_point(const platform::PerformanceModel& model,
+                            const platform::KernelModelParams& kernel,
+                            const DesignSpace& space, std::size_t config_index,
+                            std::size_t threads, platform::BindingPolicy binding,
+                            std::size_t repetitions, Rng& noise, double work_scale) {
+  SOCRATES_REQUIRE(config_index < space.configs.size());
+  ProfiledPoint p;
+  p.config_index = config_index;
+  p.config_name = space.configs[config_index].name;
+  p.configuration =
+      platform::Configuration{space.configs[config_index].config, threads, binding};
+
+  RunningStats time_stats;
+  RunningStats power_stats;
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    const auto m = model.evaluate(kernel, p.configuration, &noise, work_scale);
+    time_stats.add(m.exec_time_s);
+    power_stats.add(m.avg_power_w);
+  }
+  p.exec_time_mean_s = time_stats.mean();
+  p.exec_time_stddev_s = time_stats.stddev();
+  p.power_mean_w = power_stats.mean();
+  p.power_stddev_w = power_stats.stddev();
+  return p;
+}
+
 std::vector<ProfiledPoint> full_factorial_dse(const platform::PerformanceModel& model,
                                               const platform::KernelModelParams& kernel,
                                               const DesignSpace& space,
                                               std::size_t repetitions,
-                                              std::uint64_t seed, double work_scale) {
+                                              std::uint64_t seed, double work_scale,
+                                              TaskPool* pool) {
   SOCRATES_REQUIRE(repetitions >= 1);
   SOCRATES_REQUIRE(space.size() > 0);
 
-  Rng noise(seed);
-  std::vector<ProfiledPoint> out;
-  out.reserve(space.size());
-
-  for (std::size_t ci = 0; ci < space.configs.size(); ++ci) {
-    for (const std::size_t threads : space.thread_counts) {
-      for (const auto binding : space.bindings) {
-        ProfiledPoint p;
-        p.config_index = ci;
-        p.config_name = space.configs[ci].name;
-        p.configuration =
-            platform::Configuration{space.configs[ci].config, threads, binding};
-
-        RunningStats time_stats;
-        RunningStats power_stats;
-        for (std::size_t r = 0; r < repetitions; ++r) {
-          const auto m = model.evaluate(kernel, p.configuration, &noise, work_scale);
-          time_stats.add(m.exec_time_s);
-          power_stats.add(m.avg_power_w);
-        }
-        p.exec_time_mean_s = time_stats.mean();
-        p.exec_time_stddev_s = time_stats.stddev();
-        p.power_mean_w = power_stats.mean();
-        p.power_stddev_w = power_stats.stddev();
-        out.push_back(std::move(p));
-      }
-    }
-  }
+  // Flat point order: config-major, then threads, then binding — the
+  // historical serial order.  Each point owns RNG stream (seed, index),
+  // so the task schedule cannot leak into the numbers.
+  const std::size_t n_threads = space.thread_counts.size();
+  const std::size_t n_bindings = space.bindings.size();
+  std::vector<ProfiledPoint> out(space.size());
+  TaskPool& executor = pool != nullptr ? *pool : TaskPool::shared();
+  executor.parallel_for(space.size(), [&](std::size_t pi) {
+    const std::size_t ci = pi / (n_threads * n_bindings);
+    const std::size_t ti = (pi / n_bindings) % n_threads;
+    const std::size_t bi = pi % n_bindings;
+    Rng noise(derive_stream(seed, pi));
+    out[pi] = profile_point(model, kernel, space, ci, space.thread_counts[ti],
+                            space.bindings[bi], repetitions, noise, work_scale);
+  });
   return out;
 }
 
-std::vector<std::size_t> pareto_filter(const std::vector<ProfiledPoint>& points) {
-  std::vector<std::size_t> front;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
-      if (i == j) continue;
-      const bool at_least_as_good = points[j].throughput() >= points[i].throughput() &&
-                                    points[j].power_mean_w <= points[i].power_mean_w;
-      const bool strictly_better = points[j].throughput() > points[i].throughput() ||
-                                   points[j].power_mean_w < points[i].power_mean_w;
-      dominated = at_least_as_good && strictly_better;
-    }
-    if (!dominated) front.push_back(i);
+void save_profile(std::ostream& out, const std::vector<ProfiledPoint>& points) {
+  out << "profile v1 " << points.size() << '\n';
+  for (const auto& p : points) {
+    // Config names ("O3", "CF1", ...) never contain whitespace.
+    out << p.config_index << ' ' << p.config_name << ' '
+        << static_cast<int>(p.configuration.flags.level()) << ' '
+        << p.configuration.flags.flag_bits() << ' ' << p.configuration.threads << ' '
+        << (p.configuration.binding == platform::BindingPolicy::kClose ? 0 : 1) << ' '
+        << format_exact(p.exec_time_mean_s) << ' ' << format_exact(p.exec_time_stddev_s)
+        << ' ' << format_exact(p.power_mean_w) << ' ' << format_exact(p.power_stddev_w)
+        << '\n';
   }
+}
+
+std::vector<ProfiledPoint> load_profile(std::istream& in) {
+  std::string magic, version;
+  std::size_t count = 0;
+  in >> magic >> version >> count;
+  SOCRATES_REQUIRE_MSG(in && magic == "profile" && version == "v1",
+                       "not a profile artifact");
+  std::vector<ProfiledPoint> points(count);
+  for (auto& p : points) {
+    int level = 0, binding = 0;
+    unsigned bits = 0;
+    in >> p.config_index >> p.config_name >> level >> bits >> p.configuration.threads >>
+        binding;
+    SOCRATES_REQUIRE_MSG(in && level >= 0 && level <= 3 && bits < 64 &&
+                             (binding == 0 || binding == 1),
+                         "malformed profile point");
+    p.configuration.flags =
+        platform::FlagConfig(static_cast<platform::OptLevel>(level), bits);
+    p.configuration.binding = binding == 0 ? platform::BindingPolicy::kClose
+                                           : platform::BindingPolicy::kSpread;
+    p.exec_time_mean_s = parse_exact(in);
+    p.exec_time_stddev_s = parse_exact(in);
+    p.power_mean_w = parse_exact(in);
+    p.power_stddev_w = parse_exact(in);
+  }
+  return points;
+}
+
+std::vector<std::size_t> pareto_filter(const std::vector<ProfiledPoint>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // Power ascending, throughput descending within a power tie.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].power_mean_w != points[b].power_mean_w)
+      return points[a].power_mean_w < points[b].power_mean_w;
+    if (points[a].throughput() != points[b].throughput())
+      return points[a].throughput() > points[b].throughput();
+    return a < b;
+  });
+
+  // Sweep power groups left to right.  A point survives iff it has the
+  // best throughput of its equal-power group AND beats every strictly
+  // cheaper point's throughput; exact duplicates tie on both axes and
+  // therefore all survive (nobody strictly dominates them).
+  std::vector<std::size_t> front;
+  double best_cheaper_thr = -std::numeric_limits<double>::infinity();
+  std::size_t g = 0;
+  while (g < n) {
+    std::size_t h = g;
+    while (h < n && points[order[h]].power_mean_w == points[order[g]].power_mean_w) ++h;
+    const double group_best_thr = points[order[g]].throughput();
+    if (group_best_thr > best_cheaper_thr) {
+      for (std::size_t k = g; k < h; ++k) {
+        if (points[order[k]].throughput() == group_best_thr) front.push_back(order[k]);
+      }
+      best_cheaper_thr = group_best_thr;
+    }
+    g = h;
+  }
+  std::sort(front.begin(), front.end());
   return front;
 }
 

@@ -8,10 +8,17 @@
 // used DSE strategy").  Each point is measured `repetitions` times with
 // measurement noise; the mean/stddev land in the knowledge base.
 // The Pareto filter over (throughput up, power down) feeds Figure 3.
+//
+// Every design point is independent, so the sweep fans out over a
+// TaskPool.  Each point draws its measurement noise from an RNG stream
+// derived from (seed, flat point index): the profile is bit-identical
+// to a serial sweep at any job count (the determinism contract of
+// docs/PIPELINE.md).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -20,6 +27,7 @@
 #include "platform/kernel_model.hpp"
 #include "platform/perf_model.hpp"
 #include "platform/topology.hpp"
+#include "support/task_pool.hpp"
 
 namespace socrates::dse {
 
@@ -51,17 +59,39 @@ struct ProfiledPoint {
   double throughput() const { return 1.0 / exec_time_mean_s; }
 };
 
+/// Profiles one design point: `repetitions` noisy runs, mean/stddev in
+/// the returned ProfiledPoint.  Callers derive `noise` per point
+/// (derive_stream) so results do not depend on profiling order.
+ProfiledPoint profile_point(const platform::PerformanceModel& model,
+                            const platform::KernelModelParams& kernel,
+                            const DesignSpace& space, std::size_t config_index,
+                            std::size_t threads, platform::BindingPolicy binding,
+                            std::size_t repetitions, Rng& noise, double work_scale);
+
 /// Profiles every point of the space (`repetitions` noisy runs each).
+/// Runs on `pool` (TaskPool::shared() when null); output is identical
+/// at any job count for a fixed seed.
 std::vector<ProfiledPoint> full_factorial_dse(const platform::PerformanceModel& model,
                                               const platform::KernelModelParams& kernel,
                                               const DesignSpace& space,
                                               std::size_t repetitions,
                                               std::uint64_t seed,
-                                              double work_scale = 1.0);
+                                              double work_scale = 1.0,
+                                              TaskPool* pool = nullptr);
 
-/// Indices of the Pareto-optimal points: maximize throughput, minimize
-/// power.  A point is dominated when another point is at least as good
-/// on both axes and strictly better on one.
+/// Writes a profile in the artifact-cache text format (hexfloat
+/// doubles, exact round trip).
+void save_profile(std::ostream& out, const std::vector<ProfiledPoint>& points);
+
+/// Parses a profile written by save_profile().  Throws
+/// ContractViolation on malformed input.
+std::vector<ProfiledPoint> load_profile(std::istream& in);
+
+/// Indices of the Pareto-optimal points (ascending): maximize
+/// throughput, minimize power.  A point is dominated when another point
+/// is at least as good on both axes and strictly better on one;
+/// duplicate points never dominate each other, so exact ties all
+/// survive.  Sort-based sweep, O(n log n).
 std::vector<std::size_t> pareto_filter(const std::vector<ProfiledPoint>& points);
 
 /// Exports profiled points to a mARGOt knowledge base with knobs

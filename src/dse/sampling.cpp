@@ -5,6 +5,7 @@
 #include <set>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 
@@ -12,28 +13,28 @@ namespace socrates::dse {
 
 namespace {
 
-ProfiledPoint profile_one(const platform::PerformanceModel& model,
-                          const platform::KernelModelParams& kernel,
-                          const DesignSpace& space, std::size_t config_index,
-                          std::size_t threads, platform::BindingPolicy binding,
-                          std::size_t repetitions, Rng& noise, double work_scale) {
-  ProfiledPoint p;
-  p.config_index = config_index;
-  p.config_name = space.configs[config_index].name;
-  p.configuration =
-      platform::Configuration{space.configs[config_index].config, threads, binding};
-  RunningStats time_stats;
-  RunningStats power_stats;
-  for (std::size_t r = 0; r < repetitions; ++r) {
-    const auto m = model.evaluate(kernel, p.configuration, &noise, work_scale);
-    time_stats.add(m.exec_time_s);
-    power_stats.add(m.avg_power_w);
-  }
-  p.exec_time_mean_s = time_stats.mean();
-  p.exec_time_stddev_s = time_stats.stddev();
-  p.power_mean_w = power_stats.mean();
-  p.power_stddev_w = power_stats.stddev();
-  return p;
+/// Profiles the given flat indices of the full factorial space in
+/// parallel, each point on its own (seed, flat index) noise stream —
+/// the same streams full_factorial_dse uses, so a sampled point equals
+/// the corresponding full-sweep point bit for bit.
+std::vector<ProfiledPoint> profile_flat_indices(
+    const platform::PerformanceModel& model, const platform::KernelModelParams& kernel,
+    const DesignSpace& space, const std::vector<std::size_t>& flat_indices,
+    std::size_t repetitions, std::uint64_t seed, double work_scale, TaskPool* pool) {
+  const std::size_t n_threads = space.thread_counts.size();
+  const std::size_t n_bindings = space.bindings.size();
+  std::vector<ProfiledPoint> out(flat_indices.size());
+  TaskPool& executor = pool != nullptr ? *pool : TaskPool::shared();
+  executor.parallel_for(flat_indices.size(), [&](std::size_t k) {
+    const std::size_t flat = flat_indices[k];
+    const std::size_t ci = flat / (n_threads * n_bindings);
+    const std::size_t ti = (flat / n_bindings) % n_threads;
+    const std::size_t bi = flat % n_bindings;
+    Rng noise(derive_stream(seed, flat));
+    out[k] = profile_point(model, kernel, space, ci, space.thread_counts[ti],
+                           space.bindings[bi], repetitions, noise, work_scale);
+  });
+  return out;
 }
 
 }  // namespace
@@ -42,7 +43,7 @@ std::vector<ProfiledPoint> random_subset_dse(const platform::PerformanceModel& m
                                              const platform::KernelModelParams& kernel,
                                              const DesignSpace& space, double fraction,
                                              std::size_t repetitions, std::uint64_t seed,
-                                             double work_scale) {
+                                             double work_scale, TaskPool* pool) {
   SOCRATES_REQUIRE(fraction > 0.0 && fraction <= 1.0);
   SOCRATES_REQUIRE(repetitions >= 1);
   const std::size_t total = space.size();
@@ -58,18 +59,8 @@ std::vector<ProfiledPoint> random_subset_dse(const platform::PerformanceModel& m
   indices.resize(budget);
   std::sort(indices.begin(), indices.end());  // deterministic profiling order
 
-  const std::size_t per_config = space.thread_counts.size() * space.bindings.size();
-  std::vector<ProfiledPoint> out;
-  out.reserve(budget);
-  for (const std::size_t flat : indices) {
-    const std::size_t ci = flat / per_config;
-    const std::size_t rem = flat % per_config;
-    const std::size_t ti = rem / space.bindings.size();
-    const std::size_t bi = rem % space.bindings.size();
-    out.push_back(profile_one(model, kernel, space, ci, space.thread_counts[ti],
-                              space.bindings[bi], repetitions, rng, work_scale));
-  }
-  return out;
+  return profile_flat_indices(model, kernel, space, indices, repetitions, seed,
+                              work_scale, pool);
 }
 
 std::vector<ProfiledPoint> stratified_dse(const platform::PerformanceModel& model,
@@ -77,7 +68,7 @@ std::vector<ProfiledPoint> stratified_dse(const platform::PerformanceModel& mode
                                           const DesignSpace& space,
                                           std::size_t threads_per_stratum,
                                           std::size_t repetitions, std::uint64_t seed,
-                                          double work_scale) {
+                                          double work_scale, TaskPool* pool) {
   SOCRATES_REQUIRE(threads_per_stratum >= 2);
   SOCRATES_REQUIRE(repetitions >= 1);
   SOCRATES_REQUIRE(!space.thread_counts.empty());
@@ -94,18 +85,19 @@ std::vector<ProfiledPoint> stratified_dse(const platform::PerformanceModel& mode
     picked_indices.insert(idx);
   }
 
-  Rng rng(seed);
-  std::vector<ProfiledPoint> out;
-  out.reserve(space.configs.size() * space.bindings.size() * picked_indices.size());
+  // Stratum order mirrors the historical serial loop: config-major,
+  // then binding, then the thread ladder.
+  const std::size_t n_bindings = space.bindings.size();
+  std::vector<std::size_t> flat_indices;
+  flat_indices.reserve(space.configs.size() * n_bindings * picked_indices.size());
   for (std::size_t ci = 0; ci < space.configs.size(); ++ci) {
-    for (std::size_t bi = 0; bi < space.bindings.size(); ++bi) {
-      for (const std::size_t ti : picked_indices) {
-        out.push_back(profile_one(model, kernel, space, ci, space.thread_counts[ti],
-                                  space.bindings[bi], repetitions, rng, work_scale));
-      }
+    for (std::size_t bi = 0; bi < n_bindings; ++bi) {
+      for (const std::size_t ti : picked_indices)
+        flat_indices.push_back((ci * n_threads + ti) * n_bindings + bi);
     }
   }
-  return out;
+  return profile_flat_indices(model, kernel, space, flat_indices, repetitions, seed,
+                              work_scale, pool);
 }
 
 }  // namespace socrates::dse

@@ -18,11 +18,16 @@ namespace socrates::dse {
 
 /// Profiles a uniformly random subset of the space (without
 /// replacement).  `fraction` in (0, 1]; at least one point per run.
+/// Like full_factorial_dse, each selected point draws noise from the
+/// stream (seed, flat index in the full space), so a sampled point's
+/// measurements are identical to the same point profiled by the full
+/// sweep — and independent of the job count.
 std::vector<ProfiledPoint> random_subset_dse(const platform::PerformanceModel& model,
                                              const platform::KernelModelParams& kernel,
                                              const DesignSpace& space, double fraction,
                                              std::size_t repetitions, std::uint64_t seed,
-                                             double work_scale = 1.0);
+                                             double work_scale = 1.0,
+                                             TaskPool* pool = nullptr);
 
 /// Stratified sampling: every (config, binding) stratum is profiled at
 /// `threads_per_stratum` thread counts — the extremes (1 and max) plus
@@ -33,6 +38,7 @@ std::vector<ProfiledPoint> stratified_dse(const platform::PerformanceModel& mode
                                           const DesignSpace& space,
                                           std::size_t threads_per_stratum,
                                           std::size_t repetitions, std::uint64_t seed,
-                                          double work_scale = 1.0);
+                                          double work_scale = 1.0,
+                                          TaskPool* pool = nullptr);
 
 }  // namespace socrates::dse

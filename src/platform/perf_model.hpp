@@ -71,6 +71,12 @@ class PerformanceModel {
   const MachineTopology& topology() const { return topology_; }
   const MachinePowerModel& machine() const { return machine_; }
 
+  /// Noise magnitudes (exposed so cache keys can fingerprint the
+  /// platform: two models that measure differently must never share
+  /// artifacts).
+  double time_noise_sigma() const { return time_noise_sigma_; }
+  double power_noise_sigma() const { return power_noise_sigma_; }
+
   /// Evaluates one kernel run.  `work_scale` scales the dataset (the
   /// runtime experiment of Figure 5 uses a smaller dataset than the
   /// static DSE of Figures 3/4).  `noise` == nullptr -> expected values.

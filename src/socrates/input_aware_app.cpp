@@ -6,7 +6,7 @@
 
 namespace socrates {
 
-InputAwareBinary build_input_aware(Toolchain& toolchain, const std::string& benchmark,
+InputAwareBinary build_input_aware(Pipeline& pipeline, const std::string& benchmark,
                                    const std::vector<double>& scales) {
   SOCRATES_REQUIRE(!scales.empty());
   for (const double s : scales) SOCRATES_REQUIRE(s > 0.0 && s <= 1.0);
@@ -21,7 +21,7 @@ InputAwareBinary build_input_aware(Toolchain& toolchain, const std::string& benc
   // across clusters (same kernel versions in the woven binary), only
   // the profiled behaviour differs.
   for (const double scale : scales) {
-    auto binary = toolchain.build(benchmark, scale);
+    auto binary = pipeline.build(benchmark, scale);
     if (out.space.configs.empty()) out.space = binary.space;
     out.knowledge.add_cluster({scale}, std::move(binary.knowledge));
   }

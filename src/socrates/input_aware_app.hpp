@@ -19,7 +19,7 @@
 #include "margot/data_features.hpp"
 #include "platform/executor.hpp"
 #include "socrates/adaptive_app.hpp"
-#include "socrates/toolchain.hpp"
+#include "socrates/pipeline.hpp"
 
 namespace socrates {
 
@@ -32,9 +32,10 @@ struct InputAwareBinary {
   std::vector<double> profiled_scales;
 };
 
-/// Builds an InputAwareBinary by running the DSE once per scale.
-/// `scales` must be non-empty, each in (0, 1].
-InputAwareBinary build_input_aware(Toolchain& toolchain, const std::string& benchmark,
+/// Builds an InputAwareBinary by running the pipeline once per scale
+/// (each scale keys its own DSE artifact, so repeated builds hit the
+/// cache).  `scales` must be non-empty, each in (0, 1].
+InputAwareBinary build_input_aware(Pipeline& pipeline, const std::string& benchmark,
                                    const std::vector<double>& scales);
 
 class InputAwareApplication {

@@ -1,0 +1,286 @@
+#include "socrates/pipeline.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "features/params_from_features.hpp"
+#include "ir/parser.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sources.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+
+namespace socrates {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+double PipelineReport::total_seconds() const {
+  double total = 0.0;
+  for (const auto& s : stages) total += s.seconds;
+  return total;
+}
+
+const StageReport* PipelineReport::stage(std::string_view name) const {
+  for (std::size_t i = stages.size(); i-- > 0;)
+    if (stages[i].name == name) return &stages[i];
+  return nullptr;
+}
+
+std::uint64_t platform_signature(const platform::PerformanceModel& platform) {
+  Hasher h;
+  h.add("platform-signature");
+  const auto& t = platform.topology();
+  h.add(static_cast<std::uint64_t>(t.sockets));
+  h.add(static_cast<std::uint64_t>(t.cores_per_socket));
+  h.add(static_cast<std::uint64_t>(t.threads_per_core));
+  const auto& m = platform.machine();
+  h.add(m.idle_power_w).add(m.socket_active_w).add(m.core_dynamic_w);
+  h.add(m.stall_power_share).add(m.ht_power_bonus).add(m.ht_throughput_gain);
+  h.add(m.dram_w_per_gbs).add(m.turbo_headroom).add(m.turbo_power_exponent);
+  h.add(m.core_bw_gbs).add(m.socket_bw_gbs).add(m.ht_bw_gain);
+  h.add(platform.time_noise_sigma()).add(platform.power_noise_sigma());
+  return h.digest();
+}
+
+std::uint64_t cobayn_artifact_key(const platform::PerformanceModel& platform,
+                                  std::size_t corpus_size, std::uint64_t seed,
+                                  const cobayn::TrainOptions& train,
+                                  std::uint64_t stage_version) {
+  Hasher h;
+  h.add("cobayn-model");
+  h.add(stage_version);
+  h.add(platform_signature(platform));
+  h.add(static_cast<std::uint64_t>(corpus_size));
+  h.add(seed);
+  h.add(static_cast<std::uint64_t>(train.feature_bins));
+  h.add(train.good_share);
+  h.add(static_cast<std::uint64_t>(train.profile_threads));
+  h.add(static_cast<std::uint64_t>(train.k2.max_parents));
+  h.add(train.k2.laplace_alpha);
+  return h.digest();
+}
+
+std::uint64_t dse_artifact_key(const platform::PerformanceModel& platform,
+                               const std::string& source,
+                               const platform::KernelModelParams& params,
+                               const dse::DesignSpace& space, std::size_t repetitions,
+                               std::uint64_t seed, double work_scale,
+                               std::uint64_t stage_version) {
+  Hasher h;
+  h.add("dse-profile");
+  h.add(stage_version);
+  h.add(platform_signature(platform));
+  h.add(source);
+  h.add(params.name).add(params.seq_work_s).add(params.parallel_fraction);
+  h.add(params.mem_intensity).add(params.unroll_affinity);
+  h.add(params.vectorization_affinity).add(params.fp_ratio).add(params.branchiness);
+  h.add(params.call_density).add(params.icache_sensitivity);
+  h.add(params.ivopt_sensitivity).add(params.loop_opt_sensitivity);
+  h.add(static_cast<std::uint64_t>(space.configs.size()));
+  for (const auto& c : space.configs) {
+    h.add(c.name);
+    h.add(static_cast<std::uint64_t>(c.config.level()));
+    h.add(static_cast<std::uint64_t>(c.config.flag_bits()));
+  }
+  h.add(static_cast<std::uint64_t>(space.thread_counts.size()));
+  for (const std::size_t t : space.thread_counts) h.add(static_cast<std::uint64_t>(t));
+  h.add(static_cast<std::uint64_t>(space.bindings.size()));
+  for (const auto b : space.bindings) h.add(static_cast<std::uint64_t>(b));
+  h.add(static_cast<std::uint64_t>(repetitions));
+  h.add(seed);
+  h.add(work_scale);
+  return h.digest();
+}
+
+Pipeline::Pipeline(const platform::PerformanceModel& platform, ToolchainOptions options,
+                   ArtifactCache* cache)
+    : platform_(platform),
+      options_(options),
+      cache_(cache != nullptr ? cache : &ArtifactCache::global()),
+      pool_(options.jobs) {
+  SOCRATES_REQUIRE(options_.custom_configs >= 1);
+  SOCRATES_REQUIRE(options_.dse_repetitions >= 1);
+}
+
+bool Pipeline::ensure_cobayn() {
+  if (!cobayn_.empty()) return true;  // computed once, reused in-process
+
+  cobayn::TrainOptions train;
+  train.pool = &pool_;
+  const std::uint64_t key =
+      cobayn_artifact_key(platform_, options_.corpus_size, options_.seed, train);
+  if (auto payload = cache_->load(key, "cobayn-model")) {
+    try {
+      std::istringstream in(*payload);
+      cobayn_.push_back(cobayn::CobaynModel::load(in));
+      cobayn_from_cache_ = true;
+      log_info() << "COBAYN model loaded from artifact cache";
+      return true;
+    } catch (const ContractViolation& e) {
+      log_warn() << "stored COBAYN artifact unusable (" << e.what()
+                 << "); retraining";
+      cobayn_.clear();
+    }
+  }
+
+  log_info() << "training COBAYN on " << options_.corpus_size << " synthetic kernels";
+  const auto corpus = cobayn::make_corpus(options_.corpus_size, options_.seed);
+  cobayn_.push_back(cobayn::CobaynModel::train(corpus, platform_, train));
+  std::ostringstream out;
+  cobayn_.front().save(out);
+  cache_->store(key, "cobayn-model", out.str());
+  cobayn_from_cache_ = false;
+  return false;
+}
+
+const cobayn::CobaynModel& Pipeline::cobayn_model() {
+  ensure_cobayn();
+  return cobayn_.front();
+}
+
+const cobayn::CobaynModel& Pipeline::cobayn_model() const {
+  SOCRATES_REQUIRE_MSG(!cobayn_.empty(), "COBAYN model not trained yet");
+  return cobayn_.front();
+}
+
+std::pair<std::vector<dse::ProfiledPoint>, bool> Pipeline::profile_cached(
+    const std::string& source, const platform::KernelModelParams& params,
+    const dse::DesignSpace& space, std::size_t repetitions, std::uint64_t seed,
+    double work_scale) {
+  const std::uint64_t key = dse_artifact_key(platform_, source, params, space,
+                                             repetitions, seed, work_scale);
+  if (auto payload = cache_->load(key, "dse-profile")) {
+    try {
+      std::istringstream in(*payload);
+      auto profile = dse::load_profile(in);
+      return {std::move(profile), true};
+    } catch (const ContractViolation& e) {
+      log_warn() << "stored DSE artifact unusable (" << e.what() << "); reprofiling";
+    }
+  }
+  auto profile = dse::full_factorial_dse(platform_, params, space, repetitions, seed,
+                                         work_scale, &pool_);
+  std::ostringstream out;
+  dse::save_profile(out, profile);
+  cache_->store(key, "dse-profile", out.str());
+  return {std::move(profile), false};
+}
+
+AdaptiveBinary Pipeline::build(const std::string& benchmark_name,
+                               double work_scale_override) {
+  SOCRATES_REQUIRE(work_scale_override >= 0.0);
+  const double work_scale =
+      work_scale_override > 0.0 ? work_scale_override : options_.work_scale;
+  const auto& bench = kernels::find_benchmark(benchmark_name);
+  return build_impl(benchmark_name, kernels::benchmark_source(benchmark_name),
+                    bench.model, work_scale);
+}
+
+AdaptiveBinary Pipeline::build_from_source(const std::string& name,
+                                           const std::string& source,
+                                           double seq_work_s) {
+  const auto features = cobayn::kernel_features_of_source(source);
+  const auto params = features::estimate_model_params(features, name, seq_work_s);
+  return build_impl(name, source, params, options_.work_scale);
+}
+
+AdaptiveBinary Pipeline::build_impl(const std::string& name, const std::string& source,
+                                    const platform::KernelModelParams& params,
+                                    double work_scale) {
+  report_ = {};
+  AdaptiveBinary out{name,
+                     {},
+                     {},
+                     {},
+                     {},
+                     {},
+                     margot::KnowledgeBase({"config", "threads", "binding"},
+                                           {"exec_time_s", "power_w", "throughput"})};
+
+  // Parse: source -> AST.
+  auto start = Clock::now();
+  const ir::TranslationUnit tu = ir::parse(source);
+  report_.stages.push_back({"Parse", false, seconds_since(start)});
+
+  // Features: Milepost-style static features of the kernel function.
+  start = Clock::now();
+  const auto kernels = features::extract_kernel_features(tu);
+  SOCRATES_REQUIRE_MSG(!kernels.empty(), "source has no kernel_* function");
+  out.kernel_features = kernels.front().second;
+  report_.stages.push_back({"Features", false, seconds_since(start)});
+
+  // CobaynPredict: compiler-space pruning.  The trained model is a
+  // cached artifact shared across builds and processes.
+  start = Clock::now();
+  const bool model_hit = ensure_cobayn();
+  out.custom_configs =
+      options_.use_paper_cfs
+          ? platform::paper_custom_configs()
+          : cobayn_.front().predict_named(out.kernel_features, options_.custom_configs);
+  report_.stages.push_back({"CobaynPredict", model_hit, seconds_since(start)});
+
+  // Reduced design space: the 4 standard levels + the CFs.
+  std::vector<platform::NamedConfig> configs = platform::standard_levels();
+  for (const auto& cf : out.custom_configs) configs.push_back(cf);
+
+  // Weave: LARA/MANET multiversioning + autotuner hooks.
+  const std::vector<platform::BindingPolicy> bindings = {
+      platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread};
+  start = Clock::now();
+  out.woven = weaver::weave_benchmark(name, source, configs, bindings);
+  report_.stages.push_back({"Weave", false, seconds_since(start)});
+
+  // Dse: profile the full factorial space (cached artifact).
+  out.space = dse::DesignSpace{configs, {}, bindings};
+  for (std::size_t t = 1; t <= platform_.topology().logical_cores(); ++t)
+    out.space.thread_counts.push_back(t);
+  start = Clock::now();
+  auto [profile, dse_hit] = profile_cached(source, params, out.space,
+                                           options_.dse_repetitions,
+                                           options_.seed + 17, work_scale);
+  out.profile = std::move(profile);
+  report_.stages.push_back({"Dse", dse_hit, seconds_since(start)});
+
+  // Knowledge: application knowledge for the AS-RTM.
+  start = Clock::now();
+  out.knowledge = dse::to_knowledge_base(out.profile);
+  report_.stages.push_back({"Knowledge", false, seconds_since(start)});
+
+  log_info() << "built adaptive binary for " << name << ": " << out.profile.size()
+             << " operating points, " << out.woven.report.weaved_loc << " weaved LOC"
+             << (dse_hit ? " (DSE from cache)" : "");
+  return out;
+}
+
+std::vector<dse::ProfiledPoint> Pipeline::profile_space(
+    const std::string& benchmark_name, const dse::DesignSpace& space,
+    std::size_t repetitions, std::uint64_t seed, double work_scale) {
+  SOCRATES_REQUIRE(repetitions >= 1);
+  const auto& bench = kernels::find_benchmark(benchmark_name);
+  const auto start = Clock::now();
+  auto [profile, hit] =
+      profile_cached(kernels::benchmark_source(benchmark_name), bench.model, space,
+                     repetitions, seed, work_scale);
+  report_.stages.push_back({"Dse", hit, seconds_since(start)});
+  return std::move(profile);
+}
+
+weaver::WovenBenchmark Pipeline::weave(const std::string& benchmark_name) {
+  const auto start = Clock::now();
+  auto woven = weaver::weave_benchmark_paper_space(
+      benchmark_name, kernels::benchmark_source(benchmark_name));
+  report_.stages.push_back({"Weave", false, seconds_since(start)});
+  return woven;
+}
+
+}  // namespace socrates

@@ -12,59 +12,36 @@
 //   4. profile the full factorial design space (DSE) into the
 //      application knowledge;
 //   5. hand the knowledge to the AS-RTM — the adaptive binary.
+//
+// Toolchain is a thin facade over Pipeline (pipeline.hpp), which runs
+// the same flow as named, artifact-cached, task-pool-parallel stages.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
 #include <string>
-#include <vector>
 
-#include "cobayn/cobayn.hpp"
-#include "dse/dse.hpp"
-#include "features/features.hpp"
-#include "margot/operating_point.hpp"
-#include "platform/perf_model.hpp"
-#include "weaver/report.hpp"
+#include "socrates/pipeline.hpp"
 
 namespace socrates {
 
-struct ToolchainOptions {
-  std::size_t corpus_size = 48;     ///< synthetic kernels for COBAYN training
-  std::uint64_t seed = 2018;        ///< master seed (DATE'18 vintage)
-  std::size_t custom_configs = 4;   ///< how many CFs COBAYN suggests
-  std::size_t dse_repetitions = 5;  ///< profiling runs per design point
-  /// Use the paper's published CF1-CF4 instead of the trained model's
-  /// predictions (the figure benches do, for comparability).
-  bool use_paper_cfs = false;
-  double work_scale = 1.0;          ///< dataset scale for profiling
-};
-
-/// Everything the toolchain produced for one benchmark.
-struct AdaptiveBinary {
-  std::string benchmark;
-  features::FeatureVector kernel_features;
-  std::vector<platform::NamedConfig> custom_configs;  ///< CF1..CFn
-  weaver::WovenBenchmark woven;
-  dse::DesignSpace space;
-  std::vector<dse::ProfiledPoint> profile;
-  margot::KnowledgeBase knowledge;
-};
-
 class Toolchain {
  public:
-  Toolchain(const platform::PerformanceModel& platform, ToolchainOptions options = {});
+  Toolchain(const platform::PerformanceModel& platform, ToolchainOptions options = {})
+      : pipeline_(platform, options) {}
 
-  /// Trains COBAYN on the synthetic corpus.  Implicit on first build().
-  void train_cobayn();
-  bool cobayn_trained() const { return !cobayn_.empty(); }
-  const cobayn::CobaynModel& cobayn_model() const;
+  /// Trains COBAYN on the synthetic corpus (or loads the cached model
+  /// artifact).  Implicit on first build().
+  void train_cobayn() { pipeline_.cobayn_model(); }
+  bool cobayn_trained() const { return pipeline_.cobayn_ready(); }
+  const cobayn::CobaynModel& cobayn_model() const { return pipeline_.cobayn_model(); }
 
   /// Runs the full flow for one registered Polybench benchmark.
   /// `work_scale_override` (> 0) profiles the DSE at a different
   /// dataset scale than options().work_scale — used by the input-aware
   /// builder to produce one knowledge cluster per representative input.
   AdaptiveBinary build(const std::string& benchmark_name,
-                       double work_scale_override = 0.0);
+                       double work_scale_override = 0.0) {
+    return pipeline_.build(benchmark_name, work_scale_override);
+  }
 
   /// Runs the full flow on an *arbitrary* C source (any file with a
   /// kernel_* function and a main).  With no hand-calibrated model, the
@@ -72,18 +49,18 @@ class Toolchain {
   /// (features::estimate_model_params); `seq_work_s` supplies the
   /// sequential baseline time the estimator cannot infer statically.
   AdaptiveBinary build_from_source(const std::string& name, const std::string& source,
-                                   double seq_work_s = 5.0);
+                                   double seq_work_s = 5.0) {
+    return pipeline_.build_from_source(name, source, seq_work_s);
+  }
 
-  const ToolchainOptions& options() const { return options_; }
+  const ToolchainOptions& options() const { return pipeline_.options(); }
+
+  /// The underlying staged pipeline (stage reports, cache, task pool).
+  Pipeline& pipeline() { return pipeline_; }
+  const Pipeline& pipeline() const { return pipeline_; }
 
  private:
-  AdaptiveBinary build_impl(const std::string& name, const std::string& source,
-                            const platform::KernelModelParams& params,
-                            double work_scale);
-
-  const platform::PerformanceModel& platform_;
-  ToolchainOptions options_;
-  std::vector<cobayn::CobaynModel> cobayn_;  ///< 0 or 1 element (late init)
+  Pipeline pipeline_;
 };
 
 }  // namespace socrates

@@ -1,0 +1,139 @@
+#include "support/artifact_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace socrates {
+
+namespace {
+
+constexpr const char* kMagic = "socrates-artifact";
+constexpr const char* kVersion = "v1";
+
+std::string sanitize_label(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("artifact") : out;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::string disk_dir) : dir_(std::move(disk_dir)) {}
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache kCache = [] {
+    const char* env = std::getenv("SOCRATES_CACHE_DIR");
+    return ArtifactCache(env == nullptr ? std::string() : std::string(env));
+  }();
+  return kCache;
+}
+
+std::string ArtifactCache::file_path(std::uint64_t key, std::string_view label) const {
+  std::ostringstream os;
+  os << dir_ << '/' << sanitize_label(label) << '-' << std::hex << key << ".artifact";
+  return os.str();
+}
+
+std::optional<std::string> ArtifactCache::load(std::uint64_t key,
+                                               std::string_view label) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+  if (!dir_.empty()) {
+    const std::string path = file_path(key, label);
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      // Header: magic version key-hex payload-size payload-hash-hex
+      std::string magic, version, key_text, size_text, hash_text;
+      if (in >> magic >> version >> key_text >> size_text >> hash_text &&
+          magic == kMagic && version == kVersion) {
+        in.get();  // the single separator newline
+        char* end = nullptr;
+        const std::uint64_t stored_key = std::strtoull(key_text.c_str(), &end, 16);
+        const unsigned long long size = std::strtoull(size_text.c_str(), nullptr, 10);
+        const std::uint64_t payload_hash = std::strtoull(hash_text.c_str(), nullptr, 16);
+        std::string payload(static_cast<std::size_t>(size), '\0');
+        in.read(payload.data(), static_cast<std::streamsize>(size));
+        if (in.gcount() == static_cast<std::streamsize>(size) && stored_key == key &&
+            stable_hash64(payload) == payload_hash) {
+          std::lock_guard<std::mutex> lock(mu_);
+          memory_.emplace(key, payload);
+          ++stats_.disk_hits;
+          return payload;
+        }
+      }
+      log_warn() << "artifact cache: ignoring corrupted file " << path;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ArtifactCache::store(std::uint64_t key, std::string_view label,
+                          std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memory_[key] = std::string(payload);
+    ++stats_.stores;
+  }
+  if (dir_.empty()) return;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    log_warn() << "artifact cache: cannot create " << dir_ << ": " << ec.message();
+    return;
+  }
+  const std::string path = file_path(key, label);
+  // Per-process temp name: concurrent writers of the same artifact
+  // (e.g. two bench binaries racing on a cold cache) publish atomically
+  // via rename and the loser's bytes simply win — same content anyway.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      log_warn() << "artifact cache: cannot write " << tmp;
+      return;
+    }
+    out << kMagic << ' ' << kVersion << ' ' << std::hex << key << std::dec << ' '
+        << payload.size() << ' ' << std::hex << stable_hash64(payload) << std::dec
+        << '\n';
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    log_warn() << "artifact cache: cannot publish " << path << ": " << ec.message();
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ArtifactCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_.clear();
+}
+
+}  // namespace socrates

@@ -1,0 +1,79 @@
+#include "support/hash.hpp"
+
+#include <cstring>
+
+namespace socrates {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t state, const unsigned char* bytes, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// splitmix64 finalizer: bijective, strong avalanche.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Hasher& Hasher::add_bytes(const void* data, std::size_t size) {
+  state_ = fnv1a(state_, static_cast<const unsigned char*>(data), size);
+  return *this;
+}
+
+Hasher& Hasher::add(std::string_view text) {
+  add(static_cast<std::uint64_t>(text.size()));
+  return add_bytes(text.data(), text.size());
+}
+
+Hasher& Hasher::add(std::uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+  return add_bytes(bytes, sizeof bytes);
+}
+
+Hasher& Hasher::add(std::int64_t value) {
+  return add(static_cast<std::uint64_t>(value));
+}
+
+Hasher& Hasher::add(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return add(bits);
+}
+
+std::string Hasher::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = state_;
+  for (int i = 15; i >= 0; --i, v >>= 4) out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+  return out;
+}
+
+std::uint64_t stable_hash64(std::string_view bytes) {
+  return fnv1a(0xcbf29ce484222325ULL,
+               reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size());
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+}
+
+std::uint64_t derive_stream(std::uint64_t master_seed, std::uint64_t index) {
+  return hash_combine(mix64(master_seed), index + 1);
+}
+
+}  // namespace socrates

@@ -1,0 +1,49 @@
+// Stable 64-bit content hashing.
+//
+// Artifact-cache keys and per-task RNG stream derivation both need a
+// hash that is identical across platforms, processes and compiler
+// versions — std::hash guarantees none of that.  Hasher is FNV-1a over
+// a byte stream with an explicit little-endian encoding of integers and
+// the IEEE-754 bit pattern of doubles, so a key computed today matches
+// a key stored on disk by an earlier run on any machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace socrates {
+
+/// Incremental FNV-1a (64-bit) hasher over typed fields.  Strings are
+/// length-prefixed so consecutive adds never alias ("ab","c" != "a","bc").
+class Hasher {
+ public:
+  Hasher& add_bytes(const void* data, std::size_t size);
+  Hasher& add(std::string_view text);
+  Hasher& add(std::uint64_t value);
+  Hasher& add(std::int64_t value);
+  Hasher& add(double value);  ///< IEEE-754 bit pattern, exact
+
+  std::uint64_t digest() const { return state_; }
+  /// 16 lowercase hex digits of digest().
+  std::string hex() const;
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+/// One-shot FNV-1a of a byte string.
+std::uint64_t stable_hash64(std::string_view bytes);
+
+/// Mixes two 64-bit values into a well-distributed third (splitmix64
+/// finalizer over the combination) — order-sensitive.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// Seed of the `index`-th RNG substream of `master_seed`.  Every
+/// parallel task derives its own stream this way, so the task schedule
+/// cannot influence the numbers any task draws (the determinism
+/// contract of docs/PIPELINE.md).
+std::uint64_t derive_stream(std::uint64_t master_seed, std::uint64_t index);
+
+}  // namespace socrates

@@ -1,13 +1,16 @@
 #include "support/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace socrates {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-std::ostream* g_sink = nullptr;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_write_mu;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -27,8 +30,12 @@ LogLevel Log::level() { return g_level; }
 void Log::set_sink(std::ostream* sink) { g_sink = sink; }
 
 void Log::write(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
-  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  // Task-pool workers may log concurrently; serialize whole lines so
+  // interleaved messages stay readable.
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::ostream* sink = g_sink.load(std::memory_order_acquire);
+  std::ostream& os = sink != nullptr ? *sink : std::cerr;
   os << "[socrates:" << level_tag(level) << "] " << message << '\n';
 }
 

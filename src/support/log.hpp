@@ -1,9 +1,9 @@
 // Minimal leveled logger.
 //
-// SOCRATES components report progress (toolchain stages, AS-RTM
+// SOCRATES components report progress (pipeline stages, AS-RTM
 // decisions) through this logger; tests silence it, benches keep it at
-// Info.  Not thread-safe by design: the whole framework drives a single
-// simulated machine from one thread.
+// Info.  write() serializes whole lines under a mutex so task-pool
+// workers can log concurrently without interleaving.
 #pragma once
 
 #include <iosfwd>

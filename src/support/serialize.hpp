@@ -1,0 +1,35 @@
+// Exact-round-trip double formatting for text artifacts.
+//
+// Artifact payloads (trained COBAYN models, DSE profiles) are
+// whitespace-separated text; doubles are written as C99 hexfloats
+// ("%a") and read back with strtod, which reproduces the bit pattern
+// exactly — the determinism contract requires byte-identical reload.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace socrates {
+
+inline std::string format_exact(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+inline double parse_exact(std::istream& in) {
+  std::string token;
+  in >> token;
+  SOCRATES_REQUIRE_MSG(in && !token.empty(), "truncated artifact: missing double");
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  SOCRATES_REQUIRE_MSG(end == begin + token.size(), "malformed double in artifact");
+  return v;
+}
+
+}  // namespace socrates

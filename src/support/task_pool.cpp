@@ -1,0 +1,122 @@
+#include "support/task_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace socrates {
+
+namespace {
+
+/// True while the current thread is executing a pool body; nested
+/// parallel_for calls detect this and run inline.
+thread_local bool tls_inside_pool_body = false;
+
+}  // namespace
+
+TaskPool::TaskPool(std::size_t jobs) : jobs_(jobs == 0 ? default_jobs() : jobs) {
+  SOCRATES_ENSURE(jobs_ >= 1);
+  for (std::size_t w = 0; w + 1 < jobs_; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t TaskPool::default_jobs() {
+  if (const char* env = std::getenv("SOCRATES_JOBS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1)
+      return std::min<std::size_t>(parsed, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool kPool;
+  return kPool;
+}
+
+void TaskPool::run_indices(Job& job) {
+  const bool was_inside = tls_inside_pool_body;
+  tls_inside_pool_body = true;
+  std::size_t completed_here = 0;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job.first_error) job.first_error = std::current_exception();
+    }
+    ++completed_here;
+  }
+  tls_inside_pool_body = was_inside;
+  if (completed_here > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.remaining -= completed_here;
+    if (job.remaining == 0) work_done_.notify_all();
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    // A job whose indices are exhausted yields no claims; the claim
+    // counter lives in the job itself, so a stale wake-up is harmless.
+    if (job) run_indices(*job);
+  }
+}
+
+void TaskPool::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1 || tls_inside_pool_body) {
+    // Serial fallback: same per-index code, same per-index RNG streams,
+    // therefore the same result as the parallel path.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  job->remaining = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  run_indices(*job);  // the caller participates too
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [&] { return job->remaining == 0; });
+    if (job_ == job) job_.reset();
+    error = job->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace socrates

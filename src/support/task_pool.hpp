@@ -1,0 +1,83 @@
+// Deterministic fixed-size task executor.
+//
+// The staged pipeline fans independent work items (DSE design points,
+// corpus kernels, weave units) out to a fixed set of worker threads.
+// Determinism is the cornerstone: every item writes only to its own
+// result slot and derives any randomness from (master_seed, item index)
+// via derive_stream(), so the output is bit-identical to a serial run
+// at any job count — see docs/PIPELINE.md for the contract.
+//
+// The pool size comes from the SOCRATES_JOBS environment variable (or
+// an explicit constructor argument); jobs == 1 spawns no threads and
+// runs everything inline, which is the graceful serial fallback.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socrates {
+
+class TaskPool {
+ public:
+  /// `jobs` == 0 picks default_jobs().  `jobs` == 1 creates no worker
+  /// threads at all: every parallel_for degrades to a plain serial loop
+  /// on the calling thread.
+  explicit TaskPool(std::size_t jobs = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs body(i) for every i in [0, n), each exactly once, and blocks
+  /// until all completed.  The first exception any body throws is
+  /// rethrown on the caller after the barrier (remaining indices still
+  /// run).  Nested calls from inside a body run serially inline, so
+  /// composed parallel stages cannot deadlock the pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// SOCRATES_JOBS when set (>= 1, capped at 256); otherwise the
+  /// hardware concurrency; 1 when neither is available.
+  static std::size_t default_jobs();
+
+  /// Process-wide pool sized by default_jobs(), created on first use.
+  static TaskPool& shared();
+
+ private:
+  /// One parallel_for invocation.  Heap-allocated and shared with the
+  /// workers so a late-waking worker can never claim indices from a
+  /// newer job: each job owns its claim counter.
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t remaining = 0;  ///< guarded by the pool mutex
+    std::exception_ptr first_error;  ///< guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void run_indices(Job& job);
+
+  std::size_t jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::shared_ptr<Job> job_;  ///< current job, guarded by mu_
+
+  std::mutex job_mu_;  ///< serializes concurrent parallel_for callers
+};
+
+}  // namespace socrates

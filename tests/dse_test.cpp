@@ -2,6 +2,7 @@
 // (property-based), knowledge-base export and knob decoding.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "dse/dse.hpp"
@@ -151,6 +152,81 @@ TEST(Pareto, WideSpreadConfirmsNoOneFitsAll) {
     widest = std::max(widest, pmax / pmin);
   }
   EXPECT_GT(widest, 2.0);
+}
+
+TEST(Pareto, ExactDuplicatesAllSurvive) {
+  // Regression for the sort-based filter: points identical on both axes
+  // do not dominate each other, so every copy must survive — and with
+  // its original index.
+  const auto make = [](double exec_s, double power_w) {
+    ProfiledPoint p;
+    p.exec_time_mean_s = exec_s;
+    p.power_mean_w = power_w;
+    return p;
+  };
+  const std::vector<ProfiledPoint> points = {
+      make(1.0, 80.0),   // 0: optimal, duplicated at 3 and 5
+      make(2.0, 100.0),  // 1: dominated
+      make(0.5, 120.0),  // 2: faster but hungrier -> survives
+      make(1.0, 80.0),   // 3: duplicate of 0
+      make(1.0, 90.0),   // 4: dominated by 0/3/5 (same thr, more power)
+      make(1.0, 80.0),   // 5: duplicate of 0
+  };
+  const auto front = pareto_filter(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2, 3, 5}));
+}
+
+TEST(Pareto, TiesOnASingleAxisAreResolvedStrictly) {
+  const auto make = [](double exec_s, double power_w) {
+    ProfiledPoint p;
+    p.exec_time_mean_s = exec_s;
+    p.power_mean_w = power_w;
+    return p;
+  };
+  // Equal power, different throughput: only the fastest survives.
+  {
+    const std::vector<ProfiledPoint> points = {make(2.0, 90.0), make(1.0, 90.0),
+                                               make(3.0, 90.0)};
+    EXPECT_EQ(pareto_filter(points), (std::vector<std::size_t>{1}));
+  }
+  // Equal throughput, different power: only the cheapest survives.
+  {
+    const std::vector<ProfiledPoint> points = {make(1.0, 110.0), make(1.0, 70.0),
+                                               make(1.0, 90.0)};
+    EXPECT_EQ(pareto_filter(points), (std::vector<std::size_t>{1}));
+  }
+}
+
+TEST(Pareto, MatchesBruteForceOnTieHeavyClouds) {
+  // Random clouds drawn from a tiny grid of values, so exact ties and
+  // duplicates are everywhere; the O(n log n) sweep must agree with the
+  // O(n^2) dominance definition point by point.
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<ProfiledPoint> points(40);
+    for (auto& p : points) {
+      p.exec_time_mean_s = 0.5 + 0.5 * static_cast<double>(rng.uniform_int(0, 3));
+      p.power_mean_w = 60.0 + 20.0 * static_cast<double>(rng.uniform_int(0, 3));
+    }
+    const auto front = pareto_filter(points);
+    // Indices must come back ascending and unique.
+    EXPECT_TRUE(std::is_sorted(front.begin(), front.end()));
+    EXPECT_EQ(std::set<std::size_t>(front.begin(), front.end()).size(), front.size());
+
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      bool dominated = false;
+      for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+        if (i == j) continue;
+        dominated = points[j].throughput() >= points[i].throughput() &&
+                    points[j].power_mean_w <= points[i].power_mean_w &&
+                    (points[j].throughput() > points[i].throughput() ||
+                     points[j].power_mean_w < points[i].power_mean_w);
+      }
+      if (!dominated) expected.push_back(i);
+    }
+    EXPECT_EQ(front, expected) << "round " << round;
+  }
 }
 
 // ---- knowledge base export ---------------------------------------------------------

@@ -129,7 +129,7 @@ TEST(InputAwareBroadcast, ConstraintsApplyToEveryCluster) {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 2;
   Toolchain tc(kModel, opts);
-  InputAwareApplication app(build_input_aware(tc, "2mm", {0.05, 1.0}), kModel);
+  InputAwareApplication app(build_input_aware(tc.pipeline(), "2mm", {0.05, 1.0}), kModel);
 
   using M = margot::ContextMetrics;
   app.set_rank_all(margot::Rank::minimize_exec_time(M::kExecTime));

@@ -94,7 +94,7 @@ InputAwareApplication make_input_aware() {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 2;
   Toolchain tc(model(), opts);
-  auto binary = build_input_aware(tc, "gemver", {0.01, 0.2, 1.0});
+  auto binary = build_input_aware(tc.pipeline(), "gemver", {0.01, 0.2, 1.0});
   return InputAwareApplication(std::move(binary), model());
 }
 
@@ -103,7 +103,7 @@ TEST(InputAware, BuildsOneClusterPerScale) {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 1;
   Toolchain tc(model(), opts);
-  const auto binary = build_input_aware(tc, "2mm", {0.05, 0.5});
+  const auto binary = build_input_aware(tc.pipeline(), "2mm", {0.05, 0.5});
   EXPECT_EQ(binary.knowledge.cluster_count(), 2u);
   EXPECT_EQ(binary.knowledge.cluster(0).features[0], 0.05);
   EXPECT_EQ(binary.space.size(), 512u);
@@ -144,7 +144,7 @@ TEST(InputAware, PerClusterKnowledgeDiffers) {
   opts.use_paper_cfs = true;
   opts.dse_repetitions = 2;
   Toolchain tc(model(), opts);
-  const auto binary = build_input_aware(tc, "gemver", {0.01, 1.0});
+  const auto binary = build_input_aware(tc.pipeline(), "gemver", {0.01, 1.0});
 
   const auto best_throughput_threads = [&](std::size_t cluster) {
     const auto& kb = binary.knowledge.cluster(cluster).knowledge;
@@ -160,9 +160,9 @@ TEST(InputAware, RejectsBadScales) {
   ToolchainOptions opts;
   opts.use_paper_cfs = true;
   Toolchain tc(model(), opts);
-  EXPECT_THROW(build_input_aware(tc, "2mm", {}), ContractViolation);
-  EXPECT_THROW(build_input_aware(tc, "2mm", {0.0}), ContractViolation);
-  EXPECT_THROW(build_input_aware(tc, "2mm", {1.5}), ContractViolation);
+  EXPECT_THROW(build_input_aware(tc.pipeline(), "2mm", {}), ContractViolation);
+  EXPECT_THROW(build_input_aware(tc.pipeline(), "2mm", {0.0}), ContractViolation);
+  EXPECT_THROW(build_input_aware(tc.pipeline(), "2mm", {1.5}), ContractViolation);
 }
 
 }  // namespace

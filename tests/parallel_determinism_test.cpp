@@ -1,0 +1,122 @@
+// The determinism contract of docs/PIPELINE.md: every parallel stage
+// produces output bit-identical to a serial run at any job count,
+// because each task derives its randomness from (master seed, task
+// index) and writes only to its own result slot.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cobayn/cobayn.hpp"
+#include "cobayn/evaluation.hpp"
+#include "dse/dse.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sources.hpp"
+#include "support/task_pool.hpp"
+
+namespace socrates {
+namespace {
+
+const platform::PerformanceModel& model() {
+  static const platform::PerformanceModel kModel =
+      platform::PerformanceModel::paper_platform();
+  return kModel;
+}
+
+// save_profile writes hexfloat doubles (exact round trip), so equal
+// strings means bit-identical profiles.
+std::string profile_bytes(const std::vector<dse::ProfiledPoint>& points) {
+  std::ostringstream out;
+  dse::save_profile(out, points);
+  return out.str();
+}
+
+TEST(ParallelDeterminism, DseProfileIsByteIdenticalAtAnyJobCount) {
+  const auto space = dse::DesignSpace::paper_space(model().topology());
+  const auto& kernel = kernels::find_benchmark("2mm").model;
+
+  TaskPool serial(1);
+  const auto baseline =
+      dse::full_factorial_dse(model(), kernel, space, 3, 777, 1.0, &serial);
+  const std::string baseline_bytes = profile_bytes(baseline);
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    TaskPool pool(jobs);
+    const auto parallel =
+        dse::full_factorial_dse(model(), kernel, space, 3, 777, 1.0, &pool);
+    EXPECT_EQ(profile_bytes(parallel), baseline_bytes) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, DseWorkScaleAndSeedStillMatter) {
+  // Determinism must not come from ignoring the inputs: different seed
+  // or scale still changes the profile.
+  const auto space = dse::DesignSpace::paper_space(model().topology());
+  const auto& kernel = kernels::find_benchmark("atax").model;
+  TaskPool pool(4);
+  const auto a = dse::full_factorial_dse(model(), kernel, space, 2, 1, 1.0, &pool);
+  const auto b = dse::full_factorial_dse(model(), kernel, space, 2, 2, 1.0, &pool);
+  const auto c = dse::full_factorial_dse(model(), kernel, space, 2, 1, 1.5, &pool);
+  EXPECT_NE(profile_bytes(a), profile_bytes(b));
+  EXPECT_NE(profile_bytes(a), profile_bytes(c));
+}
+
+TEST(ParallelDeterminism, CobaynModelIsByteIdenticalAtAnyJobCount) {
+  const auto corpus = cobayn::make_corpus(20, 2018);
+
+  TaskPool serial(1);
+  cobayn::TrainOptions serial_opts;
+  serial_opts.pool = &serial;
+  const auto base = cobayn::CobaynModel::train(corpus, model(), serial_opts);
+  std::ostringstream base_out;
+  base.save(base_out);
+
+  TaskPool pool(8);
+  cobayn::TrainOptions parallel_opts;
+  parallel_opts.pool = &pool;
+  const auto par = cobayn::CobaynModel::train(corpus, model(), parallel_opts);
+  std::ostringstream par_out;
+  par.save(par_out);
+
+  EXPECT_EQ(par_out.str(), base_out.str());
+
+  // And the models behave identically: same CF predictions with the
+  // same posteriors for an unseen kernel.
+  const auto fv =
+      cobayn::kernel_features_of_source(kernels::benchmark_source("correlation"));
+  const auto base_pred = base.predict(fv, 4);
+  const auto par_pred = par.predict(fv, 4);
+  ASSERT_EQ(base_pred.size(), par_pred.size());
+  for (std::size_t i = 0; i < base_pred.size(); ++i) {
+    EXPECT_EQ(par_pred[i].config.level(), base_pred[i].config.level());
+    EXPECT_EQ(par_pred[i].config.flag_bits(), base_pred[i].config.flag_bits());
+    EXPECT_EQ(par_pred[i].probability, base_pred[i].probability);
+  }
+}
+
+TEST(ParallelDeterminism, CrossValidationSummaryIdenticalAtAnyJobCount) {
+  const auto corpus = cobayn::make_corpus(12, 5);
+
+  TaskPool serial(1);
+  cobayn::TrainOptions serial_opts;
+  serial_opts.pool = &serial;
+  const auto base = cobayn::cross_validate(corpus, model(), 2, serial_opts);
+
+  TaskPool pool(8);
+  cobayn::TrainOptions parallel_opts;
+  parallel_opts.pool = &pool;
+  const auto par = cobayn::cross_validate(corpus, model(), 2, parallel_opts);
+
+  EXPECT_EQ(par.geomean_predicted_slowdown, base.geomean_predicted_slowdown);
+  EXPECT_EQ(par.geomean_o3_slowdown, base.geomean_o3_slowdown);
+  EXPECT_EQ(par.wins_vs_o3, base.wins_vs_o3);
+  ASSERT_EQ(par.folds.size(), base.folds.size());
+  for (std::size_t i = 0; i < base.folds.size(); ++i) {
+    EXPECT_EQ(par.folds[i].kernel_name, base.folds[i].kernel_name);
+    EXPECT_EQ(par.folds[i].predicted_slowdown(), base.folds[i].predicted_slowdown());
+  }
+}
+
+}  // namespace
+}  // namespace socrates

@@ -1,6 +1,8 @@
 // Tests for the energy counters, clocks and the simulated executor.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -49,8 +51,11 @@ TEST(SysfsRapl, GracefulWhenUnavailable) {
 /// A throwaway powercap tree under the system temp directory.
 class FakePowercap {
  public:
+  // Unique per process: ctest runs each TEST as its own process, and
+  // concurrent fixtures must not share a tree.
   FakePowercap() : root_(std::filesystem::temp_directory_path() /
-                         "socrates_powercap_test") {
+                         ("socrates_powercap_test." +
+                          std::to_string(::getpid()))) {
     std::filesystem::remove_all(root_);
     std::filesystem::create_directories(root_ / "intel-rapl:0");
     std::filesystem::create_directories(root_ / "intel-rapl:1");

@@ -1,0 +1,148 @@
+// Tests for the deterministic task executor: exactly-once execution,
+// serial fallback, nested inlining, exception propagation, job-count
+// selection and per-task RNG stream derivation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "support/task_pool.hpp"
+
+namespace socrates {
+namespace {
+
+TEST(TaskPool, EveryIndexRunsExactlyOnce) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(TaskPool, ReusableAcrossManyInvocations) {
+  TaskPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(17, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(TaskPool, EmptyAndTinyRangesAreFine) {
+  TaskPool pool(8);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  pool.parallel_for(1, [&](std::size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+  // Fewer items than workers.
+  std::vector<std::atomic<int>> counts(3);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(TaskPool, Jobs1SpawnsNoThreadsAndRunsInline) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.parallel_for(64, [&](std::size_t) { seen.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+}
+
+TEST(TaskPool, NestedParallelForInlinesInsteadOfDeadlocking) {
+  TaskPool pool(2);
+  std::vector<std::atomic<int>> counts(8 * 8);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    pool.parallel_for(8, [&](std::size_t inner) {
+      counts[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(TaskPool, FirstExceptionIsRethrownAfterTheBarrier) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> counts(100);
+  EXPECT_THROW(
+      pool.parallel_for(counts.size(),
+                        [&](std::size_t i) {
+                          counts[i].fetch_add(1);
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The barrier still ran every index (the pool does not abandon work).
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  // And the pool remains usable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(TaskPool, DefaultJobsHonoursEnvironment) {
+  const char* old = std::getenv("SOCRATES_JOBS");
+  const std::string saved = old != nullptr ? old : "";
+
+  ::setenv("SOCRATES_JOBS", "3", 1);
+  EXPECT_EQ(TaskPool::default_jobs(), 3u);
+  EXPECT_EQ(TaskPool(0).jobs(), 3u);
+
+  ::setenv("SOCRATES_JOBS", "999", 1);  // capped
+  EXPECT_LE(TaskPool::default_jobs(), 256u);
+
+  ::unsetenv("SOCRATES_JOBS");
+  EXPECT_GE(TaskPool::default_jobs(), 1u);
+
+  if (old != nullptr)
+    ::setenv("SOCRATES_JOBS", saved.c_str(), 1);
+  else
+    ::unsetenv("SOCRATES_JOBS");
+}
+
+TEST(TaskPool, SharedPoolIsAProcessSingleton) {
+  TaskPool& a = TaskPool::shared();
+  TaskPool& b = TaskPool::shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> sum{0};
+  a.parallel_for(8, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 8);
+}
+
+// ---- RNG stream derivation (the determinism primitive) --------------------------
+
+TEST(DeriveStream, DeterministicAndIndexSensitive) {
+  EXPECT_EQ(derive_stream(2018, 0), derive_stream(2018, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) seeds.insert(derive_stream(2018, i));
+  EXPECT_EQ(seeds.size(), 4096u);  // no collisions over a DSE-sized range
+  EXPECT_NE(derive_stream(2018, 5), derive_stream(2019, 5));
+}
+
+TEST(StableHash, HasherIsStableAndAliasFree) {
+  Hasher a;
+  a.add("ab").add("c");
+  Hasher b;
+  b.add("a").add("bc");
+  EXPECT_NE(a.digest(), b.digest());  // length-prefixed strings never alias
+
+  Hasher c;
+  c.add(std::uint64_t{42}).add(3.5).add("x");
+  Hasher d;
+  d.add(std::uint64_t{42}).add(3.5).add("x");
+  EXPECT_EQ(c.digest(), d.digest());
+  EXPECT_EQ(c.hex().size(), 16u);
+
+  EXPECT_EQ(stable_hash64("socrates"), stable_hash64("socrates"));
+  EXPECT_NE(stable_hash64("socrates"), stable_hash64("socrate"));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));  // order-sensitive
+}
+
+}  // namespace
+}  // namespace socrates
