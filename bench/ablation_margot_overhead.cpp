@@ -12,10 +12,16 @@
 //   - monitor push + statistics,
 // in nanoseconds per call.  Compare with the ~10-200 ms kernel times of
 // Figures 4/5: the MAPE loop costs well under 0.1% of a kernel run.
+// The observability additions are measured here too: a TraceSpan on the
+// disabled path must cost a single relaxed atomic load (compare
+// BM_TracerDisabledSpan against BM_TracerEnabledSpan), and journaling
+// must not change the asymptotics of the selection loop (compare
+// BM_AsrtmSelect_WithJournal against BM_AsrtmSelect_NoConstraints).
 #include <benchmark/benchmark.h>
 
 #include "dse/dse.hpp"
 #include "margot/context.hpp"
+#include "observability/trace.hpp"
 #include "platform/clock.hpp"
 #include "platform/rapl.hpp"
 #include "socrates/pipeline.hpp"
@@ -98,6 +104,34 @@ void BM_FeedbackUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeedbackUpdate);
+
+void BM_AsrtmSelect_WithJournal(benchmark::State& state) {
+  margot::Asrtm asrtm(kb_2mm());
+  asrtm.set_rank(margot::Rank::maximize_throughput(M::kThroughput));
+  asrtm.enable_decision_journal();
+  for (auto _ : state) benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+}
+BENCHMARK(BM_AsrtmSelect_WithJournal);
+
+void BM_TracerDisabledSpan(benchmark::State& state) {
+  Tracer tracer;  // private tracer so a SOCRATES_TRACE env cannot skew this
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    TraceSpan span("bench", "bench", tracer);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TracerDisabledSpan);
+
+void BM_TracerEnabledSpan(benchmark::State& state) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    TraceSpan span("bench", "bench", tracer);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TracerEnabledSpan);
 
 }  // namespace
 

@@ -12,9 +12,16 @@
 // over time — the five stacked panels of the figure) is printed
 // downsampled, followed by per-phase summaries.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "margot/state_manager.hpp"
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
 #include "socrates/adaptive_app.hpp"
 #include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
@@ -28,6 +35,13 @@ int main() {
   std::printf("== Figure 5: runtime trace of 2mm with changing requirements ==\n");
   std::printf("(policy: Thr/W^2 [0,100s) -> Thr [100,200s) -> Thr/W^2 [200,300s])\n\n");
 
+  // This bench is the observability showcase: tracing is always on here
+  // (SOCRATES_TRACE only picks the export path), with a ring deep enough
+  // that the build-phase pipeline spans survive 300 s of decision spans.
+  Tracer& tracer = Tracer::global();
+  tracer.set_capacity(std::size_t{1} << 18);
+  tracer.set_enabled(true);
+
   const auto model = platform::PerformanceModel::paper_platform();
   ToolchainOptions opts;
   opts.use_paper_cfs = true;    // the figure uses the published CF1-CF4
@@ -36,6 +50,7 @@ int main() {
   Pipeline pipeline(model, opts);
 
   AdaptiveApplication app(pipeline.build("2mm"), model, opts.work_scale);
+  app.asrtm().enable_decision_journal();
 
   // Two named mARGOt states; the requirement change is a state switch.
   margot::StateManager states(app.asrtm());
@@ -83,6 +98,37 @@ int main() {
   phase(2.0, 100.0, "phase 1 (Thr/W^2):");
   phase(102.0, 200.0, "phase 2 (Thr):");
   phase(202.0, 300.0, "phase 3 (Thr/W^2):");
+
+  // MAPE-K decision journal: every operating-point switch, explained.
+  std::printf("\n-- decision journal --\n");
+  std::ostringstream journal_text;
+  app.asrtm().decision_journal().dump(journal_text);
+  std::fputs(journal_text.str().c_str(), stdout);
+
+  // Span census + metrics from the instrumented run.
+  std::map<std::string, std::size_t> span_counts;
+  for (const auto& e : tracer.snapshot()) ++span_counts[e.category];
+  std::printf("\n-- trace spans (%zu buffered, %zu dropped) --\n",
+              tracer.snapshot().size(), tracer.dropped());
+  for (const auto& [category, count] : span_counts)
+    std::printf("%-10s %zu\n", category.c_str(), count);
+
+  std::printf("\n-- metrics --\n");
+  std::ostringstream metrics_text;
+  MetricsRegistry::global().write_text(metrics_text);
+  std::fputs(metrics_text.str().c_str(), stdout);
+
+  // Chrome trace_event export (open in chrome://tracing or Perfetto).
+  const char* trace_file = std::getenv("SOCRATES_TRACE_FILE");
+  const std::string trace_path =
+      trace_file != nullptr ? trace_file : "fig5_trace.json";
+  std::ofstream trace_out(trace_path, std::ios::binary | std::ios::trunc);
+  if (trace_out) {
+    tracer.export_chrome_trace(trace_out);
+    std::printf("\nChrome trace written to %s\n", trace_path.c_str());
+  } else {
+    std::printf("\ncannot write Chrome trace to %s\n", trace_path.c_str());
+  }
 
   std::printf(
       "\nPaper reference: power rises from ~85-95 W (energy policy) to ~145 W\n"

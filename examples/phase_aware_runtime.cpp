@@ -8,6 +8,10 @@
 // energy-efficient Thr/W^2 policy.  Each application carries its own
 // knowledge base, so the same policy lands on different knobs per
 // kernel — the per-kernel autotuning granularity SOCRATES argues for.
+//
+// Each application also records its MAPE-K decision journal, and the
+// example queries it after both phases: every knob change is printed
+// with the requirement change (or drift) that triggered it.
 #include <cstdio>
 #include <vector>
 
@@ -47,6 +51,7 @@ int main() {
 
   for (const char* name : {"syrk", "gemver", "nussinov"}) {
     AdaptiveApplication app(pipeline.build(name), model, opts.work_scale);
+    app.asrtm().enable_decision_journal();
 
     // Interactive phase: meet an SLA of 60% of this kernel's peak
     // throughput, and among the points that do, burn the least power.
@@ -74,8 +79,28 @@ int main() {
 
     const double j_inter = interactive.back().power_w / (1.0 / interactive.back().exec_time_s);
     const double j_night = overnight.back().power_w / (1.0 / overnight.back().exec_time_s);
-    std::printf("  %-12s %-9s energy/run: %5.2f J -> %5.2f J\n\n", "(J per run)", name,
+    std::printf("  %-12s %-9s energy/run: %5.2f J -> %5.2f J\n", "(J per run)", name,
                 j_inter, j_night);
+
+    // Why did the knobs move?  Query the MAPE-K decision journal.
+    // Noisy feedback can produce hundreds of drift switches, so print
+    // only the first and last few records.
+    const auto& journal = app.asrtm().decision_journal();
+    std::printf("  %-12s %-9s %zu operating-point switch(es):\n", "(journal)", name,
+                journal.total_decisions());
+    const auto& records = journal.records();
+    const std::size_t n = records.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (n > 6 && i == 3) {
+        std::printf("    ... %zu more ...\n", n - 6);
+        i = n - 4;
+        continue;
+      }
+      const auto& r = records[i];
+      std::printf("    t=%6.1fs  op %-4zu <- %s\n", r.timestamp_s, r.chosen,
+                  r.trigger.c_str());
+    }
+    std::printf("\n");
   }
 
   std::printf("Same policies, different knobs per kernel: that is the kernel-level\n"

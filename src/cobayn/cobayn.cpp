@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "observability/trace.hpp"
 #include "support/serialize.hpp"
 #include "ir/parser.hpp"
 #include "support/error.hpp"
@@ -67,6 +68,8 @@ CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
 
   CobaynModel model;
   TaskPool& executor = options.pool != nullptr ? *options.pool : TaskPool::shared();
+  TraceSpan train_span("cobayn-train", "cobayn");
+  train_span.set_arg("corpus", static_cast<std::int64_t>(corpus.size()));
 
   // ---- feature extraction + discretizer fit ---------------------------
   // Each kernel's parse + feature extraction is independent; every task
@@ -86,6 +89,8 @@ CobaynModel CobaynModel::train(const std::vector<TrainingKernel>& corpus,
   const auto space = platform::cobayn_search_space();
   std::vector<std::vector<bayes::FullAssignment>> kernel_rows(corpus.size());
   executor.parallel_for(corpus.size(), [&](std::size_t ki) {
+    TraceSpan span("cobayn-label", "cobayn");
+    span.set_arg("kernel", static_cast<std::int64_t>(ki));
     platform::Configuration run_config;
     run_config.threads = options.profile_threads;
     run_config.binding = platform::BindingPolicy::kClose;

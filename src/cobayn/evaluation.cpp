@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "observability/trace.hpp"
 #include "support/error.hpp"
 #include "support/statistics.hpp"
 
@@ -21,6 +22,8 @@ CrossValidationSummary cross_validate(const std::vector<TrainingKernel>& corpus,
   std::vector<FoldResult> fold_results(corpus.size());
   TaskPool& executor = options.pool != nullptr ? *options.pool : TaskPool::shared();
   executor.parallel_for(corpus.size(), [&](std::size_t fold) {
+    TraceSpan span("cobayn-fold", "cobayn");
+    span.set_arg("fold", static_cast<std::int64_t>(fold));
     std::vector<TrainingKernel> training;
     training.reserve(corpus.size() - 1);
     for (std::size_t i = 0; i < corpus.size(); ++i)

@@ -5,6 +5,8 @@
 #include <limits>
 #include <ostream>
 
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/serialize.hpp"
@@ -63,13 +65,18 @@ std::vector<ProfiledPoint> full_factorial_dse(const platform::PerformanceModel& 
   const std::size_t n_bindings = space.bindings.size();
   std::vector<ProfiledPoint> out(space.size());
   TaskPool& executor = pool != nullptr ? *pool : TaskPool::shared();
+  static Counter& points_profiled =
+      MetricsRegistry::global().counter("dse.points_profiled");
   executor.parallel_for(space.size(), [&](std::size_t pi) {
+    TraceSpan span("dse-point", "dse");
+    span.set_arg("point", static_cast<std::int64_t>(pi));
     const std::size_t ci = pi / (n_threads * n_bindings);
     const std::size_t ti = (pi / n_bindings) % n_threads;
     const std::size_t bi = pi % n_bindings;
     Rng noise(derive_stream(seed, pi));
     out[pi] = profile_point(model, kernel, space, ci, space.thread_counts[ti],
                             space.bindings[bi], repetitions, noise, work_scale);
+    points_profiled.add(1);
   });
   return out;
 }

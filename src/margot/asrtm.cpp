@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <utility>
 
+#include "observability/metrics.hpp"
 #include "support/error.hpp"
 
 namespace socrates::margot {
@@ -21,20 +24,36 @@ std::size_t Asrtm::add_constraint(Constraint constraint) {
   SOCRATES_REQUIRE(constraint.metric < knowledge_.metric_names().size());
   SOCRATES_REQUIRE(constraint.confidence >= 0.0);
   constraints_.push_back(constraint);
+  if (journal_) {
+    std::ostringstream note;
+    note << "constraint " << constraints_.size() - 1 << " added on metric '"
+         << knowledge_.metric_names()[constraint.metric] << "' goal "
+         << constraint.goal;
+    note_decision_trigger(note.str());
+  }
   return constraints_.size() - 1;
 }
 
 void Asrtm::set_constraint_goal(std::size_t handle, double goal) {
   SOCRATES_REQUIRE(handle < constraints_.size());
   constraints_[handle].goal = goal;
+  if (journal_) {
+    std::ostringstream note;
+    note << "constraint " << handle << " goal -> " << goal;
+    note_decision_trigger(note.str());
+  }
 }
 
-void Asrtm::clear_constraints() { constraints_.clear(); }
+void Asrtm::clear_constraints() {
+  constraints_.clear();
+  if (journal_) note_decision_trigger("constraints cleared");
+}
 
 void Asrtm::set_rank(Rank rank) {
   for (const auto& term : rank.terms)
     SOCRATES_REQUIRE(term.metric < knowledge_.metric_names().size());
   rank_ = std::move(rank);
+  if (journal_) note_decision_trigger("rank changed");
 }
 
 double Asrtm::expected(const OperatingPoint& op, std::size_t m) const {
@@ -77,6 +96,8 @@ std::size_t Asrtm::find_best_operating_point() const {
         safest = i;
     }
     last_feasible_ = false;
+    if (journal_)
+      journal_switch(safest, rank_.evaluate(knowledge_[safest], corrections_), {});
     return safest;
   }
 
@@ -119,9 +140,15 @@ std::size_t Asrtm::find_best_operating_point() const {
   // Rank among the survivors.
   std::size_t best = candidates.front();
   double best_value = rank_.evaluate(knowledge_[best], corrections_);
+  std::vector<DecisionCandidate> scored;
+  if (journal_) {
+    scored.reserve(candidates.size());
+    scored.push_back({best, best_value});
+  }
   for (std::size_t k = 1; k < candidates.size(); ++k) {
     const std::size_t i = candidates[k];
     const double value = rank_.evaluate(knowledge_[i], corrections_);
+    if (journal_) scored.push_back({i, value});
     const bool better = rank_.direction == RankDirection::kMaximize
                             ? value > best_value
                             : value < best_value;
@@ -130,7 +157,74 @@ std::size_t Asrtm::find_best_operating_point() const {
       best_value = value;
     }
   }
+  if (journal_) {
+    scored.erase(std::remove_if(scored.begin(), scored.end(),
+                                [best](const DecisionCandidate& c) {
+                                  return c.op_index == best;
+                                }),
+                 scored.end());
+    journal_switch(best, best_value, std::move(scored));
+  }
   return best;
+}
+
+// ---- decision journal ------------------------------------------------------
+
+void Asrtm::enable_decision_journal(std::size_t max_records) {
+  journal_ = std::make_unique<DecisionJournal>(max_records);
+  pending_trigger_.clear();
+  journal_has_last_ = false;
+}
+
+void Asrtm::disable_decision_journal() { journal_.reset(); }
+
+const DecisionJournal& Asrtm::decision_journal() const {
+  SOCRATES_REQUIRE_MSG(journal_ != nullptr,
+                       "decision journal is not enabled (call "
+                       "enable_decision_journal first)");
+  return *journal_;
+}
+
+void Asrtm::set_decision_time(double seconds) { journal_now_ = seconds; }
+
+void Asrtm::note_decision_trigger(std::string trigger) {
+  pending_trigger_ = std::move(trigger);
+}
+
+void Asrtm::journal_switch(std::size_t chosen, double chosen_score,
+                           std::vector<DecisionCandidate> others) const {
+  const bool switched = !journal_has_last_ || chosen != journal_last_op_;
+  journal_last_op_ = chosen;
+  journal_has_last_ = true;
+  if (!switched) return;
+
+  DecisionRecord record;
+  record.timestamp_s = journal_now_;
+  if (!pending_trigger_.empty())
+    record.trigger = std::exchange(pending_trigger_, {});
+  else if (journal_->total_decisions() == 0)
+    record.trigger = "initial selection";
+  else
+    record.trigger = "feedback/quarantine drift";
+  record.chosen = chosen;
+  record.chosen_score = chosen_score;
+  record.feasible = last_feasible_;
+
+  // Keep the few best runners-up, ordered best-first under the rank.
+  const bool maximize = rank_.direction == RankDirection::kMaximize;
+  std::stable_sort(others.begin(), others.end(),
+                   [maximize](const DecisionCandidate& a, const DecisionCandidate& b) {
+                     return maximize ? a.score > b.score : a.score < b.score;
+                   });
+  constexpr std::size_t kMaxRejected = 3;
+  if (others.size() > kMaxRejected) others.resize(kMaxRejected);
+  record.rejected = std::move(others);
+
+  for (std::size_t i = 0; i < health_.size(); ++i)
+    if (health_[i].cooldown > 0) record.quarantined.push_back(i);
+
+  journal_->append(std::move(record));
+  MetricsRegistry::global().counter("asrtm.journal_records").add(1);
 }
 
 void Asrtm::send_feedback(std::size_t op_index, std::size_t metric, double observed) {
@@ -174,6 +268,9 @@ void Asrtm::quarantine_op(OpHealth& health) {
   health.consecutive_failures = 0;
   health.probing = false;
   ++quarantine_events_;
+  static Counter& quarantines =
+      MetricsRegistry::global().counter("asrtm.quarantine_events");
+  quarantines.add(1);
 }
 
 void Asrtm::report_variant_failure(std::size_t op_index) {

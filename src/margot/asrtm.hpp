@@ -27,9 +27,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "margot/decision_journal.hpp"
 #include "margot/operating_point.hpp"
 #include "margot/optimization.hpp"
 
@@ -106,6 +109,25 @@ class Asrtm {
   /// Total quarantine events since construction.
   std::size_t quarantine_events() const { return quarantine_events_; }
 
+  // ---- MAPE-K decision journal -----------------------------------------
+  /// Starts recording every operating-point *switch* (not every query)
+  /// made by find_best_operating_point, bounded to `max_records`.
+  void enable_decision_journal(std::size_t max_records = 1024);
+  void disable_decision_journal();
+  bool decision_journal_enabled() const { return journal_ != nullptr; }
+  /// The journal; throws ContractViolation when journaling is disabled.
+  const DecisionJournal& decision_journal() const;
+
+  /// Timestamp (caller's clock, e.g. the simulated platform clock)
+  /// stamped onto the next journal records.  No-op when disabled.
+  void set_decision_time(double seconds);
+  /// Explains the next recorded switch ("constraint 0 goal -> 2.5",
+  /// "state 'energy' activated", ...).  Replace semantics: the last
+  /// note before the switch wins; requirement mutators call this
+  /// internally, so callers like StateManager can override with a more
+  /// meaningful note afterwards.  Consumed by the next recorded switch.
+  void note_decision_trigger(std::string trigger);
+
  private:
   struct OpHealth {
     std::size_t consecutive_failures = 0;
@@ -115,6 +137,11 @@ class Asrtm {
   };
 
   void quarantine_op(OpHealth& health);
+  /// Records a journal entry when `chosen` differs from the previously
+  /// journaled point.  `others` holds the non-chosen survivors with
+  /// their rank scores (best few are kept as "rejected").
+  void journal_switch(std::size_t chosen, double chosen_score,
+                      std::vector<DecisionCandidate> others) const;
   /// Expected (corrected) value of metric `m` for point `op`.
   double expected(const OperatingPoint& op, std::size_t m) const;
   /// Pessimistic test value for a constraint (mean +/- conf * stddev).
@@ -131,6 +158,15 @@ class Asrtm {
   QuarantineOptions quarantine_;
   std::vector<OpHealth> health_;         ///< one entry per operating point
   std::size_t quarantine_events_ = 0;
+
+  // Journal state is mutable because find_best_operating_point() is
+  // const: recording why a decision was made does not change what is
+  // decided.
+  mutable std::unique_ptr<DecisionJournal> journal_;
+  mutable std::string pending_trigger_;
+  mutable double journal_now_ = 0.0;
+  mutable std::size_t journal_last_op_ = 0;
+  mutable bool journal_has_last_ = false;
 };
 
 /// Dampens configuration thrashing: feeds on the point chosen each

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -38,6 +40,7 @@ Context::Context(KnowledgeBase knowledge, const platform::Clock& clock,
                              "metric schema");
         return Asrtm(std::move(knowledge));
       }()),
+      clock_(&clock),
       time_monitor_(clock, monitor_window),
       power_monitor_(clock, energy, monitor_window),
       energy_monitor_(energy, monitor_window) {}
@@ -63,12 +66,22 @@ void Context::set_robustness(const RobustnessOptions& options) {
 }
 
 bool Context::update(std::vector<int>& knobs) {
+  TraceSpan span("asrtm-decision", "asrtm");
+  if (asrtm_.decision_journal_enabled())
+    asrtm_.set_decision_time(clock_->now_s());
   if (robustness_.variant_quarantine) asrtm_.advance_quarantine();
   std::size_t chosen = asrtm_.find_best_operating_point();
   if (robustness_.oscillation_watchdog) chosen = watchdog_.filter(chosen);
   const bool changed = !has_selection_ || chosen != current_op_;
   current_op_ = chosen;
   has_selection_ = true;
+  span.set_arg("op", static_cast<std::int64_t>(chosen));
+  static Counter& decisions = MetricsRegistry::global().counter("asrtm.decisions");
+  decisions.add(1);
+  if (changed) {
+    static Counter& switches = MetricsRegistry::global().counter("asrtm.switches");
+    switches.add(1);
+  }
   const OperatingPoint& op = asrtm_.knowledge()[chosen];
   SOCRATES_REQUIRE_MSG(knobs.size() == op.knobs.size(),
                        "knob buffer has " << knobs.size() << " entries, expected "

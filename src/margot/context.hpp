@@ -125,6 +125,7 @@ class Context {
   void send_feedback_checked(std::size_t metric, double observed, bool rejected);
 
   Asrtm asrtm_;
+  const platform::Clock* clock_;  ///< decision-journal timestamps
   TimeMonitor time_monitor_;
   PowerMonitor power_monitor_;
   EnergyMonitor energy_monitor_;

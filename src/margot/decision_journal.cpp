@@ -1,0 +1,53 @@
+#include "margot/decision_journal.hpp"
+
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace socrates::margot {
+
+DecisionJournal::DecisionJournal(std::size_t max_records)
+    : max_records_(max_records) {
+  SOCRATES_REQUIRE_MSG(max_records >= 1,
+                       "DecisionJournal: max_records must be >= 1");
+}
+
+void DecisionJournal::append(DecisionRecord record) {
+  record.sequence = next_sequence_++;
+  records_.push_back(std::move(record));
+  if (records_.size() > max_records_) records_.pop_front();
+}
+
+const DecisionRecord& DecisionJournal::back() const {
+  SOCRATES_REQUIRE_MSG(!records_.empty(), "DecisionJournal: journal is empty");
+  return records_.back();
+}
+
+void DecisionJournal::clear() {
+  records_.clear();
+  next_sequence_ = 0;
+}
+
+void DecisionJournal::dump(std::ostream& out) const {
+  out << "decision journal: " << next_sequence_ << " switch(es), "
+      << records_.size() << " retained, " << dropped() << " dropped\n";
+  for (const auto& r : records_) {
+    out << "[#" << r.sequence << " t=" << r.timestamp_s << "s] op " << r.chosen
+        << " score=" << r.chosen_score
+        << (r.feasible ? "" : " (infeasible: constraints relaxed)")
+        << "\n  trigger: " << r.trigger << '\n';
+    if (!r.rejected.empty()) {
+      out << "  rejected:";
+      for (const auto& c : r.rejected)
+        out << " op" << c.op_index << "(score=" << c.score << ')';
+      out << '\n';
+    }
+    if (!r.quarantined.empty()) {
+      out << "  quarantined:";
+      for (const auto q : r.quarantined) out << " op" << q;
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace socrates::margot

@@ -1,0 +1,70 @@
+// MAPE-K decision journal.
+//
+// The AS-RTM closes the MAPE-K loop silently: find_best_operating_point
+// returns an index and nothing explains *why* the index changed.  The
+// journal records every operating-point switch the decision engine
+// makes — the timestamp (the caller's simulated or wall clock), the
+// requirement change that triggered it, the runner-up candidates with
+// their rank scores, and which points were quarantined at decision
+// time — so a Figure 5 trace can be read back as a sequence of
+// explained decisions instead of a bare knob timeline.
+//
+// Records are held in a bounded deque (oldest dropped first) and are
+// fully deterministic for a deterministic caller: timestamps come from
+// the caller-provided decision time, never from a real clock.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace socrates::margot {
+
+/// A runner-up the decision engine considered and did not pick.
+struct DecisionCandidate {
+  std::size_t op_index = 0;
+  double score = 0.0;  ///< rank value under the corrections at decision time
+};
+
+/// One operating-point switch.
+struct DecisionRecord {
+  std::size_t sequence = 0;   ///< 0-based, assigned by the journal
+  double timestamp_s = 0.0;   ///< caller's decision time (simulated clock)
+  std::string trigger;        ///< what changed since the previous decision
+  std::size_t chosen = 0;     ///< selected operating point
+  double chosen_score = 0.0;  ///< its rank value
+  bool feasible = true;       ///< every constraint satisfied (no relaxation)
+  std::vector<DecisionCandidate> rejected;     ///< best runners-up, score order
+  std::vector<std::size_t> quarantined;        ///< points excluded at decision time
+};
+
+class DecisionJournal {
+ public:
+  explicit DecisionJournal(std::size_t max_records = 1024);
+
+  /// Appends a record, assigning its sequence number; drops the oldest
+  /// record when the journal is full.
+  void append(DecisionRecord record);
+
+  const std::deque<DecisionRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  /// Switches recorded since construction / clear(), including dropped.
+  std::size_t total_decisions() const { return next_sequence_; }
+  std::size_t dropped() const { return next_sequence_ - records_.size(); }
+  const DecisionRecord& back() const;
+
+  void clear();
+
+  /// Human-readable dump, one block per record.
+  void dump(std::ostream& out) const;
+
+ private:
+  std::size_t max_records_;
+  std::size_t next_sequence_ = 0;
+  std::deque<DecisionRecord> records_;
+};
+
+}  // namespace socrates::margot

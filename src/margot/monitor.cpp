@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "observability/metrics.hpp"
 #include "support/error.hpp"
 
 namespace socrates::margot {
@@ -26,7 +27,9 @@ double median_of(std::vector<double> v) {
 }  // namespace
 
 CircularMonitor::CircularMonitor(std::size_t window) : window_(window) {
-  SOCRATES_REQUIRE(window >= 1);
+  SOCRATES_REQUIRE_MSG(window >= 1,
+                       "CircularMonitor: window must be >= 1 (a zero-sized "
+                       "window can never hold an observation)");
   values_.reserve(window);
 }
 
@@ -143,10 +146,15 @@ double RegionMonitorBase::record(double value, bool valid) {
   if (hardened_ && !valid) {
     last_rejected_ = true;
     ++rejected_;
-    return value;
+  } else {
+    last_rejected_ = !stats_.push(value);
+    if (last_rejected_) ++rejected_;
   }
-  last_rejected_ = !stats_.push(value);
-  if (last_rejected_) ++rejected_;
+  if (last_rejected_) {
+    static Counter& rejections =
+        MetricsRegistry::global().counter("monitor.rejections");
+    rejections.add(1);
+  }
   return value;
 }
 

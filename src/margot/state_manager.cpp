@@ -30,6 +30,10 @@ void StateManager::apply(const State& state) {
   asrtm_.clear_constraints();
   for (const auto& c : state.constraints) asrtm_.add_constraint(c);
   asrtm_.set_rank(state.rank);
+  // Override the per-mutation notes with the state switch that caused
+  // them (the journal keeps the last note before the next decision).
+  if (asrtm_.decision_journal_enabled())
+    asrtm_.note_decision_trigger("state '" + state.name + "' activated");
 }
 
 bool StateManager::switch_to(const std::string& name) {

@@ -1,0 +1,139 @@
+#include "observability/trace.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace socrates {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_lane{0};
+constexpr std::uint32_t kUnassignedLane = 0xffffffffu;
+thread_local std::uint32_t tls_lane = kUnassignedLane;
+
+/// name/category fields are string literals by contract, but escape
+/// defensively so the export is valid JSON for any content.
+void write_json_string(std::ostream& out, const char* text) {
+  out << '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        else
+          out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+bool Tracer::env_requests_tracing() {
+  const char* env = std::getenv("SOCRATES_TRACE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+Tracer& Tracer::global() {
+  // Leaked on purpose: spans may still fire from worker threads during
+  // static destruction, and Tracer is not movable (atomic + mutex).
+  static Tracer* kTracer = [] {
+    auto* tracer = new Tracer();
+    tracer->set_enabled(env_requests_tracing());
+    return tracer;
+  }();
+  return *kTracer;
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Tracer::current_lane() {
+  if (tls_lane == kUnassignedLane)
+    tls_lane = g_next_lane.fetch_add(1, std::memory_order_relaxed);
+  return tls_lane;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++count_;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const std::size_t n = count_ < capacity_ ? count_ : capacity_;
+  out.reserve(n);
+  // When the ring wrapped, the oldest surviving event sits at head_.
+  const std::size_t first = count_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(first + i) % capacity_]);
+  return out;
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > capacity_ ? count_ - capacity_ : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  count_ = 0;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, TraceEvent{});
+  head_ = 0;
+  count_ = 0;
+}
+
+void Tracer::export_chrome_trace(std::ostream& out) const {
+  const auto events = snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"name\":";
+    write_json_string(out, e.name != nullptr ? e.name : "?");
+    out << ",\"cat\":";
+    write_json_string(out, e.category != nullptr ? e.category : "?");
+    out << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.lane << ",\"ts\":" << e.start_us
+        << ",\"dur\":" << e.duration_us;
+    if (e.arg_name != nullptr) {
+      out << ",\"args\":{";
+      write_json_string(out, e.arg_name);
+      out << ':' << e.arg_value << '}';
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace socrates

@@ -1,0 +1,138 @@
+// Lock-cheap span tracer with Chrome trace_event export.
+//
+// Every expensive region of the pipeline and the runtime — pipeline
+// stages, TaskPool tasks, DSE design-point evaluations, COBAYN
+// train/fold boundaries, AS-RTM decisions — opens a RAII TraceSpan.
+// When tracing is disabled (the default) a span costs exactly one
+// relaxed atomic load; when enabled, completed spans land in a
+// fixed-capacity ring buffer (oldest events are overwritten, never
+// blocking the traced thread) and can be exported as Chrome
+// `trace_event` JSON (open chrome://tracing or https://ui.perfetto.dev
+// and load the file).  docs/OBSERVABILITY.md documents the span model.
+//
+// Tracing never perturbs results: spans only read the clock and append
+// to the ring, so the determinism contract of docs/PIPELINE.md holds
+// with tracing on or off (pinned by parallel_determinism_test).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace socrates {
+
+/// One completed span.  `name`/`category`/`arg_name` must point to
+/// storage that outlives the tracer — in practice, string literals.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint32_t lane = 0;          ///< per-thread lane (Chrome "tid")
+  std::int64_t start_us = 0;       ///< microseconds since tracer epoch
+  std::int64_t duration_us = 0;
+  const char* arg_name = nullptr;  ///< optional numeric argument
+  std::int64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Process-wide tracer.  Enabled at startup when the SOCRATES_TRACE
+  /// environment variable is set to anything but "0".
+  static Tracer& global();
+
+  /// True when SOCRATES_TRACE requests tracing (set and not "0").
+  static bool env_requests_tracing();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  /// The single atomic load every disabled-path span pays.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer was constructed (steady clock).
+  std::int64_t now_us() const;
+
+  /// Appends `event` to the ring (no-op when disabled).
+  void record(const TraceEvent& event);
+
+  /// Events currently in the ring, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  /// Total events recorded since construction / clear().
+  std::size_t recorded() const;
+  /// Events lost to ring overwrites.
+  std::size_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+  /// Re-sizes the ring; drops all buffered events.
+  void set_capacity(std::size_t capacity);
+
+  /// Writes the buffered events as Chrome trace_event JSON.
+  void export_chrome_trace(std::ostream& out) const;
+
+  /// Lane of the calling thread (Chrome "tid"); auto-assigned, stable
+  /// for the thread's lifetime, unique per thread — worker threads of a
+  /// TaskPool therefore get one trace lane each.
+  static std::uint32_t current_lane();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  ///< guarded by mu_
+  std::size_t head_ = 0;          ///< next write slot, guarded by mu_
+  std::size_t count_ = 0;         ///< total recorded, guarded by mu_
+};
+
+/// RAII scoped span: stamps the start on construction, records a
+/// complete event on destruction.  Constructing against a disabled
+/// tracer costs one atomic load and nothing else.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category,
+                     Tracer& tracer = Tracer::global())
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_ != nullptr) {
+      event_.name = name;
+      event_.category = category;
+      event_.start_us = tracer_->now_us();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span will be recorded (tracing was enabled at
+  /// construction).  Lets call sites skip computing argument values on
+  /// the disabled path.
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches one numeric argument (e.g. a point index or a queue wait).
+  void set_arg(const char* name, std::int64_t value) {
+    if (tracer_ != nullptr) {
+      event_.arg_name = name;
+      event_.arg_value = value;
+    }
+  }
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      event_.lane = Tracer::current_lane();
+      event_.duration_us = tracer_->now_us() - event_.start_us;
+      tracer_->record(event_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;  ///< nullptr when tracing was off at construction
+  TraceEvent event_;
+};
+
+}  // namespace socrates

@@ -2,12 +2,15 @@
 
 #include <chrono>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "features/params_from_features.hpp"
 #include "ir/parser.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/sources.hpp"
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
@@ -20,6 +23,47 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Times one pipeline stage: finish() records a "pipeline" trace span,
+/// feeds the per-stage seconds histogram and returns the elapsed time
+/// for the StageReport.  Explicit finish() (not RAII) because stages
+/// run linearly in one scope and their spans must not nest.
+class StageScope {
+ public:
+  explicit StageScope(const char* name)
+      : name_(name),
+        start_(Clock::now()),
+        trace_start_us_(Tracer::global().enabled() ? Tracer::global().now_us()
+                                                   : -1) {}
+
+  double finish() const {
+    const double seconds = seconds_since(start_);
+    MetricsRegistry::global()
+        .histogram(std::string("pipeline.stage_seconds.") + name_)
+        .observe(seconds);
+    if (trace_start_us_ >= 0) {
+      TraceEvent event;
+      event.name = name_;
+      event.category = "pipeline";
+      event.lane = Tracer::current_lane();
+      event.start_us = trace_start_us_;
+      event.duration_us = Tracer::global().now_us() - trace_start_us_;
+      Tracer::global().record(event);
+    }
+    return seconds;
+  }
+
+ private:
+  const char* name_;
+  Clock::time_point start_;
+  std::int64_t trace_start_us_;
+};
+
+void count_key_bytes(const Hasher& h) {
+  static Counter& bytes =
+      MetricsRegistry::global().counter("pipeline.key_bytes_hashed");
+  bytes.add(h.bytes());
 }
 
 }  // namespace
@@ -49,6 +93,7 @@ std::uint64_t platform_signature(const platform::PerformanceModel& platform) {
   h.add(m.dram_w_per_gbs).add(m.turbo_headroom).add(m.turbo_power_exponent);
   h.add(m.core_bw_gbs).add(m.socket_bw_gbs).add(m.ht_bw_gain);
   h.add(platform.time_noise_sigma()).add(platform.power_noise_sigma());
+  count_key_bytes(h);
   return h.digest();
 }
 
@@ -67,6 +112,7 @@ std::uint64_t cobayn_artifact_key(const platform::PerformanceModel& platform,
   h.add(static_cast<std::uint64_t>(train.profile_threads));
   h.add(static_cast<std::uint64_t>(train.k2.max_parents));
   h.add(train.k2.laplace_alpha);
+  count_key_bytes(h);
   return h.digest();
 }
 
@@ -99,6 +145,7 @@ std::uint64_t dse_artifact_key(const platform::PerformanceModel& platform,
   h.add(static_cast<std::uint64_t>(repetitions));
   h.add(seed);
   h.add(work_scale);
+  count_key_bytes(h);
   return h.digest();
 }
 
@@ -208,26 +255,26 @@ AdaptiveBinary Pipeline::build_impl(const std::string& name, const std::string& 
                                            {"exec_time_s", "power_w", "throughput"})};
 
   // Parse: source -> AST.
-  auto start = Clock::now();
+  const StageScope parse_stage("Parse");
   const ir::TranslationUnit tu = ir::parse(source);
-  report_.stages.push_back({"Parse", false, seconds_since(start)});
+  report_.stages.push_back({"Parse", false, parse_stage.finish()});
 
   // Features: Milepost-style static features of the kernel function.
-  start = Clock::now();
+  const StageScope features_stage("Features");
   const auto kernels = features::extract_kernel_features(tu);
   SOCRATES_REQUIRE_MSG(!kernels.empty(), "source has no kernel_* function");
   out.kernel_features = kernels.front().second;
-  report_.stages.push_back({"Features", false, seconds_since(start)});
+  report_.stages.push_back({"Features", false, features_stage.finish()});
 
   // CobaynPredict: compiler-space pruning.  The trained model is a
   // cached artifact shared across builds and processes.
-  start = Clock::now();
+  const StageScope predict_stage("CobaynPredict");
   const bool model_hit = ensure_cobayn();
   out.custom_configs =
       options_.use_paper_cfs
           ? platform::paper_custom_configs()
           : cobayn_.front().predict_named(out.kernel_features, options_.custom_configs);
-  report_.stages.push_back({"CobaynPredict", model_hit, seconds_since(start)});
+  report_.stages.push_back({"CobaynPredict", model_hit, predict_stage.finish()});
 
   // Reduced design space: the 4 standard levels + the CFs.
   std::vector<platform::NamedConfig> configs = platform::standard_levels();
@@ -236,25 +283,25 @@ AdaptiveBinary Pipeline::build_impl(const std::string& name, const std::string& 
   // Weave: LARA/MANET multiversioning + autotuner hooks.
   const std::vector<platform::BindingPolicy> bindings = {
       platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread};
-  start = Clock::now();
+  const StageScope weave_stage("Weave");
   out.woven = weaver::weave_benchmark(name, source, configs, bindings);
-  report_.stages.push_back({"Weave", false, seconds_since(start)});
+  report_.stages.push_back({"Weave", false, weave_stage.finish()});
 
   // Dse: profile the full factorial space (cached artifact).
   out.space = dse::DesignSpace{configs, {}, bindings};
   for (std::size_t t = 1; t <= platform_.topology().logical_cores(); ++t)
     out.space.thread_counts.push_back(t);
-  start = Clock::now();
+  const StageScope dse_stage("Dse");
   auto [profile, dse_hit] = profile_cached(source, params, out.space,
                                            options_.dse_repetitions,
                                            options_.seed + 17, work_scale);
   out.profile = std::move(profile);
-  report_.stages.push_back({"Dse", dse_hit, seconds_since(start)});
+  report_.stages.push_back({"Dse", dse_hit, dse_stage.finish()});
 
   // Knowledge: application knowledge for the AS-RTM.
-  start = Clock::now();
+  const StageScope knowledge_stage("Knowledge");
   out.knowledge = dse::to_knowledge_base(out.profile);
-  report_.stages.push_back({"Knowledge", false, seconds_since(start)});
+  report_.stages.push_back({"Knowledge", false, knowledge_stage.finish()});
 
   log_info() << "built adaptive binary for " << name << ": " << out.profile.size()
              << " operating points, " << out.woven.report.weaved_loc << " weaved LOC"
@@ -267,19 +314,19 @@ std::vector<dse::ProfiledPoint> Pipeline::profile_space(
     std::size_t repetitions, std::uint64_t seed, double work_scale) {
   SOCRATES_REQUIRE(repetitions >= 1);
   const auto& bench = kernels::find_benchmark(benchmark_name);
-  const auto start = Clock::now();
+  const StageScope dse_stage("Dse");
   auto [profile, hit] =
       profile_cached(kernels::benchmark_source(benchmark_name), bench.model, space,
                      repetitions, seed, work_scale);
-  report_.stages.push_back({"Dse", hit, seconds_since(start)});
+  report_.stages.push_back({"Dse", hit, dse_stage.finish()});
   return std::move(profile);
 }
 
 weaver::WovenBenchmark Pipeline::weave(const std::string& benchmark_name) {
-  const auto start = Clock::now();
+  const StageScope weave_stage("Weave");
   auto woven = weaver::weave_benchmark_paper_space(
       benchmark_name, kernels::benchmark_source(benchmark_name));
-  report_.stages.push_back({"Weave", false, seconds_since(start)});
+  report_.stages.push_back({"Weave", false, weave_stage.finish()});
   return woven;
 }
 

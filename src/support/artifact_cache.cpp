@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "observability/metrics.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -54,6 +55,7 @@ std::optional<std::string> ArtifactCache::load(std::uint64_t key,
     const auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.memory_hits;
+      MetricsRegistry::global().counter("cache.memory_hits").add(1);
       return it->second;
     }
   }
@@ -77,14 +79,18 @@ std::optional<std::string> ArtifactCache::load(std::uint64_t key,
           std::lock_guard<std::mutex> lock(mu_);
           memory_.emplace(key, payload);
           ++stats_.disk_hits;
+          MetricsRegistry::global().counter("cache.disk_hits").add(1);
+          MetricsRegistry::global().counter("cache.bytes_loaded").add(payload.size());
           return payload;
         }
       }
       log_warn() << "artifact cache: ignoring corrupted file " << path;
+      MetricsRegistry::global().counter("cache.corrupted_files").add(1);
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
+  MetricsRegistry::global().counter("cache.misses").add(1);
   return std::nullopt;
 }
 
@@ -118,12 +124,25 @@ void ArtifactCache::store(std::uint64_t key, std::string_view label,
         << payload.size() << ' ' << std::hex << stable_hash64(payload) << std::dec
         << '\n';
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      // A short write (disk full, I/O error) must never be published: a
+      // rename here could replace a complete artifact with a truncated
+      // one.  Drop the temp file and keep whatever is already on disk.
+      out.close();
+      log_warn() << "artifact cache: short write, discarding " << tmp;
+      MetricsRegistry::global().counter("cache.store_failures").add(1);
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     log_warn() << "artifact cache: cannot publish " << path << ": " << ec.message();
     std::filesystem::remove(tmp, ec);
+    return;
   }
+  MetricsRegistry::global().counter("cache.bytes_stored").add(payload.size());
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {

@@ -30,6 +30,7 @@ std::uint64_t mix64(std::uint64_t x) {
 
 Hasher& Hasher::add_bytes(const void* data, std::size_t size) {
   state_ = fnv1a(state_, static_cast<const unsigned char*>(data), size);
+  bytes_ += size;
   return *this;
 }
 

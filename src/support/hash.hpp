@@ -28,9 +28,13 @@ class Hasher {
   std::uint64_t digest() const { return state_; }
   /// 16 lowercase hex digits of digest().
   std::string hex() const;
+  /// Bytes consumed so far (integers/doubles count 8, strings their
+  /// length plus the 8-byte prefix) — feeds the bytes-hashed metric.
+  std::uint64_t bytes() const { return bytes_; }
 
  private:
   std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t bytes_ = 0;
 };
 
 /// One-shot FNV-1a of a byte string.

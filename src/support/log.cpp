@@ -27,6 +27,11 @@ const char* level_tag(LogLevel level) {
 
 void Log::set_level(LogLevel level) { g_level = level; }
 LogLevel Log::level() { return g_level; }
+
+bool Log::enabled(LogLevel level) {
+  return level >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
 void Log::set_sink(std::ostream* sink) { g_sink = sink; }
 
 void Log::write(LogLevel level, const std::string& message) {

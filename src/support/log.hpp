@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -20,6 +21,9 @@ class Log {
   static void set_level(LogLevel level);
   static LogLevel level();
 
+  /// True when a message at `level` would actually be emitted.
+  static bool enabled(LogLevel level);
+
   /// Redirects output (default: std::cerr).  Pass nullptr to restore.
   static void set_sink(std::ostream* sink);
 
@@ -28,22 +32,30 @@ class Log {
 
 namespace detail {
 
+/// Builds one log line and hands it to Log::write on destruction.
+/// The threshold is checked at construction: a suppressed line costs a
+/// single level comparison — no stream is constructed, operands are
+/// never formatted and the sink is never touched.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Log::write(level_, stream_.str()); }
+  explicit LogLine(LogLevel level) : level_(level) {
+    if (Log::enabled(level)) stream_.emplace();
+  }
+  ~LogLine() {
+    if (stream_) Log::write(level_, stream_->str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    stream_ << value;
+    if (stream_) *stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream stream_;
+  std::optional<std::ostringstream> stream_;
 };
 
 }  // namespace detail

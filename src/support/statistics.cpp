@@ -47,7 +47,12 @@ double RunningStats::max() const {
 
 double quantile_sorted(const std::vector<double>& sorted, double q) {
   SOCRATES_REQUIRE(!sorted.empty());
-  SOCRATES_REQUIRE(q >= 0.0 && q <= 1.0);
+  SOCRATES_REQUIRE_MSG(std::isfinite(q) && q >= 0.0 && q <= 1.0,
+                       "quantile requires q in [0, 1], got " << q);
+  // A NaN poisons std::sort's ordering, so the interpolation below
+  // would silently read from the wrong ranks; reject it up front.
+  for (const double v : sorted)
+    SOCRATES_REQUIRE_MSG(!std::isnan(v), "quantile input contains NaN");
   if (sorted.size() == 1) return sorted.front();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -74,20 +79,26 @@ BoxplotSummary boxplot_summary(std::vector<double> values) {
   const double iqr = s.q3 - s.q1;
   const double lo_fence = s.q1 - 1.5 * iqr;
   const double hi_fence = s.q3 + 1.5 * iqr;
-  s.whisker_low = s.max;   // will shrink below
-  s.whisker_high = s.min;  // will grow below
+  // Non-finite fences (e.g. an all-infinite sample makes the IQR NaN)
+  // match no value; the box edges are then the only sane whiskers.
+  bool found_low = false;
+  bool found_high = false;
   for (const double v : values) {
     if (v >= lo_fence) {
-      s.whisker_low = std::min(s.whisker_low, v);
+      s.whisker_low = v;
+      found_low = true;
       break;  // sorted: the first in-fence sample is the low whisker
     }
   }
   for (auto it = values.rbegin(); it != values.rend(); ++it) {
     if (*it <= hi_fence) {
       s.whisker_high = *it;
+      found_high = true;
       break;
     }
   }
+  if (!found_low) s.whisker_low = s.q1;
+  if (!found_high) s.whisker_high = s.q3;
   for (const double v : values) {
     if (v < lo_fence || v > hi_fence) ++s.n_outliers;
   }

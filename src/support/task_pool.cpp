@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
 #include "support/error.hpp"
 
 namespace socrates {
@@ -12,6 +14,11 @@ namespace {
 /// True while the current thread is executing a pool body; nested
 /// parallel_for calls detect this and run inline.
 thread_local bool tls_inside_pool_body = false;
+
+Counter& tasks_counter() {
+  static Counter& counter = MetricsRegistry::global().counter("taskpool.tasks");
+  return counter;
+}
 
 }  // namespace
 
@@ -53,6 +60,10 @@ void TaskPool::run_indices(Job& job) {
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
+    tasks_counter().add(1);
+    TraceSpan span("task", "taskpool");
+    if (span.active())
+      span.set_arg("queue_wait_us", Tracer::global().now_us() - job.submit_us);
     try {
       (*job.body)(i);
     } catch (...) {
@@ -91,8 +102,21 @@ void TaskPool::parallel_for(std::size_t n,
   if (n == 0) return;
   if (jobs_ == 1 || n == 1 || tls_inside_pool_body) {
     // Serial fallback: same per-index code, same per-index RNG streams,
-    // therefore the same result as the parallel path.
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    // therefore the same result as the parallel path.  The exception
+    // contract also matches: remaining indices still run, the first
+    // exception is rethrown after the loop.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks_counter().add(1);
+      TraceSpan span("task", "taskpool");
+      if (span.active()) span.set_arg("queue_wait_us", 0);
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
 
@@ -101,6 +125,7 @@ void TaskPool::parallel_for(std::size_t n,
   job->body = &body;
   job->n = n;
   job->remaining = n;
+  if (Tracer::global().enabled()) job->submit_us = Tracer::global().now_us();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;

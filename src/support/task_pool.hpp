@@ -62,6 +62,7 @@ class TaskPool {
     std::atomic<std::size_t> next{0};
     std::size_t remaining = 0;  ///< guarded by the pool mutex
     std::exception_ptr first_error;  ///< guarded by the pool mutex
+    std::int64_t submit_us = 0;  ///< tracer timestamp at submission (0 = untraced)
   };
 
   void worker_loop();

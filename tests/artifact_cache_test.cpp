@@ -96,6 +96,63 @@ TEST_F(DiskCacheTest, CorruptedDiskFileIsAMissNotAnError) {
   EXPECT_FALSE(cache.load(9, "cobayn-model").has_value());
 }
 
+TEST_F(DiskCacheTest, TruncatedPayloadIsAMissAndAStoreRepairsIt) {
+  // Simulate a writer that died mid-payload *after* the header went out
+  // (the failure mode the tmp+rename publish protects against): the
+  // header promises more bytes than the file holds.
+  ArtifactCache cache(dir_.string());
+  cache.store(11, "dse-profile", "twelve bytes!");
+  cache.clear_memory();
+
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string header;
+    std::getline(in, header);
+    in.close();
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << header << "\ntwelve";  // half the promised payload
+  }
+  EXPECT_FALSE(cache.load(11, "dse-profile").has_value());
+
+  // Re-storing replaces the damaged file and the next load hits disk.
+  cache.store(11, "dse-profile", "twelve bytes!");
+  cache.clear_memory();
+  const auto hit = cache.load(11, "dse-profile");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "twelve bytes!");
+}
+
+TEST_F(DiskCacheTest, LeftoverTempFilesAreHarmless) {
+  // A crashed writer leaves its per-pid temp file behind; loads must
+  // ignore it and later stores must still publish the real name.
+  ArtifactCache cache(dir_.string());
+  cache.store(13, "cobayn-model", "real");
+  std::ofstream(dir_ / "cobayn-model-d.artifact.tmp.99999") << "garbage";
+
+  cache.clear_memory();
+  const auto hit = cache.load(13, "cobayn-model");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "real");
+}
+
+TEST(ArtifactCacheDegraded, UnwritableDiskDirFallsBackToMemory) {
+  // Point the disk tier at a path whose parent is a regular file:
+  // create_directories must fail (even for root, unlike a chmod), and
+  // the cache must degrade to the memory tier with a warning, not crash.
+  const fs::path blocker = fs::temp_directory_path() /
+                           ("socrates_cache_blocker." + std::to_string(::getpid()));
+  std::ofstream(blocker) << "not a directory";
+  ArtifactCache cache((blocker / "sub").string());
+  cache.store(17, "dse-profile", "memory only");
+  const auto hit = cache.load(17, "dse-profile");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "memory only");
+
+  cache.clear_memory();
+  EXPECT_FALSE(cache.load(17, "dse-profile").has_value());  // disk never happened
+  fs::remove(blocker);
+}
+
 // ---- Artifact keys --------------------------------------------------------------
 
 TEST(ArtifactKeys, CobaynKeyTracksEveryInput) {

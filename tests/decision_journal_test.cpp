@@ -1,0 +1,262 @@
+// Tests for the MAPE-K decision journal: the bounded record store
+// itself, and the AS-RTM integration that explains every
+// operating-point switch (trigger notes, runner-up candidates,
+// quarantine listing, state-switch attribution).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "margot/asrtm.hpp"
+#include "margot/state_manager.hpp"
+#include "support/error.hpp"
+
+namespace socrates::margot {
+namespace {
+
+/// Same synthetic knowledge base as margot_asrtm_test.cpp:
+///   op0: slow & frugal   (t=10, p=50,  thr=0.1)
+///   op1: medium          (t=4,  p=80,  thr=0.25)
+///   op2: fast & hungry   (t=1,  p=140, thr=1.0)
+KnowledgeBase tiny_kb() {
+  KnowledgeBase kb({"config", "threads"}, {"exec_time_s", "power_w", "throughput"});
+  kb.add(OperatingPoint{{0, 1}, {{10.0, 0.5}, {50.0, 1.0}, {0.1, 0.005}}});
+  kb.add(OperatingPoint{{1, 8}, {{4.0, 0.2}, {80.0, 2.0}, {0.25, 0.0125}}});
+  kb.add(OperatingPoint{{2, 32}, {{1.0, 0.05}, {140.0, 3.0}, {1.0, 0.05}}});
+  return kb;
+}
+
+constexpr std::size_t kTime = 0;
+constexpr std::size_t kPower = 1;
+constexpr std::size_t kThr = 2;
+
+// ---- DecisionJournal store -------------------------------------------------
+
+TEST(DecisionJournal, RejectsZeroCapacity) {
+  EXPECT_THROW(DecisionJournal journal(0), ContractViolation);
+}
+
+TEST(DecisionJournal, BackOnEmptyThrows) {
+  DecisionJournal journal;
+  EXPECT_TRUE(journal.empty());
+  EXPECT_THROW(journal.back(), ContractViolation);
+}
+
+TEST(DecisionJournal, AssignsSequencesAndDropsOldest) {
+  DecisionJournal journal(2);
+  for (int i = 0; i < 3; ++i) {
+    DecisionRecord r;
+    r.chosen = static_cast<std::size_t>(i);
+    journal.append(std::move(r));
+  }
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.total_decisions(), 3u);
+  EXPECT_EQ(journal.dropped(), 1u);
+  EXPECT_EQ(journal.records().front().sequence, 1u);  // record #0 dropped
+  EXPECT_EQ(journal.back().sequence, 2u);
+  EXPECT_EQ(journal.back().chosen, 2u);
+
+  journal.clear();
+  EXPECT_TRUE(journal.empty());
+  EXPECT_EQ(journal.total_decisions(), 0u);
+}
+
+TEST(DecisionJournal, DumpExplainsEachRecord) {
+  DecisionJournal journal;
+  DecisionRecord r;
+  r.timestamp_s = 12.5;
+  r.trigger = "rank changed";
+  r.chosen = 2;
+  r.chosen_score = 0.75;
+  r.feasible = false;
+  r.rejected = {{1, 0.5}};
+  r.quarantined = {0};
+  journal.append(std::move(r));
+
+  std::ostringstream out;
+  journal.dump(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("decision journal: 1 switch(es), 1 retained, 0 dropped"),
+            std::string::npos);
+  EXPECT_NE(text.find("[#0 t=12.5s] op 2"), std::string::npos);
+  EXPECT_NE(text.find("(infeasible: constraints relaxed)"), std::string::npos);
+  EXPECT_NE(text.find("trigger: rank changed"), std::string::npos);
+  EXPECT_NE(text.find("rejected: op1(score=0.5)"), std::string::npos);
+  EXPECT_NE(text.find("quarantined: op0"), std::string::npos);
+}
+
+// ---- AS-RTM integration ----------------------------------------------------
+
+TEST(AsrtmJournal, ThrowsWhenDisabled) {
+  Asrtm asrtm(tiny_kb());
+  EXPECT_FALSE(asrtm.decision_journal_enabled());
+  EXPECT_THROW(asrtm.decision_journal(), ContractViolation);
+  asrtm.enable_decision_journal();
+  EXPECT_TRUE(asrtm.decision_journal_enabled());
+  asrtm.disable_decision_journal();
+  EXPECT_THROW(asrtm.decision_journal(), ContractViolation);
+}
+
+TEST(AsrtmJournal, FirstSelectionIsTheInitialRecord) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::maximize_throughput(kThr));  // before enabling: no note
+  asrtm.enable_decision_journal();
+  asrtm.set_decision_time(3.0);
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);
+
+  const auto& journal = asrtm.decision_journal();
+  ASSERT_EQ(journal.total_decisions(), 1u);
+  const auto& r = journal.back();
+  EXPECT_EQ(r.sequence, 0u);
+  EXPECT_EQ(r.chosen, 2u);
+  EXPECT_DOUBLE_EQ(r.timestamp_s, 3.0);
+  EXPECT_EQ(r.trigger, "initial selection");
+  EXPECT_TRUE(r.feasible);
+  // Runners-up: the non-chosen points, best-first under the rank,
+  // with their scores — and never the chosen point itself.
+  ASSERT_EQ(r.rejected.size(), 2u);
+  EXPECT_EQ(r.rejected[0].op_index, 1u);
+  EXPECT_DOUBLE_EQ(r.rejected[0].score, 0.25);
+  EXPECT_EQ(r.rejected[1].op_index, 0u);
+  EXPECT_DOUBLE_EQ(r.rejected[1].score, 0.1);
+  EXPECT_TRUE(r.quarantined.empty());
+}
+
+TEST(AsrtmJournal, NoRecordWhenTheSelectionDoesNotChange) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.enable_decision_journal();
+  asrtm.set_rank(Rank::maximize_throughput(kThr));
+  asrtm.find_best_operating_point();
+  asrtm.find_best_operating_point();
+  asrtm.find_best_operating_point();
+  EXPECT_EQ(asrtm.decision_journal().total_decisions(), 1u);
+}
+
+TEST(AsrtmJournal, RequirementMutatorsExplainTheNextSwitch) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.enable_decision_journal();
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);  // #0: initial
+
+  // Adding a 100 W budget evicts op2; the record names the constraint.
+  const auto h = asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+  asrtm.set_decision_time(10.0);
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  {
+    const auto& r = asrtm.decision_journal().back();
+    EXPECT_EQ(r.chosen, 1u);
+    EXPECT_DOUBLE_EQ(r.timestamp_s, 10.0);
+    EXPECT_NE(r.trigger.find("constraint 0 added"), std::string::npos) << r.trigger;
+    EXPECT_NE(r.trigger.find("power_w"), std::string::npos) << r.trigger;
+  }
+
+  // Relaxing the goal back above op2's power swings the choice back.
+  asrtm.set_constraint_goal(h, 150.0);
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);
+  EXPECT_EQ(asrtm.decision_journal().back().trigger, "constraint 0 goal -> 150");
+
+  // Replace semantics: of two notes between decisions, the last wins.
+  asrtm.clear_constraints();
+  asrtm.set_rank(Rank{RankDirection::kMinimize, {{kPower, 1.0}}});
+  EXPECT_EQ(asrtm.find_best_operating_point(), 0u);
+  EXPECT_EQ(asrtm.decision_journal().back().trigger, "rank changed");
+  EXPECT_EQ(asrtm.decision_journal().total_decisions(), 4u);
+}
+
+TEST(AsrtmJournal, InfeasibleSelectionIsFlagged) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.enable_decision_journal();
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 40.0, 0, 0.0});
+  EXPECT_EQ(asrtm.find_best_operating_point(), 0u);
+  const auto& r = asrtm.decision_journal().back();
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.chosen, 0u);
+}
+
+TEST(AsrtmJournal, QuarantineDrivenSwitchListsTheQuarantined) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::maximize_throughput(kThr));
+  asrtm.enable_decision_journal();
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);
+
+  // op2's clone keeps crashing; after the threshold it is quarantined
+  // and the next decision — with no requirement change — must both fall
+  // back and explain itself as drift.
+  asrtm.report_variant_failure(2);
+  asrtm.report_variant_failure(2);
+  ASSERT_TRUE(asrtm.is_quarantined(2));
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+
+  const auto& r = asrtm.decision_journal().back();
+  EXPECT_EQ(r.chosen, 1u);
+  EXPECT_EQ(r.trigger, "feedback/quarantine drift");
+  ASSERT_EQ(r.quarantined.size(), 1u);
+  EXPECT_EQ(r.quarantined[0], 2u);
+}
+
+TEST(AsrtmJournal, AllQuarantinedFallbackIsJournaledToo) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::maximize_throughput(kThr));
+  asrtm.enable_decision_journal();
+  asrtm.find_best_operating_point();
+  for (std::size_t op = 0; op < 3; ++op) {
+    asrtm.report_variant_failure(op);
+    asrtm.report_variant_failure(op);
+  }
+  ASSERT_EQ(asrtm.quarantined_count(), 3u);
+  const std::size_t safest = asrtm.find_best_operating_point();
+  EXPECT_FALSE(asrtm.last_selection_feasible());
+
+  const auto& r = asrtm.decision_journal().back();
+  EXPECT_EQ(r.chosen, safest);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.rejected.empty());  // nothing was rankable
+  EXPECT_EQ(r.quarantined.size(), 3u);
+}
+
+TEST(AsrtmJournal, StateSwitchOverridesTheGenericNotes) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.enable_decision_journal();
+  StateManager states(asrtm);
+  // The first defined state activates immediately; its apply() rewrites
+  // whatever notes set_rank/add_constraint left behind.  The two states
+  // must pick different points (op0 vs op2) or no switch is recorded.
+  states.define_state("energy", {}, Rank{RankDirection::kMinimize, {{kPower, 1.0}}});
+  states.define_state("performance", {{kThr, ComparisonOp::kGreaterEqual, 0.5, 0, 0.0}},
+                      Rank::maximize_throughput(kThr));
+
+  EXPECT_EQ(asrtm.find_best_operating_point(), 0u);
+  EXPECT_EQ(asrtm.decision_journal().back().trigger, "state 'energy' activated");
+
+  states.switch_to("performance");
+  asrtm.set_decision_time(100.0);
+  asrtm.find_best_operating_point();
+  const auto& r = asrtm.decision_journal().back();
+  EXPECT_EQ(r.trigger, "state 'performance' activated");
+  EXPECT_DOUBLE_EQ(r.timestamp_s, 100.0);
+}
+
+TEST(AsrtmJournal, BoundedJournalDropsTheOldestSwitch) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.enable_decision_journal(2);
+  const auto h = asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 150.0, 0, 0.0});
+  asrtm.find_best_operating_point();  // #0: op2
+  asrtm.set_constraint_goal(h, 60.0);
+  asrtm.find_best_operating_point();  // #1: op0
+  asrtm.set_constraint_goal(h, 100.0);
+  asrtm.find_best_operating_point();  // #2: op1
+  asrtm.set_constraint_goal(h, 150.0);
+  asrtm.find_best_operating_point();  // #3: op2 again
+
+  const auto& journal = asrtm.decision_journal();
+  EXPECT_EQ(journal.total_decisions(), 4u);
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  EXPECT_EQ(journal.records().front().sequence, 2u);
+  EXPECT_EQ(journal.back().chosen, 2u);
+}
+
+}  // namespace
+}  // namespace socrates::margot

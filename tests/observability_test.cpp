@@ -1,0 +1,336 @@
+// Tests for the observability layer: the span tracer (disabled-path
+// no-op, ring buffer, Chrome export, thread lanes), the metrics
+// registry, the log-threshold gating fix, and the statistics/monitor
+// input-validation fixes that rode along in the same PR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "margot/monitor.hpp"
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/statistics.hpp"
+
+namespace socrates {
+namespace {
+
+// ---- Tracer ---------------------------------------------------------------
+
+TEST(Tracer, DisabledSpanRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  {
+    TraceSpan span("work", "test", tracer);
+    EXPECT_FALSE(span.active());
+    span.set_arg("n", 42);
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, EnabledSpanLandsInTheRing) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan span("work", "test", tracer);
+    EXPECT_TRUE(span.active());
+    span.set_arg("n", 42);
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_STREQ(events[0].arg_name, "n");
+  EXPECT_EQ(events[0].arg_value, 42);
+  EXPECT_GE(events[0].duration_us, 0);
+}
+
+TEST(Tracer, EnablingMidStreamOnlyRecordsLaterSpans) {
+  Tracer tracer;
+  { TraceSpan span("before", "test", tracer); }
+  tracer.set_enabled(true);
+  { TraceSpan span("after", "test", tracer); }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+TEST(Tracer, RingKeepsTheNewestEventsOldestFirst) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  static const char* kNames[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (const char* name : kNames) {
+    TraceEvent e;
+    e.name = name;
+    e.category = "test";
+    tracer.record(e);
+  }
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events.front().name, "e2");  // e0/e1 overwritten
+  EXPECT_STREQ(events.back().name, "e5");
+}
+
+TEST(Tracer, ClearAndSetCapacityResetTheRing) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  tracer.record(TraceEvent{"x", "test", 0, 0, 0, nullptr, 0});
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.capacity(), 2u);
+  for (int i = 0; i < 3; ++i)
+    tracer.record(TraceEvent{"y", "test", 0, 0, 0, nullptr, 0});
+  EXPECT_EQ(tracer.snapshot().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+TEST(Tracer, ChromeExportIsWellFormedJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan span("stage \"quoted\"", "pipeline", tracer);
+    span.set_arg("bytes", 7);
+  }
+  { TraceSpan span("plain", "taskpool", tracer); }
+  std::ostringstream out;
+  tracer.export_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\"args\":{\"bytes\":7}"), std::string::npos);
+  // Balanced braces => structurally sound for this generator.
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Tracer, ThreadsGetDistinctLanesAndNoEventIsLost) {
+  Tracer tracer(1 << 12);
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansEach; ++i) TraceSpan span("t", "mt", tracer);
+    });
+  for (auto& t : threads) t.join();
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kSpansEach));
+  std::set<std::uint32_t> lanes;
+  for (const auto& e : events) lanes.insert(e.lane);
+  EXPECT_EQ(lanes.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(Tracer, EnvRequestDetection) {
+  const char* old = std::getenv("SOCRATES_TRACE");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("SOCRATES_TRACE", "1", 1);
+  EXPECT_TRUE(Tracer::env_requests_tracing());
+  ::setenv("SOCRATES_TRACE", "0", 1);
+  EXPECT_FALSE(Tracer::env_requests_tracing());
+  ::unsetenv("SOCRATES_TRACE");
+  EXPECT_FALSE(Tracer::env_requests_tracing());
+  if (old != nullptr) ::setenv("SOCRATES_TRACE", saved.c_str(), 1);
+}
+
+// ---- Metrics registry ------------------------------------------------------
+
+TEST(Metrics, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.counter");
+  c.add(3);
+  c.add(2);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name, same object: references stay valid.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+
+  registry.gauge("test.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.gauge").value(), 2.5);
+
+  Histogram& h = registry.histogram("test.hist");
+  h.observe(1.0);
+  h.observe(3.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Metrics, TextAndCsvExportsAreDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b.second").add(2);
+  registry.counter("a.first").add(1);
+  registry.histogram("c.hist").observe(4.0);
+
+  std::ostringstream text;
+  registry.write_text(text);
+  const std::string t = text.str();
+  EXPECT_LT(t.find("a.first"), t.find("b.second"));  // sorted by name
+
+  std::ostringstream csv;
+  registry.write_csv(csv);
+  const std::string c = csv.str();
+  EXPECT_EQ(c.rfind("metric,value\n", 0), 0u);  // header first
+  EXPECT_NE(c.find("a.first,1"), std::string::npos);
+  EXPECT_NE(c.find("c.hist.count,1"), std::string::npos);
+  EXPECT_NE(c.find("c.hist.mean,4"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesInPlaceKeepingReferences) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("r.counter");
+  c.add(9);
+  Histogram& h = registry.histogram("r.hist");
+  h.observe(1.0);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add(1);
+  EXPECT_EQ(registry.counter("r.counter").value(), 1u);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("mt.counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+// ---- LogLine gating (satellite bugfix) -------------------------------------
+
+/// Counts every character reaching the sink.
+class CountingBuf : public std::streambuf {
+ public:
+  std::size_t written = 0;
+
+ protected:
+  int overflow(int c) override {
+    ++written;
+    return c;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    written += static_cast<std::size_t>(n);
+    return n;
+  }
+};
+
+struct LogLevelGuard {
+  LogLevel saved = Log::level();
+  ~LogLevelGuard() {
+    Log::set_level(saved);
+    Log::set_sink(nullptr);
+  }
+};
+
+/// Streaming this counts how often an operand was actually formatted.
+struct FormatProbe {
+  int* formatted;
+};
+
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  ++*p.formatted;
+  return os << "probe";
+}
+
+TEST(LogGating, SuppressedLineNeverFormatsNorTouchesTheSink) {
+  LogLevelGuard guard;
+  CountingBuf buf;
+  std::ostream sink(&buf);
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kInfo);
+
+  int formatted = 0;
+  const FormatProbe probe{&formatted};
+  // A kDebug line under kInfo: the threshold must gate *before* any
+  // operand is formatted and before the sink sees a byte.
+  log_debug() << "never " << 123 << probe;
+  EXPECT_EQ(buf.written, 0u);
+  EXPECT_EQ(formatted, 0);
+
+  // The same operand chain at an enabled level formats and reaches the
+  // sink exactly once.
+  log_warn() << "visible " << 123 << probe;
+  EXPECT_GT(buf.written, 0u);
+  EXPECT_EQ(formatted, 1);
+}
+
+TEST(LogGating, EnabledReflectsThreshold) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+  EXPECT_FALSE(Log::enabled(LogLevel::kOff));
+}
+
+// ---- statistics input validation (satellite bugfix) ------------------------
+
+TEST(StatisticsValidation, QuantileRejectsNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(quantile({1.0, nan, 3.0}, 0.5), ContractViolation);
+  EXPECT_THROW(quantile({1.0, 2.0}, nan), ContractViolation);
+  EXPECT_THROW(boxplot_summary({1.0, nan}), ContractViolation);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0}, 0.5), 2.0);  // clean input unaffected
+}
+
+TEST(StatisticsValidation, BoxplotWhiskersOnZeroIqrData) {
+  // Seven identical samples and one far outlier: q1 == q3, so the
+  // fences collapse onto the box and 1000 is the only outlier.
+  const auto s = boxplot_summary({10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 1000.0});
+  EXPECT_DOUBLE_EQ(s.whisker_low, 10.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 10.0);
+  EXPECT_EQ(s.n_outliers, 1u);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(StatisticsValidation, BoxplotWhiskersFallBackToBoxOnNonFiniteFences) {
+  // All-infinite data: the IQR is inf - inf = NaN, every fence test
+  // fails, and the whiskers must fall back to the box edges instead of
+  // the inverted whisker_low == max corruption.
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto s = boxplot_summary({inf, inf, inf, inf});
+  EXPECT_DOUBLE_EQ(s.whisker_low, s.q1);
+  EXPECT_DOUBLE_EQ(s.whisker_high, s.q3);
+  EXPECT_LE(s.whisker_low, s.whisker_high);
+}
+
+TEST(MonitorValidation, ZeroWindowIsRejectedWithAClearMessage) {
+  try {
+    margot::CircularMonitor monitor(0);
+    FAIL() << "window=0 must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("window"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace socrates

@@ -6,6 +6,8 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "cobayn/cobayn.hpp"
@@ -13,6 +15,7 @@
 #include "dse/dse.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/sources.hpp"
+#include "observability/trace.hpp"
 #include "support/task_pool.hpp"
 
 namespace socrates {
@@ -47,6 +50,45 @@ TEST(ParallelDeterminism, DseProfileIsByteIdenticalAtAnyJobCount) {
         dse::full_factorial_dse(model(), kernel, space, 3, 777, 1.0, &pool);
     EXPECT_EQ(profile_bytes(parallel), baseline_bytes) << "jobs=" << jobs;
   }
+}
+
+TEST(ParallelDeterminism, TracingDoesNotPerturbResultsAndSpanCountsMatch) {
+  // docs/OBSERVABILITY.md promises tracing never perturbs results: with
+  // the global tracer enabled (DSE spans go there), the profile stays
+  // byte-identical at any job count, and the *number* of spans per
+  // category is identical too — only timings and lanes may differ.
+  const auto space = dse::DesignSpace::paper_space(model().topology());
+  const auto& kernel = kernels::find_benchmark("mvt").model;
+  Tracer& tracer = Tracer::global();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+
+  const auto run = [&](std::size_t jobs) {
+    tracer.clear();
+    TaskPool pool(jobs);
+    const auto profile =
+        dse::full_factorial_dse(model(), kernel, space, 2, 777, 1.0, &pool);
+    std::size_t dse_spans = 0;
+    std::size_t task_spans = 0;
+    for (const auto& e : tracer.snapshot()) {
+      if (std::string_view(e.category) == "dse") ++dse_spans;
+      if (std::string_view(e.category) == "taskpool") ++task_spans;
+    }
+    return std::tuple(profile_bytes(profile), dse_spans, task_spans);
+  };
+
+  const auto [base_bytes, base_dse, base_tasks] = run(1);
+  EXPECT_EQ(base_dse, space.size());  // one span per design point
+  EXPECT_EQ(base_tasks, space.size());
+  for (const std::size_t jobs : {2u, 8u}) {
+    const auto [bytes, dse_spans, task_spans] = run(jobs);
+    EXPECT_EQ(bytes, base_bytes) << "jobs=" << jobs;
+    EXPECT_EQ(dse_spans, base_dse) << "jobs=" << jobs;
+    EXPECT_EQ(task_spans, base_tasks) << "jobs=" << jobs;
+  }
+
+  tracer.clear();
+  tracer.set_enabled(was_enabled);
 }
 
 TEST(ParallelDeterminism, DseWorkScaleAndSeedStillMatter) {

@@ -86,6 +86,28 @@ TEST(TaskPool, FirstExceptionIsRethrownAfterTheBarrier) {
   EXPECT_EQ(after.load(), 10);
 }
 
+TEST(TaskPool, ExceptionContractHoldsAtEveryJobCount) {
+  // The serial fallback (jobs=1) and the worker path (jobs>1) must obey
+  // the same contract: a throwing task does not deadlock, does not stop
+  // its siblings, and leaves the pool reusable.
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    TaskPool pool(jobs);
+    std::vector<std::atomic<int>> counts(50);
+    EXPECT_THROW(
+        pool.parallel_for(counts.size(),
+                          [&](std::size_t i) {
+                            counts[i].fetch_add(1);
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error)
+        << "jobs=" << jobs;
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1) << "jobs=" << jobs;
+    std::atomic<int> after{0};
+    pool.parallel_for(10, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 10) << "jobs=" << jobs;
+  }
+}
+
 TEST(TaskPool, DefaultJobsHonoursEnvironment) {
   const char* old = std::getenv("SOCRATES_JOBS");
   const std::string saved = old != nullptr ? old : "";
