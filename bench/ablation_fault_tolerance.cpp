@@ -16,11 +16,18 @@
 // reached the trace, and the defense counters.  The hardened stack must
 // come out strictly lower on violations, with zero negative or
 // non-finite observations.
+// A final section exercises the crash-safety layer: the hardened
+// service is "killed" mid-run (its CheckpointStore is destroyed without
+// a final snapshot) and a restarted AS-RTM replays the journal back to
+// the identical operating point, corrections and quarantine set.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <vector>
 
+#include "margot/checkpoint.hpp"
 #include "socrates/adaptive_app.hpp"
 #include "socrates/pipeline.hpp"
 #include "support/statistics.hpp"
@@ -164,6 +171,80 @@ PhaseStats stats_of(const std::vector<TraceSample>& trace, double lo, double hi,
   return out;
 }
 
+/// Kill-and-resume: runs the hardened workload with a CheckpointStore
+/// attached, destroys the store mid-flight (crash-equivalent: no final
+/// snapshot), and verifies a restarted AS-RTM replays the journal to
+/// the same learned state.  Returns true on an exact match.
+bool kill_and_resume_demo() {
+  namespace fs = std::filesystem;
+  const auto model = platform::PerformanceModel::paper_platform();
+  ToolchainOptions opts;
+  opts.use_paper_cfs = true;
+  opts.dse_repetitions = 3;
+  opts.work_scale = 0.02;
+  Pipeline pipeline(model, opts);
+  const auto knowledge = pipeline.build("2mm").knowledge;
+
+  const auto dir = fs::temp_directory_path() / "socrates_ablation_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "asrtm.ckpt").string();
+
+  // Phase 1: the "first boot" learns under the hostile machine.
+  margot::Asrtm live(knowledge);
+  std::size_t journaled = 0;
+  std::size_t best_before = 0;
+  {
+    margot::CheckpointStore store(path);
+    store.attach(live);
+    live.set_rank(margot::Rank::minimize_exec_time(M::kExecTime));
+    live.add_constraint(
+        {M::kPower, margot::ComparisonOp::kLessEqual, kPowerCapW, 0, 1.0});
+    // A condensed version of the hostile run: feedback drift on both
+    // steering metrics plus two clones benched by the quarantine.
+    for (int i = 0; i < 40; ++i) {
+      const auto op = live.find_best_operating_point();
+      live.send_feedback(op, M::kExecTime,
+                         knowledge[op].metrics[M::kExecTime].mean * 1.2);
+      live.send_feedback(op, M::kPower, knowledge[op].metrics[M::kPower].mean * 1.1);
+      if (i % 10 == 3) live.report_variant_failure(op);
+      if (i % 10 == 4) live.report_variant_failure(op);
+      live.advance_quarantine();
+    }
+    best_before = live.find_best_operating_point();
+    journaled = store.journaled_events();
+    // Scope exit WITHOUT detach(): the process "dies" here.  No
+    // snapshot exists — the journal alone must carry the state.
+  }
+
+  // Phase 2: the restarted process replays the journal.
+  margot::Asrtm resumed(knowledge);
+  margot::CheckpointStore store(path);
+  const auto result = store.attach(resumed);
+  resumed.set_rank(margot::Rank::minimize_exec_time(M::kExecTime));
+  resumed.add_constraint(
+      {M::kPower, margot::ComparisonOp::kLessEqual, kPowerCapW, 0, 1.0});
+
+  const bool same_point = resumed.find_best_operating_point() == best_before;
+  const bool same_corrections =
+      resumed.correction(M::kExecTime) == live.correction(M::kExecTime) &&
+      resumed.correction(M::kPower) == live.correction(M::kPower);
+  bool same_quarantine = resumed.quarantined_count() == live.quarantined_count();
+  for (std::size_t i = 0; same_quarantine && i < knowledge.size(); ++i)
+    same_quarantine = resumed.is_quarantined(i) == live.is_quarantined(i);
+
+  std::printf(
+      "Journaled %zu events; restore note: %s\n"
+      "  replayed %zu, skipped %zu\n"
+      "  operating point %zu -> %zu (%s), corrections %s, quarantine set %s\n",
+      journaled, result.note.c_str(), result.replayed, result.skipped, best_before,
+      resumed.find_best_operating_point(), same_point ? "identical" : "DIFFERENT",
+      same_corrections ? "identical" : "DIFFERENT",
+      same_quarantine ? "identical" : "DIFFERENT");
+  fs::remove_all(dir);
+  return same_point && same_corrections && same_quarantine;
+}
+
 }  // namespace
 
 int main() {
@@ -227,5 +308,11 @@ int main() {
     std::printf("PASS: the hardened stack is strictly more robust.\n");
   else
     std::printf("FAIL: the defenses did not beat the raw baseline.\n");
+
+  std::printf("\n== Kill-and-resume: crash-safe runtime knowledge ==\n");
+  if (kill_and_resume_demo())
+    std::printf("PASS: the restarted AS-RTM resumed at its pre-crash state.\n");
+  else
+    std::printf("FAIL: the replayed state diverged from the pre-crash state.\n");
   return 0;
 }

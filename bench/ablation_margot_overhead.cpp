@@ -17,6 +17,12 @@
 // BM_TracerDisabledSpan against BM_TracerEnabledSpan), and journaling
 // must not change the asymptotics of the selection loop (compare
 // BM_AsrtmSelect_WithJournal against BM_AsrtmSelect_NoConstraints).
+// The robustness layer pins its zero-overhead-when-disabled claims the
+// same way: a disarmed ChaosEngine probe is one relaxed atomic load
+// (BM_ChaosDisabledProbe), a supervised stage that never fails costs a
+// couple of steady_clock reads (BM_SupervisorCleanRun), and an AS-RTM
+// without an event sink pays nothing for the checkpoint machinery
+// (BM_FeedbackUpdate vs BM_FeedbackUpdate_WithEventSink).
 #include <benchmark/benchmark.h>
 
 #include "dse/dse.hpp"
@@ -25,6 +31,8 @@
 #include "platform/clock.hpp"
 #include "platform/rapl.hpp"
 #include "socrates/pipeline.hpp"
+#include "support/chaos.hpp"
+#include "support/supervisor.hpp"
 
 namespace {
 
@@ -132,6 +140,51 @@ void BM_TracerEnabledSpan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TracerEnabledSpan);
+
+void BM_ChaosDisabledProbe(benchmark::State& state) {
+  // The gate every pipeline call site takes when SOCRATES_CHAOS is
+  // unset: a single relaxed atomic load, nothing else.
+  ChaosEngine engine;  // private engine so a SOCRATES_CHAOS env cannot skew this
+  for (auto _ : state) benchmark::DoNotOptimize(engine.enabled());
+}
+BENCHMARK(BM_ChaosDisabledProbe);
+
+void BM_ChaosArmedIndexedDraw(benchmark::State& state) {
+  ChaosEngine engine;
+  ChaosSpec spec;
+  spec.stage_fail = 0.5;
+  engine.install(spec);
+  std::uint64_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(engine.fire_indexed("dse.point", i++));
+}
+BENCHMARK(BM_ChaosArmedIndexedDraw);
+
+void BM_SupervisorCleanRun(benchmark::State& state) {
+  // A supervised stage that succeeds first try: the whole retry/
+  // timeout/backoff machinery reduces to two steady_clock reads and a
+  // SupervisorReport fill.
+  Supervisor supervisor;
+  for (auto _ : state) {
+    const auto outcome = supervisor.run("bench", [] {});
+    benchmark::DoNotOptimize(&outcome);
+  }
+}
+BENCHMARK(BM_SupervisorCleanRun);
+
+void BM_FeedbackUpdate_WithEventSink(benchmark::State& state) {
+  // The checkpoint hook: with a sink installed every feedback call
+  // additionally builds one RuntimeEvent and invokes the sink (here a
+  // counter; CheckpointStore adds one formatted+flushed journal line).
+  margot::Asrtm asrtm(kb_2mm());
+  std::uint64_t events = 0;
+  asrtm.set_event_sink([&events](const margot::RuntimeEvent&) { ++events; });
+  for (auto _ : state) {
+    asrtm.send_feedback(0, M::kExecTime, 1.0);
+    benchmark::DoNotOptimize(asrtm.correction(M::kExecTime));
+  }
+  benchmark::DoNotOptimize(events);
+}
+BENCHMARK(BM_FeedbackUpdate_WithEventSink);
 
 }  // namespace
 

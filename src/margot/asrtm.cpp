@@ -236,6 +236,12 @@ void Asrtm::send_feedback(std::size_t op_index, std::size_t metric, double obser
   const double instant_ratio = observed / predicted;
   corrections_[metric] =
       (1.0 - feedback_alpha_) * corrections_[metric] + feedback_alpha_ * instant_ratio;
+  RuntimeEvent event;
+  event.kind = RuntimeEvent::Kind::kFeedback;
+  event.op = op_index;
+  event.metric = metric;
+  event.value = observed;
+  emit(event);
 }
 
 double Asrtm::correction(std::size_t metric) const {
@@ -280,6 +286,10 @@ void Asrtm::report_variant_failure(std::size_t op_index) {
   // A failure during the post-cooldown probe re-quarantines at once.
   if (health.probing || health.consecutive_failures >= quarantine_.failure_threshold)
     quarantine_op(health);
+  RuntimeEvent event;
+  event.kind = RuntimeEvent::Kind::kVariantFailure;
+  event.op = op_index;
+  emit(event);
 }
 
 void Asrtm::report_variant_success(std::size_t op_index) {
@@ -287,6 +297,10 @@ void Asrtm::report_variant_success(std::size_t op_index) {
   OpHealth& health = health_[op_index];
   health.consecutive_failures = 0;
   health.probing = false;
+  RuntimeEvent event;
+  event.kind = RuntimeEvent::Kind::kVariantSuccess;
+  event.op = op_index;
+  emit(event);
 }
 
 void Asrtm::advance_quarantine() {
@@ -294,6 +308,96 @@ void Asrtm::advance_quarantine() {
     if (health.cooldown == 0) continue;
     if (--health.cooldown == 0) health.probing = true;
   }
+  RuntimeEvent event;
+  event.kind = RuntimeEvent::Kind::kQuarantineAdvance;
+  emit(event);
+}
+
+// ---- crash-safe knowledge (checkpoint/restore) -----------------------------
+
+void Asrtm::emit(const RuntimeEvent& event) const {
+  if (event_sink_ && !replaying_) event_sink_(event);
+}
+
+Asrtm::Snapshot Asrtm::snapshot() const {
+  Snapshot snap;
+  snap.corrections = corrections_;
+  snap.feedback_alpha = feedback_alpha_;
+  snap.quarantine = quarantine_;
+  snap.health.reserve(health_.size());
+  for (const OpHealth& h : health_) {
+    Snapshot::OpHealthState s;
+    s.consecutive_failures = h.consecutive_failures;
+    s.times_quarantined = h.times_quarantined;
+    s.cooldown = h.cooldown;
+    s.probing = h.probing;
+    snap.health.push_back(s);
+  }
+  snap.quarantine_events = quarantine_events_;
+  return snap;
+}
+
+void Asrtm::restore(const Snapshot& snapshot) {
+  SOCRATES_REQUIRE_MSG(snapshot.corrections.size() == corrections_.size(),
+                       "snapshot metric count does not match the knowledge base");
+  SOCRATES_REQUIRE_MSG(snapshot.health.size() == health_.size(),
+                       "snapshot operating-point count does not match the "
+                       "knowledge base");
+  SOCRATES_REQUIRE(snapshot.feedback_alpha > 0.0 && snapshot.feedback_alpha <= 1.0);
+  SOCRATES_REQUIRE(snapshot.quarantine.failure_threshold >= 1);
+  SOCRATES_REQUIRE(snapshot.quarantine.base_cooldown >= 1);
+  SOCRATES_REQUIRE(snapshot.quarantine.max_cooldown >=
+                   snapshot.quarantine.base_cooldown);
+  corrections_ = snapshot.corrections;
+  feedback_alpha_ = snapshot.feedback_alpha;
+  quarantine_ = snapshot.quarantine;
+  for (std::size_t i = 0; i < health_.size(); ++i) {
+    health_[i].consecutive_failures = snapshot.health[i].consecutive_failures;
+    health_[i].times_quarantined = snapshot.health[i].times_quarantined;
+    health_[i].cooldown = snapshot.health[i].cooldown;
+    health_[i].probing = snapshot.health[i].probing;
+  }
+  quarantine_events_ = snapshot.quarantine_events;
+}
+
+void Asrtm::set_event_sink(std::function<void(const RuntimeEvent&)> sink) {
+  event_sink_ = std::move(sink);
+}
+
+void Asrtm::replay(const RuntimeEvent& event) {
+  replaying_ = true;
+  // The mutators validate their arguments; a corrupted journal line that
+  // slipped past the checksum must not crash, so the caller (checkpoint
+  // layer) catches ContractViolation and skips the record.
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{replaying_};
+  switch (event.kind) {
+    case RuntimeEvent::Kind::kFeedback:
+      send_feedback(event.op, event.metric, event.value);
+      break;
+    case RuntimeEvent::Kind::kVariantFailure:
+      report_variant_failure(event.op);
+      break;
+    case RuntimeEvent::Kind::kVariantSuccess:
+      report_variant_success(event.op);
+      break;
+    case RuntimeEvent::Kind::kQuarantineAdvance:
+      advance_quarantine();
+      break;
+    case RuntimeEvent::Kind::kStateActivation:
+      // Requirements live in the StateManager; the checkpoint layer
+      // tracks the last activation and returns it to the application.
+      break;
+  }
+}
+
+void Asrtm::record_state_activation(const std::string& name) {
+  RuntimeEvent event;
+  event.kind = RuntimeEvent::Kind::kStateActivation;
+  event.name = name;
+  emit(event);
 }
 
 bool Asrtm::is_quarantined(std::size_t op_index) const {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +38,24 @@
 #include "margot/optimization.hpp"
 
 namespace socrates::margot {
+
+/// One mutation of the AS-RTM's learned state.  The checkpoint layer
+/// (margot/checkpoint.hpp) appends these to an on-disk journal so a
+/// restarted process can replay itself back to its pre-crash knowledge.
+struct RuntimeEvent {
+  enum class Kind {
+    kFeedback,          ///< send_feedback(op, metric, value)
+    kVariantFailure,    ///< report_variant_failure(op)
+    kVariantSuccess,    ///< report_variant_success(op)
+    kQuarantineAdvance, ///< advance_quarantine()
+    kStateActivation,   ///< StateManager switched to state `name`
+  };
+  Kind kind = Kind::kFeedback;
+  std::size_t op = 0;
+  std::size_t metric = 0;
+  double value = 0.0;
+  std::string name;  ///< state name (kStateActivation only)
+};
 
 class Asrtm {
  public:
@@ -109,6 +128,48 @@ class Asrtm {
   /// Total quarantine events since construction.
   std::size_t quarantine_events() const { return quarantine_events_; }
 
+  // ---- crash-safe knowledge (checkpoint/restore) -----------------------
+  /// Everything the AS-RTM *learned* at runtime (feedback corrections,
+  /// per-point health, quarantine bookkeeping) — the state a restarted
+  /// process cannot rebuild from the design-time knowledge base alone.
+  struct Snapshot {
+    std::vector<double> corrections;
+    double feedback_alpha = 0.3;
+    QuarantineOptions quarantine;
+    struct OpHealthState {
+      std::size_t consecutive_failures = 0;
+      std::size_t times_quarantined = 0;
+      std::size_t cooldown = 0;
+      bool probing = false;
+    };
+    std::vector<OpHealthState> health;
+    std::size_t quarantine_events = 0;
+  };
+
+  Snapshot snapshot() const;
+  /// Replaces the learned state with `snapshot`.  Throws
+  /// ContractViolation when the snapshot's shape does not match this
+  /// knowledge base (wrong metric or operating-point count) — the
+  /// checkpoint layer converts that into a clean fresh start.
+  void restore(const Snapshot& snapshot);
+
+  /// Observer of every learned-state mutation, called *after* the
+  /// mutation is applied (see RuntimeEvent).  The checkpoint layer
+  /// installs its journal appender here; nullptr uninstalls.  The sink
+  /// is never invoked during restore()/replay(), so replaying a journal
+  /// cannot re-journal itself.
+  void set_event_sink(std::function<void(const RuntimeEvent&)> sink);
+
+  /// Applies one journaled event (used by checkpoint replay).  A
+  /// kStateActivation event is a no-op here — requirements are owned by
+  /// the application / StateManager; the checkpoint layer reports the
+  /// last active state back to the caller instead.
+  void replay(const RuntimeEvent& event);
+
+  /// StateManager calls this on every activation so the event reaches
+  /// the journal (and the decision journal's trigger note).
+  void record_state_activation(const std::string& name);
+
   // ---- MAPE-K decision journal -----------------------------------------
   /// Starts recording every operating-point *switch* (not every query)
   /// made by find_best_operating_point, bounded to `max_records`.
@@ -149,6 +210,9 @@ class Asrtm {
   /// How far `op` is from satisfying `c` (0 when satisfied).
   double violation(const OperatingPoint& op, const Constraint& c) const;
 
+  /// Emits to the event sink unless a replay/restore is in progress.
+  void emit(const RuntimeEvent& event) const;
+
   KnowledgeBase knowledge_;
   std::vector<Constraint> constraints_;  ///< insertion order; sorted view built per query
   Rank rank_;
@@ -158,6 +222,8 @@ class Asrtm {
   QuarantineOptions quarantine_;
   std::vector<OpHealth> health_;         ///< one entry per operating point
   std::size_t quarantine_events_ = 0;
+  std::function<void(const RuntimeEvent&)> event_sink_;
+  bool replaying_ = false;               ///< true inside replay()/restore()
 
   // Journal state is mutable because find_best_operating_point() is
   // const: recording why a decision was made does not change what is

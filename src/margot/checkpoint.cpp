@@ -1,0 +1,337 @@
+#include "margot/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "observability/metrics.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+
+namespace socrates::margot {
+
+namespace {
+
+constexpr const char* kMagic = "socrates-checkpoint";
+constexpr const char* kVersion = "v1";
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+/// Serializes the learned state (plus the active state name) into the
+/// checksummed snapshot payload.  Text on purpose: a human can inspect
+/// what their run had learned before it died.
+std::string serialize_payload(const Asrtm::Snapshot& snap,
+                              const std::string& active_state) {
+  std::ostringstream os;
+  os << "alpha " << format_double(snap.feedback_alpha) << '\n';
+  os << "quarantine " << snap.quarantine.failure_threshold << ' '
+     << snap.quarantine.base_cooldown << ' ' << snap.quarantine.max_cooldown << '\n';
+  os << "events " << snap.quarantine_events << '\n';
+  os << "state " << active_state << '\n';
+  os << "corrections " << snap.corrections.size();
+  for (const double c : snap.corrections) os << ' ' << format_double(c);
+  os << '\n';
+  os << "health " << snap.health.size() << '\n';
+  for (const auto& h : snap.health)
+    os << h.consecutive_failures << ' ' << h.times_quarantined << ' ' << h.cooldown
+       << ' ' << (h.probing ? 1 : 0) << '\n';
+  return os.str();
+}
+
+bool expect_word(std::istream& in, const char* word) {
+  std::string got;
+  return static_cast<bool>(in >> got) && got == word;
+}
+
+/// Parses a payload produced by serialize_payload.  Returns false on
+/// any malformation (the caller fresh-starts).
+bool parse_payload(const std::string& payload, Asrtm::Snapshot& snap,
+                   std::string& active_state) {
+  std::istringstream in(payload);
+  if (!expect_word(in, "alpha") || !(in >> snap.feedback_alpha)) return false;
+  if (!expect_word(in, "quarantine") ||
+      !(in >> snap.quarantine.failure_threshold >> snap.quarantine.base_cooldown >>
+        snap.quarantine.max_cooldown))
+    return false;
+  if (!expect_word(in, "events") || !(in >> snap.quarantine_events)) return false;
+  if (!expect_word(in, "state")) return false;
+  in.get();  // the separator space
+  if (!std::getline(in, active_state)) return false;
+  std::size_t n = 0;
+  if (!expect_word(in, "corrections") || !(in >> n)) return false;
+  snap.corrections.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(in >> snap.corrections[i])) return false;
+  if (!expect_word(in, "health") || !(in >> n)) return false;
+  snap.health.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int probing = 0;
+    if (!(in >> snap.health[i].consecutive_failures >>
+          snap.health[i].times_quarantined >> snap.health[i].cooldown >> probing))
+      return false;
+    snap.health[i].probing = probing != 0;
+  }
+  return true;
+}
+
+/// Journal line body: epoch, kind, op, metric, value, then the state
+/// name as the rest of the line (it may contain spaces or be empty).
+std::string serialize_event(std::uint64_t epoch, const RuntimeEvent& event) {
+  std::ostringstream os;
+  os << epoch << ' ' << static_cast<int>(event.kind) << ' ' << event.op << ' '
+     << event.metric << ' ' << format_double(event.value) << ' ' << event.name;
+  return os.str();
+}
+
+bool parse_event(const std::string& body, std::uint64_t& epoch, RuntimeEvent& event) {
+  std::istringstream in(body);
+  int kind = 0;
+  if (!(in >> epoch >> kind >> event.op >> event.metric >> event.value)) return false;
+  if (kind < 0 || kind > static_cast<int>(RuntimeEvent::Kind::kStateActivation))
+    return false;
+  event.kind = static_cast<RuntimeEvent::Kind>(kind);
+  in.get();  // the separator space
+  std::getline(in, event.name);  // empty name -> eof, fine
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  SOCRATES_REQUIRE(!path_.empty());
+  SOCRATES_REQUIRE(options_.journal_capacity >= 1);
+}
+
+CheckpointStore::~CheckpointStore() {
+  // No final snapshot here: destruction without detach() behaves like a
+  // crash, and the journal alone must carry the state — which is
+  // exactly what the kill-and-resume tests verify.
+  if (asrtm_ != nullptr) {
+    asrtm_->set_event_sink(nullptr);
+    asrtm_ = nullptr;
+  }
+  journal_.close();
+}
+
+CheckpointStore::RestoreResult CheckpointStore::attach(Asrtm& asrtm) {
+  SOCRATES_REQUIRE_MSG(asrtm_ == nullptr, "CheckpointStore is already attached");
+  RestoreResult result;
+  bool fresh = false;        ///< corruption: discard snapshot AND journal
+  bool have_snapshot = false;
+  std::string fresh_reason;
+  Asrtm::Snapshot snap;
+  std::string snap_state;
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    // Not corruption: a process killed before its first checkpoint()
+    // has no snapshot, only the journal — epoch-0 lines replay onto the
+    // freshly constructed AS-RTM below.
+    epoch_ = 0;
+  } else {
+    // Header: magic version epoch payload-size payload-hash-hex
+    std::string magic, version, hash_text;
+    std::uint64_t epoch = 0;
+    std::size_t size = 0;
+    if (!(in >> magic >> version >> epoch >> size >> hash_text) || magic != kMagic ||
+        version != kVersion) {
+      fresh = true;
+      fresh_reason = "unrecognized checkpoint header";
+    } else {
+      in.get();  // the separator newline
+      std::string payload(size, '\0');
+      in.read(payload.data(), static_cast<std::streamsize>(size));
+      const std::uint64_t hash = std::strtoull(hash_text.c_str(), nullptr, 16);
+      if (in.gcount() != static_cast<std::streamsize>(size) ||
+          stable_hash64(payload) != hash) {
+        fresh = true;
+        fresh_reason = "checkpoint payload truncated or checksum mismatch";
+      } else if (!parse_payload(payload, snap, snap_state)) {
+        fresh = true;
+        fresh_reason = "malformed checkpoint payload";
+      } else {
+        epoch_ = epoch;
+        have_snapshot = true;
+      }
+    }
+  }
+  in.close();
+
+  if (have_snapshot) {
+    try {
+      asrtm.restore(snap);
+      result.restored = true;
+      result.active_state = snap_state;
+      active_state_ = snap_state;
+    } catch (const std::exception& e) {
+      // Shape mismatch: the knowledge base changed since the checkpoint
+      // was taken.  The old learned state no longer applies.
+      fresh = true;
+      fresh_reason = std::string("checkpoint incompatible: ") + e.what();
+    }
+  }
+
+  if (fresh) {
+    // Clean fresh start: discard stale files so a later restore cannot
+    // mix epochs, and report why.
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    epoch_ = 0;
+    active_state_.clear();
+    result.note = "fresh start: " + fresh_reason;
+    log_info() << "checkpoint: " << result.note;
+    MetricsRegistry::global().counter("checkpoint.fresh_starts").add(1);
+    open_journal(/*truncate=*/true);
+  } else {
+    // Replay the journal on top of the snapshot.  Only lines of the
+    // snapshot's epoch apply; anything else is stale or torn.
+    std::ifstream jin(journal_path(), std::ios::binary);
+    std::string line;
+    while (jin && std::getline(jin, line)) {
+      if (line.empty()) continue;
+      const std::size_t space = line.find(' ');
+      bool ok = space != std::string::npos;
+      std::uint64_t line_epoch = 0;
+      RuntimeEvent event;
+      if (ok) {
+        const std::string body = line.substr(space + 1);
+        const std::uint64_t hash = std::strtoull(line.substr(0, space).c_str(), nullptr, 16);
+        ok = stable_hash64(body) == hash && parse_event(body, line_epoch, event) &&
+             line_epoch == epoch_;
+      }
+      if (!ok) {
+        ++result.skipped;
+        continue;
+      }
+      try {
+        asrtm.replay(event);
+        if (event.kind == RuntimeEvent::Kind::kStateActivation) {
+          result.active_state = event.name;
+          active_state_ = event.name;
+        }
+        ++result.replayed;
+      } catch (const std::exception&) {
+        // A checksum-valid line the AS-RTM rejects (e.g. op index out
+        // of range after a shape-preserving KB edit): skip, don't die.
+        ++result.skipped;
+      }
+    }
+    jin.close();
+    pending_ = result.replayed;
+    std::ostringstream note;
+    note << (result.restored ? "restored" : "no snapshot; replayed journal at")
+         << " epoch " << epoch_ << ", replayed " << result.replayed << " event(s)";
+    if (result.skipped > 0) note << ", skipped " << result.skipped;
+    result.note = note.str();
+    log_info() << "checkpoint: " << result.note;
+    MetricsRegistry::global().counter("checkpoint.restores").add(1);
+    MetricsRegistry::global()
+        .counter("checkpoint.replayed_events")
+        .add(result.replayed);
+    if (result.skipped > 0)
+      MetricsRegistry::global()
+          .counter("checkpoint.skipped_records")
+          .add(result.skipped);
+    open_journal(/*truncate=*/false);
+  }
+
+  asrtm_ = &asrtm;
+  asrtm.set_event_sink([this](const RuntimeEvent& event) { on_event(event); });
+  return result;
+}
+
+void CheckpointStore::open_journal(bool truncate) {
+  journal_.close();
+  journal_.clear();
+  const auto mode =
+      std::ios::binary | (truncate ? std::ios::trunc : std::ios::app);
+  journal_.open(journal_path(), mode);
+  if (!journal_ && !journal_failed_) {
+    journal_failed_ = true;
+    log_warn() << "checkpoint: cannot open journal " << journal_path()
+               << "; learned state will not survive a crash";
+  }
+}
+
+bool CheckpointStore::write_snapshot(std::uint64_t epoch) {
+  const std::string payload = serialize_payload(asrtm_->snapshot(), active_state_);
+  const std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      log_warn() << "checkpoint: cannot write " << tmp;
+      return false;
+    }
+    out << kMagic << ' ' << kVersion << ' ' << epoch << ' ' << payload.size() << ' '
+        << std::hex << stable_hash64(payload) << std::dec << '\n';
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      log_warn() << "checkpoint: short write, keeping previous snapshot";
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    log_warn() << "checkpoint: cannot publish " << path_ << ": " << ec.message();
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+void CheckpointStore::checkpoint() {
+  SOCRATES_REQUIRE_MSG(asrtm_ != nullptr, "checkpoint() requires a prior attach()");
+  const std::uint64_t next_epoch = epoch_ + 1;
+  if (!write_snapshot(next_epoch)) return;  // journal keeps protecting us
+  epoch_ = next_epoch;
+  ++snapshots_;
+  // A crash exactly here leaves old-epoch journal lines behind; the
+  // next restore ignores them (epoch tag mismatch).
+  open_journal(/*truncate=*/true);
+  pending_ = 0;
+  MetricsRegistry::global().counter("checkpoint.snapshots").add(1);
+}
+
+void CheckpointStore::detach() {
+  if (asrtm_ == nullptr) return;
+  checkpoint();  // clean shutdown: next restore replays nothing
+  asrtm_->set_event_sink(nullptr);
+  asrtm_ = nullptr;
+  journal_.close();
+}
+
+void CheckpointStore::on_event(const RuntimeEvent& event) {
+  if (event.kind == RuntimeEvent::Kind::kStateActivation) active_state_ = event.name;
+  const std::string body = serialize_event(epoch_, event);
+  if (journal_) {
+    journal_ << std::hex << stable_hash64(body) << std::dec << ' ' << body << '\n';
+    journal_.flush();
+  }
+  if (!journal_ && !journal_failed_) {
+    journal_failed_ = true;
+    log_warn() << "checkpoint: journal append failed on " << journal_path()
+               << "; learned state may not survive a crash";
+  }
+  ++journaled_;
+  ++pending_;
+  MetricsRegistry::global().counter("checkpoint.journal_events").add(1);
+  if (pending_ >= options_.journal_capacity) checkpoint();
+}
+
+}  // namespace socrates::margot

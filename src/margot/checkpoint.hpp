@@ -1,0 +1,109 @@
+// Crash-safe persistence of the AS-RTM's learned state.
+//
+// The design-time knowledge base is a file the application can always
+// reload, but everything the AS-RTM *learns* at runtime — feedback
+// corrections, quarantine health, the active optimization state — dies
+// with the process.  SOCRATES targets long-running HPC applications
+// (Section IV runs span hours), where a node reboot otherwise means
+// re-learning the platform from scratch and re-discovering every
+// faulty clone the hard way.
+//
+// CheckpointStore persists that state with a classic snapshot+journal
+// scheme:
+//
+//   <path>            versioned, checksummed snapshot, written to a
+//                     temp file and atomically renamed — readers never
+//                     see a torn snapshot;
+//   <path>.journal    append-only log of RuntimeEvents since the last
+//                     snapshot, one self-checksummed line each; a
+//                     partial trailing line (the crash happened
+//                     mid-append) is simply skipped.
+//
+// Every journal line carries the snapshot *epoch* it applies to, so a
+// crash between "write new snapshot" and "truncate journal" cannot
+// double-apply events: stale-epoch lines are ignored on restore.  The
+// journal is bounded — after `journal_capacity` events the store
+// snapshots automatically and truncates it.
+//
+// Corruption of any kind (bad magic, checksum mismatch, truncation, a
+// knowledge base whose shape changed since the checkpoint) degrades to
+// a clean fresh start — never a crash, never a partially-applied
+// restore.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+#include "margot/asrtm.hpp"
+
+namespace socrates::margot {
+
+class CheckpointStore {
+ public:
+  struct Options {
+    /// Journal events between automatic snapshots (bounds both journal
+    /// size and replay time after a crash).
+    std::size_t journal_capacity = 256;
+  };
+
+  /// `path` is the snapshot file; the journal lives at `path`.journal.
+  explicit CheckpointStore(std::string path) : CheckpointStore(std::move(path), Options{}) {}
+  CheckpointStore(std::string path, Options options);
+  /// Uninstalls the sink WITHOUT a final snapshot: destruction is
+  /// crash-equivalent, the journal carries the state.  Call detach()
+  /// for a clean shutdown.
+  ~CheckpointStore();
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  struct RestoreResult {
+    bool restored = false;        ///< a valid snapshot was applied
+    std::size_t replayed = 0;     ///< journal events replayed on top
+    std::size_t skipped = 0;      ///< corrupt / stale-epoch lines skipped
+    std::string active_state;     ///< last activated state name ("" = none)
+    std::string note;             ///< human-readable outcome summary
+  };
+
+  /// Restores `asrtm` from disk (snapshot + journal replay), then
+  /// installs this store as the AS-RTM's event sink so every later
+  /// mutation is journaled.  A missing or corrupted checkpoint yields a
+  /// fresh start: the AS-RTM is left untouched, stale files are
+  /// discarded, and journaling begins from a clean slate.  The caller
+  /// re-activates `active_state` through its StateManager (requirements
+  /// are application-owned, see Asrtm::replay).
+  RestoreResult attach(Asrtm& asrtm);
+
+  /// Writes a snapshot now (atomically) and truncates the journal.
+  /// Requires a prior attach().
+  void checkpoint();
+
+  /// Uninstalls the event sink (a final snapshot is written first, so
+  /// a clean shutdown restores instantly with an empty journal).
+  void detach();
+
+  const std::string& path() const { return path_; }
+  std::string journal_path() const { return path_ + ".journal"; }
+  std::size_t journaled_events() const { return journaled_; }
+  std::size_t snapshots_written() const { return snapshots_; }
+
+ private:
+  void on_event(const RuntimeEvent& event);
+  void open_journal(bool truncate);
+  /// Writes the snapshot for `epoch` via tmp+rename; returns success.
+  bool write_snapshot(std::uint64_t epoch);
+
+  std::string path_;
+  Options options_;
+  Asrtm* asrtm_ = nullptr;
+  std::ofstream journal_;
+  std::uint64_t epoch_ = 0;        ///< epoch of the on-disk snapshot
+  std::size_t pending_ = 0;        ///< journal lines since last snapshot
+  std::size_t journaled_ = 0;      ///< lifetime journaled events
+  std::size_t snapshots_ = 0;
+  std::string active_state_;       ///< last activation seen (for snapshots)
+  bool journal_failed_ = false;    ///< warn-once latch on append failures
+};
+
+}  // namespace socrates::margot

@@ -16,28 +16,33 @@ namespace {
 constexpr const char* kKnobsHeader = "# knobs: ";
 constexpr const char* kMetricsHeader = "# metrics: ";
 
-double parse_double(const std::string& cell, std::size_t line_no) {
+[[noreturn]] void format_fail(std::size_t line_no, const std::string& detail) {
+  std::ostringstream os;
+  os << "knowledge file: " << detail << " (line " << line_no << ")";
+  throw KnowledgeFormatError(os.str());
+}
+
+double parse_double(const std::string& cell, std::size_t line_no,
+                    const std::string& column) {
   try {
     std::size_t consumed = 0;
     const double value = std::stod(cell, &consumed);
-    SOCRATES_REQUIRE_MSG(consumed == cell.size(),
-                         "trailing characters in cell '" << cell << "' on line "
-                                                         << line_no);
+    if (consumed != cell.size())
+      format_fail(line_no, "trailing characters in " + column + " cell '" + cell + "'");
     return value;
   } catch (const std::invalid_argument&) {
-    SOCRATES_REQUIRE_MSG(false, "non-numeric cell '" << cell << "' on line " << line_no);
+    format_fail(line_no, "non-numeric " + column + " cell '" + cell + "'");
   } catch (const std::out_of_range&) {
-    SOCRATES_REQUIRE_MSG(false, "out-of-range cell '" << cell << "' on line " << line_no);
+    format_fail(line_no, "out-of-range " + column + " cell '" + cell + "'");
   }
-  return 0.0;  // unreachable
 }
 
-int parse_int(const std::string& cell, std::size_t line_no) {
-  const double v = parse_double(cell, line_no);
+int parse_int(const std::string& cell, std::size_t line_no, const std::string& column) {
+  const double v = parse_double(cell, line_no, column);
   const int i = static_cast<int>(v);
-  SOCRATES_REQUIRE_MSG(static_cast<double>(i) == v,
-                       "knob cell '" << cell << "' on line " << line_no
-                                     << " is not an integer");
+  if (static_cast<double>(i) != v)
+    format_fail(line_no, "knob cell '" + cell + "' in column " + column +
+                             " is not an integer");
   return i;
 }
 
@@ -79,45 +84,58 @@ KnowledgeBase load_knowledge(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
 
-  const auto next_line = [&]() {
-    SOCRATES_REQUIRE_MSG(static_cast<bool>(std::getline(in, line)),
-                         "unexpected end of knowledge file at line " << line_no);
+  const auto next_line = [&](const char* expectation) {
+    if (!std::getline(in, line))
+      format_fail(line_no + 1, std::string("unexpected end of file, expected ") +
+                                   expectation);
     ++line_no;
   };
 
-  next_line();
-  SOCRATES_REQUIRE_MSG(starts_with(line, kKnobsHeader),
-                       "expected '" << kKnobsHeader << "' header, got '" << line << "'");
+  next_line("the knobs header");
+  if (!starts_with(line, kKnobsHeader))
+    format_fail(line_no, std::string("expected '") + kKnobsHeader + "' header, got '" +
+                             line + "'");
   const auto knob_names = split(trim(line.substr(std::string(kKnobsHeader).size())), ',');
 
-  next_line();
-  SOCRATES_REQUIRE_MSG(starts_with(line, kMetricsHeader),
-                       "expected '" << kMetricsHeader << "' header, got '" << line
-                                    << "'");
+  next_line("the metrics header");
+  if (!starts_with(line, kMetricsHeader))
+    format_fail(line_no, std::string("expected '") + kMetricsHeader +
+                             "' header, got '" + line + "'");
   const auto metric_names =
       split(trim(line.substr(std::string(kMetricsHeader).size())), ',');
 
-  next_line();  // column header row, validated by arity below
+  next_line("the column header row");
   const std::size_t expected_cells = knob_names.size() + 2 * metric_names.size();
-  SOCRATES_REQUIRE_MSG(split(line, ',').size() == expected_cells,
-                       "column header arity mismatch on line " << line_no);
+  if (split(line, ',').size() != expected_cells)
+    format_fail(line_no, "column header has " + std::to_string(split(line, ',').size()) +
+                             " cells, expected " + std::to_string(expected_cells));
+
+  // Column names, for error messages on data rows.
+  std::vector<std::string> columns;
+  for (const auto& k : knob_names) columns.push_back("knob:" + k);
+  for (const auto& m : metric_names) {
+    columns.push_back(m);
+    columns.push_back(m + ":sd");
+  }
 
   KnowledgeBase kb(knob_names, metric_names);
   while (std::getline(in, line)) {
     ++line_no;
     if (trim(line).empty()) continue;
     const auto cells = split(line, ',');
-    SOCRATES_REQUIRE_MSG(cells.size() == expected_cells,
-                         "row on line " << line_no << " has " << cells.size()
-                                        << " cells, expected " << expected_cells);
+    if (cells.size() != expected_cells)
+      format_fail(line_no, "row has " + std::to_string(cells.size()) +
+                               " cells, expected " + std::to_string(expected_cells));
     OperatingPoint op;
     std::size_t c = 0;
-    for (std::size_t k = 0; k < knob_names.size(); ++k)
-      op.knobs.push_back(parse_int(cells[c++], line_no));
+    for (std::size_t k = 0; k < knob_names.size(); ++k, ++c)
+      op.knobs.push_back(parse_int(cells[c], line_no, columns[c]));
     for (std::size_t m = 0; m < metric_names.size(); ++m) {
       MetricStats stats;
-      stats.mean = parse_double(cells[c++], line_no);
-      stats.stddev = parse_double(cells[c++], line_no);
+      stats.mean = parse_double(cells[c], line_no, columns[c]);
+      ++c;
+      stats.stddev = parse_double(cells[c], line_no, columns[c]);
+      ++c;
       op.metrics.push_back(stats);
     }
     kb.add(std::move(op));

@@ -17,8 +17,19 @@
 #include <string>
 
 #include "margot/operating_point.hpp"
+#include "support/error.hpp"
 
 namespace socrates::margot {
+
+/// Thrown by load_knowledge / knowledge_from_string on malformed input.
+/// A *runtime* error (socrates::Error), not a contract violation: a
+/// truncated or hand-edited knowledge file is an expected production
+/// hazard, and the message always names the offending line (and cell)
+/// so the file can be repaired.
+class KnowledgeFormatError : public Error {
+ public:
+  explicit KnowledgeFormatError(const std::string& what) : Error(what) {}
+};
 
 /// Writes the knowledge base to a stream (see format above).
 void save_knowledge(const KnowledgeBase& kb, std::ostream& out);
@@ -26,8 +37,9 @@ void save_knowledge(const KnowledgeBase& kb, std::ostream& out);
 /// Serializes to a string.
 std::string knowledge_to_string(const KnowledgeBase& kb);
 
-/// Parses a knowledge base from a stream.  Throws on malformed input
-/// (missing headers, wrong column counts, non-numeric cells).
+/// Parses a knowledge base from a stream.  Throws KnowledgeFormatError
+/// on malformed input (missing headers, wrong column counts,
+/// non-numeric cells), naming the offending line and field.
 KnowledgeBase load_knowledge(std::istream& in);
 
 /// Parses from a string.

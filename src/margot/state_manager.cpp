@@ -34,6 +34,7 @@ void StateManager::apply(const State& state) {
   // them (the journal keeps the last note before the next decision).
   if (asrtm_.decision_journal_enabled())
     asrtm_.note_decision_trigger("state '" + state.name + "' activated");
+  asrtm_.record_state_activation(state.name);
 }
 
 bool StateManager::switch_to(const std::string& name) {

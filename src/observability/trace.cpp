@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "support/env.hpp"
+
 namespace socrates {
 
 namespace {
@@ -41,11 +43,7 @@ Tracer::Tracer(std::size_t capacity)
   ring_.resize(capacity_);
 }
 
-bool Tracer::env_requests_tracing() {
-  const char* env = std::getenv("SOCRATES_TRACE");
-  return env != nullptr && env[0] != '\0' &&
-         !(env[0] == '0' && env[1] == '\0');
-}
+bool Tracer::env_requests_tracing() { return env::flag("SOCRATES_TRACE"); }
 
 Tracer& Tracer::global() {
   // Leaked on purpose: spans may still fire from worker threads during

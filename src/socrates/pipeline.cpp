@@ -1,6 +1,7 @@
 #include "socrates/pipeline.hpp"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "kernels/sources.hpp"
 #include "observability/metrics.hpp"
 #include "observability/trace.hpp"
+#include "support/chaos.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
@@ -154,9 +156,11 @@ Pipeline::Pipeline(const platform::PerformanceModel& platform, ToolchainOptions 
     : platform_(platform),
       options_(options),
       cache_(cache != nullptr ? cache : &ArtifactCache::global()),
-      pool_(options.jobs) {
+      pool_(options.jobs),
+      supervisor_(options.supervisor) {
   SOCRATES_REQUIRE(options_.custom_configs >= 1);
   SOCRATES_REQUIRE(options_.dse_repetitions >= 1);
+  SOCRATES_REQUIRE(options_.dse_point_attempts >= 1);
 }
 
 bool Pipeline::ensure_cobayn() {
@@ -200,7 +204,7 @@ const cobayn::CobaynModel& Pipeline::cobayn_model() const {
   return cobayn_.front();
 }
 
-std::pair<std::vector<dse::ProfiledPoint>, bool> Pipeline::profile_cached(
+Pipeline::ProfileResult Pipeline::profile_cached(
     const std::string& source, const platform::KernelModelParams& params,
     const dse::DesignSpace& space, std::size_t repetitions, std::uint64_t seed,
     double work_scale) {
@@ -209,18 +213,24 @@ std::pair<std::vector<dse::ProfiledPoint>, bool> Pipeline::profile_cached(
   if (auto payload = cache_->load(key, "dse-profile")) {
     try {
       std::istringstream in(*payload);
-      auto profile = dse::load_profile(in);
-      return {std::move(profile), true};
+      return {dse::load_profile(in), true, 0};
     } catch (const ContractViolation& e) {
       log_warn() << "stored DSE artifact unusable (" << e.what() << "); reprofiling";
     }
   }
-  auto profile = dse::full_factorial_dse(platform_, params, space, repetitions, seed,
-                                         work_scale, &pool_);
-  std::ostringstream out;
-  dse::save_profile(out, profile);
-  cache_->store(key, "dse-profile", out.str());
-  return {std::move(profile), false};
+  auto run = dse::supervised_dse(platform_, params, space, repetitions, seed,
+                                 work_scale, &pool_, options_.dse_point_attempts);
+  if (run.dropped == 0) {
+    std::ostringstream out;
+    dse::save_profile(out, run.points);
+    cache_->store(key, "dse-profile", out.str());
+  } else {
+    // Never cache a degraded profile: a later chaos-free build must
+    // recompute the full factorial, not inherit the holes.
+    log_warn() << "DSE dropped " << run.dropped << " of " << space.size()
+               << " design points; profile not cached";
+  }
+  return {std::move(run.points), false, run.dropped};
 }
 
 AdaptiveBinary Pipeline::build(const std::string& benchmark_name,
@@ -253,59 +263,145 @@ AdaptiveBinary Pipeline::build_impl(const std::string& name, const std::string& 
                      {},
                      margot::KnowledgeBase({"config", "threads", "binding"},
                                            {"exec_time_s", "power_w", "throughput"})};
+  ChaosEngine& chaos = ChaosEngine::global();
 
-  // Parse: source -> AST.
+  const auto push_stage = [this](const char* stage_name, bool cache_hit,
+                                 double seconds, const SupervisorReport& sup,
+                                 std::size_t dropped, std::string note) {
+    StageReport stage;
+    stage.name = stage_name;
+    stage.cache_hit = cache_hit;
+    stage.seconds = seconds;
+    stage.attempts = sup.attempts;
+    stage.fallback = !sup.succeeded;
+    stage.dropped_points = dropped;
+    stage.note = std::move(note);
+    if (stage.fallback)
+      MetricsRegistry::global().counter("pipeline.stage_fallbacks").add(1);
+    report_.stages.push_back(std::move(stage));
+  };
+
+  // Parse: source -> AST.  No degraded product makes sense for a parse
+  // failure, so exhaustion propagates after the retries.
   const StageScope parse_stage("Parse");
-  const ir::TranslationUnit tu = ir::parse(source);
-  report_.stages.push_back({"Parse", false, parse_stage.finish()});
+  std::optional<ir::TranslationUnit> tu;
+  const auto parse_sup = supervisor_.run("Parse", [&] {
+    chaos.on_stage("stage.Parse");
+    tu.emplace(ir::parse(source));
+  });
+  push_stage("Parse", false, parse_stage.finish(), parse_sup, 0, {});
 
   // Features: Milepost-style static features of the kernel function.
+  // Fallback: a conservative all-zero vector — COBAYN still predicts,
+  // just without a feature signal.  A source with no kernel_* function
+  // is a caller bug and still propagates (permanent).
   const StageScope features_stage("Features");
-  const auto kernels = features::extract_kernel_features(tu);
-  SOCRATES_REQUIRE_MSG(!kernels.empty(), "source has no kernel_* function");
-  out.kernel_features = kernels.front().second;
-  report_.stages.push_back({"Features", false, features_stage.finish()});
+  auto features_sup = supervisor_.run_or_report("Features", [&] {
+    chaos.on_stage("stage.Features");
+    const auto kernels = features::extract_kernel_features(*tu);
+    SOCRATES_REQUIRE_MSG(!kernels.empty(), "source has no kernel_* function");
+    out.kernel_features = kernels.front().second;
+  });
+  std::string features_note;
+  if (!features_sup.succeeded) {
+    out.kernel_features = {};
+    features_note = "degraded: conservative default features (" +
+                    features_sup.last_error + ")";
+    log_warn() << "Features stage exhausted its retries; " << features_note;
+  }
+  push_stage("Features", false, features_stage.finish(), features_sup, 0,
+             std::move(features_note));
 
   // CobaynPredict: compiler-space pruning.  The trained model is a
-  // cached artifact shared across builds and processes.
+  // cached artifact shared across builds and processes.  Fallback: no
+  // custom configs — the design space keeps the standard -Os/-O1/-O2/
+  // -O3 levels, so the campaign completes with the paper's baseline
+  // configurations instead of aborting.
   const StageScope predict_stage("CobaynPredict");
-  const bool model_hit = ensure_cobayn();
-  out.custom_configs =
-      options_.use_paper_cfs
-          ? platform::paper_custom_configs()
-          : cobayn_.front().predict_named(out.kernel_features, options_.custom_configs);
-  report_.stages.push_back({"CobaynPredict", model_hit, predict_stage.finish()});
+  bool model_hit = false;
+  auto predict_sup = supervisor_.run_or_report("CobaynPredict", [&] {
+    chaos.on_stage("stage.CobaynPredict");
+    model_hit = ensure_cobayn();
+    out.custom_configs = options_.use_paper_cfs
+                             ? platform::paper_custom_configs()
+                             : cobayn_.front().predict_named(out.kernel_features,
+                                                             options_.custom_configs);
+  });
+  std::string predict_note;
+  if (!predict_sup.succeeded) {
+    out.custom_configs.clear();
+    predict_note = "degraded: standard optimization levels only (" +
+                   predict_sup.last_error + ")";
+    log_warn() << "CobaynPredict stage exhausted its retries; " << predict_note;
+  }
+  push_stage("CobaynPredict", model_hit, predict_stage.finish(), predict_sup, 0,
+             std::move(predict_note));
 
   // Reduced design space: the 4 standard levels + the CFs.
   std::vector<platform::NamedConfig> configs = platform::standard_levels();
   for (const auto& cf : out.custom_configs) configs.push_back(cf);
 
-  // Weave: LARA/MANET multiversioning + autotuner hooks.
+  // Weave: LARA/MANET multiversioning + autotuner hooks.  Fallback: an
+  // empty woven report — the DSE and knowledge stages do not depend on
+  // it, so losing the weave report costs instrumentation, not results.
   const std::vector<platform::BindingPolicy> bindings = {
       platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread};
   const StageScope weave_stage("Weave");
-  out.woven = weaver::weave_benchmark(name, source, configs, bindings);
-  report_.stages.push_back({"Weave", false, weave_stage.finish()});
+  auto weave_sup = supervisor_.run_or_report("Weave", [&] {
+    chaos.on_stage("stage.Weave");
+    out.woven = weaver::weave_benchmark(name, source, configs, bindings);
+  });
+  std::string weave_note;
+  if (!weave_sup.succeeded) {
+    out.woven = {};
+    weave_note = "degraded: no woven instrumentation (" + weave_sup.last_error + ")";
+    log_warn() << "Weave stage exhausted its retries; " << weave_note;
+  }
+  push_stage("Weave", false, weave_stage.finish(), weave_sup, 0,
+             std::move(weave_note));
 
-  // Dse: profile the full factorial space (cached artifact).
+  // Dse: profile the full factorial space (cached artifact).  Faults
+  // are absorbed per design point — a point that exhausts its attempts
+  // is dropped and reported as reduced coverage, not a failed build.
   out.space = dse::DesignSpace{configs, {}, bindings};
   for (std::size_t t = 1; t <= platform_.topology().logical_cores(); ++t)
     out.space.thread_counts.push_back(t);
   const StageScope dse_stage("Dse");
-  auto [profile, dse_hit] = profile_cached(source, params, out.space,
-                                           options_.dse_repetitions,
-                                           options_.seed + 17, work_scale);
-  out.profile = std::move(profile);
-  report_.stages.push_back({"Dse", dse_hit, dse_stage.finish()});
+  ProfileResult dse_result;
+  const auto dse_sup = supervisor_.run("Dse", [&] {
+    chaos.on_stage("stage.Dse");
+    dse_result = profile_cached(source, params, out.space, options_.dse_repetitions,
+                                options_.seed + 17, work_scale);
+    if (dse_result.points.empty())
+      throw Error("DSE dropped every design point");
+  });
+  out.profile = std::move(dse_result.points);
+  std::string dse_note;
+  if (dse_result.dropped > 0) {
+    std::ostringstream os;
+    os << "degraded coverage: " << dse_result.dropped << " of " << out.space.size()
+       << " design points dropped";
+    dse_note = os.str();
+  }
+  push_stage("Dse", dse_result.cache_hit, dse_stage.finish(), dse_sup,
+             dse_result.dropped, std::move(dse_note));
 
   // Knowledge: application knowledge for the AS-RTM.
   const StageScope knowledge_stage("Knowledge");
-  out.knowledge = dse::to_knowledge_base(out.profile);
-  report_.stages.push_back({"Knowledge", false, knowledge_stage.finish()});
+  const auto knowledge_sup = supervisor_.run("Knowledge", [&] {
+    chaos.on_stage("stage.Knowledge");
+    out.knowledge = dse::to_knowledge_base(out.profile);
+  });
+  push_stage("Knowledge", false, knowledge_stage.finish(), knowledge_sup, 0, {});
 
+  std::size_t degraded = 0;
+  for (const auto& s : report_.stages)
+    if (s.degraded()) ++degraded;
   log_info() << "built adaptive binary for " << name << ": " << out.profile.size()
              << " operating points, " << out.woven.report.weaved_loc << " weaved LOC"
-             << (dse_hit ? " (DSE from cache)" : "");
+             << (dse_result.cache_hit ? " (DSE from cache)" : "")
+             << (degraded > 0 ? " [" + std::to_string(degraded) + " degraded stage(s)]"
+                              : "");
   return out;
 }
 
@@ -315,18 +411,39 @@ std::vector<dse::ProfiledPoint> Pipeline::profile_space(
   SOCRATES_REQUIRE(repetitions >= 1);
   const auto& bench = kernels::find_benchmark(benchmark_name);
   const StageScope dse_stage("Dse");
-  auto [profile, hit] =
-      profile_cached(kernels::benchmark_source(benchmark_name), bench.model, space,
-                     repetitions, seed, work_scale);
-  report_.stages.push_back({"Dse", hit, dse_stage.finish()});
-  return std::move(profile);
+  ProfileResult result;
+  const auto sup = supervisor_.run("Dse", [&] {
+    ChaosEngine::global().on_stage("stage.Dse");
+    result = profile_cached(kernels::benchmark_source(benchmark_name), bench.model,
+                            space, repetitions, seed, work_scale);
+    if (result.points.empty()) throw Error("DSE dropped every design point");
+  });
+  StageReport stage;
+  stage.name = "Dse";
+  stage.cache_hit = result.cache_hit;
+  stage.seconds = dse_stage.finish();
+  stage.attempts = sup.attempts;
+  stage.dropped_points = result.dropped;
+  if (result.dropped > 0)
+    stage.note = "degraded coverage: " + std::to_string(result.dropped) +
+                 " design points dropped";
+  report_.stages.push_back(std::move(stage));
+  return std::move(result.points);
 }
 
 weaver::WovenBenchmark Pipeline::weave(const std::string& benchmark_name) {
   const StageScope weave_stage("Weave");
-  auto woven = weaver::weave_benchmark_paper_space(
-      benchmark_name, kernels::benchmark_source(benchmark_name));
-  report_.stages.push_back({"Weave", false, weave_stage.finish()});
+  weaver::WovenBenchmark woven;
+  const auto sup = supervisor_.run("Weave", [&] {
+    ChaosEngine::global().on_stage("stage.Weave");
+    woven = weaver::weave_benchmark_paper_space(
+        benchmark_name, kernels::benchmark_source(benchmark_name));
+  });
+  StageReport stage;
+  stage.name = "Weave";
+  stage.seconds = weave_stage.finish();
+  stage.attempts = sup.attempts;
+  report_.stages.push_back(std::move(stage));
   return woven;
 }
 

@@ -25,6 +25,7 @@
 #include "margot/operating_point.hpp"
 #include "platform/perf_model.hpp"
 #include "support/artifact_cache.hpp"
+#include "support/supervisor.hpp"
 #include "support/task_pool.hpp"
 #include "weaver/report.hpp"
 
@@ -43,6 +44,13 @@ struct ToolchainOptions {
   /// (the SOCRATES_JOBS environment variable, else the hardware).
   /// Results are identical at any value.
   std::size_t jobs = 0;
+  /// Retry/timeout/backoff policy every stage runs under (see
+  /// support/supervisor.hpp).  The defaults retry transient failures
+  /// twice with no deadline and no backoff sleep.
+  SupervisorPolicy supervisor;
+  /// Tries per DSE design point before the point is dropped from the
+  /// profile (reduced coverage instead of an aborted campaign).
+  std::size_t dse_point_attempts = 2;
 };
 
 /// Everything the toolchain produced for one benchmark.
@@ -60,7 +68,13 @@ struct AdaptiveBinary {
 struct StageReport {
   std::string name;        ///< Parse, Features, CobaynPredict, Weave, Dse, Knowledge
   bool cache_hit = false;  ///< product served from the artifact cache
-  double seconds = 0.0;    ///< wall-clock time of the stage
+  double seconds = 0.0;    ///< wall-clock time of the stage (incl. retries)
+  std::size_t attempts = 1;        ///< supervisor attempts the stage took
+  bool fallback = false;           ///< degraded product was substituted
+  std::size_t dropped_points = 0;  ///< Dse only: points lost to faults
+  std::string note;  ///< why the stage degraded ("" on a clean run)
+
+  bool degraded() const { return fallback || dropped_points > 0; }
 };
 
 struct PipelineReport {
@@ -142,22 +156,31 @@ class Pipeline {
   /// (standalone profile_space()/weave() calls append to it).
   const PipelineReport& last_report() const { return report_; }
 
+  /// The supervisor every stage runs under (policy from options()).
+  Supervisor& supervisor() { return supervisor_; }
+
  private:
   AdaptiveBinary build_impl(const std::string& name, const std::string& source,
                             const platform::KernelModelParams& params,
                             double work_scale);
   /// Trains or cache-loads the model; true when it came from the cache.
   bool ensure_cobayn();
-  /// Cache-through full-factorial profiling; .second = cache hit.
-  std::pair<std::vector<dse::ProfiledPoint>, bool> profile_cached(
-      const std::string& source, const platform::KernelModelParams& params,
-      const dse::DesignSpace& space, std::size_t repetitions, std::uint64_t seed,
-      double work_scale);
+  /// Cache-through factorial profiling with per-point fault tolerance.
+  struct ProfileResult {
+    std::vector<dse::ProfiledPoint> points;
+    bool cache_hit = false;
+    std::size_t dropped = 0;  ///< points lost to faults (degraded coverage)
+  };
+  ProfileResult profile_cached(const std::string& source,
+                               const platform::KernelModelParams& params,
+                               const dse::DesignSpace& space, std::size_t repetitions,
+                               std::uint64_t seed, double work_scale);
 
   const platform::PerformanceModel& platform_;
   ToolchainOptions options_;
   ArtifactCache* cache_;
   TaskPool pool_;
+  Supervisor supervisor_;
   std::vector<cobayn::CobaynModel> cobayn_;  ///< 0 or 1 element (late init)
   bool cobayn_from_cache_ = false;
   PipelineReport report_;

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "observability/metrics.hpp"
+#include "support/chaos.hpp"
+#include "support/env.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -32,13 +34,32 @@ std::string sanitize_label(std::string_view label) {
 
 }  // namespace
 
-ArtifactCache::ArtifactCache(std::string disk_dir) : dir_(std::move(disk_dir)) {}
+ArtifactCache::ArtifactCache(std::string disk_dir) : dir_(std::move(disk_dir)) {
+  if (dir_.empty()) return;
+  // Sweep temp files a killed process left behind.  A live writer's
+  // temp can in principle be swept too; it then fails its rename and
+  // recomputes — graceful either way (see the rename error path below).
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return;  // directory does not exist yet (created on first store)
+  std::size_t swept = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!contains(name, ".artifact.tmp.")) continue;
+    std::filesystem::remove(entry.path(), ec);
+    if (!ec) ++swept;
+  }
+  if (swept > 0) {
+    stats_.swept_tmp_files = swept;
+    MetricsRegistry::global().counter("cache.tmp_files_swept").add(swept);
+    log_info() << "artifact cache: swept " << swept << " stale tmp file(s) in "
+               << dir_;
+  }
+}
 
 ArtifactCache& ArtifactCache::global() {
-  static ArtifactCache kCache = [] {
-    const char* env = std::getenv("SOCRATES_CACHE_DIR");
-    return ArtifactCache(env == nullptr ? std::string() : std::string(env));
-  }();
+  static ArtifactCache kCache(env::string_or("SOCRATES_CACHE_DIR", ""));
   return kCache;
 }
 
@@ -62,6 +83,17 @@ std::optional<std::string> ArtifactCache::load(std::uint64_t key,
   if (!dir_.empty()) {
     const std::string path = file_path(key, label);
     std::ifstream in(path, std::ios::binary);
+    if (in && ChaosEngine::global().corrupt_read("cache.read")) {
+      // Injected read error: behave exactly like a corrupted file — a
+      // miss, never an exception (the stage recomputes).
+      log_warn() << "artifact cache: chaos-injected read error on " << path;
+      in.setstate(std::ios::failbit);
+      MetricsRegistry::global().counter("cache.corrupted_files").add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      MetricsRegistry::global().counter("cache.misses").add(1);
+      return std::nullopt;
+    }
     if (in) {
       // Header: magic version key-hex payload-size payload-hash-hex
       std::string magic, version, key_text, size_text, hash_text;
@@ -114,6 +146,18 @@ void ArtifactCache::store(std::uint64_t key, std::string_view label,
   // (e.g. two bench binaries racing on a cold cache) publish atomically
   // via rename and the loser's bytes simply win — same content anyway.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  if (ChaosEngine::global().fail_write("cache.write")) {
+    // ENOSPC-style short write: some bytes land in the temp file, the
+    // write "fails", and nothing may be published.
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size() / 2));
+    }
+    log_warn() << "artifact cache: chaos-injected short write, discarding " << tmp;
+    MetricsRegistry::global().counter("cache.store_failures").add(1);
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -135,6 +179,13 @@ void ArtifactCache::store(std::uint64_t key, std::string_view label,
       std::filesystem::remove(tmp, ec);
       return;
     }
+  }
+  if (ChaosEngine::global().drop_rename("cache.tmp")) {
+    // Simulated kill between the temp write and the rename: the temp
+    // file stays behind (the next construction sweeps it) and the
+    // artifact is never published — readers simply miss and recompute.
+    log_warn() << "artifact cache: chaos-injected crash before publishing " << path;
+    return;
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {

@@ -27,7 +27,10 @@ namespace socrates {
 class ArtifactCache {
  public:
   /// `disk_dir` empty -> memory-only.  The directory is created on the
-  /// first store.
+  /// first store.  When the directory already exists, construction
+  /// sweeps stale `*.tmp.<pid>` files a killed writer left behind (a
+  /// crash between the temp write and the rename) — they can never be
+  /// published, so they are deleted and counted in swept_tmp_files().
   explicit ArtifactCache(std::string disk_dir = "");
 
   /// The payload stored under `key`, or nullopt.  `label` is the
@@ -45,6 +48,7 @@ class ArtifactCache {
     std::size_t disk_hits = 0;
     std::size_t misses = 0;
     std::size_t stores = 0;
+    std::size_t swept_tmp_files = 0;  ///< stale temp files removed at construction
   };
   Stats stats() const;
 

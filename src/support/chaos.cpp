@@ -1,0 +1,192 @@
+#include "support/chaos.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "observability/metrics.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace socrates {
+
+namespace {
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw Error("chaos spec: non-numeric value '" + value + "' for " + key);
+  }
+  if (consumed != value.size())
+    throw Error("chaos spec: trailing characters in '" + value + "' for " + key);
+  if (p < 0.0 || p > 1.0)
+    throw Error("chaos spec: probability " + value + " for " + key +
+                " outside [0, 1]");
+  return p;
+}
+
+double parse_millis(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double ms = 0.0;
+  try {
+    ms = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw Error("chaos spec: non-numeric value '" + value + "' for " + key);
+  }
+  if (consumed != value.size() || ms < 0.0 || ms > 60000.0)
+    throw Error("chaos spec: duration '" + value + "' for " + key +
+                " must be in [0, 60000] ms");
+  return ms;
+}
+
+}  // namespace
+
+ChaosSpec ChaosSpec::parse(std::string_view text) {
+  ChaosSpec spec;
+  std::string body(trim(text));
+  if (body.empty()) return spec;
+
+  // Optional ":<seed>" suffix.
+  const auto colon = body.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string seed_text = trim(body.substr(colon + 1));
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
+    if (seed_text.empty() || end == seed_text.c_str() || *end != '\0')
+      throw Error("chaos spec: seed '" + seed_text + "' is not a number");
+    spec.seed = seed;
+    body = body.substr(0, colon);
+  }
+
+  for (const auto& entry : split(body, ',')) {
+    const std::string item = trim(entry);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw Error("chaos spec: entry '" + item + "' is not key=value");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key == "stage-fail")
+      spec.stage_fail = parse_probability(key, value);
+    else if (key == "stage-hang")
+      spec.stage_hang = parse_probability(key, value);
+    else if (key == "stage-slow")
+      spec.stage_slow = parse_probability(key, value);
+    else if (key == "cache-read")
+      spec.cache_read = parse_probability(key, value);
+    else if (key == "cache-write")
+      spec.cache_write = parse_probability(key, value);
+    else if (key == "cache-tmp")
+      spec.cache_tmp = parse_probability(key, value);
+    else if (key == "hang-ms")
+      spec.hang_ms = parse_millis(key, value);
+    else if (key == "slow-ms")
+      spec.slow_ms = parse_millis(key, value);
+    else
+      throw Error("chaos spec: unknown key '" + key + "'");
+  }
+  return spec;
+}
+
+void ChaosEngine::install(const ChaosSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  site_counters_.clear();
+  injected_.store(0, std::memory_order_relaxed);
+  enabled_.store(spec.any(), std::memory_order_relaxed);
+}
+
+void ChaosEngine::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  site_counters_.clear();
+}
+
+ChaosEngine& ChaosEngine::global() {
+  static ChaosEngine* kEngine = [] {
+    auto* engine = new ChaosEngine();
+    if (const auto text = env::raw("SOCRATES_CHAOS"); text && !text->empty()) {
+      try {
+        engine->install(ChaosSpec::parse(*text));
+        log_warn() << "SOCRATES_CHAOS armed: " << *text;
+      } catch (const Error& e) {
+        log_warn() << "SOCRATES_CHAOS ignored: " << e.what();
+      }
+    }
+    return engine;
+  }();
+  return *kEngine;
+}
+
+double ChaosEngine::draw(std::string_view site) {
+  std::uint64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = site_counters_[std::string(site)]++;
+  }
+  Rng rng(derive_stream(hash_combine(spec_.seed, stable_hash64(site)), n));
+  return rng.uniform();
+}
+
+bool ChaosEngine::decide(std::string_view site, double probability,
+                         const char* counter_name) {
+  if (probability <= 0.0) return false;
+  const bool fire = draw(site) < probability;
+  if (fire) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter(counter_name).add(1);
+  }
+  return fire;
+}
+
+void ChaosEngine::on_stage(std::string_view site) {
+  if (!enabled()) return;
+  if (decide(site, spec_.stage_hang, "chaos.stage_hangs")) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(spec_.hang_ms * 1000.0)));
+  } else if (decide(site, spec_.stage_slow, "chaos.stage_slowdowns")) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(spec_.slow_ms * 1000.0)));
+  }
+  if (decide(site, spec_.stage_fail, "chaos.stage_faults")) {
+    std::ostringstream os;
+    os << "injected chaos fault at " << site;
+    throw ChaosFault(os.str());
+  }
+}
+
+bool ChaosEngine::corrupt_read(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.cache_read, "chaos.cache_read_faults");
+}
+
+bool ChaosEngine::fail_write(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.cache_write, "chaos.cache_write_faults");
+}
+
+bool ChaosEngine::drop_rename(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.cache_tmp, "chaos.cache_stale_tmps");
+}
+
+bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index) const {
+  if (!enabled() || spec_.stage_fail <= 0.0) return false;
+  Rng rng(derive_stream(hash_combine(spec_.seed, stable_hash64(site)), index));
+  const bool fire = rng.uniform() < spec_.stage_fail;
+  if (fire) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("chaos.point_faults").add(1);
+  }
+  return fire;
+}
+
+}  // namespace socrates

@@ -1,0 +1,122 @@
+// Pipeline-level fault injection ("chaos engineering" for the
+// toolchain).
+//
+// PR 1 made the *sensors* lie; this layer makes the *pipeline itself*
+// fail: stages throw, hang past their supervisor deadline or run slow,
+// and ArtifactCache disk I/O suffers ENOSPC-style short writes, read
+// corruption and stale temp files left behind by a "killed" process.
+// The injector is driven by the SOCRATES_CHAOS environment variable (or
+// installed programmatically by tests) and every decision is drawn from
+// a deterministic seeded schedule, so a chaotic run is byte-reproducible
+// and the supervisor (support/supervisor.hpp) is testable in-tree.
+//
+// Spec grammar (documented in docs/ROBUSTNESS.md):
+//
+//   SOCRATES_CHAOS = <entry>("," <entry>)* [":" <seed>]
+//   entry          = key "=" value
+//   key            = stage-fail | stage-hang | stage-slow
+//                  | cache-read | cache-write | cache-tmp
+//                  | hang-ms | slow-ms
+//
+// The six fault keys take per-call probabilities in [0, 1]; hang-ms /
+// slow-ms set the injected sleep durations.  Example:
+//
+//   SOCRATES_CHAOS="stage-fail=0.2,cache-write=0.1:2024"
+//
+// Determinism: each injection site (a short string like "stage.Parse"
+// or "cache.write") owns a call counter; the n-th decision at a site
+// draws from Rng(derive_stream(hash(seed, site), n)) — independent of
+// every other site, of thread scheduling and of the measurement-noise
+// streams.  Parallel call sites (DSE points) pass an explicit index
+// instead of using the counter.
+//
+// Cost when disabled (the default): ChaosEngine::global().enabled() is
+// a single relaxed atomic load, and call sites gate on it — pinned by
+// ablation_margot_overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace socrates {
+
+/// Thrown by an injected stage failure.  The supervisor's default
+/// classifier treats it as *transient* (retryable).
+class ChaosFault : public std::runtime_error {
+ public:
+  explicit ChaosFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ChaosSpec {
+  double stage_fail = 0.0;   ///< P(stage throws ChaosFault on entry)
+  double stage_hang = 0.0;   ///< P(stage sleeps `hang_ms` before running)
+  double stage_slow = 0.0;   ///< P(stage sleeps `slow_ms` before running)
+  double cache_read = 0.0;   ///< P(disk artifact read is corrupted)
+  double cache_write = 0.0;  ///< P(disk artifact write is cut short)
+  double cache_tmp = 0.0;    ///< P(writer "dies" between tmp write and rename)
+  double hang_ms = 50.0;
+  double slow_ms = 5.0;
+  std::uint64_t seed = 1;
+
+  bool any() const {
+    return stage_fail > 0 || stage_hang > 0 || stage_slow > 0 || cache_read > 0 ||
+           cache_write > 0 || cache_tmp > 0;
+  }
+
+  /// Parses the SOCRATES_CHAOS grammar above.  Throws socrates::Error
+  /// on unknown keys, non-numeric values or probabilities outside [0,1].
+  static ChaosSpec parse(std::string_view text);
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine() = default;  ///< disabled: every hook is a no-op
+
+  /// Arms the engine with `spec` (disarms when spec.any() is false).
+  void install(const ChaosSpec& spec);
+  void disarm();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  const ChaosSpec& spec() const { return spec_; }
+
+  /// Stage-entry hook: may throw ChaosFault or sleep (hang/slow),
+  /// according to the site's deterministic schedule.  `site` should be
+  /// "stage.<Name>".
+  void on_stage(std::string_view site);
+
+  /// Cache hooks: true = inject the fault at this call.
+  bool corrupt_read(std::string_view site);
+  bool fail_write(std::string_view site);
+  bool drop_rename(std::string_view site);
+
+  /// Deterministic indexed draw for parallel sites (DSE points): fires
+  /// with probability `stage_fail` for the given (site, index) pair,
+  /// independent of call order.  Throws nothing; callers throw.
+  bool fire_indexed(std::string_view site, std::uint64_t index) const;
+
+  /// Total injections performed since construction / install().
+  std::uint64_t injected() const { return injected_.load(std::memory_order_relaxed); }
+
+  /// Process-wide engine, armed at first use from SOCRATES_CHAOS (when
+  /// set and parseable; a malformed spec warns and disables).  Tests
+  /// re-install programmatically.
+  static ChaosEngine& global();
+
+ private:
+  /// The site's next uniform draw in [0,1) (advances its counter).
+  double draw(std::string_view site);
+  bool decide(std::string_view site, double probability, const char* counter_name);
+
+  std::atomic<bool> enabled_{false};
+  ChaosSpec spec_;
+  mutable std::atomic<std::uint64_t> injected_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> site_counters_;
+};
+
+}  // namespace socrates

@@ -1,0 +1,43 @@
+// Shared, hardened environment-variable parsing.
+//
+// Every knob the library reads from the environment (SOCRATES_JOBS,
+// SOCRATES_CACHE_DIR, SOCRATES_TRACE, SOCRATES_CHAOS) goes through
+// these helpers instead of ad-hoc strtoul calls: a non-numeric,
+// negative or absurd value is *clamped* to the documented range with a
+// single logged warning per variable — never silently misparsed into
+// "0 jobs" or a surprise fallback.  Tests can exercise the parsers
+// directly (they take the value, not the variable) and the warn-once
+// registry can be reset.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace socrates::env {
+
+/// Raw getenv: nullopt when unset, the (possibly empty) value otherwise.
+std::optional<std::string> raw(const char* name);
+
+/// Parses `name` as a size in [lo, hi].  Unset or empty -> `fallback`.
+/// Non-numeric, trailing garbage, negative or out-of-range values clamp
+/// to the nearest bound (non-numeric clamps to `fallback`) and emit one
+/// warning per variable name for the process lifetime.
+std::size_t size_or(const char* name, std::size_t fallback, std::size_t lo,
+                    std::size_t hi);
+
+/// Parses a size value the same way size_or parses an environment
+/// variable; `name` only labels the warning.  Exposed for tests.
+std::size_t parse_size(const char* name, const std::string& value,
+                       std::size_t fallback, std::size_t lo, std::size_t hi);
+
+/// The variable's value, or `fallback` when unset.
+std::string string_or(const char* name, std::string fallback);
+
+/// True when the variable is set to anything but "" or "0".
+bool flag(const char* name);
+
+/// Forgets which variables have already warned (tests only).
+void reset_warnings();
+
+}  // namespace socrates::env

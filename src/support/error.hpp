@@ -18,6 +18,16 @@ class ContractViolation : public std::logic_error {
   explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Base class for *runtime* failures the library reports about the
+/// outside world (malformed input files, bad environment specs) — as
+/// opposed to ContractViolation, which flags caller bugs.  Runtime
+/// failures are expected in production and are what the supervisor
+/// retries or degrades around.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,

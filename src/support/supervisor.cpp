@@ -1,0 +1,164 @@
+#include "support/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace socrates {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void record_failure_span(const char* kind, std::int64_t start_us) {
+  if (!Tracer::global().enabled()) return;
+  TraceEvent event;
+  event.name = kind;
+  event.category = "supervisor";
+  event.lane = Tracer::current_lane();
+  event.start_us = start_us;
+  event.duration_us = Tracer::global().now_us() - start_us;
+  Tracer::global().record(event);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorPolicy policy)
+    : policy_(policy),
+      classifier_(&Supervisor::classify_default),
+      sleeper_([](double seconds) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      }) {
+  SOCRATES_REQUIRE(policy_.max_attempts >= 1);
+  SOCRATES_REQUIRE(policy_.attempt_deadline_s >= 0.0);
+  SOCRATES_REQUIRE(policy_.base_backoff_s >= 0.0);
+  SOCRATES_REQUIRE(policy_.max_backoff_s >= policy_.base_backoff_s);
+  SOCRATES_REQUIRE(policy_.jitter >= 0.0 && policy_.jitter <= 1.0);
+}
+
+void Supervisor::set_classifier(Classifier classifier) {
+  SOCRATES_REQUIRE(static_cast<bool>(classifier));
+  classifier_ = std::move(classifier);
+}
+
+void Supervisor::set_sleeper(Sleeper sleeper) {
+  SOCRATES_REQUIRE(static_cast<bool>(sleeper));
+  sleeper_ = std::move(sleeper);
+}
+
+FailureKind Supervisor::classify_default(const std::exception& error) {
+  if (dynamic_cast<const std::logic_error*>(&error) != nullptr)
+    return FailureKind::kPermanent;
+  return FailureKind::kTransient;
+}
+
+double Supervisor::backoff_s(std::string_view stage, std::size_t attempt) const {
+  SOCRATES_REQUIRE(attempt >= 1);
+  if (policy_.base_backoff_s <= 0.0) return 0.0;
+  const std::size_t shift = std::min<std::size_t>(attempt - 1, 32);
+  const double exponential =
+      std::min(policy_.base_backoff_s * static_cast<double>(std::uint64_t{1} << shift),
+               policy_.max_backoff_s);
+  if (policy_.jitter <= 0.0) return exponential;
+  // Deterministic jitter: the k-th retry of a named stage always picks
+  // the same point inside [1 - jitter, 1] x exponential, regardless of
+  // job count or scheduling.
+  Rng rng(derive_stream(hash_combine(policy_.seed, stable_hash64(stage)), attempt));
+  const double factor = 1.0 - policy_.jitter * rng.uniform();
+  return exponential * factor;
+}
+
+SupervisorReport Supervisor::run_or_report(std::string_view stage,
+                                           const std::function<void()>& body,
+                                           bool absorb_permanent) {
+  SupervisorReport report;
+  report.stage = std::string(stage);
+
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    report.attempts = attempt;
+    const bool traced = Tracer::global().enabled();
+    const std::int64_t trace_start_us = traced ? Tracer::global().now_us() : 0;
+    const Clock::time_point start = Clock::now();
+    try {
+      body();
+      const double elapsed = seconds_since(start);
+      if (policy_.attempt_deadline_s > 0.0 && elapsed > policy_.attempt_deadline_s) {
+        // The watchdog caught a wedged attempt: the result arrived so
+        // late it must not be trusted over a retry's.
+        report.timed_out = true;
+        report.last_error = "attempt exceeded its deadline";
+        MetricsRegistry::global().counter("supervisor.timeouts").add(1);
+        record_failure_span("timeout", trace_start_us);
+        log_warn() << "supervisor: stage " << stage << " attempt " << attempt
+                   << " took " << elapsed << " s (deadline "
+                   << policy_.attempt_deadline_s << " s)";
+      } else {
+        report.succeeded = true;
+        report.last_error.clear();
+        return report;
+      }
+    } catch (const std::exception& e) {
+      const FailureKind kind = classifier_(e);
+      report.last_error = e.what();
+      record_failure_span(kind == FailureKind::kPermanent ? "permanent" : "transient",
+                          trace_start_us);
+      if (kind == FailureKind::kPermanent) {
+        MetricsRegistry::global().counter("supervisor.permanent_failures").add(1);
+        log_warn() << "supervisor: stage " << stage << " failed permanently: "
+                   << e.what();
+        if (absorb_permanent) return report;
+        throw;
+      }
+      MetricsRegistry::global().counter("supervisor.transient_failures").add(1);
+      log_warn() << "supervisor: stage " << stage << " attempt " << attempt
+                 << " failed: " << e.what();
+    }
+
+    if (attempt < policy_.max_attempts) {
+      MetricsRegistry::global().counter("supervisor.retries").add(1);
+      const double backoff = backoff_s(stage, attempt);
+      report.backoff_total_s += backoff;
+      if (backoff > 0.0) sleeper_(backoff);
+    }
+  }
+
+  MetricsRegistry::global().counter("supervisor.exhausted").add(1);
+  return report;
+}
+
+SupervisorReport Supervisor::run(std::string_view stage,
+                                 const std::function<void()>& body) {
+  // Re-running the body to rethrow would repeat side effects; capture
+  // the last transient error instead and rethrow it on exhaustion.
+  std::exception_ptr last_error;
+  const auto capturing_body = [&] {
+    try {
+      body();
+    } catch (...) {
+      last_error = std::current_exception();
+      throw;
+    }
+  };
+  SupervisorReport report = run_or_report(stage, capturing_body);
+  if (!report.succeeded) {
+    if (last_error) std::rethrow_exception(last_error);
+    throw Error("supervisor: stage " + report.stage + " exhausted " +
+                std::to_string(report.attempts) + " attempts (" + report.last_error +
+                ")");
+  }
+  return report;
+}
+
+}  // namespace socrates

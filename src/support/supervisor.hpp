@@ -1,0 +1,109 @@
+// Stage supervisor: retry / timeout / backoff around any callable.
+//
+// Long campaigns meet flaky stages — a chaos-injected fault, a
+// transient I/O error, a stage that wedges past its deadline.  The
+// Supervisor runs a stage body under a policy of `max_attempts`, a
+// per-attempt deadline enforced by a steady-clock watchdog (an attempt
+// that completes after its deadline is treated as a timeout failure
+// and retried — the injected "hang" fault of support/chaos.hpp is a
+// bounded sleep, so the watchdog observes it without needing to kill
+// threads), and exponential backoff between attempts with
+// deterministic seeded jitter: the k-th backoff of a named stage is a
+// pure function of (seed, stage, k) via derive_stream, so retry timing
+// is byte-reproducible at any SOCRATES_JOBS.
+//
+// Failures are *classified*: transient failures (ChaosFault,
+// socrates::Error, std::runtime_error — bad I/O, injected faults) are
+// retried; permanent ones (ContractViolation and every other
+// std::logic_error — caller bugs) are rethrown immediately, because
+// re-running a buggy call cannot help.  When every attempt fails the
+// supervisor either rethrows (Supervisor::run) or reports exhaustion so
+// the caller can substitute a degraded fallback product
+// (socrates::Pipeline does; see docs/ROBUSTNESS.md for the policy
+// table).
+//
+// Observability: every retry, timeout, exhaustion and fallback bumps a
+// `supervisor.*` counter, and each failed attempt records a
+// "supervisor" trace span when tracing is on.  A first-attempt success
+// touches neither — the clean path costs two steady_clock reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace socrates {
+
+enum class FailureKind {
+  kTransient,  ///< worth retrying (I/O, injected chaos, flaky stage)
+  kPermanent,  ///< retrying cannot help (contract violation, logic bug)
+};
+
+struct SupervisorPolicy {
+  std::size_t max_attempts = 3;    ///< >= 1
+  double attempt_deadline_s = 0.0; ///< watchdog deadline per attempt; 0 = none
+  double base_backoff_s = 0.0;     ///< sleep before retry k is base * 2^(k-1); 0 = none
+  double max_backoff_s = 1.0;      ///< backoff ceiling
+  double jitter = 0.5;             ///< fraction of each backoff randomized, [0, 1]
+  std::uint64_t seed = 2018;       ///< jitter stream seed
+};
+
+/// What one supervised execution did.
+struct SupervisorReport {
+  std::string stage;
+  std::size_t attempts = 0;     ///< attempts actually made (>= 1)
+  bool succeeded = false;       ///< body eventually returned in time
+  bool timed_out = false;       ///< at least one attempt breached the deadline
+  std::string last_error;       ///< what() of the last failure ("" on clean runs)
+  double backoff_total_s = 0.0; ///< deterministic backoff this execution chose
+
+  bool retried() const { return attempts > 1; }
+};
+
+class Supervisor {
+ public:
+  using Classifier = std::function<FailureKind(const std::exception&)>;
+  using Sleeper = std::function<void(double seconds)>;
+
+  explicit Supervisor(SupervisorPolicy policy = {});
+
+  const SupervisorPolicy& policy() const { return policy_; }
+
+  /// Replaces the failure classifier (default: classify_default).
+  void set_classifier(Classifier classifier);
+  /// Replaces the backoff sleeper (default: std::this_thread::sleep_for).
+  /// Tests install a recorder so retry tests take no wall time.
+  void set_sleeper(Sleeper sleeper);
+
+  /// Runs `body` under the policy.  Returns a report with
+  /// succeeded == true as soon as one attempt completes within its
+  /// deadline.  A permanent failure rethrows immediately; exhausted
+  /// transient failures rethrow the last error.
+  SupervisorReport run(std::string_view stage, const std::function<void()>& body);
+
+  /// Like run(), but exhaustion returns succeeded == false instead of
+  /// rethrowing — the caller substitutes a degraded fallback product.
+  /// Permanent failures still rethrow unless `absorb_permanent`.
+  SupervisorReport run_or_report(std::string_view stage,
+                                 const std::function<void()>& body,
+                                 bool absorb_permanent = false);
+
+  /// The deterministic backoff before retry `attempt` (1-based: the
+  /// sleep after the attempt-th failure) of `stage` — exponential with
+  /// seeded jitter, pure in (policy.seed, stage, attempt).
+  double backoff_s(std::string_view stage, std::size_t attempt) const;
+
+  /// Default classification: ContractViolation / std::logic_error are
+  /// permanent, everything else (ChaosFault, socrates::Error,
+  /// std::runtime_error, unknown) is transient.
+  static FailureKind classify_default(const std::exception& error);
+
+ private:
+  SupervisorPolicy policy_;
+  Classifier classifier_;
+  Sleeper sleeper_;
+};
+
+}  // namespace socrates

@@ -5,6 +5,7 @@
 
 #include "observability/metrics.hpp"
 #include "observability/trace.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 
 namespace socrates {
@@ -38,14 +39,11 @@ TaskPool::~TaskPool() {
 }
 
 std::size_t TaskPool::default_jobs() {
-  if (const char* env = std::getenv("SOCRATES_JOBS")) {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 1)
-      return std::min<std::size_t>(parsed, 256);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const std::size_t fallback = hw == 0 ? 1 : hw;
+  // Hardened parsing: non-numeric falls back to the hardware, negative
+  // or zero clamps to 1, absurd values clamp to 256 — one warning each.
+  return env::size_or("SOCRATES_JOBS", fallback, 1, 256);
 }
 
 TaskPool& TaskPool::shared() {

@@ -1,0 +1,320 @@
+// Tests for crash-safe persistence of the AS-RTM's learned state:
+// snapshot round trips, kill-and-resume journal replay, corruption
+// tolerance (always a clean fresh start, never a crash), the epoch
+// guard against double-apply, and the bounded auto-snapshotting
+// journal.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "margot/asrtm.hpp"
+#include "margot/checkpoint.hpp"
+#include "margot/state_manager.hpp"
+#include "support/hash.hpp"
+
+namespace socrates::margot {
+namespace {
+
+namespace fs = std::filesystem;
+
+KnowledgeBase make_kb(std::size_t points = 4) {
+  KnowledgeBase kb({"threads"}, {"exec_time_s", "power_w"});
+  for (std::size_t i = 0; i < points; ++i) {
+    OperatingPoint op;
+    op.knobs = {static_cast<int>(i + 1)};
+    op.metrics = {{1.0 + 0.1 * static_cast<double>(i), 0.01},
+                  {50.0 + static_cast<double>(i), 0.5}};
+    kb.add(std::move(op));
+  }
+  return kb;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("socrates_ckpt." + std::to_string(::getpid()) + "." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "asrtm.ckpt").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// The pre-crash workload every resume test replays: feedback drift
+  /// on both metrics plus a quarantine of point 1.
+  void mutate(Asrtm& asrtm) {
+    asrtm.send_feedback(0, 0, 1.3);
+    asrtm.send_feedback(0, 0, 1.4);
+    asrtm.send_feedback(2, 1, 60.0);
+    asrtm.report_variant_failure(1);
+    asrtm.report_variant_failure(1);  // threshold 2 -> quarantined
+    asrtm.advance_quarantine();
+  }
+
+  void expect_same_learned_state(const Asrtm& a, const Asrtm& b) {
+    EXPECT_DOUBLE_EQ(b.correction(0), a.correction(0));
+    EXPECT_DOUBLE_EQ(b.correction(1), a.correction(1));
+    EXPECT_EQ(b.quarantined_count(), a.quarantined_count());
+    EXPECT_EQ(b.quarantine_events(), a.quarantine_events());
+    for (std::size_t i = 0; i < a.knowledge().size(); ++i)
+      EXPECT_EQ(b.is_quarantined(i), a.is_quarantined(i)) << "point " << i;
+    EXPECT_EQ(b.find_best_operating_point(), a.find_best_operating_point());
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, FirstAttachIsACleanSlate) {
+  Asrtm asrtm(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(asrtm);
+  EXPECT_FALSE(result.restored);
+  EXPECT_EQ(result.replayed, 0u);
+  EXPECT_DOUBLE_EQ(asrtm.correction(0), 1.0);
+}
+
+TEST_F(CheckpointTest, CleanShutdownRestoresFromTheSnapshot) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);
+    store.detach();  // clean shutdown: final snapshot, empty journal
+    EXPECT_GE(store.snapshots_written(), 1u);
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 0u);  // everything was in the snapshot
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, KillAndResumeReplaysTheJournal) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);
+    // Scope exit without detach(): crash-equivalent — no snapshot was
+    // ever written, the journal alone must restore the state.
+  }
+  EXPECT_FALSE(fs::exists(path_));
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_FALSE(result.restored);  // no snapshot existed
+  EXPECT_EQ(result.replayed, 6u);
+  EXPECT_EQ(result.skipped, 0u);
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, KillAfterACheckpointReplaysOnlyTheTail) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);
+    store.checkpoint();
+    // Post-checkpoint tail, lost from no snapshot but present in the
+    // journal when the process dies here.
+    before.send_feedback(3, 0, 2.0);
+    before.report_variant_success(2);
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 2u);
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, CorruptedSnapshotIsACleanFreshStart) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a checkpoint at all\njust garbage\n";
+  }
+  Asrtm asrtm(make_kb());
+  CheckpointStore store(path_);
+  CheckpointStore::RestoreResult result;
+  ASSERT_NO_THROW(result = store.attach(asrtm));
+  EXPECT_FALSE(result.restored);
+  EXPECT_NE(result.note.find("fresh start"), std::string::npos) << result.note;
+  EXPECT_DOUBLE_EQ(asrtm.correction(0), 1.0);  // untouched
+  EXPECT_FALSE(fs::exists(path_));             // stale file discarded
+}
+
+TEST_F(CheckpointTest, TruncatedSnapshotIsACleanFreshStart) {
+  {
+    Asrtm asrtm(make_kb());
+    CheckpointStore store(path_);
+    store.attach(asrtm);
+    mutate(asrtm);
+    store.detach();
+  }
+  // Cut the snapshot mid-payload (a crash during a torn copy, a full
+  // disk...): the checksum cannot match.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  Asrtm asrtm(make_kb());
+  CheckpointStore store(path_);
+  CheckpointStore::RestoreResult result;
+  ASSERT_NO_THROW(result = store.attach(asrtm));
+  EXPECT_FALSE(result.restored);
+  EXPECT_NE(result.note.find("fresh start"), std::string::npos) << result.note;
+  EXPECT_DOUBLE_EQ(asrtm.correction(0), 1.0);
+}
+
+TEST_F(CheckpointTest, KnowledgeShapeMismatchIsACleanFreshStart) {
+  {
+    Asrtm asrtm(make_kb(4));
+    CheckpointStore store(path_);
+    store.attach(asrtm);
+    mutate(asrtm);
+    store.detach();
+  }
+  // The design space changed between runs: 3 points now.
+  Asrtm smaller(make_kb(3));
+  CheckpointStore store(path_);
+  CheckpointStore::RestoreResult result;
+  ASSERT_NO_THROW(result = store.attach(smaller));
+  EXPECT_FALSE(result.restored);
+  EXPECT_NE(result.note.find("fresh start"), std::string::npos) << result.note;
+  EXPECT_DOUBLE_EQ(smaller.correction(0), 1.0);
+}
+
+TEST_F(CheckpointTest, CorruptJournalLinesAreSkippedNotFatal) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);
+  }
+  {
+    // A torn trailing append plus a bit-flipped line.
+    std::ofstream out(path_ + ".journal", std::ios::binary | std::ios::app);
+    out << "deadbeef 0 0 0 0 1.5 \n";  // checksum does not match body
+    out << "fffff";                    // torn mid-append
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  CheckpointStore::RestoreResult result;
+  ASSERT_NO_THROW(result = store.attach(after));
+  EXPECT_EQ(result.replayed, 6u);
+  EXPECT_EQ(result.skipped, 2u);
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, StaleEpochJournalLinesAreIgnored) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);
+    store.checkpoint();  // epoch 1, journal truncated
+  }
+  {
+    // Simulate the crash window where an epoch-0 line survived the
+    // truncation: checksum-valid, but stamped with the old epoch.
+    const std::string body = "0 0 0 0 9.5 ";
+    std::ofstream out(path_ + ".journal", std::ios::binary | std::ios::app);
+    out << std::hex << stable_hash64(body) << std::dec << ' ' << body << '\n';
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 0u);
+  EXPECT_EQ(result.skipped, 1u);  // the stale line must not double-apply
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, JournalIsBoundedByAutoSnapshots) {
+  Asrtm before(make_kb());
+  CheckpointStore::Options options;
+  options.journal_capacity = 4;
+  {
+    CheckpointStore store(path_, options);
+    store.attach(before);
+    for (int i = 0; i < 11; ++i) before.send_feedback(0, 0, 1.2);
+    EXPECT_EQ(store.journaled_events(), 11u);
+    EXPECT_EQ(store.snapshots_written(), 2u);  // after events 4 and 8
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_, options);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 3u);  // only the post-snapshot tail
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, ActiveStateSurvivesKillAndResume) {
+  Asrtm before(make_kb());
+  const auto define_states = [](StateManager& sm) {
+    sm.define_state("performance", {},
+                    Rank{RankDirection::kMinimize, {{0, 1.0}}});
+    sm.define_state("energy", {}, Rank{RankDirection::kMinimize, {{1, 1.0}}});
+  };
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    StateManager sm(before);
+    define_states(sm);
+    sm.switch_to("energy");
+    before.send_feedback(0, 1, 55.0);
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_EQ(result.active_state, "energy");
+
+  // The application re-creates its states and re-activates the journaled
+  // one — requirements are application-owned, not replayed blindly.
+  StateManager sm(after);
+  define_states(sm);
+  if (!result.active_state.empty()) sm.switch_to(result.active_state);
+  EXPECT_EQ(sm.active_state(), "energy");
+  EXPECT_EQ(after.find_best_operating_point(), before.find_best_operating_point());
+}
+
+TEST_F(CheckpointTest, ResumedRunKeepsJournalingAfterRestore) {
+  Asrtm first(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(first);
+    mutate(first);
+  }
+  Asrtm second(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(second);
+    second.send_feedback(0, 0, 1.6);  // post-resume drift, journaled too
+  }
+  Asrtm third(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(third);
+  EXPECT_EQ(result.replayed, 7u);  // 6 pre-crash + 1 post-resume
+  expect_same_learned_state(second, third);
+}
+
+}  // namespace
+}  // namespace socrates::margot

@@ -61,6 +61,35 @@ TEST(DecisionJournal, AssignsSequencesAndDropsOldest) {
   EXPECT_EQ(journal.total_decisions(), 0u);
 }
 
+TEST(DecisionJournal, CapacityBoundHoldsUnderSustainedAppends) {
+  // Drive a small journal far past its capacity: the bound holds at
+  // every step, sequences stay monotonic, and the records visible
+  // while appending are always a contiguous, consistent window.
+  constexpr std::size_t kCapacity = 5;
+  DecisionJournal journal(kCapacity);
+  for (std::size_t i = 0; i < 100; ++i) {
+    DecisionRecord r;
+    r.chosen = i % 3;
+    journal.append(std::move(r));
+
+    ASSERT_LE(journal.size(), kCapacity);
+    ASSERT_EQ(journal.total_decisions(), i + 1);
+    ASSERT_EQ(journal.dropped(), journal.total_decisions() - journal.size());
+    // Iterating between appends sees a contiguous sequence window
+    // ending at the newest record.
+    std::size_t expected = journal.records().front().sequence;
+    for (const auto& record : journal.records())
+      ASSERT_EQ(record.sequence, expected++);
+    ASSERT_EQ(journal.back().sequence, i);
+  }
+  EXPECT_EQ(journal.size(), kCapacity);
+  EXPECT_EQ(journal.dropped(), 95u);
+
+  journal.clear();
+  EXPECT_EQ(journal.total_decisions(), 0u);
+  EXPECT_EQ(journal.dropped(), 0u);
+}
+
 TEST(DecisionJournal, DumpExplainsEachRecord) {
   DecisionJournal journal;
   DecisionRecord r;

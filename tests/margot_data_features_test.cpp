@@ -110,25 +110,62 @@ TEST(KbIo, FormatIsHumanReadable) {
 }
 
 TEST(KbIo, RejectsMissingHeaders) {
-  EXPECT_THROW(knowledge_from_string("1,2,3\n"), ContractViolation);
-  EXPECT_THROW(knowledge_from_string("# knobs: a\nrubbish\n"), ContractViolation);
+  EXPECT_THROW(knowledge_from_string("1,2,3\n"), KnowledgeFormatError);
+  EXPECT_THROW(knowledge_from_string("# knobs: a\nrubbish\n"), KnowledgeFormatError);
 }
 
 TEST(KbIo, RejectsWrongArityRows) {
   std::string text = knowledge_to_string(sample_kb());
   text += "1,2,3\n";  // truncated row
-  EXPECT_THROW(knowledge_from_string(text), ContractViolation);
+  EXPECT_THROW(knowledge_from_string(text), KnowledgeFormatError);
 }
 
 TEST(KbIo, RejectsNonNumericCells) {
   std::string text =
       "# knobs: k\n# metrics: m\nknob:k,m,m:sd\nxyz,1.0,0.0\n";
-  EXPECT_THROW(knowledge_from_string(text), ContractViolation);
+  EXPECT_THROW(knowledge_from_string(text), KnowledgeFormatError);
 }
 
 TEST(KbIo, RejectsFractionalKnobs) {
   std::string text = "# knobs: k\n# metrics: m\nknob:k,m,m:sd\n1.5,1.0,0.0\n";
-  EXPECT_THROW(knowledge_from_string(text), ContractViolation);
+  EXPECT_THROW(knowledge_from_string(text), KnowledgeFormatError);
+}
+
+// Regression fixtures for the failure modes a long campaign actually
+// meets: files truncated mid-header, mid-table or mid-row, and garbage
+// bytes.  Every rejection must name the offending line so the file can
+// be repaired by hand.
+TEST(KbIo, TruncatedFixturesNameTheOffendingLine) {
+  const std::string good = knowledge_to_string(sample_kb());
+
+  const auto expect_message = [](const std::string& text, const char* needle) {
+    try {
+      knowledge_from_string(text);
+      FAIL() << "expected KnowledgeFormatError for fixture with " << needle;
+    } catch (const KnowledgeFormatError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+
+  expect_message("", "line 1");                       // empty file
+  expect_message("# knobs: a,b\n", "line 2");         // ends after knobs header
+  expect_message("# knobs: a\n# metrics: m\n", "line 3");  // no column header
+
+  // Truncated mid-row: the row's own line number is reported.
+  const auto last_newline = good.rfind('\n', good.size() - 2);
+  expect_message(good.substr(0, last_newline + 4) + "\n", "line 6");
+
+  // Garbage cell deep in the table names the column.
+  std::string garbage = good;
+  garbage += "1,2,0,1.0,0.1,2.0,0.2,nonsense###,0.3\n";
+  expect_message(garbage, "throughput");
+}
+
+TEST(KbIo, FormatErrorIsASocratesError) {
+  // Callers that guard campaign I/O with catch (const socrates::Error&)
+  // must catch knowledge-format failures too.
+  EXPECT_THROW(knowledge_from_string("garbage"), Error);
 }
 
 TEST(KbIo, SkipsBlankLines) {

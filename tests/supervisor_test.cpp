@@ -1,0 +1,231 @@
+// Tests for the stage supervisor: retry/timeout/backoff policy,
+// failure classification, and the determinism of the jittered backoff
+// schedule.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/chaos.hpp"
+#include "support/error.hpp"
+#include "support/supervisor.hpp"
+
+namespace socrates {
+namespace {
+
+/// A supervisor whose backoff sleeps are recorded, not slept.
+class RecordingSupervisor {
+ public:
+  explicit RecordingSupervisor(SupervisorPolicy policy) : supervisor_(policy) {
+    supervisor_.set_sleeper([this](double s) { sleeps_.push_back(s); });
+  }
+  Supervisor& get() { return supervisor_; }
+  const std::vector<double>& sleeps() const { return sleeps_; }
+
+ private:
+  Supervisor supervisor_;
+  std::vector<double> sleeps_;
+};
+
+TEST(Supervisor, FirstAttemptSuccessIsClean) {
+  Supervisor supervisor;
+  int calls = 0;
+  const auto report = supervisor.run("stage", [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 1u);
+  EXPECT_FALSE(report.retried());
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_TRUE(report.last_error.empty());
+}
+
+TEST(Supervisor, TransientFailuresAreRetriedUntilSuccess) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 4;
+  Supervisor supervisor(policy);
+  int calls = 0;
+  const auto report = supervisor.run("flaky", [&] {
+    if (++calls < 3) throw Error("transient I/O hiccup");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 3u);
+  EXPECT_TRUE(report.retried());
+}
+
+TEST(Supervisor, ChaosFaultIsTransient) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 2;
+  Supervisor supervisor(policy);
+  int calls = 0;
+  const auto report = supervisor.run("chaotic", [&] {
+    if (++calls == 1) throw ChaosFault("injected");
+  });
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2u);
+}
+
+TEST(Supervisor, PermanentFailureIsNeverRetried) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 5;
+  Supervisor supervisor(policy);
+  int calls = 0;
+  EXPECT_THROW(supervisor.run("buggy",
+                              [&] {
+                                ++calls;
+                                throw ContractViolation("caller bug");
+                              }),
+               ContractViolation);
+  EXPECT_EQ(calls, 1);  // retrying a logic error cannot help
+
+  calls = 0;
+  EXPECT_THROW(supervisor.run("buggy2",
+                              [&] {
+                                ++calls;
+                                throw std::logic_error("also a bug");
+                              }),
+               std::logic_error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Supervisor, ExhaustionRethrowsTheLastTransientError) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 3;
+  Supervisor supervisor(policy);
+  int calls = 0;
+  try {
+    supervisor.run("doomed", [&] {
+      ++calls;
+      throw Error("failure #" + std::to_string(calls));
+    });
+    FAIL() << "run() must rethrow on exhaustion";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "failure #3");
+  }
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Supervisor, RunOrReportAbsorbsExhaustionForFallbacks) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 2;
+  Supervisor supervisor(policy);
+  const auto report =
+      supervisor.run_or_report("degradable", [] { throw Error("still down"); });
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_EQ(report.attempts, 2u);
+  EXPECT_EQ(report.last_error, "still down");
+}
+
+TEST(Supervisor, RunOrReportCanAbsorbPermanentFailures) {
+  Supervisor supervisor;
+  const auto report = supervisor.run_or_report(
+      "tolerated", [] { throw std::logic_error("bug"); }, /*absorb_permanent=*/true);
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_EQ(report.attempts, 1u);  // still not retried
+  EXPECT_EQ(report.last_error, "bug");
+}
+
+TEST(Supervisor, CustomClassifierOverridesTheDefault) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 3;
+  Supervisor supervisor(policy);
+  // Treat every failure as permanent: no retries at all.
+  supervisor.set_classifier(
+      [](const std::exception&) { return FailureKind::kPermanent; });
+  int calls = 0;
+  EXPECT_THROW(supervisor.run("strict",
+                              [&] {
+                                ++calls;
+                                throw Error("anything");
+                              }),
+               Error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Supervisor, LateSuccessIsATimeoutAndRetries) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 2;
+  policy.attempt_deadline_s = 0.005;
+  Supervisor supervisor(policy);
+  int calls = 0;
+  const auto report = supervisor.run("wedged", [&] {
+    // First attempt "hangs" past the watchdog deadline; the retry is
+    // instant and wins.
+    if (++calls == 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_EQ(report.attempts, 2u);
+}
+
+TEST(Supervisor, BackoffGrowsExponentiallyAndIsCapped) {
+  SupervisorPolicy policy;
+  policy.base_backoff_s = 0.010;
+  policy.max_backoff_s = 0.050;
+  policy.jitter = 0.0;  // pure exponential for this test
+  Supervisor supervisor(policy);
+  EXPECT_DOUBLE_EQ(supervisor.backoff_s("s", 1), 0.010);
+  EXPECT_DOUBLE_EQ(supervisor.backoff_s("s", 2), 0.020);
+  EXPECT_DOUBLE_EQ(supervisor.backoff_s("s", 3), 0.040);
+  EXPECT_DOUBLE_EQ(supervisor.backoff_s("s", 4), 0.050);  // ceiling
+  EXPECT_DOUBLE_EQ(supervisor.backoff_s("s", 20), 0.050);
+}
+
+TEST(Supervisor, JitteredBackoffIsDeterministicPerStageAndAttempt) {
+  SupervisorPolicy policy;
+  policy.base_backoff_s = 0.010;
+  policy.max_backoff_s = 1.0;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  Supervisor a(policy);
+  Supervisor b(policy);
+  for (std::size_t attempt = 1; attempt <= 5; ++attempt) {
+    const double backoff = a.backoff_s("Dse", attempt);
+    // Identical across supervisor instances (pure in seed/stage/attempt).
+    EXPECT_DOUBLE_EQ(backoff, b.backoff_s("Dse", attempt));
+    // Inside the jitter window [0.5, 1.0] x exponential.
+    const double exponential =
+        std::min(0.010 * static_cast<double>(1u << (attempt - 1)), 1.0);
+    EXPECT_GE(backoff, 0.5 * exponential);
+    EXPECT_LE(backoff, exponential);
+  }
+  // Different stages draw from different streams.
+  EXPECT_NE(a.backoff_s("Dse", 1), a.backoff_s("Parse", 1));
+
+  SupervisorPolicy reseeded = policy;
+  reseeded.seed = 43;
+  Supervisor c(reseeded);
+  EXPECT_NE(a.backoff_s("Dse", 1), c.backoff_s("Dse", 1));
+}
+
+TEST(Supervisor, BackoffSleepsAreTakenBetweenRetries) {
+  SupervisorPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_s = 0.010;
+  policy.jitter = 0.0;
+  RecordingSupervisor recording(policy);
+  const auto report =
+      recording.get().run_or_report("down", [] { throw Error("down"); });
+  EXPECT_FALSE(report.succeeded);
+  ASSERT_EQ(recording.sleeps().size(), 2u);  // between 1->2 and 2->3
+  EXPECT_DOUBLE_EQ(recording.sleeps()[0], 0.010);
+  EXPECT_DOUBLE_EQ(recording.sleeps()[1], 0.020);
+  EXPECT_DOUBLE_EQ(report.backoff_total_s, 0.030);
+}
+
+TEST(Supervisor, PolicyIsValidated) {
+  SupervisorPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_THROW(Supervisor{zero_attempts}, ContractViolation);
+
+  SupervisorPolicy bad_jitter;
+  bad_jitter.jitter = 1.5;
+  EXPECT_THROW(Supervisor{bad_jitter}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace socrates

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
@@ -213,6 +214,36 @@ TEST(TextTable, AlignsColumns) {
 TEST(TextTable, RejectsWrongArity) {
   TextTable t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+// ---- hardened environment parsing --------------------------------------------------
+
+TEST(EnvParse, ValidValuesPassThrough) {
+  env::reset_warnings();
+  EXPECT_EQ(env::parse_size("T_JOBS", "8", 4, 1, 256), 8u);
+  EXPECT_EQ(env::parse_size("T_JOBS", "1", 4, 1, 256), 1u);
+  EXPECT_EQ(env::parse_size("T_JOBS", "256", 4, 1, 256), 256u);
+}
+
+TEST(EnvParse, EmptyMeansFallback) {
+  env::reset_warnings();
+  EXPECT_EQ(env::parse_size("T_JOBS", "", 4, 1, 256), 4u);
+}
+
+TEST(EnvParse, GarbageClampsToTheFallback) {
+  env::reset_warnings();
+  EXPECT_EQ(env::parse_size("T_JOBS", "many", 4, 1, 256), 4u);
+  EXPECT_EQ(env::parse_size("T_JOBS", "8cores", 4, 1, 256), 4u);  // trailing junk
+  EXPECT_EQ(env::parse_size("T_JOBS", "3.5", 4, 1, 256), 4u);
+}
+
+TEST(EnvParse, OutOfRangeClampsToTheNearestBound) {
+  env::reset_warnings();
+  EXPECT_EQ(env::parse_size("T_JOBS", "0", 4, 1, 256), 1u);
+  EXPECT_EQ(env::parse_size("T_JOBS", "-7", 4, 1, 256), 1u);
+  EXPECT_EQ(env::parse_size("T_JOBS", "999", 4, 1, 256), 256u);
+  // Far past the integer range: still the upper bound, never UB.
+  EXPECT_EQ(env::parse_size("T_JOBS", "99999999999999999999999", 4, 1, 256), 256u);
 }
 
 }  // namespace

@@ -108,6 +108,35 @@ TEST(TaskPool, ExceptionContractHoldsAtEveryJobCount) {
   }
 }
 
+TEST(TaskPool, LaterThrowingSiblingsAreSwallowed) {
+  // When several tasks throw, exactly one exception crosses the barrier
+  // and the rest are absorbed — a sibling failing *after* the first
+  // throw must not terminate the process or corrupt the pool.
+  for (const std::size_t jobs : {1u, 4u}) {
+    TaskPool pool(jobs);
+    std::vector<std::atomic<int>> counts(64);
+    std::atomic<int> thrown{0};
+    int caught = 0;
+    try {
+      pool.parallel_for(counts.size(), [&](std::size_t i) {
+        counts[i].fetch_add(1);
+        if (i % 2 == 0) {  // 32 of the 64 tasks fail
+          thrown.fetch_add(1);
+          throw std::runtime_error("sibling " + std::to_string(i));
+        }
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    EXPECT_EQ(caught, 1) << "jobs=" << jobs;
+    EXPECT_EQ(thrown.load(), 32) << "jobs=" << jobs;
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1) << "jobs=" << jobs;
+    std::atomic<int> after{0};
+    pool.parallel_for(10, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 10) << "jobs=" << jobs;
+  }
+}
+
 TEST(TaskPool, DefaultJobsHonoursEnvironment) {
   const char* old = std::getenv("SOCRATES_JOBS");
   const std::string saved = old != nullptr ? old : "";
