@@ -23,7 +23,22 @@
 // couple of steady_clock reads (BM_SupervisorCleanRun), and an AS-RTM
 // without an event sink pays nothing for the checkpoint machinery
 // (BM_FeedbackUpdate vs BM_FeedbackUpdate_WithEventSink).
+//
+// The incremental decision engine is *pinned* here, not just measured:
+// after the registered benchmarks run, main() asserts on a synthetic
+// 1024-point knowledge base that the steady-state (clean-epoch)
+// decision is allocation-free and >= 10x faster than the cold decision,
+// and exits non-zero otherwise.  The `decision_bench_smoke` CTest entry
+// runs exactly this assertion so a regression of the O(1) path fails CI.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <new>
 
 #include "dse/dse.hpp"
 #include "margot/context.hpp"
@@ -33,6 +48,21 @@
 #include "socrates/pipeline.hpp"
 #include "support/chaos.hpp"
 #include "support/supervisor.hpp"
+
+// Process-wide allocation counter backing the allocation-free assertion
+// on the steady-state decision path.
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -186,6 +216,113 @@ void BM_FeedbackUpdate_WithEventSink(benchmark::State& state) {
 }
 BENCHMARK(BM_FeedbackUpdate_WithEventSink);
 
+// ---- incremental decision engine ------------------------------------------
+
+// Synthetic knowledge base: deterministic, positive metrics (metric 0 =
+// throughput-like, ascending; metric 1 = power-like), no pipeline run
+// needed, so the pinned check below stays cheap enough for CI.
+margot::KnowledgeBase kb_synthetic(std::size_t n) {
+  margot::KnowledgeBase kb({"knob"}, {"throughput", "power"});
+  for (std::size_t i = 0; i < n; ++i) {
+    margot::OperatingPoint op;
+    op.knobs = {static_cast<int>(i)};
+    const double x = static_cast<double>(i);
+    op.metrics = {{0.5 + 0.001 * x, 0.01}, {60.0 + 0.05 * x, 0.5}};
+    kb.add(std::move(op));
+  }
+  return kb;
+}
+
+margot::Asrtm make_synthetic_asrtm(std::size_t n) {
+  margot::Asrtm asrtm(kb_synthetic(n));
+  asrtm.set_rank(margot::Rank::maximize_throughput(0));
+  asrtm.add_constraint({1, margot::ComparisonOp::kLessEqual, 95.0, 0, 1.0});
+  asrtm.add_constraint({0, margot::ComparisonOp::kGreaterEqual, 0.6, 1, 0.0});
+  return asrtm;
+}
+
+void BM_AsrtmDecide_Cold1024(benchmark::State& state) {
+  margot::Asrtm asrtm = make_synthetic_asrtm(1024);
+  for (auto _ : state) {
+    asrtm.invalidate_decision_cache();
+    benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+  }
+}
+BENCHMARK(BM_AsrtmDecide_Cold1024);
+
+void BM_AsrtmDecide_Cached1024(benchmark::State& state) {
+  margot::Asrtm asrtm = make_synthetic_asrtm(1024);
+  benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+  for (auto _ : state) benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+}
+BENCHMARK(BM_AsrtmDecide_Cached1024);
+
+/// The pinned assertion behind the `decision_bench_smoke` CTest entry:
+/// at 1024 operating points the clean-epoch decision must be >= 10x
+/// faster than the cold decision and allocate nothing.
+bool run_decision_scaling_check() {
+  constexpr std::size_t kPoints = 1024;
+  constexpr double kMinSpeedup = 10.0;
+  margot::Asrtm asrtm = make_synthetic_asrtm(kPoints);
+
+  // Warm everything once: scratch buffers, constraint columns, and the
+  // function-local static counter references inside the decision paths.
+  asrtm.invalidate_decision_cache();
+  benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+  benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+
+  const auto per_call_ns = [&](bool cold, std::size_t calls) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < calls; ++i) {
+      if (cold) asrtm.invalidate_decision_cache();
+      benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(calls);
+  };
+
+  // Best-of-trials damps scheduler noise without needing a quiet host.
+  double cold_ns = std::numeric_limits<double>::infinity();
+  double steady_ns = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 7; ++trial) {
+    cold_ns = std::min(cold_ns, per_call_ns(/*cold=*/true, 200));
+    steady_ns = std::min(steady_ns, per_call_ns(/*cold=*/false, 20000));
+  }
+
+  benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i)
+    benchmark::DoNotOptimize(asrtm.find_best_operating_point());
+  const std::uint64_t steady_allocs =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  const double ratio = cold_ns / steady_ns;
+  std::printf(
+      "decision scaling @%zu OPs: cold=%.0fns steady=%.0fns ratio=%.1fx "
+      "steady_allocs=%llu\n",
+      kPoints, cold_ns, steady_ns, ratio,
+      static_cast<unsigned long long>(steady_allocs));
+  const bool ok = ratio >= kMinSpeedup && steady_allocs == 0;
+  if (ok)
+    std::printf(
+        "PASS: steady-state decision is allocation-free and >=%.0fx faster "
+        "than cold\n",
+        kMinSpeedup);
+  else
+    std::printf(
+        "FAIL: steady-state decision pin violated (need ratio >= %.0fx and 0 "
+        "allocations)\n",
+        kMinSpeedup);
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return run_decision_scaling_check() ? 0 : 1;
+}

@@ -22,3 +22,16 @@ socrates_bench(ablation_dse_strategies)
 socrates_bench(ablation_feedback_adaptation)
 socrates_bench(ablation_margot_overhead)
 socrates_bench(ablation_fault_tolerance)
+
+# The incremental-decision pin: runs only the synthetic-KB benchmarks
+# (the filter skips the fixtures that profile the real 2mm space) and
+# the bench's built-in steady-vs-cold assertion, which prints PASS/FAIL
+# and exits non-zero on a regression of the O(1) decision path.
+add_test(NAME decision_bench_smoke
+  COMMAND ablation_margot_overhead
+          --benchmark_filter=AsrtmDecide
+          --benchmark_min_time=0.05)
+set_tests_properties(decision_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  PASS_REGULAR_EXPRESSION "PASS: steady-state decision"
+  FAIL_REGULAR_EXPRESSION "FAIL:")

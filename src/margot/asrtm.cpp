@@ -1,6 +1,7 @@
 #include "margot/asrtm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -15,7 +16,12 @@ Asrtm::Asrtm(KnowledgeBase knowledge) : knowledge_(std::move(knowledge)) {
   SOCRATES_REQUIRE_MSG(!knowledge_.empty(),
                        "AS-RTM needs at least one operating point");
   corrections_.assign(knowledge_.metric_names().size(), 1.0);
+  applied_corrections_ = corrections_;
+  correction_versions_.assign(corrections_.size(), 0);
   health_.assign(knowledge_.size(), OpHealth{});
+  scratch_candidates_.reserve(knowledge_.size());
+  scratch_filtered_.reserve(knowledge_.size());
+  scratch_violations_.reserve(knowledge_.size());
   // Default rank: minimize the first metric (callers normally override).
   rank_ = Rank{RankDirection::kMinimize, {{0, 1.0}}};
 }
@@ -23,20 +29,35 @@ Asrtm::Asrtm(KnowledgeBase knowledge) : knowledge_(std::move(knowledge)) {
 std::size_t Asrtm::add_constraint(Constraint constraint) {
   SOCRATES_REQUIRE(constraint.metric < knowledge_.metric_names().size());
   SOCRATES_REQUIRE(constraint.confidence >= 0.0);
+  const std::size_t handle = constraints_.size();
   constraints_.push_back(constraint);
+  columns_.emplace_back();
+  // Keep the priority view sorted at mutation time (stable: a new
+  // constraint goes after existing ones of the same priority), so a
+  // decision never re-sorts.
+  const auto pos = std::upper_bound(
+      sorted_constraints_.begin(), sorted_constraints_.end(), constraint.priority,
+      [this](int priority, std::size_t index) {
+        return priority < constraints_[index].priority;
+      });
+  sorted_constraints_.insert(pos, handle);
+  touch_decision();
   if (journal_) {
     std::ostringstream note;
-    note << "constraint " << constraints_.size() - 1 << " added on metric '"
+    note << "constraint " << handle << " added on metric '"
          << knowledge_.metric_names()[constraint.metric] << "' goal "
          << constraint.goal;
     note_decision_trigger(note.str());
   }
-  return constraints_.size() - 1;
+  return handle;
 }
 
 void Asrtm::set_constraint_goal(std::size_t handle, double goal) {
   SOCRATES_REQUIRE(handle < constraints_.size());
   constraints_[handle].goal = goal;
+  // The cached column holds constraint_value (goal-independent): only
+  // the epoch is dirtied, the column stays valid.
+  touch_decision();
   if (journal_) {
     std::ostringstream note;
     note << "constraint " << handle << " goal -> " << goal;
@@ -46,6 +67,9 @@ void Asrtm::set_constraint_goal(std::size_t handle, double goal) {
 
 void Asrtm::clear_constraints() {
   constraints_.clear();
+  columns_.clear();
+  sorted_constraints_.clear();
+  touch_decision();
   if (journal_) note_decision_trigger("constraints cleared");
 }
 
@@ -53,6 +77,7 @@ void Asrtm::set_rank(Rank rank) {
   for (const auto& term : rank.terms)
     SOCRATES_REQUIRE(term.metric < knowledge_.metric_names().size());
   rank_ = std::move(rank);
+  touch_decision();
   if (journal_) note_decision_trigger("rank changed");
 }
 
@@ -75,31 +100,181 @@ double Asrtm::violation(const OperatingPoint& op, const Constraint& c) const {
   return std::abs(value - c.goal);
 }
 
+namespace {
+
+/// Bounded best-first buffer for the journal's runners-up: the chosen
+/// point plus up to kMaxRejected others, maintained by stable insertion
+/// (equal scores keep arrival order) so its contents match what a
+/// stable sort of all scored candidates would put first.
+constexpr std::size_t kMaxRejected = 3;
+
+struct TopCandidates {
+  std::array<DecisionCandidate, kMaxRejected + 1> entries;
+  std::size_t count = 0;
+
+  void insert(DecisionCandidate candidate, bool maximize) {
+    std::size_t pos = count;
+    while (pos > 0) {
+      const double prev = entries[pos - 1].score;
+      const bool prev_not_worse =
+          maximize ? prev >= candidate.score : prev <= candidate.score;
+      if (prev_not_worse) break;
+      --pos;
+    }
+    if (pos >= entries.size()) return;  // worse than every kept entry
+    const std::size_t last = std::min(count, entries.size() - 1);
+    for (std::size_t j = last; j > pos; --j) entries[j] = entries[j - 1];
+    entries[pos] = candidate;
+    if (count < entries.size()) ++count;
+  }
+};
+
+}  // namespace
+
 std::size_t Asrtm::find_best_operating_point() const {
+  if (cache_enabled_ && decided_epoch_ == decision_epoch_) {
+    // Nothing that feeds the decision changed: O(1), allocation-free.
+    last_decision_cached_ = true;
+    last_feasible_ = cached_feasible_;
+    // A trigger note explains exactly one decision; a cached decision
+    // cannot switch, so the note is consumed (discarded) here too.
+    if (journal_) pending_trigger_.clear();
+    static Counter& cached =
+        MetricsRegistry::global().counter("asrtm.decisions_cached");
+    cached.add(1);
+    return cached_best_;
+  }
+  last_decision_cached_ = false;
+  const std::size_t best = cache_enabled_ ? decide_incremental() : decide_brute();
+  decided_epoch_ = decision_epoch_;
+  cached_best_ = best;
+  cached_feasible_ = last_feasible_;
+  return best;
+}
+
+std::size_t Asrtm::fallback_safest(const std::vector<double>& corrections) const {
+  // Every clone is quarantined: fall back to the historically safest
+  // point (fewest quarantines, then shortest remaining cooldown) so
+  // the application keeps making progress.
+  std::size_t safest = 0;
+  for (std::size_t i = 1; i < health_.size(); ++i) {
+    const OpHealth& a = health_[i];
+    const OpHealth& b = health_[safest];
+    if (a.times_quarantined < b.times_quarantined ||
+        (a.times_quarantined == b.times_quarantined && a.cooldown < b.cooldown))
+      safest = i;
+  }
+  last_feasible_ = false;
+  if (journal_)
+    journal_switch(safest, rank_.evaluate(knowledge_[safest], corrections), {});
+  return safest;
+}
+
+const std::vector<double>& Asrtm::constraint_column(std::size_t handle) const {
+  ConstraintColumn& column = columns_[handle];
+  const Constraint& c = constraints_[handle];
+  if (!column.valid || column.correction_version != correction_versions_[c.metric]) {
+    const std::size_t n = knowledge_.size();
+    column.values.resize(n);
+    const double correction = applied_corrections_[c.metric];
+    const bool upper =
+        c.op == ComparisonOp::kLess || c.op == ComparisonOp::kLessEqual;
+    for (std::size_t i = 0; i < n; ++i) {
+      const MetricStats& stats = knowledge_[i].metrics[c.metric];
+      const double mean = stats.mean * correction;
+      const double margin = c.confidence * stats.stddev * correction;
+      column.values[i] = upper ? mean + margin : mean - margin;
+    }
+    column.valid = true;
+    column.correction_version = correction_versions_[c.metric];
+    static Counter& recomputed =
+        MetricsRegistry::global().counter("asrtm.columns_recomputed");
+    recomputed.add(1);
+  }
+  return column.values;
+}
+
+std::size_t Asrtm::decide_incremental() const {
   // Work on indices; quarantined points are excluded up front, then
   // constraints apply from highest priority (lowest number) to lowest.
+  std::vector<std::size_t>& candidates = scratch_candidates_;
+  std::vector<std::size_t>& filtered = scratch_filtered_;
+  candidates.clear();
+  for (std::size_t i = 0; i < knowledge_.size(); ++i)
+    if (health_[i].cooldown == 0) candidates.push_back(i);
+  if (candidates.empty()) return fallback_safest(applied_corrections_);
+
+  last_feasible_ = true;
+  for (const std::size_t handle : sorted_constraints_) {
+    const Constraint& c = constraints_[handle];
+    const std::vector<double>& column = constraint_column(handle);
+    std::vector<double>& violations = scratch_violations_;
+    filtered.clear();
+    violations.clear();
+    double min_violation = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : candidates) {
+      const double value = column[i];
+      const double v =
+          compare(value, c.op, c.goal) ? 0.0 : std::abs(value - c.goal);
+      violations.push_back(v);
+      if (v == 0.0)
+        filtered.push_back(i);
+      else
+        min_violation = std::min(min_violation, v);
+    }
+    if (!filtered.empty()) {
+      candidates.swap(filtered);
+      continue;
+    }
+    // Infeasible under this constraint: keep the least-violating points
+    // (mARGOt's graceful degradation) and continue with lower-priority
+    // constraints among them.
+    last_feasible_ = false;
+    for (std::size_t k = 0; k < candidates.size(); ++k)
+      if (violation_ties_minimum(violations[k], min_violation))
+        filtered.push_back(candidates[k]);
+    candidates.swap(filtered);
+  }
+  SOCRATES_ENSURE(!candidates.empty());
+
+  // Rank among the survivors; the journal's runners-up come from a
+  // bounded top-k pass instead of scoring + sorting every candidate.
+  const bool maximize = rank_.direction == RankDirection::kMaximize;
+  std::size_t best = candidates.front();
+  double best_value = rank_.evaluate(knowledge_[best], applied_corrections_);
+  TopCandidates top;
+  if (journal_) top.insert({best, best_value}, maximize);
+  for (std::size_t k = 1; k < candidates.size(); ++k) {
+    const std::size_t i = candidates[k];
+    const double value = rank_.evaluate(knowledge_[i], applied_corrections_);
+    if (journal_) top.insert({i, value}, maximize);
+    const bool better = maximize ? value > best_value : value < best_value;
+    if (better) {
+      best = i;
+      best_value = value;
+    }
+  }
+  if (journal_) {
+    std::vector<DecisionCandidate> runners;
+    runners.reserve(kMaxRejected);
+    for (std::size_t j = 0; j < top.count; ++j)
+      if (top.entries[j].op_index != best && runners.size() < kMaxRejected)
+        runners.push_back(top.entries[j]);
+    journal_switch(best, best_value, std::move(runners));
+  }
+  return best;
+}
+
+std::size_t Asrtm::decide_brute() const {
+  // The retained reference implementation: identical semantics to
+  // decide_incremental with none of the caching — per-call constraint
+  // sort, violations recomputed from the exact corrections, runners-up
+  // by full score + stable sort.  Differential tests drive both.
   std::vector<std::size_t> candidates;
   candidates.reserve(knowledge_.size());
   for (std::size_t i = 0; i < knowledge_.size(); ++i)
     if (!is_quarantined(i)) candidates.push_back(i);
-
-  if (candidates.empty()) {
-    // Every clone is quarantined: fall back to the historically safest
-    // point (fewest quarantines, then shortest remaining cooldown) so
-    // the application keeps making progress.
-    std::size_t safest = 0;
-    for (std::size_t i = 1; i < health_.size(); ++i) {
-      const OpHealth& a = health_[i];
-      const OpHealth& b = health_[safest];
-      if (a.times_quarantined < b.times_quarantined ||
-          (a.times_quarantined == b.times_quarantined && a.cooldown < b.cooldown))
-        safest = i;
-    }
-    last_feasible_ = false;
-    if (journal_)
-      journal_switch(safest, rank_.evaluate(knowledge_[safest], corrections_), {});
-    return safest;
-  }
+  if (candidates.empty()) return fallback_safest(corrections_);
 
   std::vector<const Constraint*> ordered;
   ordered.reserve(constraints_.size());
@@ -112,32 +287,30 @@ std::size_t Asrtm::find_best_operating_point() const {
   last_feasible_ = true;
   for (const Constraint* c : ordered) {
     std::vector<std::size_t> satisfying;
-    for (const std::size_t i : candidates)
-      if (violation(knowledge_[i], *c) == 0.0) satisfying.push_back(i);
-
+    std::vector<double> violations;
+    violations.reserve(candidates.size());
+    double min_violation = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : candidates) {
+      const double v = violation(knowledge_[i], *c);
+      violations.push_back(v);
+      if (v == 0.0)
+        satisfying.push_back(i);
+      else
+        min_violation = std::min(min_violation, v);
+    }
     if (!satisfying.empty()) {
       candidates = std::move(satisfying);
       continue;
     }
-
-    // Infeasible under this constraint: keep the least-violating points
-    // (mARGOt's graceful degradation) and continue with lower-priority
-    // constraints among them.
     last_feasible_ = false;
-    double min_violation = std::numeric_limits<double>::infinity();
-    for (const std::size_t i : candidates)
-      min_violation = std::min(min_violation, violation(knowledge_[i], *c));
     std::vector<std::size_t> least;
-    for (const std::size_t i : candidates) {
-      // Tolerate tiny FP differences when comparing violations.
-      if (violation(knowledge_[i], *c) <= min_violation * (1.0 + 1e-12))
-        least.push_back(i);
-    }
+    for (std::size_t k = 0; k < candidates.size(); ++k)
+      if (violation_ties_minimum(violations[k], min_violation))
+        least.push_back(candidates[k]);
     candidates = std::move(least);
   }
   SOCRATES_ENSURE(!candidates.empty());
 
-  // Rank among the survivors.
   std::size_t best = candidates.front();
   double best_value = rank_.evaluate(knowledge_[best], corrections_);
   std::vector<DecisionCandidate> scored;
@@ -163,9 +336,49 @@ std::size_t Asrtm::find_best_operating_point() const {
                                   return c.op_index == best;
                                 }),
                  scored.end());
+    const bool maximize = rank_.direction == RankDirection::kMaximize;
+    std::stable_sort(scored.begin(), scored.end(),
+                     [maximize](const DecisionCandidate& a, const DecisionCandidate& b) {
+                       return maximize ? a.score > b.score : a.score < b.score;
+                     });
+    if (scored.size() > kMaxRejected) scored.resize(kMaxRejected);
     journal_switch(best, best_value, std::move(scored));
   }
   return best;
+}
+
+void Asrtm::set_decision_epsilon(double epsilon) {
+  SOCRATES_REQUIRE(epsilon >= 0.0 && std::isfinite(epsilon));
+  decision_epsilon_ = epsilon;
+  // Re-sync so the new threshold measures drift from here, not from a
+  // value accepted under the old threshold.
+  for (std::size_t m = 0; m < corrections_.size(); ++m) {
+    if (applied_corrections_[m] != corrections_[m]) {
+      applied_corrections_[m] = corrections_[m];
+      ++correction_versions_[m];
+    }
+  }
+  touch_decision();
+}
+
+void Asrtm::set_decision_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  touch_decision();
+}
+
+void Asrtm::invalidate_decision_cache() {
+  for (std::size_t m = 0; m < correction_versions_.size(); ++m)
+    ++correction_versions_[m];
+  touch_decision();
+}
+
+void Asrtm::accept_correction(std::size_t metric) {
+  if (std::abs(corrections_[metric] - applied_corrections_[metric]) >
+      decision_epsilon_) {
+    applied_corrections_[metric] = corrections_[metric];
+    ++correction_versions_[metric];
+    touch_decision();
+  }
 }
 
 // ---- decision journal ------------------------------------------------------
@@ -174,6 +387,9 @@ void Asrtm::enable_decision_journal(std::size_t max_records) {
   journal_ = std::make_unique<DecisionJournal>(max_records);
   pending_trigger_.clear();
   journal_has_last_ = false;
+  // The next decision must run the full path so the "initial selection"
+  // record is written even if the cache was already warm.
+  touch_decision();
 }
 
 void Asrtm::disable_decision_journal() { journal_.reset(); }
@@ -193,6 +409,10 @@ void Asrtm::note_decision_trigger(std::string trigger) {
 
 void Asrtm::journal_switch(std::size_t chosen, double chosen_score,
                            std::vector<DecisionCandidate> others) const {
+  // A trigger note explains exactly the decision that follows it.  It is
+  // consumed here whether or not that decision switched — otherwise a
+  // stale note would be attached to a later, unrelated switch record.
+  std::string trigger = std::exchange(pending_trigger_, {});
   const bool switched = !journal_has_last_ || chosen != journal_last_op_;
   journal_last_op_ = chosen;
   journal_has_last_ = true;
@@ -200,8 +420,8 @@ void Asrtm::journal_switch(std::size_t chosen, double chosen_score,
 
   DecisionRecord record;
   record.timestamp_s = journal_now_;
-  if (!pending_trigger_.empty())
-    record.trigger = std::exchange(pending_trigger_, {});
+  if (!trigger.empty())
+    record.trigger = std::move(trigger);
   else if (journal_->total_decisions() == 0)
     record.trigger = "initial selection";
   else
@@ -209,15 +429,10 @@ void Asrtm::journal_switch(std::size_t chosen, double chosen_score,
   record.chosen = chosen;
   record.chosen_score = chosen_score;
   record.feasible = last_feasible_;
+  record.epoch = decision_epoch_;
 
-  // Keep the few best runners-up, ordered best-first under the rank.
-  const bool maximize = rank_.direction == RankDirection::kMaximize;
-  std::stable_sort(others.begin(), others.end(),
-                   [maximize](const DecisionCandidate& a, const DecisionCandidate& b) {
-                     return maximize ? a.score > b.score : a.score < b.score;
-                   });
-  constexpr std::size_t kMaxRejected = 3;
-  if (others.size() > kMaxRejected) others.resize(kMaxRejected);
+  // Runners-up arrive best-first (bounded top-k or pre-sorted), already
+  // trimmed to the journal's limit.
   record.rejected = std::move(others);
 
   for (std::size_t i = 0; i < health_.size(); ++i)
@@ -230,12 +445,28 @@ void Asrtm::journal_switch(std::size_t chosen, double chosen_score,
 void Asrtm::send_feedback(std::size_t op_index, std::size_t metric, double observed) {
   SOCRATES_REQUIRE(op_index < knowledge_.size());
   SOCRATES_REQUIRE(metric < corrections_.size());
-  SOCRATES_REQUIRE(observed > 0.0);
+  if (!std::isfinite(observed) || observed <= 0.0) {
+    // A stalled kernel legitimately observes zero throughput; reject the
+    // sample like the monitors reject invalid samples instead of
+    // aborting the process, and leave the correction untouched.
+    ++feedback_rejected_;
+    static Counter& rejected =
+        MetricsRegistry::global().counter("asrtm.feedback_rejected");
+    rejected.add(1);
+    RuntimeEvent event;
+    event.kind = RuntimeEvent::Kind::kFeedbackRejected;
+    event.op = op_index;
+    event.metric = metric;
+    event.value = observed;
+    emit(event);
+    return;
+  }
   const double predicted = knowledge_[op_index].metrics[metric].mean;
   SOCRATES_REQUIRE_MSG(predicted > 0.0, "cannot adapt a zero-mean metric");
   const double instant_ratio = observed / predicted;
   corrections_[metric] =
       (1.0 - feedback_alpha_) * corrections_[metric] + feedback_alpha_ * instant_ratio;
+  accept_correction(metric);
   RuntimeEvent event;
   event.kind = RuntimeEvent::Kind::kFeedback;
   event.op = op_index;
@@ -249,7 +480,18 @@ double Asrtm::correction(std::size_t metric) const {
   return corrections_[metric];
 }
 
-void Asrtm::reset_feedback() { corrections_.assign(corrections_.size(), 1.0); }
+void Asrtm::reset_feedback() {
+  corrections_.assign(corrections_.size(), 1.0);
+  bool moved = false;
+  for (std::size_t m = 0; m < applied_corrections_.size(); ++m) {
+    if (applied_corrections_[m] != 1.0) {
+      applied_corrections_[m] = 1.0;
+      ++correction_versions_[m];
+      moved = true;
+    }
+  }
+  if (moved) touch_decision();
+}
 
 void Asrtm::set_feedback_inertia(double alpha) {
   SOCRATES_REQUIRE(alpha > 0.0 && alpha <= 1.0);
@@ -274,6 +516,7 @@ void Asrtm::quarantine_op(OpHealth& health) {
   health.consecutive_failures = 0;
   health.probing = false;
   ++quarantine_events_;
+  touch_decision();
   static Counter& quarantines =
       MetricsRegistry::global().counter("asrtm.quarantine_events");
   quarantines.add(1);
@@ -304,10 +547,15 @@ void Asrtm::report_variant_success(std::size_t op_index) {
 }
 
 void Asrtm::advance_quarantine() {
+  bool any_cooling = false;
   for (OpHealth& health : health_) {
     if (health.cooldown == 0) continue;
+    any_cooling = true;
     if (--health.cooldown == 0) health.probing = true;
   }
+  // With no active cooldowns the tick changes nothing the decision
+  // reads, so the epoch stays clean and Context::update stays O(1).
+  if (any_cooling) touch_decision();
   RuntimeEvent event;
   event.kind = RuntimeEvent::Kind::kQuarantineAdvance;
   emit(event);
@@ -334,6 +582,7 @@ Asrtm::Snapshot Asrtm::snapshot() const {
     snap.health.push_back(s);
   }
   snap.quarantine_events = quarantine_events_;
+  snap.decision_epoch = decision_epoch_;
   return snap;
 }
 
@@ -358,6 +607,12 @@ void Asrtm::restore(const Snapshot& snapshot) {
     health_[i].probing = snapshot.health[i].probing;
   }
   quarantine_events_ = snapshot.quarantine_events;
+  // Resume past both histories so the epoch stays monotonic, and land
+  // dirty: the restored corrections/health must feed the next decision.
+  decision_epoch_ = std::max(decision_epoch_, snapshot.decision_epoch) + 1;
+  applied_corrections_ = corrections_;
+  for (std::size_t m = 0; m < correction_versions_.size(); ++m)
+    ++correction_versions_[m];
 }
 
 void Asrtm::set_event_sink(std::function<void(const RuntimeEvent&)> sink) {
@@ -389,6 +644,10 @@ void Asrtm::replay(const RuntimeEvent& event) {
     case RuntimeEvent::Kind::kStateActivation:
       // Requirements live in the StateManager; the checkpoint layer
       // tracks the last activation and returns it to the application.
+      break;
+    case RuntimeEvent::Kind::kFeedbackRejected:
+      // The sample was rejected when recorded; replaying it changes
+      // nothing (the rejection counter is process-local, not state).
       break;
   }
 }

@@ -24,9 +24,18 @@
 //   - an OscillationWatchdog (used by margot::Context) holds the
 //     current configuration when noisy feedback makes the selection
 //     thrash between points.
+//
+// The decision path is *incremental* (docs/OBSERVABILITY.md, "Decision
+// engine epochs"): every mutation of the decision inputs bumps an
+// epoch, a clean epoch returns the cached best index in O(1), and a
+// dirty decision recomputes only the per-constraint value columns whose
+// correction actually moved.  A brute-force reference implementation of
+// the same semantics is retained behind set_decision_cache_enabled(
+// false) and differential tests assert the two are bit-identical.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -49,6 +58,7 @@ struct RuntimeEvent {
     kVariantSuccess,    ///< report_variant_success(op)
     kQuarantineAdvance, ///< advance_quarantine()
     kStateActivation,   ///< StateManager switched to state `name`
+    kFeedbackRejected,  ///< send_feedback rejected an invalid observation
   };
   Kind kind = Kind::kFeedback;
   std::size_t op = 0;
@@ -88,10 +98,51 @@ class Asrtm {
   /// when some constraint had to be relaxed).
   bool last_selection_feasible() const { return last_feasible_; }
 
+  // ---- incremental decision engine -------------------------------------
+  /// Monotonic epoch of the decision inputs.  Every mutation that can
+  /// change the outcome of find_best_operating_point (constraint
+  /// add/remove/goal change, rank change, accepted correction drift,
+  /// quarantine transition, restore) bumps it; while it stands still
+  /// the decision is served from an O(1) cache.
+  std::uint64_t decision_epoch() const { return decision_epoch_; }
+
+  /// True when the last find_best_operating_point() returned the
+  /// clean-epoch cached index without recomputing anything.
+  bool last_decision_was_cached() const { return last_decision_cached_; }
+
+  /// Correction-drift threshold: a send_feedback update that moves a
+  /// correction by no more than `epsilon` from the value the decision
+  /// engine last applied does NOT invalidate the cached decision (the
+  /// exact EWMA is still tracked and returned by correction()).  The
+  /// default 0.0 keeps decisions bit-identical to the brute-force
+  /// reference; a positive epsilon trades staleness for fewer
+  /// recomputations under noisy feedback.
+  void set_decision_epsilon(double epsilon);
+  double decision_epsilon() const { return decision_epsilon_; }
+
+  /// Disables the incremental engine: every decision then runs the
+  /// retained brute-force reference algorithm (per-call constraint
+  /// sort, no cached columns, no epoch cache).  Differential tests
+  /// drive one instance per mode and assert identical behaviour.
+  void set_decision_cache_enabled(bool enabled);
+  bool decision_cache_enabled() const { return cache_enabled_; }
+
+  /// Drops every cached decision artifact (epoch cache and all
+  /// constraint-value columns): the next decision pays the full cold
+  /// cost.  Used by benches and tests to pin the cold/steady gap.
+  void invalidate_decision_cache();
+
   // ---- feedback (knowledge adaptation) ---------------------------------
   /// Reports an observation of `metric` while `op_index` was applied.
   /// Updates the correction factor with an EWMA of observed/expected.
+  /// A non-finite or non-positive observation (e.g. a stalled kernel
+  /// with zero throughput) is rejected gracefully — counted in
+  /// feedback_rejected() and journaled as a kFeedbackRejected runtime
+  /// event — instead of aborting the process.
   void send_feedback(std::size_t op_index, std::size_t metric, double observed);
+
+  /// Observations rejected by send_feedback since construction.
+  std::size_t feedback_rejected() const { return feedback_rejected_; }
 
   /// Current correction factor of a metric (1.0 = knowledge matches).
   double correction(std::size_t metric) const;
@@ -144,6 +195,11 @@ class Asrtm {
     };
     std::vector<OpHealthState> health;
     std::size_t quarantine_events = 0;
+    /// Decision epoch at snapshot time.  restore() resumes strictly
+    /// after max(current, snapshot) so epochs stay monotonic across a
+    /// kill-and-resume and the restored state never serves a stale
+    /// cached decision.
+    std::uint64_t decision_epoch = 0;
   };
 
   Snapshot snapshot() const;
@@ -182,11 +238,14 @@ class Asrtm {
   /// Timestamp (caller's clock, e.g. the simulated platform clock)
   /// stamped onto the next journal records.  No-op when disabled.
   void set_decision_time(double seconds);
-  /// Explains the next recorded switch ("constraint 0 goal -> 2.5",
-  /// "state 'energy' activated", ...).  Replace semantics: the last
-  /// note before the switch wins; requirement mutators call this
+  /// Explains the next decision ("constraint 0 goal -> 2.5", "state
+  /// 'energy' activated", ...).  Replace semantics: the last note
+  /// before the decision wins; requirement mutators call this
   /// internally, so callers like StateManager can override with a more
-  /// meaningful note afterwards.  Consumed by the next recorded switch.
+  /// meaningful note afterwards.  Consumed by the next decision whether
+  /// or not it switches — a note whose mutation did not change the
+  /// selection is discarded, never attached to a later unrelated
+  /// switch.
   void note_decision_trigger(std::string trigger);
 
  private:
@@ -197,12 +256,40 @@ class Asrtm {
     bool probing = false;       ///< cooldown expired, not yet proven healthy
   };
 
+  /// Cached column of constraint_value() over the whole knowledge base
+  /// for one constraint, tagged with the accepted-correction version of
+  /// its metric so a correction move invalidates exactly the columns
+  /// whose inputs changed.
+  struct ConstraintColumn {
+    std::vector<double> values;          ///< one entry per operating point
+    std::uint64_t correction_version = 0;
+    bool valid = false;
+  };
+
   void quarantine_op(OpHealth& health);
+  /// Any decision input changed: the next decision must recompute.
+  void touch_decision() { ++decision_epoch_; }
+  /// Accepts corrections_[metric] as the value decisions use when it
+  /// drifted beyond decision_epsilon_ from the last accepted value.
+  void accept_correction(std::size_t metric);
+  /// The incremental hot path: pre-sorted constraints, cached columns,
+  /// reusable scratch buffers, bounded top-k for the journal.
+  std::size_t decide_incremental() const;
+  /// The retained brute-force reference: the original O(constraints*n)
+  /// algorithm with per-call sorting and no caching.  Kept for
+  /// differential testing (set_decision_cache_enabled(false)).
+  std::size_t decide_brute() const;
+  /// Every point is quarantined: pick the historically safest one.
+  std::size_t fallback_safest(const std::vector<double>& corrections) const;
+  /// The (lazily recomputed) constraint-value column for a constraint.
+  const std::vector<double>& constraint_column(std::size_t handle) const;
   /// Records a journal entry when `chosen` differs from the previously
-  /// journaled point.  `others` holds the non-chosen survivors with
-  /// their rank scores (best few are kept as "rejected").
+  /// journaled point.  `runners` holds the best non-chosen survivors,
+  /// already ordered best-first and trimmed.  Always consumes the
+  /// pending trigger note: a note explains exactly one decision, so a
+  /// mutation that does not cause a switch cannot mislabel a later one.
   void journal_switch(std::size_t chosen, double chosen_score,
-                      std::vector<DecisionCandidate> others) const;
+                      std::vector<DecisionCandidate> runners) const;
   /// Expected (corrected) value of metric `m` for point `op`.
   double expected(const OperatingPoint& op, std::size_t m) const;
   /// Pessimistic test value for a constraint (mean +/- conf * stddev).
@@ -214,10 +301,27 @@ class Asrtm {
   void emit(const RuntimeEvent& event) const;
 
   KnowledgeBase knowledge_;
-  std::vector<Constraint> constraints_;  ///< insertion order; sorted view built per query
+  std::vector<Constraint> constraints_;  ///< insertion order (handles are indices)
+  std::vector<std::size_t> sorted_constraints_;  ///< by priority, stable, kept at mutation time
   Rank rank_;
-  std::vector<double> corrections_;      ///< per metric, multiplicative
+  std::vector<double> corrections_;      ///< per metric, multiplicative (exact EWMA)
+  std::vector<double> applied_corrections_;  ///< values decisions use (eps-gated)
+  std::vector<std::uint64_t> correction_versions_;  ///< bumped when applied moves
   double feedback_alpha_ = 0.3;
+  double decision_epsilon_ = 0.0;
+  std::size_t feedback_rejected_ = 0;
+  bool cache_enabled_ = true;
+  std::uint64_t decision_epoch_ = 1;     ///< bumped by touch_decision()
+  mutable std::uint64_t decided_epoch_ = 0;  ///< epoch of cached_best_
+  mutable std::size_t cached_best_ = 0;
+  mutable bool cached_feasible_ = true;
+  mutable bool last_decision_cached_ = false;
+  mutable std::vector<ConstraintColumn> columns_;  ///< parallel to constraints_
+  // Scratch buffers reused across decisions so the dirty path allocates
+  // nothing once warm (the clean path allocates nothing at all).
+  mutable std::vector<std::size_t> scratch_candidates_;
+  mutable std::vector<std::size_t> scratch_filtered_;
+  mutable std::vector<double> scratch_violations_;
   mutable bool last_feasible_ = true;
   QuarantineOptions quarantine_;
   std::vector<OpHealth> health_;         ///< one entry per operating point

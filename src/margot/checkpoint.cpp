@@ -19,7 +19,10 @@ namespace socrates::margot {
 namespace {
 
 constexpr const char* kMagic = "socrates-checkpoint";
-constexpr const char* kVersion = "v1";
+// v2: payload gained the "depoch" (decision epoch) line.  An old v1
+// snapshot fails the version check and degrades to a clean fresh start,
+// the same path any unrecognized checkpoint takes.
+constexpr const char* kVersion = "v2";
 
 std::string format_double(double v) {
   std::ostringstream os;
@@ -37,6 +40,7 @@ std::string serialize_payload(const Asrtm::Snapshot& snap,
   os << "quarantine " << snap.quarantine.failure_threshold << ' '
      << snap.quarantine.base_cooldown << ' ' << snap.quarantine.max_cooldown << '\n';
   os << "events " << snap.quarantine_events << '\n';
+  os << "depoch " << snap.decision_epoch << '\n';
   os << "state " << active_state << '\n';
   os << "corrections " << snap.corrections.size();
   for (const double c : snap.corrections) os << ' ' << format_double(c);
@@ -64,6 +68,7 @@ bool parse_payload(const std::string& payload, Asrtm::Snapshot& snap,
         snap.quarantine.max_cooldown))
     return false;
   if (!expect_word(in, "events") || !(in >> snap.quarantine_events)) return false;
+  if (!expect_word(in, "depoch") || !(in >> snap.decision_epoch)) return false;
   if (!expect_word(in, "state")) return false;
   in.get();  // the separator space
   if (!std::getline(in, active_state)) return false;
@@ -97,7 +102,7 @@ bool parse_event(const std::string& body, std::uint64_t& epoch, RuntimeEvent& ev
   std::istringstream in(body);
   int kind = 0;
   if (!(in >> epoch >> kind >> event.op >> event.metric >> event.value)) return false;
-  if (kind < 0 || kind > static_cast<int>(RuntimeEvent::Kind::kStateActivation))
+  if (kind < 0 || kind > static_cast<int>(RuntimeEvent::Kind::kFeedbackRejected))
     return false;
   event.kind = static_cast<RuntimeEvent::Kind>(kind);
   in.get();  // the separator space

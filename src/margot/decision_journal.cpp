@@ -33,7 +33,7 @@ void DecisionJournal::dump(std::ostream& out) const {
       << records_.size() << " retained, " << dropped() << " dropped\n";
   for (const auto& r : records_) {
     out << "[#" << r.sequence << " t=" << r.timestamp_s << "s] op " << r.chosen
-        << " score=" << r.chosen_score
+        << " score=" << r.chosen_score << " epoch=" << r.epoch
         << (r.feasible ? "" : " (infeasible: constraints relaxed)")
         << "\n  trigger: " << r.trigger << '\n';
     if (!r.rejected.empty()) {

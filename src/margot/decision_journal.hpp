@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <string>
@@ -36,6 +37,7 @@ struct DecisionRecord {
   std::size_t chosen = 0;     ///< selected operating point
   double chosen_score = 0.0;  ///< its rank value
   bool feasible = true;       ///< every constraint satisfied (no relaxation)
+  std::uint64_t epoch = 0;    ///< decision epoch this record was made at
   std::vector<DecisionCandidate> rejected;     ///< best runners-up, score order
   std::vector<std::size_t> quarantined;        ///< points excluded at decision time
 };

@@ -64,7 +64,12 @@ void StateManager::set_state_constraint_goal(const std::string& name, std::size_
   State& state = find(name);
   SOCRATES_REQUIRE(index < state.constraints.size());
   state.constraints[index].goal = goal;
-  if (has_active_ && &state == &states_[active_]) apply(state);
+  // On the active state, update just that goal in place: apply() would
+  // rebuild every constraint and re-emit a spurious state activation.
+  // Constraint handles equal positions because apply() adds them in
+  // order starting from a cleared AS-RTM.
+  if (has_active_ && &state == &states_[active_])
+    asrtm_.set_constraint_goal(index, goal);
 }
 
 }  // namespace socrates::margot

@@ -1,0 +1,335 @@
+// Differential and cache-invalidation tests for the incremental AS-RTM
+// decision engine.
+//
+// The incremental engine (epoch cache, per-constraint columns, scratch
+// buffers, bounded top-k) must be *bit-identical* to the retained
+// brute-force reference (set_decision_cache_enabled(false)): the fuzz
+// test drives randomized mutation/decide/feedback sequences through one
+// instance per mode and asserts identical chosen indices, feasibility,
+// corrections and journal records at every step.  The targeted tests
+// pin the invalidation rules one by one: clean epochs are served from
+// the cache, correction drift invalidates if and only if it exceeds the
+// decision epsilon, quarantine transitions dirty the epoch (and ticks
+// without active cooldowns do not), restore always lands dirty with a
+// monotonic epoch, and a correction move recomputes only the columns of
+// constraints on that metric.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "margot/asrtm.hpp"
+#include "observability/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace socrates::margot {
+namespace {
+
+constexpr std::size_t kTime = 0;
+constexpr std::size_t kPower = 1;
+constexpr std::size_t kThr = 2;
+
+KnowledgeBase random_kb(Rng& rng, std::size_t n) {
+  KnowledgeBase kb({"k"}, {"exec_time_s", "power_w", "throughput"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.uniform(0.1, 10.0);
+    const double p = rng.uniform(45.0, 150.0);
+    kb.add(OperatingPoint{{static_cast<int>(i)},
+                          {{t, 0.05 * t}, {p, 0.02 * p}, {1.0 / t, 0.01 / t}}});
+  }
+  return kb;
+}
+
+KnowledgeBase fixed_kb() {
+  KnowledgeBase kb({"k"}, {"exec_time_s", "power_w", "throughput"});
+  kb.add(OperatingPoint{{0}, {{10.0, 0.5}, {50.0, 1.0}, {0.1, 0.005}}});
+  kb.add(OperatingPoint{{1}, {{4.0, 0.2}, {80.0, 2.0}, {0.25, 0.0125}}});
+  kb.add(OperatingPoint{{2}, {{1.0, 0.05}, {140.0, 3.0}, {1.0, 0.05}}});
+  return kb;
+}
+
+/// Compares every journal field except the epoch: the reference
+/// instance pays one extra epoch bump for set_decision_cache_enabled(
+/// false), so epochs run at a constant offset while all decision
+/// content must match exactly.
+void expect_same_journals(const DecisionJournal& incremental,
+                          const DecisionJournal& brute) {
+  ASSERT_EQ(incremental.size(), brute.size());
+  ASSERT_EQ(incremental.total_decisions(), brute.total_decisions());
+  auto it = incremental.records().begin();
+  auto jt = brute.records().begin();
+  for (; it != incremental.records().end(); ++it, ++jt) {
+    EXPECT_EQ(it->sequence, jt->sequence);
+    EXPECT_DOUBLE_EQ(it->timestamp_s, jt->timestamp_s);
+    EXPECT_EQ(it->trigger, jt->trigger);
+    EXPECT_EQ(it->chosen, jt->chosen);
+    EXPECT_DOUBLE_EQ(it->chosen_score, jt->chosen_score);
+    EXPECT_EQ(it->feasible, jt->feasible);
+    ASSERT_EQ(it->rejected.size(), jt->rejected.size());
+    for (std::size_t r = 0; r < it->rejected.size(); ++r) {
+      EXPECT_EQ(it->rejected[r].op_index, jt->rejected[r].op_index);
+      EXPECT_DOUBLE_EQ(it->rejected[r].score, jt->rejected[r].score);
+    }
+    EXPECT_EQ(it->quarantined, jt->quarantined);
+  }
+}
+
+class AsrtmIncrementalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsrtmIncrementalFuzz, MatchesBruteForceReference) {
+  Rng rng(GetParam());
+  const KnowledgeBase kb = random_kb(rng, 24);
+
+  Asrtm fast(kb);
+  Asrtm slow(kb);
+  slow.set_decision_cache_enabled(false);
+  for (Asrtm* a : {&fast, &slow}) {
+    a->set_quarantine_options({1, 2, 16});
+    a->set_feedback_inertia(0.4);
+    a->set_rank(Rank::maximize_throughput_per_watt2(kThr, kPower));
+    a->enable_decision_journal(256);
+    a->add_constraint({kPower, ComparisonOp::kLessEqual, 120.0, 0, 1.0});
+    a->add_constraint({kThr, ComparisonOp::kGreaterEqual, 0.15, 1, 0.0});
+  }
+  const std::size_t goal_handle = 0;
+
+  double now = 0.0;
+  for (int round = 0; round < 400; ++round) {
+    const int op = static_cast<int>(rng.uniform_int(0, 8));
+    switch (op) {
+      case 0: {
+        const double goal = rng.uniform(40.0, 160.0);
+        fast.set_constraint_goal(goal_handle, goal);
+        slow.set_constraint_goal(goal_handle, goal);
+        break;
+      }
+      case 1: {
+        const auto point = rng.uniform_int(0, kb.size() - 1);
+        const std::size_t metric = rng.uniform_int(0, 2);
+        const double observed =
+            kb[point].metrics[metric].mean * rng.uniform(0.7, 1.4);
+        fast.send_feedback(point, metric, observed);
+        slow.send_feedback(point, metric, observed);
+        break;
+      }
+      case 2: {
+        const auto point = rng.uniform_int(0, kb.size() - 1);
+        fast.report_variant_failure(point);
+        slow.report_variant_failure(point);
+        break;
+      }
+      case 3: {
+        const auto point = rng.uniform_int(0, kb.size() - 1);
+        fast.report_variant_success(point);
+        slow.report_variant_success(point);
+        break;
+      }
+      case 4:
+        fast.advance_quarantine();
+        slow.advance_quarantine();
+        break;
+      case 5: {
+        now += rng.uniform(0.0, 0.5);
+        fast.set_decision_time(now);
+        slow.set_decision_time(now);
+        break;
+      }
+      case 6: {
+        std::ostringstream note;
+        note << "fuzz trigger " << round;
+        fast.note_decision_trigger(note.str());
+        slow.note_decision_trigger(note.str());
+        break;
+      }
+      default:
+        break;  // decide on an untouched epoch (exercises the cache)
+    }
+    const std::size_t chosen_fast = fast.find_best_operating_point();
+    const std::size_t chosen_slow = slow.find_best_operating_point();
+    ASSERT_EQ(chosen_fast, chosen_slow) << "round " << round;
+    ASSERT_EQ(fast.last_selection_feasible(), slow.last_selection_feasible())
+        << "round " << round;
+    for (std::size_t m = 0; m < 3; ++m)
+      ASSERT_DOUBLE_EQ(fast.correction(m), slow.correction(m));
+  }
+  EXPECT_GT(fast.decision_journal().total_decisions(), 0u);
+  expect_same_journals(fast.decision_journal(), slow.decision_journal());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsrtmIncrementalFuzz,
+                         ::testing::Values(7, 101, 2024, 31337, 987654321));
+
+TEST(AsrtmIncremental, CleanEpochIsCached) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+
+  Counter& cached = MetricsRegistry::global().counter("asrtm.decisions_cached");
+  const std::uint64_t before = cached.value();
+  const std::uint64_t epoch = asrtm.decision_epoch();
+
+  const std::size_t first = asrtm.find_best_operating_point();
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+  const std::size_t second = asrtm.find_best_operating_point();
+  EXPECT_TRUE(asrtm.last_decision_was_cached());
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(asrtm.last_selection_feasible());
+  EXPECT_EQ(asrtm.decision_epoch(), epoch);  // queries never dirty
+  EXPECT_EQ(cached.value(), before + 1);
+
+  // Any mutation dirties; the next decision recomputes, then re-caches.
+  asrtm.set_constraint_goal(0, 60.0);
+  EXPECT_GT(asrtm.decision_epoch(), epoch);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+  (void)asrtm.find_best_operating_point();
+  EXPECT_TRUE(asrtm.last_decision_was_cached());
+}
+
+TEST(AsrtmIncremental, EpsilonGatesCorrectionInvalidation) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+  asrtm.set_feedback_inertia(1.0);
+  asrtm.set_decision_epsilon(0.05);
+  (void)asrtm.find_best_operating_point();
+
+  // Drift below epsilon: the EWMA moves, the decision does not.
+  const std::uint64_t epoch = asrtm.decision_epoch();
+  asrtm.send_feedback(1, kPower, 82.0);  // correction 1.025, drift 0.025
+  EXPECT_NEAR(asrtm.correction(kPower), 1.025, 1e-12);
+  EXPECT_EQ(asrtm.decision_epoch(), epoch);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_TRUE(asrtm.last_decision_was_cached());
+
+  // Accumulated drift beyond epsilon from the last *applied* value is
+  // accepted even though each step was small.
+  asrtm.send_feedback(1, kPower, 85.0);  // correction 1.0625, drift 0.0625
+  EXPECT_GT(asrtm.decision_epoch(), epoch);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+
+  // Well past epsilon in one step: invalidates immediately and the
+  // decision visibly moves (op1's 80 W scales past the 100 W cap).
+  asrtm.send_feedback(1, kPower, 104.0);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+  EXPECT_EQ(asrtm.find_best_operating_point(), 0u);
+
+  // Epsilon 0 (the default) accepts any drift: bit-exact behaviour.
+  asrtm.set_decision_epsilon(0.0);
+  (void)asrtm.find_best_operating_point();
+  const std::uint64_t exact_epoch = asrtm.decision_epoch();
+  asrtm.send_feedback(1, kPower, 80.0 * asrtm.correction(kPower) * 1.0001);
+  EXPECT_GT(asrtm.decision_epoch(), exact_epoch);
+}
+
+TEST(AsrtmIncremental, QuarantineExpiryMidStreamInvalidates) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.set_quarantine_options({1, 2, 16});
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);
+
+  asrtm.report_variant_failure(2);  // quarantined for 2 iterations
+  EXPECT_TRUE(asrtm.is_quarantined(2));
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+  (void)asrtm.find_best_operating_point();
+  EXPECT_TRUE(asrtm.last_decision_was_cached());
+
+  // Ticks with an active cooldown dirty the epoch (the countdown is a
+  // decision input); once every cooldown is spent, ticks are free.
+  asrtm.advance_quarantine();
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+  asrtm.advance_quarantine();  // cooldown expires: op2 eligible again
+  EXPECT_FALSE(asrtm.is_quarantined(2));
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+
+  const std::uint64_t epoch = asrtm.decision_epoch();
+  asrtm.advance_quarantine();  // nothing cooling: clean tick
+  EXPECT_EQ(asrtm.decision_epoch(), epoch);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_TRUE(asrtm.last_decision_was_cached());
+}
+
+TEST(AsrtmIncremental, RestoreResumesWithCoherentEpoch) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+  asrtm.set_feedback_inertia(1.0);
+  asrtm.send_feedback(1, kPower, 104.0);  // correction 1.3 -> op0 wins
+  EXPECT_EQ(asrtm.find_best_operating_point(), 0u);
+  const Asrtm::Snapshot snap = asrtm.snapshot();
+  EXPECT_EQ(snap.decision_epoch, asrtm.decision_epoch());
+
+  // A second instance restores the snapshot: its epoch must resume
+  // strictly after both histories and the first decision must be a full
+  // (uncached) one over the restored corrections.
+  Asrtm resumed(fixed_kb());
+  resumed.set_rank(Rank::minimize_exec_time(kTime));
+  resumed.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+  EXPECT_EQ(resumed.find_best_operating_point(), 1u);  // warm the cache
+  resumed.restore(snap);
+  EXPECT_GT(resumed.decision_epoch(), snap.decision_epoch);
+  EXPECT_EQ(resumed.find_best_operating_point(), 0u);
+  EXPECT_FALSE(resumed.last_decision_was_cached());
+  (void)resumed.find_best_operating_point();
+  EXPECT_TRUE(resumed.last_decision_was_cached());
+}
+
+TEST(AsrtmIncremental, ColumnsRecomputedOnlyForDirtyMetric) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::maximize_throughput(kThr));
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 150.0, 0, 1.0});
+  asrtm.add_constraint({kTime, ComparisonOp::kLessEqual, 20.0, 1, 1.0});
+  asrtm.set_feedback_inertia(1.0);
+  Counter& recomputed =
+      MetricsRegistry::global().counter("asrtm.columns_recomputed");
+
+  (void)asrtm.find_best_operating_point();  // builds both columns
+  std::uint64_t base = recomputed.value();
+
+  // A goal change keeps every column valid: the cached constraint_value
+  // columns are goal-independent.
+  asrtm.set_constraint_goal(0, 120.0);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_EQ(recomputed.value(), base);
+
+  // Power correction moves: only the power column is rebuilt.
+  asrtm.send_feedback(1, kPower, 88.0);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_EQ(recomputed.value(), base + 1);
+  base = recomputed.value();
+
+  // Throughput correction moves: no constraint reads it, so a decision
+  // rebuilds no column at all.
+  asrtm.send_feedback(1, kThr, 0.3);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_EQ(recomputed.value(), base);
+
+  // invalidate_decision_cache is the sledgehammer: every column redone.
+  asrtm.invalidate_decision_cache();
+  (void)asrtm.find_best_operating_point();
+  EXPECT_EQ(recomputed.value(), base + 2);
+}
+
+TEST(AsrtmIncremental, DisablingTheCacheStillDecidesCorrectly) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+  asrtm.set_decision_cache_enabled(false);
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  EXPECT_FALSE(asrtm.last_decision_was_cached());
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  EXPECT_FALSE(asrtm.last_decision_was_cached());  // never serves the cache
+  asrtm.set_decision_cache_enabled(true);
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  (void)asrtm.find_best_operating_point();
+  EXPECT_TRUE(asrtm.last_decision_was_cached());
+}
+
+}  // namespace
+}  // namespace socrates::margot

@@ -296,6 +296,31 @@ TEST_F(CheckpointTest, ActiveStateSurvivesKillAndResume) {
   EXPECT_EQ(after.find_best_operating_point(), before.find_best_operating_point());
 }
 
+TEST_F(CheckpointTest, DecisionEpochSurvivesSnapshotRoundTrip) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);
+    (void)before.find_best_operating_point();
+    store.detach();
+  }
+  const std::uint64_t epoch_at_snapshot = before.decision_epoch();
+
+  Asrtm after(make_kb());
+  (void)after.find_best_operating_point();  // warm the fresh cache first
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  // Monotonic across the kill-and-resume, and strictly past the
+  // snapshot: the restored state must never serve a pre-restore cache.
+  EXPECT_GT(after.decision_epoch(), epoch_at_snapshot);
+  EXPECT_EQ(after.find_best_operating_point(), before.find_best_operating_point());
+  EXPECT_FALSE(after.last_decision_was_cached());
+  (void)after.find_best_operating_point();
+  EXPECT_TRUE(after.last_decision_was_cached());
+}
+
 TEST_F(CheckpointTest, ResumedRunKeepsJournalingAfterRestore) {
   Asrtm first(make_kb());
   {

@@ -244,6 +244,38 @@ TEST(AsrtmJournal, AllQuarantinedFallbackIsJournaledToo) {
   EXPECT_EQ(r.quarantined.size(), 3u);
 }
 
+TEST(AsrtmJournal, StaleTriggerDoesNotMislabelALaterSwitch) {
+  Asrtm asrtm(tiny_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.enable_decision_journal();
+  const auto h = asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 150.0, 0, 0.0});
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);  // #0: initial
+
+  // A goal change that does NOT move the selection: its note is
+  // consumed by the very next decision, switch or not.
+  asrtm.set_constraint_goal(h, 145.0);  // op2 (140 W) still fits
+  EXPECT_EQ(asrtm.find_best_operating_point(), 2u);
+  EXPECT_EQ(asrtm.decision_journal().total_decisions(), 1u);
+
+  // A later switch with an unrelated cause must name the true cause,
+  // not the stale goal-change note.
+  asrtm.report_variant_failure(2);
+  asrtm.report_variant_failure(2);
+  ASSERT_TRUE(asrtm.is_quarantined(2));
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  EXPECT_EQ(asrtm.decision_journal().back().trigger,
+            "feedback/quarantine drift");
+
+  // The cached (clean-epoch) path consumes notes the same way.
+  asrtm.note_decision_trigger("note on an unchanged epoch");
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);  // cached, no switch
+  asrtm.report_variant_failure(1);
+  asrtm.report_variant_failure(1);
+  EXPECT_EQ(asrtm.find_best_operating_point(), 0u);
+  EXPECT_EQ(asrtm.decision_journal().back().trigger,
+            "feedback/quarantine drift");
+}
+
 TEST(AsrtmJournal, StateSwitchOverridesTheGenericNotes) {
   Asrtm asrtm(tiny_kb());
   asrtm.enable_decision_journal();

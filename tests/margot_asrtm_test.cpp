@@ -3,6 +3,8 @@
 // online knowledge adaptation).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "margot/asrtm.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -144,6 +146,56 @@ TEST(Asrtm, RankEvaluateUsesCorrections) {
   const double base = rank.evaluate(kb[2]);
   const double corrected = rank.evaluate(kb[2], {1.0, 2.0, 1.0});  // power doubled
   EXPECT_NEAR(corrected, base / 4.0, 1e-12);
+}
+
+TEST(Asrtm, NearZeroViolationTiesSurvive) {
+  // Both points violate the (unsatisfiable) power cap by ~1e-16 — pure
+  // floating-point noise.  A relative-only tie tolerance collapses at
+  // this scale and drops op1, hiding its 4x better throughput; the
+  // combined absolute+relative tolerance keeps both in play so the rank
+  // decides.
+  KnowledgeBase kb({"k"}, {"power_w", "throughput"});
+  kb.add(OperatingPoint{{0}, {{1e-16, 0.0}, {0.5, 0.0}}});
+  kb.add(OperatingPoint{{1}, {{2e-16, 0.0}, {2.0, 0.0}}});
+  Asrtm asrtm(kb);
+  asrtm.set_rank(Rank::maximize_throughput(1));
+  asrtm.add_constraint({0, ComparisonOp::kLess, 0.0, 0, 0.0});
+  EXPECT_EQ(asrtm.find_best_operating_point(), 1u);
+  EXPECT_FALSE(asrtm.last_selection_feasible());
+}
+
+TEST(ViolationTies, CombinedToleranceKeepsDenormalTies) {
+  const double denormal = 5e-324;
+  EXPECT_TRUE(violation_ties_minimum(denormal, denormal));
+  EXPECT_TRUE(violation_ties_minimum(3 * denormal, denormal));
+  EXPECT_TRUE(violation_ties_minimum(1e-16, 0.0));
+  EXPECT_FALSE(violation_ties_minimum(1e-9, 0.0));
+  // At normal magnitudes the relative term still governs.
+  EXPECT_TRUE(violation_ties_minimum(10.0 * (1.0 + 1e-13), 10.0));
+  EXPECT_FALSE(violation_ties_minimum(10.0 * (1.0 + 1e-9), 10.0));
+}
+
+TEST(Asrtm, ZeroObservedFeedbackIsRejectedGracefully) {
+  // A stalled kernel observes zero throughput; that must not abort the
+  // process (the old SOCRATES_REQUIRE did), must leave the correction
+  // untouched, and must be visible to the metrics and the event sink.
+  Asrtm asrtm(tiny_kb());
+  std::vector<RuntimeEvent> events;
+  asrtm.set_event_sink([&events](const RuntimeEvent& e) { events.push_back(e); });
+  asrtm.send_feedback(1, kPower, 0.0);
+  asrtm.send_feedback(1, kPower, -3.0);
+  asrtm.send_feedback(1, kPower, std::numeric_limits<double>::quiet_NaN());
+  asrtm.send_feedback(1, kPower, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(asrtm.feedback_rejected(), 4u);
+  EXPECT_DOUBLE_EQ(asrtm.correction(kPower), 1.0);
+  ASSERT_EQ(events.size(), 4u);
+  for (const auto& e : events)
+    EXPECT_EQ(e.kind, RuntimeEvent::Kind::kFeedbackRejected);
+  // Valid feedback still adapts.
+  asrtm.set_feedback_inertia(1.0);
+  asrtm.send_feedback(1, kPower, 104.0);
+  EXPECT_EQ(asrtm.feedback_rejected(), 4u);
+  EXPECT_NEAR(asrtm.correction(kPower), 1.3, 1e-12);
 }
 
 TEST(Asrtm, RejectsForeignMetricIndices) {
