@@ -46,6 +46,7 @@
 #include "platform/clock.hpp"
 #include "platform/rapl.hpp"
 #include "socrates/pipeline.hpp"
+#include "support/bench_json.hpp"
 #include "support/chaos.hpp"
 #include "support/supervisor.hpp"
 
@@ -298,6 +299,22 @@ bool run_decision_scaling_check() {
       g_allocations.load(std::memory_order_relaxed) - before;
 
   const double ratio = cold_ns / steady_ns;
+
+  // Machine-readable artifact for the baseline gate
+  // (bench/baselines/margot_overhead.json): bounds live on the ratio
+  // and the allocation count, which are hardware-independent.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("operating_points", static_cast<std::uint64_t>(kPoints));
+  w.key("decide").begin_object();
+  w.kv("cold_ns", cold_ns);
+  w.kv("steady_ns", steady_ns);
+  w.kv("ratio", ratio);
+  w.kv("steady_allocs", steady_allocs);
+  w.end_object();
+  w.end_object();
+  write_bench_json("margot_overhead", w.str());
+
   std::printf(
       "decision scaling @%zu OPs: cold=%.0fns steady=%.0fns ratio=%.1fx "
       "steady_allocs=%llu\n",

@@ -1,0 +1,56 @@
+// Compares a BENCH_*.json artifact against a committed baseline
+// (bench/baselines/*.json).  CTest pairs each bench smoke run with one
+// of these checks through a fixture, so a perf or invariant regression
+// fails CI with the violated bound spelled out instead of scrolling by.
+//
+//   bench_baseline_check <baseline.json> <candidate.json>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/bench_json.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <baseline.json> <candidate.json>\n", argv[0]);
+    return 2;
+  }
+  std::string baseline_text;
+  if (!read_file(argv[1], baseline_text)) {
+    std::fprintf(stderr, "cannot read baseline %s\n", argv[1]);
+    return 2;
+  }
+  std::string candidate_text;
+  if (!read_file(argv[2], candidate_text)) {
+    std::fprintf(stderr, "cannot read candidate %s (did the bench run first?)\n",
+                 argv[2]);
+    return 2;
+  }
+  try {
+    const auto checks = socrates::parse_baseline(baseline_text);
+    const auto failures = socrates::check_against_baseline(checks, candidate_text);
+    for (const auto& failure : failures) {
+      std::fprintf(stderr, "BASELINE VIOLATION: %s\n", failure.c_str());
+    }
+    if (!failures.empty()) return 1;
+    std::printf("BASELINE OK: %zu check(s) against %s\n", checks.size(), argv[1]);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "baseline check error: %s\n", error.what());
+    return 2;
+  }
+}

@@ -4,8 +4,8 @@ function(socrates_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     socrates_core socrates_cobayn socrates_dse socrates_weaver
-    socrates_margot socrates_kernels socrates_features socrates_bayes
-    socrates_ir socrates_platform socrates_support
+    socrates_server socrates_margot socrates_kernels socrates_features
+    socrates_bayes socrates_ir socrates_platform socrates_support
     benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -22,11 +22,21 @@ socrates_bench(ablation_dse_strategies)
 socrates_bench(ablation_feedback_adaptation)
 socrates_bench(ablation_margot_overhead)
 socrates_bench(ablation_fault_tolerance)
+socrates_bench(bench_server)
+
+# Compares a BENCH_*.json artifact against a committed baseline
+# (bench/baselines/*.json); paired with each smoke run via fixtures.
+add_executable(bench_baseline_check ${CMAKE_SOURCE_DIR}/bench/bench_baseline_check.cpp)
+target_link_libraries(bench_baseline_check PRIVATE socrates_support)
+set_target_properties(bench_baseline_check PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
 # The incremental-decision pin: runs only the synthetic-KB benchmarks
 # (the filter skips the fixtures that profile the real 2mm space) and
 # the bench's built-in steady-vs-cold assertion, which prints PASS/FAIL
-# and exits non-zero on a regression of the O(1) decision path.
+# and exits non-zero on a regression of the O(1) decision path.  The
+# run also emits BENCH_margot_overhead.json, which the *_baseline test
+# gates against the committed bounds.
 add_test(NAME decision_bench_smoke
   COMMAND ablation_margot_overhead
           --benchmark_filter=AsrtmDecide
@@ -34,4 +44,32 @@ add_test(NAME decision_bench_smoke
 set_tests_properties(decision_bench_smoke PROPERTIES
   LABELS "bench;smoke"
   PASS_REGULAR_EXPRESSION "PASS: steady-state decision"
-  FAIL_REGULAR_EXPRESSION "FAIL:")
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_margot_overhead_json)
+add_test(NAME decision_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/margot_overhead.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_margot_overhead.json)
+set_tests_properties(decision_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_margot_overhead_json)
+
+# The multi-tenant server pin (quick mode for CTest): clean / overload /
+# chaos regimes, kill-and-resume exactness, BENCH_server.json artifact
+# gated by machine-stable bounds.
+add_test(NAME server_bench_smoke
+  COMMAND bench_server --quick)
+set_tests_properties(server_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_server_json
+  TIMEOUT 600)
+add_test(NAME server_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/server.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_server.json)
+set_tests_properties(server_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_server_json)

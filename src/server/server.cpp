@@ -1,0 +1,493 @@
+#include "server/server.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "observability/metrics.hpp"
+#include "support/chaos.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace socrates::server {
+
+namespace {
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Supervisor-style exponential backoff between restarts of one shard.
+double restart_backoff_s(const ServerOptions& options, std::uint64_t restarts) {
+  if (options.restart_backoff_base_s <= 0.0) return 0.0;
+  const std::uint64_t shift = restarts < 16 ? restarts : 16;
+  const double backoff =
+      options.restart_backoff_base_s * static_cast<double>(std::uint64_t{1} << shift);
+  return backoff < options.restart_backoff_max_s ? backoff
+                                                 : options.restart_backoff_max_s;
+}
+
+/// Tenant names become checkpoint file names; anything exotic maps to '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    case BackpressurePolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+const char* to_string(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kShed: return "shed";
+    case Admission::kRateLimited: return "rate-limited";
+    case Admission::kQuarantined: return "quarantined";
+    case Admission::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions o;
+  o.shards = env::size_or("SOCRATES_SERVER_SHARDS", o.shards, 1, 64);
+  o.ring_capacity = env::size_or("SOCRATES_SERVER_RING", o.ring_capacity, 2, 1u << 20);
+  o.batch_drain = env::size_or("SOCRATES_SERVER_BATCH", o.batch_drain, 1, 1u << 16);
+  o.max_tenants = env::size_or("SOCRATES_SERVER_MAX_TENANTS", o.max_tenants, 1, 1u << 20);
+  o.group_commit = env::size_or("SOCRATES_SERVER_GROUP_COMMIT", o.group_commit, 1, 1u << 16);
+  o.journal_capacity =
+      env::size_or("SOCRATES_SERVER_JOURNAL_CAP", o.journal_capacity, 1, 1u << 24);
+  const std::string policy = env::choice_or(
+      "SOCRATES_SERVER_POLICY", "block", {"block", "drop-oldest", "reject"});
+  if (policy == "drop-oldest") {
+    o.policy = BackpressurePolicy::kDropOldest;
+  } else if (policy == "reject") {
+    o.policy = BackpressurePolicy::kReject;
+  } else {
+    o.policy = BackpressurePolicy::kBlock;
+  }
+  return o;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), anchor_(std::chrono::steady_clock::now()) {
+  SOCRATES_REQUIRE(options_.shards >= 1);
+  SOCRATES_REQUIRE(options_.ring_capacity >= 2);
+  SOCRATES_REQUIRE(options_.batch_drain >= 1);
+  SOCRATES_REQUIRE(options_.max_tenants >= 1);
+  SOCRATES_REQUIRE(options_.group_commit >= 1);
+  // The tenant vector is reserved up front and only ever appended to, so
+  // the hot path can index it without the registration mutex.
+  tenants_.reserve(options_.max_tenants);
+  if (!options_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      log_warn() << "server: cannot create checkpoint dir " << options_.checkpoint_dir
+                 << ": " << ec.message() << " — persistence disabled";
+      options_.checkpoint_dir.clear();
+    }
+  }
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring = std::make_unique<MpscRing<FeedbackEvent>>(options_.ring_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < options_.shards; ++i) start_shard(i);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Server::~Server() {
+  shutdown_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+  for (auto& shard : shards_) {
+    shard->stop.store(true, std::memory_order_release);
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Tenants (and their CheckpointStores) now destruct crash-equivalently:
+  // no final snapshot, buffered group-commit batches dropped.
+}
+
+double Server::steady_now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - anchor_)
+      .count();
+}
+
+double Server::now_s() const { return now_ ? now_() : steady_now_s(); }
+
+void Server::set_time_source(std::function<double()> now) { now_ = std::move(now); }
+
+std::string Server::checkpoint_path(const std::string& name) const {
+  return options_.checkpoint_dir + "/" + sanitize(name) + ".ckpt";
+}
+
+void Server::build_tenant_runtime(Tenant& tenant) {
+  // Order matters: the store holds a pointer into the AS-RTM as its
+  // event sink, so it dies first and is rebuilt last.
+  tenant.store.reset();
+  tenant.asrtm = std::make_unique<margot::Asrtm>(tenant.knowledge);
+  if (tenant.configure) tenant.configure(*tenant.asrtm);
+  if (!options_.checkpoint_dir.empty()) {
+    margot::CheckpointStore::Options copts;
+    copts.journal_capacity = options_.journal_capacity;
+    copts.group_commit = options_.group_commit;
+    tenant.store = std::make_unique<margot::CheckpointStore>(
+        checkpoint_path(tenant.name), copts);
+    tenant.store->attach(*tenant.asrtm);
+  }
+}
+
+bool Server::register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
+                             std::function<void(margot::Asrtm&)> configure,
+                             TenantHandle* out_handle) {
+  SOCRATES_REQUIRE(!knowledge.empty());
+  std::lock_guard<std::mutex> lock(registration_mu_);
+  if (tenants_.size() >= options_.max_tenants) {
+    MetricsRegistry::global().counter("server.tenants_rejected").add(1);
+    return false;
+  }
+  auto tenant = std::make_unique<Tenant>(std::move(knowledge));
+  tenant->name = name;
+  tenant->slot = static_cast<std::uint32_t>(tenants_.size());
+  tenant->shard = tenant->slot % options_.shards;
+  tenant->configure = std::move(configure);
+  tenant->bucket = options_.rate_limit_per_s > 0.0
+                       ? TokenBucket(options_.rate_limit_per_s, options_.rate_burst)
+                       : TokenBucket();
+  tenant->breaker = CircuitBreaker(options_.breaker);
+  build_tenant_runtime(*tenant);
+  tenants_.push_back(std::move(tenant));
+  // Publish after the entry is fully built: readers gate on tenant_count_.
+  tenant_count_.store(tenants_.size(), std::memory_order_release);
+  MetricsRegistry::global().gauge("server.tenants").set(
+      static_cast<double>(tenants_.size()));
+  if (out_handle != nullptr) *out_handle = tenants_.size() - 1;
+  return true;
+}
+
+std::size_t Server::shard_of(TenantHandle handle) const {
+  SOCRATES_REQUIRE(handle < tenant_count());
+  return tenants_[handle]->shard;
+}
+
+Admission Server::submit_feedback(TenantHandle handle, std::size_t op_index,
+                                  std::size_t metric, double observed) {
+  SOCRATES_REQUIRE(handle < tenant_count());
+  Tenant& tenant = *tenants_[handle];
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  static Counter& quarantined_c = MetricsRegistry::global().counter("server.quarantined");
+  static Counter& invalid_c = MetricsRegistry::global().counter("server.invalid_feedback");
+  static Counter& limited_c = MetricsRegistry::global().counter("server.rate_limited");
+  static Counter& accepted_c = MetricsRegistry::global().counter("server.accepted");
+  static Counter& shed_c = MetricsRegistry::global().counter("server.shed");
+
+  const double now = now_s();
+  {
+    std::lock_guard<std::mutex> lock(tenant.ingress_mu);
+    if (!tenant.breaker.allow(now)) {
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      quarantined_c.add(1);
+      return Admission::kQuarantined;
+    }
+    if (!std::isfinite(observed) || observed <= 0.0) {
+      // The AS-RTM would reject this anyway (Asrtm::send_feedback); the
+      // ingress refuses it before it costs ring space, and a flood of
+      // them trips the breaker.
+      tenant.breaker.record_error(now);
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      invalid_c.add(1);
+      return Admission::kInvalid;
+    }
+    if (!tenant.bucket.admit(now)) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      limited_c.add(1);
+      return Admission::kRateLimited;
+    }
+    tenant.breaker.record_ok(now);
+  }
+
+  FeedbackEvent event;
+  event.slot = tenant.slot;
+  event.metric = static_cast<std::uint32_t>(metric);
+  event.op = static_cast<std::uint32_t>(op_index);
+  event.value = observed;
+
+  Shard& shard = *shards_[tenant.shard];
+  std::size_t copies = 1;
+  auto& chaos = ChaosEngine::global();
+  if (chaos.enabled() && chaos.flood_ingest("server.ingest")) {
+    // An injected flood amplifies this event; the extra copies are
+    // harmless duplicates whose purpose is to exercise shedding.
+    copies += static_cast<std::size_t>(chaos.spec().flood_burst);
+  }
+
+  bool accepted = false;
+  for (std::size_t i = 0; i < copies; ++i) {
+    const PushResult result =
+        push_with_policy(*shard.ring, event, options_.policy, &shutdown_);
+    if (result.shed > 0) {
+      shed_.fetch_add(result.shed, std::memory_order_relaxed);
+      shed_c.add(result.shed);
+    }
+    if (result.accepted) {
+      accepted = true;
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      accepted_c.add(1);
+    } else if (options_.policy == BackpressurePolicy::kReject) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_c.add(1);
+    }
+  }
+  if (accepted) return Admission::kAccepted;
+  // kReject with a full ring (or kBlock aborted by shutdown).
+  return Admission::kShed;
+}
+
+std::size_t Server::decide(TenantHandle handle) {
+  SOCRATES_REQUIRE(handle < tenant_count());
+  Tenant& tenant = *tenants_[handle];
+  static Counter& decisions_c = MetricsRegistry::global().counter("server.decisions");
+  decisions_c.add(1);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  return tenant.asrtm->find_best_operating_point();
+}
+
+Admission Server::update_goal(TenantHandle handle, std::size_t constraint_handle,
+                              double goal) {
+  SOCRATES_REQUIRE(handle < tenant_count());
+  Tenant& tenant = *tenants_[handle];
+  static Counter& floods_c = MetricsRegistry::global().counter("server.goal_floods");
+  const double now = now_s();
+  {
+    std::lock_guard<std::mutex> lock(tenant.ingress_mu);
+    if (!tenant.breaker.allow(now)) {
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      return Admission::kQuarantined;
+    }
+    if (now - tenant.goal_window_start_s >= options_.goal_window_s) {
+      tenant.goal_window_start_s = now;
+      tenant.goal_updates_in_window = 0;
+    }
+    if (++tenant.goal_updates_in_window > options_.goal_update_threshold) {
+      // Goal flapping: every update past the threshold is a breaker
+      // error, so a tenant rewriting its requirements hundreds of times
+      // a second quarantines itself instead of thrashing the decision
+      // cache for everyone on its shard.
+      tenant.breaker.record_error(now);
+      floods_c.add(1);
+      return Admission::kInvalid;
+    }
+    tenant.breaker.record_ok(now);
+  }
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  tenant.asrtm->set_constraint_goal(constraint_handle, goal);
+  return Admission::kAccepted;
+}
+
+void Server::start_shard(std::size_t index) {
+  Shard& shard = *shards_[index];
+  shard.stop.store(false, std::memory_order_release);
+  shard.worker = std::thread([this, index] { shard_worker(index); });
+}
+
+void Server::shard_worker(std::size_t index) {
+  Shard& shard = *shards_[index];
+  std::vector<FeedbackEvent> batch(options_.batch_drain);
+  const std::string site = "server.shard" + std::to_string(index);
+  auto& chaos = ChaosEngine::global();
+  static Counter& drained_c = MetricsRegistry::global().counter("server.drained");
+  static Counter& stalls_c = MetricsRegistry::global().counter("server.stalls_injected");
+
+  while (!shard.stop.load(std::memory_order_acquire)) {
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+
+    // Stall injection (test hook or chaos).  The stall is a bounded
+    // sleep taken while holding NO tenant lock, so the watchdog can
+    // always join this thread and recovery never deadlocks on a lock
+    // the stalled worker holds.
+    double stall = shard.injected_stall_s.exchange(0.0, std::memory_order_acq_rel);
+    if (stall <= 0.0 && chaos.enabled() && chaos.stall_shard(site)) {
+      stall = chaos.spec().stall_ms / 1000.0;
+    }
+    if (stall > 0.0) {
+      stalls_c.add(1);
+      sleep_s(stall);
+    }
+
+    const std::size_t n = shard.ring->pop_batch(batch.data(), batch.size());
+    if (n == 0) {
+      // Idle: a short sleep instead of a pure yield keeps N shard
+      // workers from monopolizing a small core count while still
+      // bumping the heartbeat ~tens of thousands of times a second.
+      sleep_s(0.00005);
+      continue;
+    }
+    // Apply events grouped by tenant: consecutive same-tenant events
+    // share one lock acquisition (feedback arrives in per-tenant bursts,
+    // so this collapses most locking on the drain path).
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint32_t slot = batch[i].slot;
+      std::size_t j = i;
+      while (j < n && batch[j].slot == slot) ++j;
+      Tenant& tenant = *tenants_[slot];
+      {
+        std::lock_guard<std::mutex> lock(tenant.mu);
+        for (std::size_t k = i; k < j; ++k) {
+          tenant.asrtm->send_feedback(batch[k].op, batch[k].metric, batch[k].value);
+        }
+      }
+      tenant.applied.fetch_add(j - i, std::memory_order_relaxed);
+      i = j;
+    }
+    shard.drained.fetch_add(n, std::memory_order_relaxed);
+    drained_c.add(n);
+  }
+}
+
+void Server::watchdog_loop() {
+  static Counter& restarts_c = MetricsRegistry::global().counter("server.shard_restarts");
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    sleep_s(options_.watchdog_period_s);
+    const double now = steady_now_s();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const std::uint64_t beat = shard.heartbeat.load(std::memory_order_relaxed);
+      if (beat != shard.last_heartbeat_seen) {
+        shard.last_heartbeat_seen = beat;
+        shard.silent_since_s = now;
+        continue;
+      }
+      if (now - shard.silent_since_s < options_.shard_stall_deadline_s) continue;
+      log_warn() << "server: shard " << i << " heartbeat silent for "
+                 << (now - shard.silent_since_s) << "s — restarting";
+      restarts_c.add(1);
+      restart_shard(i);
+      shard.last_heartbeat_seen = shard.heartbeat.load(std::memory_order_relaxed);
+      shard.silent_since_s = steady_now_s();
+    }
+  }
+}
+
+void Server::restart_shard(std::size_t index) {
+  Shard& shard = *shards_[index];
+  const double started = steady_now_s();
+  shard.stop.store(true, std::memory_order_release);
+  // Injected stalls are bounded sleeps, so the join always returns.
+  if (shard.worker.joinable()) shard.worker.join();
+  const std::uint64_t restarts = shard.restarts.fetch_add(1, std::memory_order_relaxed);
+  sleep_s(restart_backoff_s(options_, restarts));
+
+  // Rebuild every tenant on this shard from its checkpoint.  The old
+  // store's buffered batch is dropped (crash-equivalent), which is
+  // exactly the "at most one uncommitted batch" loss the overload
+  // contract allows; everything committed replays.
+  const std::size_t count = tenant_count();
+  for (std::size_t t = 0; t < count; ++t) {
+    Tenant& tenant = *tenants_[t];
+    if (tenant.shard != index) continue;
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    build_tenant_runtime(tenant);
+  }
+  start_shard(index);
+  MetricsRegistry::global()
+      .histogram("server.recovery_seconds")
+      .observe(steady_now_s() - started);
+}
+
+bool Server::drain(double timeout_s) {
+  const double deadline = steady_now_s() + timeout_s;
+  while (true) {
+    const std::uint64_t accepted = accepted_.load(std::memory_order_acquire);
+    std::uint64_t drained = 0;
+    bool empty = true;
+    for (const auto& shard : shards_) {
+      drained += shard->drained.load(std::memory_order_acquire);
+      empty = empty && shard->ring->empty();
+    }
+    const std::uint64_t shed = shed_.load(std::memory_order_acquire);
+    if (empty && drained + shed >= accepted) return true;
+    if (steady_now_s() >= deadline) return false;
+    sleep_s(0.0001);
+  }
+}
+
+void Server::checkpoint_all() {
+  const std::size_t count = tenant_count();
+  for (std::size_t t = 0; t < count; ++t) {
+    Tenant& tenant = *tenants_[t];
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    if (tenant.store) tenant.store->checkpoint();
+  }
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.tenants = tenant_count();
+  for (const auto& shard : shards_) {
+    s.drained += shard->drained.load(std::memory_order_relaxed);
+    s.shard_restarts += shard->restarts.load(std::memory_order_relaxed);
+  }
+  for (std::size_t t = 0; t < s.tenants; ++t) {
+    std::lock_guard<std::mutex> lock(tenants_[t]->ingress_mu);
+    s.breaker_trips += tenants_[t]->breaker.trips();
+  }
+  return s;
+}
+
+Server::TenantStatus Server::tenant_status(TenantHandle handle) {
+  SOCRATES_REQUIRE(handle < tenant_count());
+  Tenant& tenant = *tenants_[handle];
+  TenantStatus status;
+  status.applied = tenant.applied.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(tenant.ingress_mu);
+    status.breaker = tenant.breaker.state();
+    status.breaker_trips = tenant.breaker.trips();
+  }
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  if (tenant.store) {
+    status.buffered_events = tenant.store->buffered_events();
+    status.journaled_events = tenant.store->journaled_events();
+    status.snapshots = tenant.store->snapshots_written();
+  }
+  return status;
+}
+
+void Server::with_tenant(TenantHandle handle,
+                         const std::function<void(margot::Asrtm&)>& fn) {
+  SOCRATES_REQUIRE(handle < tenant_count());
+  SOCRATES_REQUIRE(fn != nullptr);
+  Tenant& tenant = *tenants_[handle];
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  fn(*tenant.asrtm);
+}
+
+void Server::inject_stall(std::size_t shard, double seconds) {
+  SOCRATES_REQUIRE(shard < shards_.size());
+  SOCRATES_REQUIRE(seconds >= 0.0);
+  shards_[shard]->injected_stall_s.store(seconds, std::memory_order_release);
+}
+
+}  // namespace socrates::server

@@ -1,0 +1,275 @@
+// Overload-safe multi-tenant AS-RTM server.
+//
+// SOCRATES as a *service*: many applications (tenants) share one
+// autotuning runtime instead of linking their own.  Each tenant brings
+// a design-time knowledge base and its requirements; the server owns a
+// margot::Asrtm per tenant, shards tenants across supervised worker
+// threads, and keeps the two runtime paths of the paper's MAPE-K loop
+// fast and safe under overload:
+//
+//   feedback (write) — submit_feedback() is admission-controlled
+//       (token bucket, circuit breaker), then enqueued on the owning
+//       shard's bounded lock-free ring (server/mpsc_ring.hpp) under the
+//       configured backpressure policy.  The shard worker batch-drains
+//       the ring and applies events to the AS-RTM, where group-commit
+//       checkpointing (margot/checkpoint.hpp) journals them.
+//
+//   decision (read) — decide() takes the tenant lock and serves the
+//       O(1) epoch-cached find_best_operating_point(); feedback that
+//       did not move a correction past the decision epsilon never
+//       invalidates the cache, so decisions stay cheap while feedback
+//       floods.
+//
+// Robustness mechanisms (contract in docs/SERVER.md):
+//   - per-tenant TokenBucket rate limiting and a max_tenants admission
+//     cap: a noisy tenant is rejected at the door;
+//   - per-tenant CircuitBreaker: non-finite feedback and goal-flapping
+//     trip it, quarantining the tenant with exponential-backoff
+//     half-open probing;
+//   - a watchdog thread monitors per-shard heartbeats; a stalled shard
+//     (chaos-injected or real) is restarted with supervisor backoff and
+//     its tenants are rebuilt from their checkpoints;
+//   - destruction is crash-equivalent (no final snapshot): a new server
+//     pointed at the same checkpoint directory recovers every tenant,
+//     losing at most one uncommitted journal batch each.
+//
+// Observability: every path bumps `server.*` metrics in the PR 3
+// registry; docs/OBSERVABILITY.md lists them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "margot/asrtm.hpp"
+#include "margot/checkpoint.hpp"
+#include "margot/operating_point.hpp"
+#include "server/circuit_breaker.hpp"
+#include "server/mpsc_ring.hpp"
+#include "server/token_bucket.hpp"
+
+namespace socrates::server {
+
+struct ServerOptions {
+  std::size_t shards = 2;            ///< worker threads / rings, >= 1
+  std::size_t ring_capacity = 4096;  ///< per-shard ring slots (rounded to 2^k)
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  std::size_t batch_drain = 128;     ///< max events a worker drains per wakeup
+  std::size_t max_tenants = 1024;    ///< admission cap; registration beyond it fails
+
+  // Per-tenant ingress contract.
+  double rate_limit_per_s = 0.0;     ///< token-bucket refill; 0 = unlimited
+  double rate_burst = 256.0;         ///< token-bucket ceiling
+  CircuitBreaker::Options breaker;   ///< quarantine policy
+  std::size_t goal_update_threshold = 64;  ///< goal updates per window before
+                                           ///< flapping counts as breaker errors
+  double goal_window_s = 1.0;
+
+  // Shard supervision.
+  double shard_stall_deadline_s = 0.5;  ///< heartbeat silence that counts as a stall
+  double watchdog_period_s = 0.05;
+  double restart_backoff_base_s = 0.01; ///< supervisor-style backoff between restarts
+  double restart_backoff_max_s = 0.5;
+
+  // Crash safety ("" disables persistence).
+  std::string checkpoint_dir;
+  std::size_t journal_capacity = 4096;  ///< events between automatic snapshots
+  std::size_t group_commit = 64;        ///< journal lines per write+flush
+
+  /// Reads the SOCRATES_SERVER_* knobs (docs/SERVER.md) over these
+  /// defaults through support/env (clamped, warn-once):
+  ///   SOCRATES_SERVER_SHARDS, _RING, _BATCH, _MAX_TENANTS,
+  ///   _GROUP_COMMIT, _JOURNAL_CAP (sizes) and _POLICY
+  ///   ("block" | "drop-oldest" | "reject").
+  static ServerOptions from_env();
+};
+
+/// One feedback observation in flight between submit and apply.
+struct FeedbackEvent {
+  std::uint32_t slot = 0;    ///< tenant index
+  std::uint32_t metric = 0;
+  std::uint32_t op = 0;
+  double value = 0.0;
+};
+
+/// Outcome of an ingress call (submit_feedback / update_goal).
+enum class Admission {
+  kAccepted,     ///< enqueued (or applied, for goals)
+  kShed,         ///< ring full under kReject: the event was refused
+  kRateLimited,  ///< token bucket empty
+  kQuarantined,  ///< circuit breaker open
+  kInvalid,      ///< non-finite / non-positive observation (breaker error)
+};
+
+const char* to_string(Admission admission);
+
+class Server {
+ public:
+  using TenantHandle = std::uint64_t;
+
+  explicit Server(ServerOptions options);
+  /// Crash-equivalent: workers are stopped and joined, but no final
+  /// snapshot is written — buffered journal batches are dropped exactly
+  /// as a kill would drop them.  Call checkpoint_all() first for a
+  /// clean shutdown.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const ServerOptions& options() const { return options_; }
+
+  // ---- tenant lifecycle ------------------------------------------------
+  /// Registers a tenant: its AS-RTM is built from `knowledge`,
+  /// `configure` (may be empty) applies requirements, and — when the
+  /// server persists — a CheckpointStore attaches, restoring any prior
+  /// state for this tenant name.  `configure` is retained and re-run
+  /// when a shard restart rebuilds the tenant.  Returns false (and
+  /// counts server.tenants_rejected) when max_tenants are registered.
+  bool register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
+                       std::function<void(margot::Asrtm&)> configure,
+                       TenantHandle* out_handle);
+
+  std::size_t tenant_count() const { return tenant_count_.load(std::memory_order_acquire); }
+
+  // ---- the two runtime paths ------------------------------------------
+  /// Admission-controlled, policy-mediated enqueue of one observation.
+  Admission submit_feedback(TenantHandle handle, std::size_t op_index,
+                            std::size_t metric, double observed);
+
+  /// Best operating point for the tenant right now (the O(1) cached
+  /// decision path when nothing moved).
+  std::size_t decide(TenantHandle handle);
+
+  /// Changes a constraint goal.  Goal updates beyond
+  /// goal_update_threshold per goal_window_s count as breaker errors
+  /// (oscillating-tenant quarantine) and are rejected.
+  Admission update_goal(TenantHandle handle, std::size_t constraint_handle,
+                        double goal);
+
+  // ---- flow control / persistence -------------------------------------
+  /// Blocks until every accepted event has been drained (applied or
+  /// shed) and the rings are empty, or `timeout_s` elapses.  True on
+  /// full drain.
+  bool drain(double timeout_s);
+
+  /// Snapshots every tenant's checkpoint now (clean-shutdown point).
+  void checkpoint_all();
+
+  // ---- introspection ---------------------------------------------------
+  struct Stats {
+    std::uint64_t submitted = 0;     ///< submit_feedback calls
+    std::uint64_t accepted = 0;      ///< events enqueued (incl. flood copies)
+    std::uint64_t shed = 0;          ///< evicted (kDropOldest) or refused (kReject)
+    std::uint64_t rate_limited = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t invalid = 0;
+    std::uint64_t drained = 0;       ///< events applied by shard workers
+    std::uint64_t shard_restarts = 0;
+    std::uint64_t breaker_trips = 0; ///< over all tenants
+    std::size_t tenants = 0;
+  };
+  Stats stats() const;
+
+  struct TenantStatus {
+    std::uint64_t applied = 0;         ///< feedback events applied to the AS-RTM
+    CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+    std::uint64_t breaker_trips = 0;
+    std::size_t buffered_events = 0;   ///< journal lines a crash now would lose
+    std::uint64_t journaled_events = 0;
+    std::uint64_t snapshots = 0;
+  };
+  TenantStatus tenant_status(TenantHandle handle);
+
+  /// Runs `fn` with the tenant's AS-RTM under its lock (tests, benches).
+  void with_tenant(TenantHandle handle, const std::function<void(margot::Asrtm&)>& fn);
+
+  // ---- test hooks ------------------------------------------------------
+  /// Replaces the ingress clock (seconds; token bucket, breaker, goal
+  /// window).  Install before traffic; default is the steady clock
+  /// relative to server construction.
+  void set_time_source(std::function<double()> now);
+
+  /// Parks shard `shard` for `seconds` at its next loop iteration —
+  /// deterministic stand-in for the chaos shard-stall site.
+  void inject_stall(std::size_t shard, double seconds);
+
+  std::size_t shard_of(TenantHandle handle) const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::uint32_t slot = 0;
+    std::size_t shard = 0;
+    margot::KnowledgeBase knowledge;                 ///< retained for rebuilds
+    std::function<void(margot::Asrtm&)> configure;   ///< re-applied on rebuild
+
+    std::mutex mu;  ///< guards asrtm + store (shard worker vs. decide/goal)
+    std::unique_ptr<margot::Asrtm> asrtm;
+    std::unique_ptr<margot::CheckpointStore> store;  ///< null when not persisting
+
+    std::mutex ingress_mu;  ///< guards bucket/breaker/goal window (submitters)
+    TokenBucket bucket;
+    CircuitBreaker breaker;
+    double goal_window_start_s = 0.0;
+    std::size_t goal_updates_in_window = 0;
+
+    std::atomic<std::uint64_t> applied{0};
+
+    explicit Tenant(margot::KnowledgeBase kb) : knowledge(std::move(kb)) {}
+  };
+
+  struct Shard {
+    std::unique_ptr<MpscRing<FeedbackEvent>> ring;
+    std::thread worker;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> heartbeat{0};      ///< bumped each worker loop
+    std::atomic<double> injected_stall_s{0.0};    ///< consumed at loop top
+    std::atomic<std::uint64_t> drained{0};
+    std::atomic<std::uint64_t> restarts{0};
+    // Watchdog-side bookkeeping (watchdog thread only).
+    std::uint64_t last_heartbeat_seen = 0;
+    double silent_since_s = 0.0;
+  };
+
+  double now_s() const;
+  double steady_now_s() const;  ///< real clock (watchdog), never overridden
+  void start_shard(std::size_t index);
+  void shard_worker(std::size_t index);
+  void watchdog_loop();
+  /// Stops, recovers and respawns a stalled shard: every tenant on it
+  /// is rebuilt from its knowledge base + configure functor and its
+  /// checkpoint replayed (the stalled store's buffered batch is lost,
+  /// crash-equivalently).
+  void restart_shard(std::size_t index);
+  void build_tenant_runtime(Tenant& tenant);
+  std::string checkpoint_path(const std::string& name) const;
+
+  ServerOptions options_;
+  std::function<double()> now_;  ///< ingress clock (test-overridable)
+  std::chrono::steady_clock::time_point anchor_;
+
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::atomic<std::size_t> tenant_count_{0};
+  std::mutex registration_mu_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread watchdog_;
+  std::atomic<bool> shutdown_{false};  ///< aborts blocked producers + watchdog
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+};
+
+}  // namespace socrates::server

@@ -1,0 +1,57 @@
+// Per-tenant token-bucket rate limiter.
+//
+// Admission control for the multi-tenant server (docs/SERVER.md): each
+// tenant refills `rate` tokens per second up to a `burst` ceiling, and
+// every accepted feedback submission spends one.  A tenant that floods
+// beyond its contract is rejected at the door — before its events cost
+// ring space or shard CPU — so one noisy tenant cannot starve the
+// others.  Time is injected (seconds on the caller's clock) so tests
+// and the simulated platform drive it deterministically.
+#pragma once
+
+#include "support/error.hpp"
+
+namespace socrates::server {
+
+class TokenBucket {
+ public:
+  /// Unlimited: every admit() succeeds.
+  TokenBucket() = default;
+
+  /// `rate_per_s` tokens per second, holding at most `burst`.  The
+  /// bucket starts full.  A rate of 0 means unlimited.
+  TokenBucket(double rate_per_s, double burst) {
+    SOCRATES_REQUIRE(rate_per_s >= 0.0);
+    SOCRATES_REQUIRE(burst >= 1.0);
+    rate_ = rate_per_s;
+    burst_ = burst;
+    tokens_ = burst;
+    unlimited_ = rate_per_s <= 0.0;
+  }
+
+  bool unlimited() const { return unlimited_; }
+
+  /// True when `cost` tokens are available at `now_s` (and spends them).
+  bool admit(double now_s, double cost = 1.0) {
+    if (unlimited_) return true;
+    if (now_s > last_s_) {
+      tokens_ += (now_s - last_s_) * rate_;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_s_ = now_s;
+    }
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_s_ = 0.0;
+  bool unlimited_ = true;
+};
+
+}  // namespace socrates::server

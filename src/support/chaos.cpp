@@ -47,6 +47,20 @@ double parse_millis(const std::string& key, const std::string& value) {
   return ms;
 }
 
+double parse_count(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double n = 0.0;
+  try {
+    n = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw Error("chaos spec: non-numeric value '" + value + "' for " + key);
+  }
+  if (consumed != value.size() || n < 1.0 || n > 4096.0)
+    throw Error("chaos spec: count '" + value + "' for " + key +
+                " must be in [1, 4096]");
+  return n;
+}
+
 }  // namespace
 
 ChaosSpec ChaosSpec::parse(std::string_view text) {
@@ -86,10 +100,20 @@ ChaosSpec ChaosSpec::parse(std::string_view text) {
       spec.cache_write = parse_probability(key, value);
     else if (key == "cache-tmp")
       spec.cache_tmp = parse_probability(key, value);
+    else if (key == "shard-stall")
+      spec.shard_stall = parse_probability(key, value);
+    else if (key == "ingest-flood")
+      spec.ingest_flood = parse_probability(key, value);
+    else if (key == "journal-fail")
+      spec.journal_fail = parse_probability(key, value);
     else if (key == "hang-ms")
       spec.hang_ms = parse_millis(key, value);
     else if (key == "slow-ms")
       spec.slow_ms = parse_millis(key, value);
+    else if (key == "stall-ms")
+      spec.stall_ms = parse_millis(key, value);
+    else if (key == "flood-burst")
+      spec.flood_burst = parse_count(key, value);
     else
       throw Error("chaos spec: unknown key '" + key + "'");
   }
@@ -176,6 +200,21 @@ bool ChaosEngine::fail_write(std::string_view site) {
 bool ChaosEngine::drop_rename(std::string_view site) {
   if (!enabled()) return false;
   return decide(site, spec_.cache_tmp, "chaos.cache_stale_tmps");
+}
+
+bool ChaosEngine::stall_shard(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.shard_stall, "chaos.shard_stalls");
+}
+
+bool ChaosEngine::flood_ingest(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.ingest_flood, "chaos.ingest_floods");
+}
+
+bool ChaosEngine::fail_journal(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.journal_fail, "chaos.journal_faults");
 }
 
 bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index) const {

@@ -16,10 +16,18 @@
 //   entry          = key "=" value
 //   key            = stage-fail | stage-hang | stage-slow
 //                  | cache-read | cache-write | cache-tmp
-//                  | hang-ms | slow-ms
+//                  | shard-stall | ingest-flood | journal-fail
+//                  | hang-ms | slow-ms | stall-ms | flood-burst
 //
-// The six fault keys take per-call probabilities in [0, 1]; hang-ms /
-// slow-ms set the injected sleep durations.  Example:
+// The fault keys take per-call probabilities in [0, 1]; hang-ms /
+// slow-ms / stall-ms set the injected sleep durations and flood-burst
+// the amplification factor of an ingest flood.  The server-side sites
+// (docs/SERVER.md): `shard-stall` parks a shard worker past its
+// watchdog deadline (exercising restart + checkpoint recovery),
+// `ingest-flood` duplicates a submitted feedback event flood-burst
+// times (exercising backpressure shedding), and `journal-fail` makes a
+// checkpoint group-commit flush fail (the batch is lost, exactly like
+// a crash between commits).  Example:
 //
 //   SOCRATES_CHAOS="stage-fail=0.2,cache-write=0.1:2024"
 //
@@ -59,13 +67,19 @@ struct ChaosSpec {
   double cache_read = 0.0;   ///< P(disk artifact read is corrupted)
   double cache_write = 0.0;  ///< P(disk artifact write is cut short)
   double cache_tmp = 0.0;    ///< P(writer "dies" between tmp write and rename)
+  double shard_stall = 0.0;  ///< P(server shard worker parks past its deadline)
+  double ingest_flood = 0.0; ///< P(a submitted feedback event is amplified)
+  double journal_fail = 0.0; ///< P(a checkpoint group-commit flush fails)
   double hang_ms = 50.0;
   double slow_ms = 5.0;
+  double stall_ms = 80.0;    ///< duration of an injected shard stall
+  double flood_burst = 8.0;  ///< extra copies an ingest flood pushes
   std::uint64_t seed = 1;
 
   bool any() const {
     return stage_fail > 0 || stage_hang > 0 || stage_slow > 0 || cache_read > 0 ||
-           cache_write > 0 || cache_tmp > 0;
+           cache_write > 0 || cache_tmp > 0 || shard_stall > 0 ||
+           ingest_flood > 0 || journal_fail > 0;
   }
 
   /// Parses the SOCRATES_CHAOS grammar above.  Throws socrates::Error
@@ -93,6 +107,14 @@ class ChaosEngine {
   bool corrupt_read(std::string_view site);
   bool fail_write(std::string_view site);
   bool drop_rename(std::string_view site);
+
+  /// Server hooks (sites "server.shard<i>", "server.ingest",
+  /// "checkpoint.journal"): true = inject the fault at this call.  The
+  /// caller performs the effect (park the worker for spec().stall_ms,
+  /// push spec().flood_burst extra copies, drop the journal batch).
+  bool stall_shard(std::string_view site);
+  bool flood_ingest(std::string_view site);
+  bool fail_journal(std::string_view site);
 
   /// Deterministic indexed draw for parallel sites (DSE points): fires
   /// with probability `stage_fail` for the given (site, index) pair,

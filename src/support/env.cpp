@@ -71,6 +71,31 @@ std::string string_or(const char* name, std::string fallback) {
   return value ? *value : std::move(fallback);
 }
 
+std::string parse_choice(const char* name, const std::string& value,
+                         const std::string& fallback,
+                         const std::vector<std::string>& choices) {
+  if (value.empty()) return fallback;
+  for (const auto& choice : choices)
+    if (value == choice) return choice;
+  if (first_warning(name)) {
+    std::string allowed;
+    for (const auto& choice : choices) {
+      if (!allowed.empty()) allowed += '/';
+      allowed += choice;
+    }
+    log_warn() << name << "='" << value << "' is not one of " << allowed
+               << "; using " << fallback;
+  }
+  return fallback;
+}
+
+std::string choice_or(const char* name, const std::string& fallback,
+                      const std::vector<std::string>& choices) {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  return parse_choice(name, *value, fallback, choices);
+}
+
 bool flag(const char* name) {
   const auto value = raw(name);
   return value && !value->empty() && *value != "0";

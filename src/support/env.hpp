@@ -1,18 +1,19 @@
 // Shared, hardened environment-variable parsing.
 //
 // Every knob the library reads from the environment (SOCRATES_JOBS,
-// SOCRATES_CACHE_DIR, SOCRATES_TRACE, SOCRATES_CHAOS) goes through
-// these helpers instead of ad-hoc strtoul calls: a non-numeric,
-// negative or absurd value is *clamped* to the documented range with a
-// single logged warning per variable — never silently misparsed into
-// "0 jobs" or a surprise fallback.  Tests can exercise the parsers
-// directly (they take the value, not the variable) and the warn-once
-// registry can be reset.
+// SOCRATES_CACHE_DIR, SOCRATES_TRACE, SOCRATES_CHAOS, the
+// SOCRATES_SERVER_* family) goes through these helpers instead of
+// ad-hoc strtoul calls: a non-numeric, negative or absurd value is
+// *clamped* to the documented range with a single logged warning per
+// variable — never silently misparsed into "0 jobs" or a surprise
+// fallback.  Tests can exercise the parsers directly (they take the
+// value, not the variable) and the warn-once registry can be reset.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace socrates::env {
 
@@ -33,6 +34,19 @@ std::size_t parse_size(const char* name, const std::string& value,
 
 /// The variable's value, or `fallback` when unset.
 std::string string_or(const char* name, std::string fallback);
+
+/// Parses `name` as one of `choices` (exact, case-sensitive match —
+/// e.g. a backpressure policy "block" / "drop-oldest" / "reject").
+/// Unset or empty -> `fallback`; any other value warns once and falls
+/// back.  `fallback` must itself be one of the choices.
+std::string choice_or(const char* name, const std::string& fallback,
+                      const std::vector<std::string>& choices);
+
+/// Value-level worker behind choice_or; `name` only labels the warning.
+/// Exposed for tests.
+std::string parse_choice(const char* name, const std::string& value,
+                         const std::string& fallback,
+                         const std::vector<std::string>& choices);
 
 /// True when the variable is set to anything but "" or "0".
 bool flag(const char* name);

@@ -50,6 +50,55 @@ TEST(ChaosSpecParse, EmptyAndSeedlessSpecs) {
   EXPECT_EQ(spec.seed, 1u);  // default seed
 }
 
+TEST(ChaosSpecParse, ServerFaultSitesParse) {
+  const auto spec = ChaosSpec::parse(
+      "shard-stall=0.25,ingest-flood=0.5,journal-fail=0.75,"
+      "stall-ms=120,flood-burst=16:7");
+  EXPECT_DOUBLE_EQ(spec.shard_stall, 0.25);
+  EXPECT_DOUBLE_EQ(spec.ingest_flood, 0.5);
+  EXPECT_DOUBLE_EQ(spec.journal_fail, 0.75);
+  EXPECT_DOUBLE_EQ(spec.stall_ms, 120.0);
+  EXPECT_DOUBLE_EQ(spec.flood_burst, 16.0);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(ChaosSpecParse, ServerFaultValuesAreValidated) {
+  EXPECT_THROW(ChaosSpec::parse("shard-stall=1.5"), Error);
+  EXPECT_THROW(ChaosSpec::parse("ingest-flood=-0.1"), Error);
+  EXPECT_THROW(ChaosSpec::parse("journal-fail=nope"), Error);
+  EXPECT_THROW(ChaosSpec::parse("flood-burst=0"), Error);     // count >= 1
+  EXPECT_THROW(ChaosSpec::parse("flood-burst=99999"), Error); // count <= 4096
+  EXPECT_THROW(ChaosSpec::parse("stall-ms=999999"), Error);
+}
+
+TEST(ChaosEngineBasics, ServerHooksFollowTheirProbabilities) {
+  ChaosEngine engine;
+  ChaosSpec spec;
+  spec.shard_stall = 1.0;
+  spec.journal_fail = 1.0;
+  spec.ingest_flood = 0.0;
+  engine.install(spec);
+  EXPECT_TRUE(engine.stall_shard("server.shard0"));
+  EXPECT_TRUE(engine.fail_journal("checkpoint.journal"));
+  for (int i = 0; i < 32; ++i)
+    EXPECT_FALSE(engine.flood_ingest("server.ingest")) << "p=0 must never fire";
+}
+
+TEST(ChaosEngineBasics, ServerSiteSchedulesAreDeterministic) {
+  ChaosSpec spec;
+  spec.ingest_flood = 0.5;
+  spec.seed = 42;
+  ChaosEngine a;
+  ChaosEngine b;
+  a.install(spec);
+  b.install(spec);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.flood_ingest("server.ingest"), b.flood_ingest("server.ingest"))
+        << "draw " << i;
+  }
+}
+
 TEST(ChaosSpecParse, MalformedSpecsThrowSocratesError) {
   EXPECT_THROW(ChaosSpec::parse("unknown-key=0.5"), Error);
   EXPECT_THROW(ChaosSpec::parse("stage-fail"), Error);

@@ -13,6 +13,7 @@
 #include "margot/asrtm.hpp"
 #include "margot/checkpoint.hpp"
 #include "margot/state_manager.hpp"
+#include "support/chaos.hpp"
 #include "support/hash.hpp"
 
 namespace socrates::margot {
@@ -264,6 +265,87 @@ TEST_F(CheckpointTest, JournalIsBoundedByAutoSnapshots) {
   EXPECT_TRUE(result.restored);
   EXPECT_EQ(result.replayed, 3u);  // only the post-snapshot tail
   expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, GroupCommitBoundsKillLossToOneBatch) {
+  Asrtm before(make_kb());
+  CheckpointStore::Options options;
+  options.journal_capacity = 1024;  // no auto-snapshot in this test
+  options.group_commit = 8;
+  {
+    CheckpointStore store(path_, options);
+    store.attach(before);
+    // 20 events = two committed batches of 8 plus 4 buffered in memory.
+    for (int i = 0; i < 20; ++i) before.send_feedback(0, 0, 1.2);
+    EXPECT_EQ(store.journaled_events(), 20u);
+    EXPECT_EQ(store.buffered_events(), 4u);
+    // Crash here: the buffered tail is lost, the committed batches are not.
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_, options);
+  const auto result = store.attach(after);
+  EXPECT_EQ(result.replayed, 16u);  // exactly the committed prefix
+  EXPECT_GE(result.replayed + options.group_commit, 20u)
+      << "a crash may lose at most one uncommitted batch";
+
+  // The restored state matches a run that only ever saw the committed
+  // prefix — the loss is a clean truncation, not corruption.
+  Asrtm reference(make_kb());
+  for (int i = 0; i < 16; ++i) reference.send_feedback(0, 0, 1.2);
+  expect_same_learned_state(reference, after);
+}
+
+TEST_F(CheckpointTest, CheckpointSupersedesTheBufferedBatch) {
+  Asrtm before(make_kb());
+  CheckpointStore::Options options;
+  options.group_commit = 8;
+  {
+    CheckpointStore store(path_, options);
+    store.attach(before);
+    before.send_feedback(0, 0, 1.3);
+    before.send_feedback(0, 1, 55.0);
+    EXPECT_EQ(store.buffered_events(), 2u);
+    store.checkpoint();  // snapshot covers the buffered events
+    EXPECT_EQ(store.buffered_events(), 0u);
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_, options);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 0u);
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, GroupCommitOfOneFlushesEveryEvent) {
+  Asrtm asrtm(make_kb());
+  CheckpointStore store(path_);  // default group_commit = 1
+  store.attach(asrtm);
+  asrtm.send_feedback(0, 0, 1.3);
+  EXPECT_EQ(store.buffered_events(), 0u);  // nothing a crash could lose
+}
+
+TEST_F(CheckpointTest, JournalFailChaosDropsExactlyTheFailedBatch) {
+  Asrtm before(make_kb());
+  CheckpointStore::Options options;
+  options.journal_capacity = 1024;
+  options.group_commit = 4;
+  {
+    CheckpointStore store(path_, options);
+    store.attach(before);
+    ChaosSpec spec;
+    spec.journal_fail = 1.0;  // every flush fails while armed
+    ChaosEngine::global().install(spec);
+    for (int i = 0; i < 4; ++i) before.send_feedback(0, 0, 1.2);  // batch lost
+    ChaosEngine::global().disarm();
+    for (int i = 0; i < 4; ++i) before.send_feedback(0, 0, 1.2);  // batch lands
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_, options);
+  const auto result = store.attach(after);
+  EXPECT_EQ(result.replayed, 4u);  // only the healthy batch survives
 }
 
 TEST_F(CheckpointTest, ActiveStateSurvivesKillAndResume) {

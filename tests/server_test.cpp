@@ -1,0 +1,626 @@
+// Tests for the overload-safe multi-tenant AS-RTM server
+// (server/server.hpp): token-bucket and circuit-breaker ingress
+// control, SOCRATES_SERVER_* knob parsing, feedback routing through
+// the sharded rings, watchdog-driven shard restarts with checkpoint
+// recovery, crash-equivalent destruction, and the programmatic chaos
+// sites (ServerChaos*, also run by the chaos-smoke CTest preset).
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "margot/asrtm.hpp"
+#include "server/circuit_breaker.hpp"
+#include "server/server.hpp"
+#include "server/token_bucket.hpp"
+#include "support/chaos.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace socrates::server {
+namespace {
+
+namespace fs = std::filesystem;
+using margot::KnowledgeBase;
+using margot::OperatingPoint;
+using margot::Rank;
+using margot::RankDirection;
+
+KnowledgeBase make_kb(std::size_t points = 4) {
+  KnowledgeBase kb({"threads"}, {"exec_time_s", "power_w"});
+  for (std::size_t i = 0; i < points; ++i) {
+    OperatingPoint op;
+    op.knobs = {static_cast<int>(i + 1)};
+    op.metrics = {{1.0 + 0.1 * static_cast<double>(i), 0.01},
+                  {50.0 + static_cast<double>(i), 0.5}};
+    kb.add(std::move(op));
+  }
+  return kb;
+}
+
+void configure_min_time(margot::Asrtm& asrtm) {
+  asrtm.set_rank(Rank::minimize_exec_time(0));
+}
+
+// ---- token bucket ------------------------------------------------------------------
+
+TEST(TokenBucket, DefaultIsUnlimited) {
+  TokenBucket bucket;
+  EXPECT_TRUE(bucket.unlimited());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.admit(0.0));
+}
+
+TEST(TokenBucket, BurstThenRefusal) {
+  TokenBucket bucket(10.0, 4.0);  // 10/s, burst 4, starts full
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.admit(0.0));
+  EXPECT_FALSE(bucket.admit(0.0));  // burst exhausted, no time passed
+}
+
+TEST(TokenBucket, RefillsWithTime) {
+  TokenBucket bucket(10.0, 4.0);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(bucket.admit(0.0));
+  EXPECT_FALSE(bucket.admit(0.05));  // 0.5 tokens refilled: not enough
+  EXPECT_TRUE(bucket.admit(0.2));    // 2 tokens by now
+  EXPECT_TRUE(bucket.admit(100.0));  // refill caps at burst, still admits
+}
+
+TEST(TokenBucket, RejectsNonsenseParameters) {
+  EXPECT_THROW(TokenBucket(-1.0, 4.0), ContractViolation);
+  EXPECT_THROW(TokenBucket(10.0, 0.5), ContractViolation);
+}
+
+// ---- circuit breaker ---------------------------------------------------------------
+
+CircuitBreaker::Options small_breaker() {
+  CircuitBreaker::Options o;
+  o.error_threshold = 4;
+  o.window_s = 1.0;
+  o.base_cooldown_s = 0.5;
+  o.max_cooldown_s = 8.0;
+  o.probe_quota = 2;
+  return o;
+}
+
+TEST(CircuitBreaker, TripsAfterThresholdErrorsInWindow) {
+  CircuitBreaker breaker(small_breaker());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  for (int i = 0; i < 3; ++i) breaker.record_error(0.1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_error(0.2);  // 4th error inside the window
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow(0.3));  // cooling down
+}
+
+TEST(CircuitBreaker, SlidingWindowForgetsOldErrors) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_error(0.1);
+  // The window expires; the next error starts a fresh count.
+  breaker.record_error(2.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbesCloseTheBreaker) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record_error(0.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(0.1));
+  EXPECT_TRUE(breaker.allow(0.6));  // cooldown (0.5s) elapsed -> half-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.record_ok(0.7);
+  breaker.record_ok(0.8);  // probe quota 2 reached
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithDoubledCooldown) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record_error(0.0);
+  ASSERT_TRUE(breaker.allow(0.6));  // half-open
+  breaker.record_error(0.7);        // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_DOUBLE_EQ(breaker.cooldown_s(), 1.0);  // 0.5 * 2^1
+  EXPECT_FALSE(breaker.allow(1.2));   // the first cooldown would have elapsed
+  EXPECT_TRUE(breaker.allow(1.8));    // the doubled one has
+}
+
+TEST(CircuitBreaker, ClosingResetsTheBackoff) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record_error(0.0);
+  ASSERT_TRUE(breaker.allow(0.6));
+  breaker.record_ok(0.7);
+  breaker.record_ok(0.8);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.cooldown_s(), 0.5);  // back to the base
+}
+
+TEST(CircuitBreaker, CooldownIsCapped) {
+  CircuitBreaker breaker(small_breaker());
+  double now = 0.0;
+  for (int trip = 0; trip < 10; ++trip) {
+    while (breaker.state() != CircuitBreaker::State::kOpen) breaker.record_error(now);
+    now += breaker.cooldown_s() + 0.1;
+    ASSERT_TRUE(breaker.allow(now));  // half-open
+    breaker.record_error(now);        // fail the probe -> re-trip
+  }
+  EXPECT_DOUBLE_EQ(breaker.cooldown_s(), 8.0);  // max_cooldown_s
+}
+
+// ---- SOCRATES_SERVER_* knobs -------------------------------------------------------
+
+class ServerEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+  static void clear() {
+    for (const char* name :
+         {"SOCRATES_SERVER_SHARDS", "SOCRATES_SERVER_RING", "SOCRATES_SERVER_BATCH",
+          "SOCRATES_SERVER_MAX_TENANTS", "SOCRATES_SERVER_GROUP_COMMIT",
+          "SOCRATES_SERVER_JOURNAL_CAP", "SOCRATES_SERVER_POLICY"}) {
+      ::unsetenv(name);
+    }
+    env::reset_warnings();
+  }
+};
+
+TEST_F(ServerEnvTest, DefaultsWhenUnset) {
+  const ServerOptions o = ServerOptions::from_env();
+  const ServerOptions d;
+  EXPECT_EQ(o.shards, d.shards);
+  EXPECT_EQ(o.ring_capacity, d.ring_capacity);
+  EXPECT_EQ(o.batch_drain, d.batch_drain);
+  EXPECT_EQ(o.max_tenants, d.max_tenants);
+  EXPECT_EQ(o.group_commit, d.group_commit);
+  EXPECT_EQ(o.policy, BackpressurePolicy::kBlock);
+}
+
+TEST_F(ServerEnvTest, ValidKnobsPassThrough) {
+  ::setenv("SOCRATES_SERVER_SHARDS", "3", 1);
+  ::setenv("SOCRATES_SERVER_RING", "512", 1);
+  ::setenv("SOCRATES_SERVER_BATCH", "32", 1);
+  ::setenv("SOCRATES_SERVER_GROUP_COMMIT", "16", 1);
+  ::setenv("SOCRATES_SERVER_POLICY", "drop-oldest", 1);
+  const ServerOptions o = ServerOptions::from_env();
+  EXPECT_EQ(o.shards, 3u);
+  EXPECT_EQ(o.ring_capacity, 512u);
+  EXPECT_EQ(o.batch_drain, 32u);
+  EXPECT_EQ(o.group_commit, 16u);
+  EXPECT_EQ(o.policy, BackpressurePolicy::kDropOldest);
+}
+
+TEST_F(ServerEnvTest, BadValuesClampOrFallBackInsteadOfMisparsing) {
+  ::setenv("SOCRATES_SERVER_SHARDS", "0", 1);        // below minimum -> clamp to 1
+  ::setenv("SOCRATES_SERVER_RING", "banana", 1);     // garbage -> default
+  ::setenv("SOCRATES_SERVER_GROUP_COMMIT", "-4", 1); // negative -> clamp to 1
+  ::setenv("SOCRATES_SERVER_POLICY", "newest-wins", 1);  // unknown -> block
+  const ServerOptions o = ServerOptions::from_env();
+  const ServerOptions d;
+  EXPECT_EQ(o.shards, 1u);
+  EXPECT_EQ(o.ring_capacity, d.ring_capacity);
+  EXPECT_EQ(o.group_commit, 1u);
+  EXPECT_EQ(o.policy, BackpressurePolicy::kBlock);
+}
+
+TEST_F(ServerEnvTest, RejectPolicyParses) {
+  ::setenv("SOCRATES_SERVER_POLICY", "reject", 1);
+  EXPECT_EQ(ServerOptions::from_env().policy, BackpressurePolicy::kReject);
+}
+
+// ---- the server itself -------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChaosEngine::global().disarm();
+    dir_ = fs::temp_directory_path() /
+           ("socrates_server." + std::to_string(::getpid()) + "." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    ChaosEngine::global().disarm();
+    fs::remove_all(dir_);
+  }
+
+  /// Small, watchdog-quiet options for functional tests.
+  ServerOptions base_options() {
+    ServerOptions o;
+    o.shards = 2;
+    o.ring_capacity = 64;
+    o.batch_drain = 16;
+    o.max_tenants = 8;
+    o.shard_stall_deadline_s = 60.0;  // watchdog effectively off
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ServerTest, FeedbackFlowsThroughToTheTenantAsrtm) {
+  Server server(base_options());
+  Server::TenantHandle a = 0;
+  Server::TenantHandle b = 0;
+  ASSERT_TRUE(server.register_tenant("alpha", make_kb(), configure_min_time, &a));
+  ASSERT_TRUE(server.register_tenant("beta", make_kb(), configure_min_time, &b));
+  EXPECT_EQ(server.tenant_count(), 2u);
+  EXPECT_NE(server.shard_of(a), server.shard_of(b));  // round-robin over 2 shards
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(server.submit_feedback(a, 0, 0, 1.3), Admission::kAccepted);
+  }
+  ASSERT_TRUE(server.drain(5.0));
+
+  EXPECT_EQ(server.tenant_status(a).applied, 10u);
+  EXPECT_EQ(server.tenant_status(b).applied, 0u);  // isolation
+  server.with_tenant(a, [](margot::Asrtm& asrtm) {
+    EXPECT_GT(asrtm.correction(0), 1.0);  // observed 1.3 vs expected 1.0
+  });
+  server.with_tenant(b, [](margot::Asrtm& asrtm) {
+    EXPECT_DOUBLE_EQ(asrtm.correction(0), 1.0);
+  });
+  EXPECT_LT(server.decide(a), make_kb().size());
+
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.drained, 10u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(ServerTest, AdmissionCapRejectsTenantsBeyondMax) {
+  ServerOptions options = base_options();
+  options.max_tenants = 2;
+  Server server(options);
+  Server::TenantHandle h = 0;
+  EXPECT_TRUE(server.register_tenant("t0", make_kb(), {}, &h));
+  EXPECT_TRUE(server.register_tenant("t1", make_kb(), {}, &h));
+  EXPECT_FALSE(server.register_tenant("t2", make_kb(), {}, &h));
+  EXPECT_EQ(server.tenant_count(), 2u);
+}
+
+TEST_F(ServerTest, TokenBucketRateLimitsATenant) {
+  ServerOptions options = base_options();
+  options.rate_limit_per_s = 10.0;
+  options.rate_burst = 4.0;
+  Server server(options);
+  std::atomic<double> now{0.0};
+  server.set_time_source([&now] { return now.load(); });
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("limited", make_kb(), {}, &h));
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted);
+  }
+  EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kRateLimited);
+  now.store(1.0);  // 10 tokens refill (capped at burst 4)
+  EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted);
+  EXPECT_GE(server.stats().rate_limited, 1u);
+}
+
+TEST_F(ServerTest, NonFiniteFeedbackFloodTripsTheBreaker) {
+  ServerOptions options = base_options();
+  options.breaker.error_threshold = 8;
+  options.breaker.base_cooldown_s = 0.5;
+  options.breaker.probe_quota = 2;
+  Server server(options);
+  std::atomic<double> now{0.0};
+  server.set_time_source([&now] { return now.load(); });
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("nan-flood", make_kb(), {}, &h));
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(server.submit_feedback(h, 0, 0, nan), Admission::kInvalid);
+  }
+  // Breaker open: even healthy feedback is quarantined now.
+  EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kQuarantined);
+  EXPECT_EQ(server.tenant_status(h).breaker, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(server.stats().breaker_trips, 1u);
+
+  // After the cooldown the tenant is probed and, behaving, readmitted.
+  now.store(0.6);
+  EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted);
+  EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted);
+  EXPECT_EQ(server.tenant_status(h).breaker, CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(server.drain(5.0));
+}
+
+TEST_F(ServerTest, GoalFlappingQuarantinesTheTenant) {
+  ServerOptions options = base_options();
+  options.goal_update_threshold = 4;
+  options.goal_window_s = 1.0;
+  options.breaker.error_threshold = 4;
+  Server server(options);
+  std::atomic<double> now{0.0};
+  server.set_time_source([&now] { return now.load(); });
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("flapper", make_kb(),
+                                     [](margot::Asrtm& asrtm) {
+                                       asrtm.set_rank(Rank::minimize_exec_time(0));
+                                       asrtm.add_constraint(
+                                           {0, margot::ComparisonOp::kLess, 2.0, 0, 0.0});
+                                     },
+                                     &h));
+
+  // 4 updates inside the window are within contract...
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.update_goal(h, 0, 1.5 + 0.1 * i), Admission::kAccepted);
+  }
+  // ...every one past the threshold is a breaker error; 4 of those trip it.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.update_goal(h, 0, 1.5), Admission::kInvalid);
+  }
+  EXPECT_EQ(server.update_goal(h, 0, 1.5), Admission::kQuarantined);
+  EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kQuarantined);
+  EXPECT_GE(server.stats().breaker_trips, 1u);
+}
+
+TEST_F(ServerTest, RejectPolicyShedsWhenTheRingIsFull) {
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.ring_capacity = 16;
+  options.policy = BackpressurePolicy::kReject;
+  Server server(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("bursty", make_kb(), {}, &h));
+  // Stall the lone shard so nothing drains while we overfill the ring.
+  server.inject_stall(0, 0.5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::size_t accepted = 0;
+  std::size_t shed = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Admission result = server.submit_feedback(h, 0, 0, 1.2);
+    if (result == Admission::kAccepted) ++accepted;
+    if (result == Admission::kShed) ++shed;
+  }
+  EXPECT_GT(shed, 0u) << "a full ring under kReject must refuse events";
+  EXPECT_LE(accepted, 16u + 1u);
+  ASSERT_TRUE(server.drain(5.0));
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, accepted);
+  EXPECT_EQ(stats.drained, accepted);  // accepted events all land eventually
+}
+
+TEST_F(ServerTest, DropOldestPolicyBoundsTheRingWithoutBlocking) {
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.ring_capacity = 16;
+  options.policy = BackpressurePolicy::kDropOldest;
+  Server server(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("telemetry", make_kb(), {}, &h));
+  server.inject_stall(0, 0.5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted)
+        << "drop-oldest never refuses the newest event";
+  }
+  ASSERT_TRUE(server.drain(5.0));
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 64u);
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_EQ(stats.drained + stats.shed, stats.accepted);  // conservation
+}
+
+TEST_F(ServerTest, WatchdogRestartsAStalledShardAndRecoversItsTenants) {
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.shard_stall_deadline_s = 0.15;
+  options.watchdog_period_s = 0.03;
+  options.restart_backoff_base_s = 0.0;
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 1;  // flush-per-event: the restart loses nothing
+  Server server(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("survivor", make_kb(), configure_min_time, &h));
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.3), Admission::kAccepted);
+  }
+  ASSERT_TRUE(server.drain(5.0));
+  double correction_before = 0.0;
+  server.with_tenant(h, [&](margot::Asrtm& asrtm) {
+    correction_before = asrtm.correction(0);
+  });
+  ASSERT_GT(correction_before, 1.0);
+
+  // Park the worker far past the watchdog deadline and wait for the
+  // restart to be detected and completed.
+  server.inject_stall(0, 1.0);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server.stats().shard_restarts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(server.stats().shard_restarts, 1u) << "watchdog never fired";
+
+  // The rebuilt tenant replayed its journal: learned state intact.
+  server.with_tenant(h, [&](margot::Asrtm& asrtm) {
+    EXPECT_DOUBLE_EQ(asrtm.correction(0), correction_before);
+  });
+  // And the shard is alive again: new feedback still flows.
+  ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.3), Admission::kAccepted);
+  ASSERT_TRUE(server.drain(5.0));
+}
+
+TEST_F(ServerTest, CrashAndResumeRecoversEveryTenant) {
+  ServerOptions options = base_options();
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 4;
+  constexpr int kTenants = 4;
+  constexpr int kEventsPerTenant = 10;  // 2 committed batches + 2 buffered
+  double corrections[kTenants] = {};
+
+  {
+    Server server(options);
+    for (int t = 0; t < kTenants; ++t) {
+      Server::TenantHandle h = 0;
+      ASSERT_TRUE(server.register_tenant("tenant" + std::to_string(t), make_kb(),
+                                         configure_min_time, &h));
+      for (int i = 0; i < kEventsPerTenant; ++i) {
+        ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.4), Admission::kAccepted);
+      }
+    }
+    ASSERT_TRUE(server.drain(10.0));
+    for (int t = 0; t < kTenants; ++t) {
+      const auto status = server.tenant_status(static_cast<std::uint64_t>(t));
+      EXPECT_EQ(status.applied, static_cast<std::uint64_t>(kEventsPerTenant));
+      EXPECT_LT(status.buffered_events, options.group_commit)
+          << "a crash may lose at most one uncommitted batch";
+      server.with_tenant(static_cast<std::uint64_t>(t), [&](margot::Asrtm& asrtm) {
+        corrections[t] = asrtm.correction(0);
+      });
+    }
+    // Destructor without checkpoint_all(): crash-equivalent.
+  }
+
+  Server resumed(options);
+  for (int t = 0; t < kTenants; ++t) {
+    Server::TenantHandle h = 0;
+    ASSERT_TRUE(resumed.register_tenant("tenant" + std::to_string(t), make_kb(),
+                                        configure_min_time, &h));
+    // The journal replays the committed prefix (8 of 10 events); the
+    // learned state must match a run that saw exactly that prefix.
+    margot::Asrtm reference(make_kb());
+    for (int i = 0; i < 8; ++i) reference.send_feedback(0, 0, 1.4);
+    resumed.with_tenant(h, [&](margot::Asrtm& asrtm) {
+      EXPECT_DOUBLE_EQ(asrtm.correction(0), reference.correction(0)) << "tenant " << t;
+      EXPECT_GT(asrtm.correction(0), 1.0);
+      EXPECT_LE(asrtm.correction(0), corrections[t]);
+    });
+  }
+}
+
+TEST_F(ServerTest, CheckpointAllMakesShutdownLossless) {
+  ServerOptions options = base_options();
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 64;  // large batches: everything would sit buffered
+  double correction_before = 0.0;
+  {
+    Server server(options);
+    Server::TenantHandle h = 0;
+    ASSERT_TRUE(server.register_tenant("clean", make_kb(), configure_min_time, &h));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.5), Admission::kAccepted);
+    }
+    ASSERT_TRUE(server.drain(5.0));
+    server.with_tenant(h, [&](margot::Asrtm& asrtm) {
+      correction_before = asrtm.correction(0);
+    });
+    server.checkpoint_all();  // clean shutdown point
+  }
+  Server resumed(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(resumed.register_tenant("clean", make_kb(), configure_min_time, &h));
+  resumed.with_tenant(h, [&](margot::Asrtm& asrtm) {
+    EXPECT_DOUBLE_EQ(asrtm.correction(0), correction_before);
+  });
+}
+
+// ---- programmatic chaos sites (run by the chaos-smoke preset too) ------------------
+
+TEST_F(ServerTest, ServerChaosIngestFloodIsShedNotFatal) {
+  ChaosSpec spec;
+  spec.ingest_flood = 0.5;
+  spec.flood_burst = 8.0;
+  spec.seed = 2024;
+  ChaosEngine::global().install(spec);
+
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.ring_capacity = 32;
+  options.policy = BackpressurePolicy::kDropOldest;
+  Server server(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("flooded", make_kb(), {}, &h));
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted);
+  }
+  ChaosEngine::global().disarm();
+  ASSERT_TRUE(server.drain(10.0));
+  const Server::Stats stats = server.stats();
+  EXPECT_GT(stats.accepted, 200u) << "floods amplify accepted events";
+  EXPECT_EQ(stats.drained + stats.shed, stats.accepted);  // conservation holds
+}
+
+TEST_F(ServerTest, ServerChaosShardStallRecoversThroughTheWatchdog) {
+  ChaosSpec spec;
+  spec.shard_stall = 0.02;
+  spec.stall_ms = 400.0;  // well past the 150ms deadline below
+  spec.seed = 7;
+  ChaosEngine::global().install(spec);
+
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.shard_stall_deadline_s = 0.15;
+  options.watchdog_period_s = 0.03;
+  options.restart_backoff_base_s = 0.0;
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 1;
+  Server server(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("chaotic", make_kb(), configure_min_time, &h));
+
+  std::uint64_t sent = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server.stats().shard_restarts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (server.submit_feedback(h, 0, 0, 1.3) == Admission::kAccepted) ++sent;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ChaosEngine::global().disarm();
+  ASSERT_GE(server.stats().shard_restarts, 1u) << "chaos stall never tripped";
+  ASSERT_TRUE(server.drain(20.0));
+
+  // The server survived: feedback still flows and decisions still serve.
+  ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.3), Admission::kAccepted);
+  ASSERT_TRUE(server.drain(5.0));
+  EXPECT_LT(server.decide(h), make_kb().size());
+}
+
+TEST_F(ServerTest, ServerChaosJournalFailLosesAtMostTheFailedBatches) {
+  ChaosSpec spec;
+  spec.journal_fail = 0.3;
+  spec.seed = 11;
+  ChaosEngine::global().install(spec);
+
+  ServerOptions options = base_options();
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 4;
+  constexpr std::uint64_t kEvents = 40;
+  {
+    Server server(options);
+    Server::TenantHandle h = 0;
+    ASSERT_TRUE(server.register_tenant("lossy", make_kb(), configure_min_time, &h));
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.4), Admission::kAccepted);
+    }
+    ASSERT_TRUE(server.drain(10.0));
+    EXPECT_EQ(server.tenant_status(h).applied, kEvents);
+  }
+  ChaosEngine::global().disarm();
+
+  // Resume: some batches were dropped by the injected I/O failures, but
+  // what replays is a clean prefix-of-batches subset — never corruption.
+  Server resumed(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(resumed.register_tenant("lossy", make_kb(), configure_min_time, &h));
+  resumed.with_tenant(h, [](margot::Asrtm& asrtm) {
+    EXPECT_GE(asrtm.correction(0), 1.0);
+    (void)asrtm.find_best_operating_point();  // decisions still serve
+  });
+}
+
+}  // namespace
+}  // namespace socrates::server

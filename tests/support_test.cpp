@@ -246,5 +246,24 @@ TEST(EnvParse, OutOfRangeClampsToTheNearestBound) {
   EXPECT_EQ(env::parse_size("T_JOBS", "99999999999999999999999", 4, 1, 256), 256u);
 }
 
+TEST(EnvParse, ChoiceAcceptsListedValues) {
+  env::reset_warnings();
+  const std::vector<std::string> policies{"block", "drop-oldest", "reject"};
+  EXPECT_EQ(env::parse_choice("T_POLICY", "block", "block", policies), "block");
+  EXPECT_EQ(env::parse_choice("T_POLICY", "drop-oldest", "block", policies),
+            "drop-oldest");
+  EXPECT_EQ(env::parse_choice("T_POLICY", "reject", "block", policies), "reject");
+}
+
+TEST(EnvParse, ChoiceFallsBackOnUnknownOrEmpty) {
+  env::reset_warnings();
+  const std::vector<std::string> policies{"block", "drop-oldest", "reject"};
+  EXPECT_EQ(env::parse_choice("T_POLICY", "", "block", policies), "block");
+  EXPECT_EQ(env::parse_choice("T_POLICY", "drop_oldest", "block", policies), "block");
+  EXPECT_EQ(env::parse_choice("T_POLICY", "BLOCK", "block", policies), "block")
+      << "matching is case-sensitive";
+  EXPECT_EQ(env::parse_choice("T_POLICY", "random", "block", policies), "block");
+}
+
 }  // namespace
 }  // namespace socrates
