@@ -67,6 +67,11 @@ void CircuitBreaker::record_error(double now_s) {
   if (++window_errors_ >= options_.error_threshold) trip(now_s);
 }
 
+void CircuitBreaker::force_open(double now_s) {
+  if (state_ == State::kOpen) return;
+  trip(now_s);
+}
+
 void CircuitBreaker::record_ok(double now_s) {
   (void)now_s;
   if (state_ != State::kHalfOpen) return;

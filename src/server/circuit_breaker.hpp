@@ -56,6 +56,12 @@ class CircuitBreaker {
   /// the probe quota that closes the breaker.
   void record_ok(double now_s);
 
+  /// Trips the breaker immediately, regardless of the error window —
+  /// used when the server itself decides a tenant must be quarantined
+  /// (an exception escaped its AS-RTM, a rebuild failed).  No-op when
+  /// already open.
+  void force_open(double now_s);
+
   State state() const { return state_; }
   /// Lifetime closed/half-open → open transitions.
   std::size_t trips() const { return trips_; }

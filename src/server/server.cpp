@@ -90,9 +90,10 @@ Server::Server(ServerOptions options)
   SOCRATES_REQUIRE(options_.batch_drain >= 1);
   SOCRATES_REQUIRE(options_.max_tenants >= 1);
   SOCRATES_REQUIRE(options_.group_commit >= 1);
-  // The tenant vector is reserved up front and only ever appended to, so
-  // the hot path can index it without the registration mutex.
-  tenants_.reserve(options_.max_tenants);
+  // Fixed-size slot array: the hot path indexes it lock-free, gated
+  // only on tenant_count_, and the array itself never reallocates or
+  // mutates once a slot is published.
+  tenants_ = std::make_unique<std::unique_ptr<Tenant>[]>(options_.max_tenants);
   if (!options_.checkpoint_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(options_.checkpoint_dir, ec);
@@ -137,19 +138,27 @@ std::string Server::checkpoint_path(const std::string& name) const {
 }
 
 void Server::build_tenant_runtime(Tenant& tenant) {
-  // Order matters: the store holds a pointer into the AS-RTM as its
-  // event sink, so it dies first and is rebuilt last.
+  // Build the replacement runtime off to the side first: a throwing
+  // Asrtm constructor or tenant configure functor must leave the live
+  // runtime untouched so the caller can quarantine instead of crash.
+  auto asrtm = std::make_unique<margot::Asrtm>(tenant.knowledge);
+  if (tenant.configure) tenant.configure(*asrtm);
+  // Commit point.  Order matters: the old store holds a pointer into
+  // the old AS-RTM as its event sink (and the journal file open), so it
+  // dies first; only then may the new store replay that journal into
+  // the new AS-RTM.  The old store's buffered batch is dropped,
+  // crash-equivalently.
   tenant.store.reset();
-  tenant.asrtm = std::make_unique<margot::Asrtm>(tenant.knowledge);
-  if (tenant.configure) tenant.configure(*tenant.asrtm);
   if (!options_.checkpoint_dir.empty()) {
     margot::CheckpointStore::Options copts;
     copts.journal_capacity = options_.journal_capacity;
     copts.group_commit = options_.group_commit;
-    tenant.store = std::make_unique<margot::CheckpointStore>(
+    auto store = std::make_unique<margot::CheckpointStore>(
         checkpoint_path(tenant.name), copts);
-    tenant.store->attach(*tenant.asrtm);
+    store->attach(*asrtm);
+    tenant.store = std::move(store);
   }
+  tenant.asrtm = std::move(asrtm);
 }
 
 bool Server::register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
@@ -157,26 +166,36 @@ bool Server::register_tenant(const std::string& name, margot::KnowledgeBase know
                              TenantHandle* out_handle) {
   SOCRATES_REQUIRE(!knowledge.empty());
   std::lock_guard<std::mutex> lock(registration_mu_);
-  if (tenants_.size() >= options_.max_tenants) {
+  const std::size_t slot = tenant_count_.load(std::memory_order_relaxed);
+  if (slot >= options_.max_tenants) {
     MetricsRegistry::global().counter("server.tenants_rejected").add(1);
     return false;
   }
   auto tenant = std::make_unique<Tenant>(std::move(knowledge));
   tenant->name = name;
-  tenant->slot = static_cast<std::uint32_t>(tenants_.size());
+  tenant->slot = static_cast<std::uint32_t>(slot);
   tenant->shard = tenant->slot % options_.shards;
   tenant->configure = std::move(configure);
+  tenant->op_count = tenant->knowledge.size();
+  tenant->metric_count = tenant->knowledge.metric_names().size();
   tenant->bucket = options_.rate_limit_per_s > 0.0
                        ? TokenBucket(options_.rate_limit_per_s, options_.rate_burst)
                        : TokenBucket();
   tenant->breaker = CircuitBreaker(options_.breaker);
-  build_tenant_runtime(*tenant);
-  tenants_.push_back(std::move(tenant));
+  try {
+    build_tenant_runtime(*tenant);
+  } catch (const std::exception& e) {
+    log_warn() << "server: tenant " << name << " rejected, runtime build failed: "
+               << e.what();
+    MetricsRegistry::global().counter("server.tenants_rejected").add(1);
+    return false;
+  }
+  tenants_[slot] = std::move(tenant);
   // Publish after the entry is fully built: readers gate on tenant_count_.
-  tenant_count_.store(tenants_.size(), std::memory_order_release);
+  tenant_count_.store(slot + 1, std::memory_order_release);
   MetricsRegistry::global().gauge("server.tenants").set(
-      static_cast<double>(tenants_.size()));
-  if (out_handle != nullptr) *out_handle = tenants_.size() - 1;
+      static_cast<double>(slot + 1));
+  if (out_handle != nullptr) *out_handle = slot;
   return true;
 }
 
@@ -204,10 +223,14 @@ Admission Server::submit_feedback(TenantHandle handle, std::size_t op_index,
       quarantined_c.add(1);
       return Admission::kQuarantined;
     }
-    if (!std::isfinite(observed) || observed <= 0.0) {
-      // The AS-RTM would reject this anyway (Asrtm::send_feedback); the
-      // ingress refuses it before it costs ring space, and a flood of
-      // them trips the breaker.
+    if (op_index >= tenant.op_count || metric >= tenant.metric_count ||
+        !std::isfinite(observed) || observed <= 0.0) {
+      // Malformed requests never reach the shard worker: an
+      // out-of-range op/metric would trip Asrtm::send_feedback's
+      // contract there (terminating the whole server from the worker
+      // thread), and a non-finite value would be rejected after costing
+      // ring space.  The ingress refuses both, and a flood of them
+      // trips the breaker.
       tenant.breaker.record_error(now);
       invalid_.fetch_add(1, std::memory_order_relaxed);
       invalid_c.add(1);
@@ -272,11 +295,13 @@ Admission Server::update_goal(TenantHandle handle, std::size_t constraint_handle
   SOCRATES_REQUIRE(handle < tenant_count());
   Tenant& tenant = *tenants_[handle];
   static Counter& floods_c = MetricsRegistry::global().counter("server.goal_floods");
+  static Counter& quarantined_c = MetricsRegistry::global().counter("server.quarantined");
   const double now = now_s();
   {
     std::lock_guard<std::mutex> lock(tenant.ingress_mu);
     if (!tenant.breaker.allow(now)) {
       quarantined_.fetch_add(1, std::memory_order_relaxed);
+      quarantined_c.add(1);
       return Admission::kQuarantined;
     }
     if (now - tenant.goal_window_start_s >= options_.goal_window_s) {
@@ -346,13 +371,30 @@ void Server::shard_worker(std::size_t index) {
       std::size_t j = i;
       while (j < n && batch[j].slot == slot) ++j;
       Tenant& tenant = *tenants_[slot];
-      {
+      std::size_t applied = 0;
+      // Defense in depth: ingress validation should make a throwing
+      // apply unreachable, but an exception escaping this thread body
+      // would std::terminate the whole server — quarantine the one
+      // tenant instead and keep draining everyone else's events.
+      const auto quarantine = [&](const char* what) {
+        log_warn() << "server: tenant " << tenant.name << " feedback apply failed ("
+                   << what << ") — quarantined";
+        MetricsRegistry::global().counter("server.apply_failures").add(1);
+        std::lock_guard<std::mutex> ingress(tenant.ingress_mu);
+        tenant.breaker.force_open(now_s());
+      };
+      try {
         std::lock_guard<std::mutex> lock(tenant.mu);
         for (std::size_t k = i; k < j; ++k) {
           tenant.asrtm->send_feedback(batch[k].op, batch[k].metric, batch[k].value);
+          ++applied;
         }
+      } catch (const std::exception& e) {
+        quarantine(e.what());
+      } catch (...) {
+        quarantine("non-standard exception");
       }
-      tenant.applied.fetch_add(j - i, std::memory_order_relaxed);
+      tenant.applied.fetch_add(applied, std::memory_order_relaxed);
       i = j;
     }
     shard.drained.fetch_add(n, std::memory_order_relaxed);
@@ -401,8 +443,25 @@ void Server::restart_shard(std::size_t index) {
   for (std::size_t t = 0; t < count; ++t) {
     Tenant& tenant = *tenants_[t];
     if (tenant.shard != index) continue;
-    std::lock_guard<std::mutex> lock(tenant.mu);
-    build_tenant_runtime(tenant);
+    // A throwing rebuild (buggy configure functor, bad checkpoint I/O)
+    // must not escape the watchdog thread and take the server down:
+    // quarantine this tenant — it keeps its pre-restart runtime for
+    // reads — and keep recovering the others.
+    const auto quarantine = [&](const char* what) {
+      log_warn() << "server: tenant " << tenant.name << " rebuild failed ("
+                 << what << ") — quarantined";
+      MetricsRegistry::global().counter("server.rebuild_failures").add(1);
+      std::lock_guard<std::mutex> ingress(tenant.ingress_mu);
+      tenant.breaker.force_open(now_s());
+    };
+    try {
+      std::lock_guard<std::mutex> lock(tenant.mu);
+      build_tenant_runtime(tenant);
+    } catch (const std::exception& e) {
+      quarantine(e.what());
+    } catch (...) {
+      quarantine("non-standard exception");
+    }
   }
   start_shard(index);
   MetricsRegistry::global()

@@ -105,7 +105,9 @@ enum class Admission {
   kShed,         ///< ring full under kReject: the event was refused
   kRateLimited,  ///< token bucket empty
   kQuarantined,  ///< circuit breaker open
-  kInvalid,      ///< non-finite / non-positive observation (breaker error)
+  kInvalid,      ///< malformed request: non-finite / non-positive
+                 ///< observation or out-of-range op/metric index
+                 ///< (each counts as a breaker error)
 };
 
 const char* to_string(Admission admission);
@@ -132,7 +134,8 @@ class Server {
   /// server persists — a CheckpointStore attaches, restoring any prior
   /// state for this tenant name.  `configure` is retained and re-run
   /// when a shard restart rebuilds the tenant.  Returns false (and
-  /// counts server.tenants_rejected) when max_tenants are registered.
+  /// counts server.tenants_rejected) when max_tenants are registered or
+  /// when the AS-RTM build / configure functor throws.
   bool register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
                        std::function<void(margot::Asrtm&)> configure,
                        TenantHandle* out_handle);
@@ -141,6 +144,11 @@ class Server {
 
   // ---- the two runtime paths ------------------------------------------
   /// Admission-controlled, policy-mediated enqueue of one observation.
+  /// Malformed requests — op_index/metric outside the tenant's
+  /// knowledge base, non-finite or non-positive observations — are
+  /// refused at ingress with kInvalid and count as breaker errors, so
+  /// a flood of them quarantines the sender instead of reaching (and
+  /// tripping contracts inside) the shard worker.
   Admission submit_feedback(TenantHandle handle, std::size_t op_index,
                             std::size_t metric, double observed);
 
@@ -210,6 +218,10 @@ class Server {
     std::size_t shard = 0;
     margot::KnowledgeBase knowledge;                 ///< retained for rebuilds
     std::function<void(margot::Asrtm&)> configure;   ///< re-applied on rebuild
+    // Ingress-validation bounds cached from the (immutable) knowledge
+    // base so submit_feedback can range-check without any lock.
+    std::size_t op_count = 0;
+    std::size_t metric_count = 0;
 
     std::mutex mu;  ///< guards asrtm + store (shard worker vs. decide/goal)
     std::unique_ptr<margot::Asrtm> asrtm;
@@ -247,8 +259,16 @@ class Server {
   /// Stops, recovers and respawns a stalled shard: every tenant on it
   /// is rebuilt from its knowledge base + configure functor and its
   /// checkpoint replayed (the stalled store's buffered batch is lost,
-  /// crash-equivalently).
+  /// crash-equivalently).  A tenant whose rebuild throws (e.g. a buggy
+  /// configure functor) is quarantined — breaker forced open, old
+  /// runtime kept for reads — and the remaining tenants still recover;
+  /// the watchdog thread never sees the exception.
   void restart_shard(std::size_t index);
+  /// Builds a fresh AS-RTM (+ checkpoint store) for `tenant` and swaps
+  /// it in.  Strong-ish exception safety: if the AS-RTM construction or
+  /// configure functor throws, the tenant's previous runtime is left
+  /// untouched; only a throwing checkpoint attach can leave it on the
+  /// old runtime without persistence.
   void build_tenant_runtime(Tenant& tenant);
   std::string checkpoint_path(const std::string& name) const;
 
@@ -256,7 +276,12 @@ class Server {
   std::function<double()> now_;  ///< ingress clock (test-overridable)
   std::chrono::steady_clock::time_point anchor_;
 
-  std::vector<std::unique_ptr<Tenant>> tenants_;
+  // Fixed-size slot array (max_tenants entries, allocated once in the
+  // constructor).  Slots are filled in order under registration_mu_ and
+  // published by the tenant_count_ release store; lock-free readers on
+  // the hot path index only slots below their acquire-loaded count, so
+  // no container ever mutates under them.
+  std::unique_ptr<std::unique_ptr<Tenant>[]> tenants_;
   std::atomic<std::size_t> tenant_count_{0};
   std::mutex registration_mu_;
 

@@ -54,10 +54,35 @@ JsonWriter& JsonWriter::end_array() {
   return *this;
 }
 
+void JsonWriter::append_escaped(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\b': out_ += "\\b"; break;
+      case '\f': out_ += "\\f"; break;
+      default:
+        // RFC 8259: every control character must be escaped, or the
+        // document is invalid JSON.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
 JsonWriter& JsonWriter::key(std::string_view name) {
   comma();
   out_ += '"';
-  out_.append(name);
+  append_escaped(name);
   out_ += "\":";
   pending_key_ = true;
   return *this;
@@ -96,15 +121,7 @@ JsonWriter& JsonWriter::value(bool v) {
 JsonWriter& JsonWriter::value(std::string_view text) {
   comma();
   out_ += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\t': out_ += "\\t"; break;
-      default: out_ += c;
-    }
-  }
+  append_escaped(text);
   out_ += '"';
   return *this;
 }

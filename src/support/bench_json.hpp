@@ -64,6 +64,7 @@ class JsonWriter {
 
  private:
   void comma();
+  void append_escaped(std::string_view text);
 
   std::string out_;
   std::vector<bool> needs_comma_;  ///< one frame per open object/array

@@ -51,6 +51,16 @@ TEST(JsonWriter, StringsAreEscaped) {
   EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
 }
 
+TEST(JsonWriter, ControlCharactersAreEscapedInValuesAndKeys) {
+  JsonWriter w;
+  w.begin_object().kv("s", std::string("a\r\b\f\x01\x1f") + "z").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\r\\b\\f\\u0001\\u001fz\"}");
+
+  JsonWriter k;
+  k.begin_object().kv(std::string_view("bad\x02key", 7), 1).end_object();
+  EXPECT_EQ(k.str(), "{\"bad\\u0002key\":1}");
+}
+
 TEST(ParseNumericLeaves, FlattensNestedPaths) {
   const auto leaves = parse_numeric_leaves(
       R"({"clean": {"throughput": 2000.5, "ok": true},

@@ -333,6 +333,101 @@ TEST_F(ServerTest, NonFiniteFeedbackFloodTripsTheBreaker) {
   ASSERT_TRUE(server.drain(5.0));
 }
 
+TEST_F(ServerTest, OutOfRangeOpOrMetricIsRefusedAtIngressNotTheWorker) {
+  // Regression: these used to be enqueued verbatim and trip
+  // Asrtm::send_feedback's contract on the shard worker thread, where
+  // the escaping exception would std::terminate the whole server.
+  ServerOptions options = base_options();
+  options.breaker.error_threshold = 4;
+  options.breaker.base_cooldown_s = 60.0;  // stays open for the whole test
+  Server server(options);
+  std::atomic<double> now{0.0};
+  server.set_time_source([&now] { return now.load(); });
+  Server::TenantHandle bad = 0;
+  Server::TenantHandle good = 0;
+  ASSERT_TRUE(server.register_tenant("malformed", make_kb(), configure_min_time, &bad));
+  ASSERT_TRUE(server.register_tenant("bystander", make_kb(), configure_min_time, &good));
+  const std::size_t ops = make_kb().size();
+
+  EXPECT_EQ(server.submit_feedback(bad, ops, 0, 1.2), Admission::kInvalid);
+  EXPECT_EQ(server.submit_feedback(bad, 0, 99, 1.2), Admission::kInvalid);
+  EXPECT_EQ(server.submit_feedback(bad, ops + 7, 99, 1.2), Admission::kInvalid);
+  // The flood trips the breaker like non-finite feedback does.
+  EXPECT_EQ(server.submit_feedback(bad, ops, 0, 1.2), Admission::kInvalid);
+  EXPECT_EQ(server.submit_feedback(bad, 0, 0, 1.2), Admission::kQuarantined);
+  EXPECT_EQ(server.tenant_status(bad).breaker, CircuitBreaker::State::kOpen);
+
+  // The server (and the bad tenant's shard) is alive and isolated:
+  // other tenants' feedback still flows end to end.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(server.submit_feedback(good, 0, 0, 1.3), Admission::kAccepted);
+  }
+  ASSERT_TRUE(server.drain(5.0));
+  EXPECT_EQ(server.tenant_status(good).applied, 5u);
+  EXPECT_EQ(server.tenant_status(bad).applied, 0u);
+  EXPECT_EQ(server.stats().invalid, 4u);
+}
+
+TEST_F(ServerTest, RebuildFailureQuarantinesTheTenantNotTheServer) {
+  // Regression: a tenant-supplied configure functor that throws during
+  // a watchdog-driven rebuild used to escape watchdog_loop and
+  // terminate the process.  Now the tenant is quarantined on its old
+  // runtime and every other tenant on the shard still recovers.
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.shard_stall_deadline_s = 0.15;
+  options.watchdog_period_s = 0.03;
+  options.restart_backoff_base_s = 0.0;
+  options.breaker.base_cooldown_s = 60.0;  // forced-open stays open
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 1;  // flush-per-event: the restart loses nothing
+  Server server(options);
+  std::atomic<double> now{0.0};
+  server.set_time_source([&now] { return now.load(); });
+
+  std::atomic<int> flaky_configs{0};
+  const auto flaky_configure = [&flaky_configs](margot::Asrtm& asrtm) {
+    if (flaky_configs.fetch_add(1) > 0) throw Error("configure broke on rebuild");
+    configure_min_time(asrtm);
+  };
+  Server::TenantHandle flaky = 0;
+  Server::TenantHandle steady = 0;
+  ASSERT_TRUE(server.register_tenant("flaky", make_kb(), flaky_configure, &flaky));
+  ASSERT_TRUE(server.register_tenant("steady", make_kb(), configure_min_time, &steady));
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(server.submit_feedback(steady, 0, 0, 1.3), Admission::kAccepted);
+  }
+  ASSERT_TRUE(server.drain(5.0));
+  double correction_before = 0.0;
+  server.with_tenant(steady, [&](margot::Asrtm& asrtm) {
+    correction_before = asrtm.correction(0);
+  });
+  ASSERT_GT(correction_before, 1.0);
+
+  server.inject_stall(0, 1.0);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server.stats().shard_restarts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(server.stats().shard_restarts, 1u) << "watchdog never fired";
+  EXPECT_GE(flaky_configs.load(), 2) << "rebuild never reran the configure functor";
+
+  // The flaky tenant is quarantined but still serves reads from its
+  // pre-restart runtime.
+  EXPECT_EQ(server.submit_feedback(flaky, 0, 0, 1.2), Admission::kQuarantined);
+  EXPECT_EQ(server.tenant_status(flaky).breaker, CircuitBreaker::State::kOpen);
+  EXPECT_LT(server.decide(flaky), make_kb().size());
+
+  // The steady tenant recovered fully: journal replayed, shard alive.
+  server.with_tenant(steady, [&](margot::Asrtm& asrtm) {
+    EXPECT_DOUBLE_EQ(asrtm.correction(0), correction_before);
+  });
+  ASSERT_EQ(server.submit_feedback(steady, 0, 0, 1.3), Admission::kAccepted);
+  ASSERT_TRUE(server.drain(5.0));
+}
+
 TEST_F(ServerTest, GoalFlappingQuarantinesTheTenant) {
   ServerOptions options = base_options();
   options.goal_update_threshold = 4;
