@@ -55,6 +55,29 @@ set_tests_properties(decision_bench_baseline PROPERTIES
   LABELS "bench;smoke"
   FIXTURES_REQUIRED bench_margot_overhead_json)
 
+# The DSE-strategy pin (quick mode for CTest): two-stage seeded+genetic
+# exploration on a two-kernel subset at the default (tiny) budget, with
+# the bench's built-in assertions — >= 10x fewer evaluations than the
+# full factorial at an undiminished Pareto hypervolume, pruned clone set
+# below the 16-clone cross product — and the BENCH_dse.json artifact
+# gated by the committed bounds.
+add_test(NAME dse_bench_smoke
+  COMMAND ablation_dse_strategies --quick)
+set_tests_properties(dse_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  PASS_REGULAR_EXPRESSION "PASS: two-stage exploration"
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_dse_json
+  TIMEOUT 600)
+add_test(NAME dse_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/dse.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_dse.json)
+set_tests_properties(dse_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_dse_json)
+
 # The multi-tenant server pin (quick mode for CTest): clean / overload /
 # chaos regimes, kill-and-resume exactness, BENCH_server.json artifact
 # gated by machine-stable bounds.

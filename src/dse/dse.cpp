@@ -246,6 +246,18 @@ margot::KnowledgeBase to_knowledge_base(const std::vector<ProfiledPoint>& points
   return kb;
 }
 
+margot::KnowledgeBase to_knowledge_base(const std::vector<ProfiledPoint>& points,
+                                        const std::vector<std::size_t>& indices) {
+  SOCRATES_REQUIRE(!indices.empty());
+  std::vector<ProfiledPoint> selected;
+  selected.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    SOCRATES_REQUIRE(i < points.size());
+    selected.push_back(points[i]);
+  }
+  return to_knowledge_base(selected);
+}
+
 platform::Configuration decode_knobs(const DesignSpace& space,
                                      const std::vector<int>& knobs) {
   SOCRATES_REQUIRE(knobs.size() == 3);

@@ -120,6 +120,12 @@ std::vector<std::size_t> pareto_filter(const std::vector<ProfiledPoint>& points)
 /// throughput) — the ContextMetrics schema.
 margot::KnowledgeBase to_knowledge_base(const std::vector<ProfiledPoint>& points);
 
+/// Exports only the selected points (indices into `points`, e.g. the
+/// representative set of representative.hpp) — the pruned knowledge
+/// base the AS-RTM searches when SOCRATES_DSE_PRUNE is active.
+margot::KnowledgeBase to_knowledge_base(const std::vector<ProfiledPoint>& points,
+                                        const std::vector<std::size_t>& indices);
+
 /// Decodes a knowledge-base knob vector back into a platform
 /// configuration, given the space it was built from.
 platform::Configuration decode_knobs(const DesignSpace& space,

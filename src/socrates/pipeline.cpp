@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "dse/representative.hpp"
+#include "dse/two_stage.hpp"
 #include "features/params_from_features.hpp"
 #include "ir/parser.hpp"
 #include "kernels/registry.hpp"
@@ -151,6 +153,21 @@ std::uint64_t dse_artifact_key(const platform::PerformanceModel& platform,
   return h.digest();
 }
 
+std::uint64_t dse_artifact_key(const platform::PerformanceModel& platform,
+                               const std::string& source,
+                               const platform::KernelModelParams& params,
+                               const dse::DesignSpace& space, std::size_t repetitions,
+                               std::uint64_t seed, double work_scale,
+                               const dse::Explorer& explorer,
+                               std::uint64_t stage_version) {
+  Hasher h;
+  h.add(dse_artifact_key(platform, source, params, space, repetitions, seed,
+                         work_scale, stage_version));
+  explorer.add_to_key(h);
+  count_key_bytes(h);
+  return h.digest();
+}
+
 Pipeline::Pipeline(const platform::PerformanceModel& platform, ToolchainOptions options,
                    ArtifactCache* cache)
     : platform_(platform),
@@ -231,6 +248,44 @@ Pipeline::ProfileResult Pipeline::profile_cached(
                << " design points; profile not cached";
   }
   return {std::move(run.points), false, run.dropped};
+}
+
+Pipeline::ExploreCacheResult Pipeline::explore_cached(
+    const std::string& source, const platform::KernelModelParams& params,
+    const dse::DesignSpace& space, std::size_t repetitions, std::uint64_t seed,
+    double work_scale, const dse::Explorer& explorer) {
+  const std::uint64_t key = dse_artifact_key(platform_, source, params, space,
+                                             repetitions, seed, work_scale, explorer);
+  if (auto payload = cache_->load(key, "dse-profile")) {
+    try {
+      std::istringstream in(*payload);
+      ExploreCacheResult hit;
+      hit.points = dse::load_profile(in);
+      hit.cache_hit = true;
+      hit.evaluated = hit.points.size();
+      return hit;
+    } catch (const ContractViolation& e) {
+      log_warn() << "stored DSE artifact unusable (" << e.what() << "); re-exploring";
+    }
+  }
+  dse::ExploreContext ctx{platform_, params,     space,  repetitions,
+                          seed,      work_scale, &pool_, options_.dse_point_attempts};
+  auto run = explorer.explore(ctx);
+  if (run.dropped == 0) {
+    std::ostringstream out;
+    dse::save_profile(out, run.points);
+    cache_->store(key, "dse-profile", out.str());
+  } else {
+    // Never cache a degraded profile: a later chaos-free build must
+    // re-explore, not inherit the holes.
+    log_warn() << "DSE (" << explorer.name() << ") dropped " << run.dropped << " of "
+               << run.evaluated << " explored points; profile not cached";
+  }
+  ExploreCacheResult out;
+  out.points = std::move(run.points);
+  out.dropped = run.dropped;
+  out.evaluated = run.evaluated;
+  return out;
 }
 
 AdaptiveBinary Pipeline::build(const std::string& benchmark_name,
@@ -341,15 +396,76 @@ AdaptiveBinary Pipeline::build_impl(const std::string& name, const std::string& 
   std::vector<platform::NamedConfig> configs = platform::standard_levels();
   for (const auto& cf : out.custom_configs) configs.push_back(cf);
 
-  // Weave: LARA/MANET multiversioning + autotuner hooks.  Fallback: an
-  // empty woven report — the DSE and knowledge stages do not depend on
-  // it, so losing the weave report costs instrumentation, not results.
+  // Dse: explore the space with the configured strategy (cached
+  // artifact keyed by strategy + budget).  Faults are absorbed per
+  // design point — a point that exhausts its attempts is dropped and
+  // reported as reduced coverage, not a failed build.  Runs before
+  // Weave so representative pruning can shrink the emitted clone set.
   const std::vector<platform::BindingPolicy> bindings = {
       platform::BindingPolicy::kClose, platform::BindingPolicy::kSpread};
+  out.space = dse::DesignSpace{configs, {}, bindings};
+  for (std::size_t t = 1; t <= platform_.topology().logical_cores(); ++t)
+    out.space.thread_counts.push_back(t);
+  // The COBAYN-predicted configs seed the model-guided search.
+  std::vector<std::size_t> seed_configs;
+  for (std::size_t ci = platform::standard_levels().size(); ci < configs.size(); ++ci)
+    seed_configs.push_back(ci);
+  const auto explorer = dse::make_explorer(options_.dse, std::move(seed_configs));
+  const StageScope dse_stage("Dse");
+  ExploreCacheResult dse_result;
+  const auto dse_sup = supervisor_.run("Dse", [&] {
+    chaos.on_stage("stage.Dse");
+    dse_result = explore_cached(source, params, out.space, options_.dse_repetitions,
+                                options_.seed + 17, work_scale, *explorer);
+    if (dse_result.points.empty())
+      throw Error("DSE dropped every design point");
+  });
+  out.profile = std::move(dse_result.points);
+  std::string dse_note;
+  {
+    std::ostringstream os;
+    if (options_.dse.kind != dse::DseStrategyOptions::Kind::kFull)
+      os << "strategy " << explorer->name() << ": " << dse_result.evaluated << " of "
+         << out.space.size() << " points evaluated";
+    if (dse_result.dropped > 0)
+      os << (os.str().empty() ? "" : "; ") << "degraded coverage: "
+         << dse_result.dropped << " points dropped";
+    dse_note = os.str();
+  }
+  push_stage("Dse", dse_result.cache_hit, dse_stage.finish(), dse_sup,
+             dse_result.dropped, std::move(dse_note));
+
+  // Prune: cluster the explored Pareto front to at most K
+  // representatives (Luo et al.); the weaver then emits only the
+  // pruned clone set and the knowledge base only the representatives.
+  std::vector<weaver::CloneSpec> clone_specs;
+  if (options_.dse.max_representatives > 0) {
+    const StageScope prune_stage("Prune");
+    dse::RepresentativeSet reps;
+    const auto prune_sup = supervisor_.run("Prune", [&] {
+      chaos.on_stage("stage.Prune");
+      reps = dse::select_representatives(out.profile,
+                                         options_.dse.max_representatives);
+    });
+    out.representatives = reps.representatives;
+    for (const auto& pair : dse::clone_pairs(out.profile, out.representatives))
+      clone_specs.push_back({configs[pair.config_index], pair.binding});
+    std::ostringstream os;
+    os << "front " << reps.front.size() << " -> " << out.representatives.size()
+       << " representatives, " << clone_specs.size() << " clone(s)";
+    push_stage("Prune", false, prune_stage.finish(), prune_sup, 0, os.str());
+  }
+
+  // Weave: LARA/MANET multiversioning + autotuner hooks over the full
+  // cross product — or only the pruned clone set.  Fallback: an empty
+  // woven report — the knowledge stage does not depend on it, so
+  // losing the weave report costs instrumentation, not results.
   const StageScope weave_stage("Weave");
   auto weave_sup = supervisor_.run_or_report("Weave", [&] {
     chaos.on_stage("stage.Weave");
-    out.woven = weaver::weave_benchmark(name, source, configs, bindings);
+    out.woven = clone_specs.empty()
+                    ? weaver::weave_benchmark(name, source, configs, bindings)
+                    : weaver::weave_benchmark(name, source, clone_specs);
   });
   std::string weave_note;
   if (!weave_sup.succeeded) {
@@ -360,37 +476,14 @@ AdaptiveBinary Pipeline::build_impl(const std::string& name, const std::string& 
   push_stage("Weave", false, weave_stage.finish(), weave_sup, 0,
              std::move(weave_note));
 
-  // Dse: profile the full factorial space (cached artifact).  Faults
-  // are absorbed per design point — a point that exhausts its attempts
-  // is dropped and reported as reduced coverage, not a failed build.
-  out.space = dse::DesignSpace{configs, {}, bindings};
-  for (std::size_t t = 1; t <= platform_.topology().logical_cores(); ++t)
-    out.space.thread_counts.push_back(t);
-  const StageScope dse_stage("Dse");
-  ProfileResult dse_result;
-  const auto dse_sup = supervisor_.run("Dse", [&] {
-    chaos.on_stage("stage.Dse");
-    dse_result = profile_cached(source, params, out.space, options_.dse_repetitions,
-                                options_.seed + 17, work_scale);
-    if (dse_result.points.empty())
-      throw Error("DSE dropped every design point");
-  });
-  out.profile = std::move(dse_result.points);
-  std::string dse_note;
-  if (dse_result.dropped > 0) {
-    std::ostringstream os;
-    os << "degraded coverage: " << dse_result.dropped << " of " << out.space.size()
-       << " design points dropped";
-    dse_note = os.str();
-  }
-  push_stage("Dse", dse_result.cache_hit, dse_stage.finish(), dse_sup,
-             dse_result.dropped, std::move(dse_note));
-
-  // Knowledge: application knowledge for the AS-RTM.
+  // Knowledge: application knowledge for the AS-RTM (pruned to the
+  // representatives when the Prune stage ran).
   const StageScope knowledge_stage("Knowledge");
   const auto knowledge_sup = supervisor_.run("Knowledge", [&] {
     chaos.on_stage("stage.Knowledge");
-    out.knowledge = dse::to_knowledge_base(out.profile);
+    out.knowledge = out.representatives.empty()
+                        ? dse::to_knowledge_base(out.profile)
+                        : dse::to_knowledge_base(out.profile, out.representatives);
   });
   push_stage("Knowledge", false, knowledge_stage.finish(), knowledge_sup, 0, {});
 

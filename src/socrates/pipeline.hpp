@@ -1,7 +1,8 @@
 // The staged toolchain pipeline.
 //
 // Pipeline decomposes the Figure 1 flow into named stages — Parse,
-// Features, CobaynPredict, Weave, Dse, Knowledge — executed by a
+// Features, CobaynPredict, Dse, Prune (optional), Weave, Knowledge —
+// executed by a
 // deterministic TaskPool and backed by a content-keyed ArtifactCache.
 // The two expensive products (the trained COBAYN model and a profiled
 // design space) are stored under keys derived from every input that can
@@ -21,6 +22,7 @@
 
 #include "cobayn/cobayn.hpp"
 #include "dse/dse.hpp"
+#include "dse/explorer.hpp"
 #include "features/features.hpp"
 #include "margot/operating_point.hpp"
 #include "platform/perf_model.hpp"
@@ -51,6 +53,12 @@ struct ToolchainOptions {
   /// Tries per DSE design point before the point is dropped from the
   /// profile (reduced coverage instead of an aborted campaign).
   std::size_t dse_point_attempts = 2;
+  /// DSE strategy + budget knobs (the SOCRATES_DSE* family; defaults
+  /// reproduce the paper: full factorial, no pruning).  When
+  /// max_representatives > 0 the pipeline inserts a Prune stage that
+  /// clusters the explored Pareto front and the weaver emits only the
+  /// pruned clone set (docs/DSE.md).
+  dse::DseStrategyOptions dse = dse::DseStrategyOptions::from_env();
 };
 
 /// Everything the toolchain produced for one benchmark.
@@ -62,11 +70,15 @@ struct AdaptiveBinary {
   dse::DesignSpace space;
   std::vector<dse::ProfiledPoint> profile;
   margot::KnowledgeBase knowledge;
+  /// Indices (into `profile`) of the representative points the clone
+  /// set and knowledge base were pruned to; empty when pruning is off
+  /// (the knowledge base then covers the whole profile).
+  std::vector<std::size_t> representatives;
 };
 
 /// One executed pipeline stage.
 struct StageReport {
-  std::string name;        ///< Parse, Features, CobaynPredict, Weave, Dse, Knowledge
+  std::string name;  ///< Parse, Features, CobaynPredict, Dse, Prune, Weave, Knowledge
   bool cache_hit = false;  ///< product served from the artifact cache
   double seconds = 0.0;    ///< wall-clock time of the stage (incl. retries)
   std::size_t attempts = 1;        ///< supervisor attempts the stage took
@@ -89,7 +101,9 @@ struct PipelineReport {
 /// stage changes behaviour: the key changes, so previously stored
 /// artifacts are invalidated instead of silently reused.
 inline constexpr std::uint64_t kCobaynStageVersion = 1;
-inline constexpr std::uint64_t kDseStageVersion = 1;
+/// v2: the Dse stage runs a pluggable Explorer; keys gained the
+/// strategy fingerprint and old full-factorial artifacts were retired.
+inline constexpr std::uint64_t kDseStageVersion = 2;
 
 /// Fingerprint of the performance model (topology, power constants,
 /// noise magnitudes).  Two platforms that would measure differently
@@ -102,12 +116,24 @@ std::uint64_t cobayn_artifact_key(const platform::PerformanceModel& platform,
                                   const cobayn::TrainOptions& train,
                                   std::uint64_t stage_version = kCobaynStageVersion);
 
-/// Artifact key of a profiled design space.
+/// Artifact key of a profiled design space (full-factorial recipe —
+/// profile_space() and the figure benches use it).
 std::uint64_t dse_artifact_key(const platform::PerformanceModel& platform,
                                const std::string& source,
                                const platform::KernelModelParams& params,
                                const dse::DesignSpace& space, std::size_t repetitions,
                                std::uint64_t seed, double work_scale,
+                               std::uint64_t stage_version = kDseStageVersion);
+
+/// Explorer-aware key: the base recipe plus the strategy fingerprint
+/// (Explorer::add_to_key), so two strategies — or two budgets of one
+/// strategy — never share a stored profile.
+std::uint64_t dse_artifact_key(const platform::PerformanceModel& platform,
+                               const std::string& source,
+                               const platform::KernelModelParams& params,
+                               const dse::DesignSpace& space, std::size_t repetitions,
+                               std::uint64_t seed, double work_scale,
+                               const dse::Explorer& explorer,
                                std::uint64_t stage_version = kDseStageVersion);
 
 class Pipeline {
@@ -175,6 +201,20 @@ class Pipeline {
                                const platform::KernelModelParams& params,
                                const dse::DesignSpace& space, std::size_t repetitions,
                                std::uint64_t seed, double work_scale);
+  /// Cache-through exploration with the configured strategy (build's
+  /// Dse stage).  `evaluated` counts unique points the strategy spent
+  /// budget on (points.size() on a cache hit).
+  struct ExploreCacheResult {
+    std::vector<dse::ProfiledPoint> points;
+    bool cache_hit = false;
+    std::size_t dropped = 0;
+    std::size_t evaluated = 0;
+  };
+  ExploreCacheResult explore_cached(const std::string& source,
+                                    const platform::KernelModelParams& params,
+                                    const dse::DesignSpace& space,
+                                    std::size_t repetitions, std::uint64_t seed,
+                                    double work_scale, const dse::Explorer& explorer);
 
   const platform::PerformanceModel& platform_;
   ToolchainOptions options_;

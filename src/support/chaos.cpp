@@ -106,6 +106,8 @@ ChaosSpec ChaosSpec::parse(std::string_view text) {
       spec.ingest_flood = parse_probability(key, value);
     else if (key == "journal-fail")
       spec.journal_fail = parse_probability(key, value);
+    else if (key == "dse-explore")
+      spec.dse_explore = parse_probability(key, value);
     else if (key == "hang-ms")
       spec.hang_ms = parse_millis(key, value);
     else if (key == "slow-ms")
@@ -218,12 +220,17 @@ bool ChaosEngine::fail_journal(std::string_view site) {
 }
 
 bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index) const {
-  if (!enabled() || spec_.stage_fail <= 0.0) return false;
+  return fire_indexed(site, index, spec_.stage_fail, "chaos.point_faults");
+}
+
+bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index,
+                               double probability, const char* counter_name) const {
+  if (!enabled() || probability <= 0.0) return false;
   Rng rng(derive_stream(hash_combine(spec_.seed, stable_hash64(site)), index));
-  const bool fire = rng.uniform() < spec_.stage_fail;
+  const bool fire = rng.uniform() < probability;
   if (fire) {
     injected_.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("chaos.point_faults").add(1);
+    MetricsRegistry::global().counter(counter_name).add(1);
   }
   return fire;
 }

@@ -17,6 +17,7 @@
 //   key            = stage-fail | stage-hang | stage-slow
 //                  | cache-read | cache-write | cache-tmp
 //                  | shard-stall | ingest-flood | journal-fail
+//                  | dse-explore
 //                  | hang-ms | slow-ms | stall-ms | flood-burst
 //
 // The fault keys take per-call probabilities in [0, 1]; hang-ms /
@@ -70,6 +71,7 @@ struct ChaosSpec {
   double shard_stall = 0.0;  ///< P(server shard worker parks past its deadline)
   double ingest_flood = 0.0; ///< P(a submitted feedback event is amplified)
   double journal_fail = 0.0; ///< P(a checkpoint group-commit flush fails)
+  double dse_explore = 0.0;  ///< P(a DSE explorer search round is voided)
   double hang_ms = 50.0;
   double slow_ms = 5.0;
   double stall_ms = 80.0;    ///< duration of an injected shard stall
@@ -79,7 +81,7 @@ struct ChaosSpec {
   bool any() const {
     return stage_fail > 0 || stage_hang > 0 || stage_slow > 0 || cache_read > 0 ||
            cache_write > 0 || cache_tmp > 0 || shard_stall > 0 ||
-           ingest_flood > 0 || journal_fail > 0;
+           ingest_flood > 0 || journal_fail > 0 || dse_explore > 0;
   }
 
   /// Parses the SOCRATES_CHAOS grammar above.  Throws socrates::Error
@@ -120,6 +122,11 @@ class ChaosEngine {
   /// with probability `stage_fail` for the given (site, index) pair,
   /// independent of call order.  Throws nothing; callers throw.
   bool fire_indexed(std::string_view site, std::uint64_t index) const;
+
+  /// fire_indexed with an explicit probability and metric — the DSE
+  /// explorer's "dse.explore" site draws with spec().dse_explore.
+  bool fire_indexed(std::string_view site, std::uint64_t index, double probability,
+                    const char* counter_name) const;
 
   /// Total injections performed since construction / install().
   std::uint64_t injected() const { return injected_.load(std::memory_order_relaxed); }

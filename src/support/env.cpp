@@ -1,6 +1,7 @@
 #include "support/env.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -25,6 +26,12 @@ bool first_warning(const char* name) {
 
 void warn_once(const char* name, const std::string& value, const std::string& why,
                std::size_t used) {
+  if (!first_warning(name)) return;
+  log_warn() << name << "='" << value << "' " << why << "; using " << used;
+}
+
+void warn_once_real(const char* name, const std::string& value, const std::string& why,
+                    double used) {
   if (!first_warning(name)) return;
   log_warn() << name << "='" << value << "' " << why << "; using " << used;
 }
@@ -64,6 +71,34 @@ std::size_t size_or(const char* name, std::size_t fallback, std::size_t lo,
   const auto value = raw(name);
   if (!value) return fallback;
   return parse_size(name, *value, fallback, lo, hi);
+}
+
+double parse_real(const char* name, const std::string& value, double fallback,
+                  double lo, double hi) {
+  if (value.empty()) return fallback;
+  const char* text = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(parsed)) {
+    warn_once_real(name, value, "is not a finite number", fallback);
+    return fallback;
+  }
+  if (parsed < lo) {
+    warn_once_real(name, value, "is below the minimum", lo);
+    return lo;
+  }
+  if (parsed > hi) {
+    warn_once_real(name, value, "exceeds the maximum", hi);
+    return hi;
+  }
+  return parsed;
+}
+
+double real_or(const char* name, double fallback, double lo, double hi) {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  return parse_real(name, *value, fallback, lo, hi);
 }
 
 std::string string_or(const char* name, std::string fallback) {

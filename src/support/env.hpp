@@ -32,6 +32,16 @@ std::size_t size_or(const char* name, std::size_t fallback, std::size_t lo,
 std::size_t parse_size(const char* name, const std::string& value,
                        std::size_t fallback, std::size_t lo, std::size_t hi);
 
+/// Parses `name` as a real number in [lo, hi] (e.g. a subset fraction).
+/// Unset or empty -> `fallback`.  Non-numeric or non-finite values warn
+/// once and fall back; out-of-range values clamp to the nearest bound.
+double real_or(const char* name, double fallback, double lo, double hi);
+
+/// Value-level worker behind real_or; `name` only labels the warning.
+/// Exposed for tests.
+double parse_real(const char* name, const std::string& value, double fallback,
+                  double lo, double hi);
+
 /// The variable's value, or `fallback` when unset.
 std::string string_or(const char* name, std::string fallback);
 

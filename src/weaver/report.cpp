@@ -6,9 +6,11 @@
 
 namespace socrates::weaver {
 
-WovenBenchmark weave_benchmark(const std::string& name, const std::string& source,
-                               const std::vector<platform::NamedConfig>& configs,
-                               const std::vector<platform::BindingPolicy>& bindings) {
+namespace {
+
+template <typename ApplyMultiversioning>
+WovenBenchmark weave_impl(const std::string& name, const std::string& source,
+                          ApplyMultiversioning&& multiversion) {
   WovenBenchmark out;
   out.unit = ir::parse(source);
   out.report.benchmark = name;
@@ -17,13 +19,30 @@ WovenBenchmark weave_benchmark(const std::string& name, const std::string& sourc
 
   WeavingMetrics metrics;
   Weaver weaver(out.unit, metrics);
-  out.kernels = apply_multiversioning(weaver, configs, bindings);
+  out.kernels = multiversion(weaver);
   apply_autotuner(weaver, out.kernels);
 
   out.report.attributes = metrics.attributes_checked;
   out.report.actions = metrics.actions_performed;
   out.report.weaved_loc = ir::logical_loc(out.unit);
   return out;
+}
+
+}  // namespace
+
+WovenBenchmark weave_benchmark(const std::string& name, const std::string& source,
+                               const std::vector<platform::NamedConfig>& configs,
+                               const std::vector<platform::BindingPolicy>& bindings) {
+  return weave_impl(name, source, [&](Weaver& weaver) {
+    return apply_multiversioning(weaver, configs, bindings);
+  });
+}
+
+WovenBenchmark weave_benchmark(const std::string& name, const std::string& source,
+                               const std::vector<CloneSpec>& clones) {
+  return weave_impl(name, source, [&](Weaver& weaver) {
+    return apply_multiversioning(weaver, clones);
+  });
 }
 
 WovenBenchmark weave_benchmark_paper_space(const std::string& name,

@@ -39,6 +39,11 @@ WovenBenchmark weave_benchmark(const std::string& name, const std::string& sourc
                                const std::vector<platform::NamedConfig>& configs,
                                const std::vector<platform::BindingPolicy>& bindings);
 
+/// Same, over an explicit clone list — the pipeline's pruned-clone-set
+/// path (dse/representative.hpp).
+WovenBenchmark weave_benchmark(const std::string& name, const std::string& source,
+                               const std::vector<CloneSpec>& clones);
+
 /// Convenience: the paper's version space — reduced_design_space() x
 /// {close, spread}.
 WovenBenchmark weave_benchmark_paper_space(const std::string& name,

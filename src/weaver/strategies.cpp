@@ -67,6 +67,16 @@ std::vector<MultiversionedKernel> apply_multiversioning(
     const std::vector<platform::BindingPolicy>& bindings) {
   SOCRATES_REQUIRE(!configs.empty());
   SOCRATES_REQUIRE(!bindings.empty());
+  std::vector<CloneSpec> clones;
+  clones.reserve(configs.size() * bindings.size());
+  for (const auto& named : configs)
+    for (const auto binding : bindings) clones.push_back({named, binding});
+  return apply_multiversioning(weaver, clones);
+}
+
+std::vector<MultiversionedKernel> apply_multiversioning(
+    Weaver& weaver, const std::vector<CloneSpec>& clones) {
+  SOCRATES_REQUIRE(!clones.empty());
 
   const auto kernels = weaver.select_functions_with_prefix("kernel_");
   SOCRATES_REQUIRE_MSG(!kernels.empty(), "no kernel_* function to multiversion");
@@ -107,32 +117,30 @@ std::vector<MultiversionedKernel> apply_multiversioning(
       weaver.att_omp_info(*p);
 
     int version_id = 0;
-    for (const auto& named : configs) {
-      for (const auto binding : bindings) {
-        const std::string clone_name =
-            mk.kernel_name + "_" + version_suffix(named.name, binding);
+    for (const auto& [named, binding] : clones) {
+      const std::string clone_name =
+          mk.kernel_name + "_" + version_suffix(named.name, binding);
 
-        ir::FunctionDecl* clone = weaver.act_clone_function(*kernel, clone_name);
+      ir::FunctionDecl* clone = weaver.act_clone_function(*kernel, clone_name);
 
-        // Compiler options for this clone (Figure 2b of the paper).
-        weaver.act_insert_pragma_before(*clone, ir::Pragma{"GCC push_options"});
-        weaver.act_insert_pragma_before(
-            *clone, ir::gcc_optimize_pragma(named.config.pragma_options()));
-        weaver.act_insert_pragma_after(*clone, ir::Pragma{"GCC pop_options"});
+      // Compiler options for this clone (Figure 2b of the paper).
+      weaver.act_insert_pragma_before(*clone, ir::Pragma{"GCC push_options"});
+      weaver.act_insert_pragma_before(
+          *clone, ir::gcc_optimize_pragma(named.config.pragma_options()));
+      weaver.act_insert_pragma_after(*clone, ir::Pragma{"GCC pop_options"});
 
-        // Parallelization knobs: every OpenMP pragma of the clone gets
-        // the static binding policy and the dynamic thread count.
-        for (ir::PragmaStmt* pragma : weaver.select_omp_pragmas(*clone)) {
-          ir::OmpPragma info = weaver.att_omp_info(*pragma);
-          info.set_clause("num_threads", mk.threads_var);
-          info.set_clause("proc_bind", std::string(platform::to_string(binding)));
-          weaver.act_set_pragma(*pragma, info.render());
-        }
-
-        mk.versions.push_back(
-            VersionInfo{version_id, clone_name, named.name, named.config, binding});
-        ++version_id;
+      // Parallelization knobs: every OpenMP pragma of the clone gets
+      // the static binding policy and the dynamic thread count.
+      for (ir::PragmaStmt* pragma : weaver.select_omp_pragmas(*clone)) {
+        ir::OmpPragma info = weaver.att_omp_info(*pragma);
+        info.set_clause("num_threads", mk.threads_var);
+        info.set_clause("proc_bind", std::string(platform::to_string(binding)));
+        weaver.act_set_pragma(*pragma, info.render());
       }
+
+      mk.versions.push_back(
+          VersionInfo{version_id, clone_name, named.name, named.config, binding});
+      ++version_id;
     }
 
     // Dispatch wrapper (Figure 2b) appended at the end of the unit.

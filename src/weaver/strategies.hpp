@@ -49,12 +49,27 @@ struct MultiversionedKernel {
 std::string version_variable(const std::string& kernel_name);
 std::string threads_variable(const std::string& kernel_name);
 
+/// One clone of the static version space: a compiler configuration
+/// bound to a binding policy.  The representative-set pruning of
+/// dse/representative.hpp emits a subset of the full cross product.
+struct CloneSpec {
+  platform::NamedConfig config;
+  platform::BindingPolicy binding = platform::BindingPolicy::kClose;
+};
+
 /// Applies Multiversioning to every "kernel_*" function of the unit.
 /// `configs` x `bindings` defines the static version space (num_threads
 /// stays dynamic, as in the paper).  Returns one entry per kernel.
 std::vector<MultiversionedKernel> apply_multiversioning(
     Weaver& weaver, const std::vector<platform::NamedConfig>& configs,
     const std::vector<platform::BindingPolicy>& bindings);
+
+/// Multiversioning over an explicit clone list (e.g. a pruned
+/// representative set).  Version ids follow the list order; the
+/// cross-product overload delegates here with the historical
+/// config-major-then-binding order, so full-space weaves are unchanged.
+std::vector<MultiversionedKernel> apply_multiversioning(
+    Weaver& weaver, const std::vector<CloneSpec>& clones);
 
 /// Applies the Autotuner strategy: margot.h include, margot_init() in
 /// main, update/start/stop calls around every wrapper call site.

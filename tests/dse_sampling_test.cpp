@@ -1,9 +1,11 @@
-// Tests for the sampling DSE strategies.
+// Tests for the sampling DSE strategies (explorer.hpp's historical
+// free-function interface).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
-#include "dse/sampling.hpp"
+#include "dse/explorer.hpp"
 #include "kernels/registry.hpp"
 #include "margot/asrtm.hpp"
 #include "margot/context.hpp"
@@ -68,6 +70,25 @@ TEST(RandomSubsetDse, RejectsBadFraction) {
   const auto& k = kernels::find_benchmark("2mm").model;
   EXPECT_THROW(random_subset_dse(model(), k, space(), 0.0, 1, 1), ContractViolation);
   EXPECT_THROW(random_subset_dse(model(), k, space(), 1.5, 1, 1), ContractViolation);
+  EXPECT_THROW(random_subset_dse(model(), k, space(), -0.25, 1, 1), ContractViolation);
+  EXPECT_THROW(random_subset_dse(model(), k, space(), std::nan(""), 1, 1),
+               ContractViolation);
+}
+
+TEST(RandomSubsetDse, RejectsZeroRepetitions) {
+  const auto& k = kernels::find_benchmark("2mm").model;
+  try {
+    random_subset_dse(model(), k, space(), 0.25, 0, 1);
+    FAIL() << "repetitions == 0 must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("repetitions"), std::string::npos)
+        << "the violation should name the bad argument, got: " << e.what();
+  }
+}
+
+TEST(StratifiedDse, RejectsZeroRepetitions) {
+  const auto& k = kernels::find_benchmark("2mm").model;
+  EXPECT_THROW(stratified_dse(model(), k, space(), 6, 0, 1), ContractViolation);
 }
 
 TEST(StratifiedDse, CoversEveryStratumWithAnchors) {

@@ -38,6 +38,30 @@ TEST(Toolchain, BuildProducesAllArtifacts) {
   EXPECT_GT(bin.kernel_features[features::kNumLoops], 0.0);
 }
 
+TEST(Toolchain, TwoStageWithPruningShrinksTheDeployment) {
+  // SOCRATES_DSE=two-stage + SOCRATES_DSE_PRUNE: the Dse stage explores
+  // a fraction of the space, the Prune stage clusters the front, and
+  // the weaver emits only the pruned clone set (< the 16-clone cross
+  // product) while the knowledge base carries the representatives only.
+  ToolchainOptions opts;
+  opts.dse_repetitions = 3;
+  opts.corpus_size = 32;
+  opts.dse.kind = dse::DseStrategyOptions::Kind::kTwoStage;
+  opts.dse.max_representatives = 6;
+  Toolchain tc(model(), opts);
+  const auto bin = tc.build("2mm");
+
+  EXPECT_LT(bin.profile.size(), bin.space.size() / 4)
+      << "the two-stage search must explore far fewer points than the sweep";
+  ASSERT_FALSE(bin.representatives.empty());
+  EXPECT_LE(bin.representatives.size(), 6u);
+  for (const std::size_t i : bin.representatives) ASSERT_LT(i, bin.profile.size());
+  EXPECT_EQ(bin.knowledge.size(), bin.representatives.size());
+  ASSERT_EQ(bin.woven.kernels.size(), 1u);
+  EXPECT_LT(bin.woven.kernels[0].versions.size(), 16u);
+  EXPECT_GE(bin.woven.kernels[0].versions.size(), 1u);
+}
+
 TEST(Toolchain, PaperCfModeUsesPublishedConfigs) {
   ToolchainOptions opts;
   opts.use_paper_cfs = true;

@@ -4,6 +4,7 @@
 // index) and writes only to its own result slot.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -13,6 +14,7 @@
 #include "cobayn/cobayn.hpp"
 #include "cobayn/evaluation.hpp"
 #include "dse/dse.hpp"
+#include "dse/two_stage.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/sources.hpp"
 #include "observability/trace.hpp"
@@ -89,6 +91,59 @@ TEST(ParallelDeterminism, TracingDoesNotPerturbResultsAndSpanCountsMatch) {
 
   tracer.clear();
   tracer.set_enabled(was_enabled);
+}
+
+TEST(ParallelDeterminism, TwoStageExplorerIsByteIdenticalAtAnyJobCount) {
+  // The explorer's GA decisions run on a serial stream and every
+  // profiled point derives its noise from (seed, flat index), so the
+  // whole search — candidate selection included — is reproducible at
+  // any job count.
+  const auto space = dse::DesignSpace::paper_space(model().topology());
+  const auto& kernel = kernels::find_benchmark("2mm").model;
+  dse::TwoStageExplorer::Params params;
+  params.seed_configs = {4, 5, 6, 7};
+  const dse::TwoStageExplorer explorer(params);
+
+  TaskPool serial(1);
+  dse::ExploreContext ctx{model(), kernel, space, 3, 777, 1.0, &serial, 1};
+  const auto baseline = explorer.explore(ctx);
+  const std::string baseline_bytes = profile_bytes(baseline.points);
+  EXPECT_GT(baseline.points.size(), 0u);
+  EXPECT_LE(baseline.evaluated, explorer.resolved_budget(space.size()));
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    TaskPool pool(jobs);
+    dse::ExploreContext pctx{model(), kernel, space, 3, 777, 1.0, &pool, 1};
+    const auto parallel = explorer.explore(pctx);
+    EXPECT_EQ(profile_bytes(parallel.points), baseline_bytes) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.evaluated, baseline.evaluated) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.generations, baseline.generations) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, TwoStagePointsMatchTheFullSweepBitForBit) {
+  // Any point the strategy profiles is the same point the full sweep
+  // would have measured: noise comes from (seed, flat), not from the
+  // exploration order.
+  const auto space = dse::DesignSpace::paper_space(model().topology());
+  const auto& kernel = kernels::find_benchmark("atax").model;
+  TaskPool pool(4);
+  const auto full = dse::full_factorial_dse(model(), kernel, space, 2, 99, 1.0, &pool);
+
+  dse::TwoStageExplorer::Params params;
+  params.seed_configs = {5};
+  dse::ExploreContext ctx{model(), kernel, space, 2, 99, 1.0, &pool, 1};
+  const auto explored = dse::TwoStageExplorer(params).explore(ctx);
+  ASSERT_GT(explored.points.size(), 0u);
+  for (const auto& p : explored.points) {
+    const auto match = std::find_if(full.begin(), full.end(), [&](const auto& q) {
+      return q.config_index == p.config_index &&
+             q.configuration.threads == p.configuration.threads &&
+             q.configuration.binding == p.configuration.binding;
+    });
+    ASSERT_NE(match, full.end());
+    EXPECT_EQ(profile_bytes({p}), profile_bytes({*match}));
+  }
 }
 
 TEST(ParallelDeterminism, DseWorkScaleAndSeedStillMatter) {

@@ -246,6 +246,25 @@ TEST(EnvParse, OutOfRangeClampsToTheNearestBound) {
   EXPECT_EQ(env::parse_size("T_JOBS", "99999999999999999999999", 4, 1, 256), 256u);
 }
 
+TEST(EnvParse, RealValuesPassThroughAndClamp) {
+  env::reset_warnings();
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "0.25", 0.5, 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "1", 0.5, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "1e-3", 0.5, 0.0, 1.0), 1e-3);
+  // Out of range clamps to the nearest bound.
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "1.5", 0.5, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "-0.1", 0.5, 0.0, 1.0), 0.0);
+}
+
+TEST(EnvParse, RealGarbageFallsBack) {
+  env::reset_warnings();
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "half", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "0.25x", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "nan", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_real("T_FRAC", "inf", 0.5, 0.0, 1.0), 0.5);
+}
+
 TEST(EnvParse, ChoiceAcceptsListedValues) {
   env::reset_warnings();
   const std::vector<std::string> policies{"block", "drop-oldest", "reject"};
