@@ -23,6 +23,7 @@ socrates_bench(ablation_feedback_adaptation)
 socrates_bench(ablation_margot_overhead)
 socrates_bench(ablation_fault_tolerance)
 socrates_bench(bench_server)
+socrates_bench(bench_decision_sweep)
 
 # Compares a BENCH_*.json artifact against a committed baseline
 # (bench/baselines/*.json); paired with each smoke run via fixtures.
@@ -77,6 +78,51 @@ add_test(NAME dse_bench_baseline
 set_tests_properties(dse_bench_baseline PROPERTIES
   LABELS "bench;smoke"
   FIXTURES_REQUIRED bench_dse_json)
+
+# The fault-tolerance pin: the full (deterministic, seeded) hostile-
+# machine ablation with the bench's built-in assertions — the hardened
+# stack strictly beats raw with zero surviving corrupted observations,
+# and kill-and-resume replays to the exact pre-crash state — and the
+# BENCH_fault_tolerance.json artifact gated by the committed bounds.
+add_test(NAME fault_tolerance_bench_smoke
+  COMMAND ablation_fault_tolerance)
+set_tests_properties(fault_tolerance_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  PASS_REGULAR_EXPRESSION "PASS: the hardened stack"
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_fault_tolerance_json
+  TIMEOUT 600)
+add_test(NAME fault_tolerance_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/fault_tolerance.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_fault_tolerance.json)
+set_tests_properties(fault_tolerance_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_fault_tolerance_json)
+
+# The batched-decision pin (quick mode for CTest): 1024 tenants x 256
+# operating points, per-call decide() vs decide_batch() in steady
+# state, with the bench's built-in assertions — >= 5x batch throughput,
+# zero steady-state allocations on either path, identical results, a
+# fully lock-free sweep — and the BENCH_decision_sweep.json artifact
+# gated by the committed bounds.
+add_test(NAME decision_sweep_bench_smoke
+  COMMAND bench_decision_sweep --quick)
+set_tests_properties(decision_sweep_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  PASS_REGULAR_EXPRESSION "PASS: batched sweep"
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_decision_sweep_json
+  TIMEOUT 600)
+add_test(NAME decision_sweep_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/decision_sweep.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_decision_sweep.json)
+set_tests_properties(decision_sweep_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_decision_sweep_json)
 
 # The multi-tenant server pin (quick mode for CTest): clean / overload /
 # chaos regimes, kill-and-resume exactness, BENCH_server.json artifact

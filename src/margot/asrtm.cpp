@@ -12,6 +12,33 @@
 
 namespace socrates::margot {
 
+#if SOCRATES_ASRTM_REENTRANCY_GUARD
+namespace {
+/// Debug-build detector for overlapping calls on one instance: the
+/// first frame to enter wins the flag; a second, overlapping entry
+/// (reentrant event sink, or a second thread sneaking past the owner's
+/// lock) throws before it can corrupt the mutable scratch state.  The
+/// throwing constructor never runs the destructor, so the owner frame
+/// keeps the flag until it unwinds.
+struct ReentrancyGuard {
+  std::atomic<int>& flag;
+  ReentrancyGuard(std::atomic<int>& f, const char* what) : flag(f) {
+    SOCRATES_REQUIRE_MSG(flag.exchange(1, std::memory_order_acq_rel) == 0,
+                         "AS-RTM reentrancy: " << what
+                             << " called while another engine call is "
+                                "in progress on this instance");
+  }
+  ~ReentrancyGuard() { flag.store(0, std::memory_order_release); }
+};
+}  // namespace
+#define SOCRATES_ASRTM_GUARD(what) \
+  ReentrancyGuard reentrancy_guard_(engine_busy_.flag, what)
+#else
+#define SOCRATES_ASRTM_GUARD(what) \
+  do {                             \
+  } while (false)
+#endif
+
 Asrtm::Asrtm(KnowledgeBase knowledge) : knowledge_(std::move(knowledge)) {
   SOCRATES_REQUIRE_MSG(!knowledge_.empty(),
                        "AS-RTM needs at least one operating point");
@@ -19,14 +46,14 @@ Asrtm::Asrtm(KnowledgeBase knowledge) : knowledge_(std::move(knowledge)) {
   applied_corrections_ = corrections_;
   correction_versions_.assign(corrections_.size(), 0);
   health_.assign(knowledge_.size(), OpHealth{});
-  scratch_candidates_.reserve(knowledge_.size());
-  scratch_filtered_.reserve(knowledge_.size());
-  scratch_violations_.reserve(knowledge_.size());
+  scratch_alive_.assign(knowledge_.size(), 1);
+  scratch_violations_.assign(knowledge_.size(), 0.0);
   // Default rank: minimize the first metric (callers normally override).
   rank_ = Rank{RankDirection::kMinimize, {{0, 1.0}}};
 }
 
 std::size_t Asrtm::add_constraint(Constraint constraint) {
+  SOCRATES_ASRTM_GUARD("add_constraint");
   SOCRATES_REQUIRE(constraint.metric < knowledge_.metric_names().size());
   SOCRATES_REQUIRE(constraint.confidence >= 0.0);
   const std::size_t handle = constraints_.size();
@@ -53,6 +80,7 @@ std::size_t Asrtm::add_constraint(Constraint constraint) {
 }
 
 void Asrtm::set_constraint_goal(std::size_t handle, double goal) {
+  SOCRATES_ASRTM_GUARD("set_constraint_goal");
   SOCRATES_REQUIRE(handle < constraints_.size());
   constraints_[handle].goal = goal;
   // The cached column holds constraint_value (goal-independent): only
@@ -66,6 +94,7 @@ void Asrtm::set_constraint_goal(std::size_t handle, double goal) {
 }
 
 void Asrtm::clear_constraints() {
+  SOCRATES_ASRTM_GUARD("clear_constraints");
   constraints_.clear();
   columns_.clear();
   sorted_constraints_.clear();
@@ -74,27 +103,30 @@ void Asrtm::clear_constraints() {
 }
 
 void Asrtm::set_rank(Rank rank) {
+  SOCRATES_ASRTM_GUARD("set_rank");
   for (const auto& term : rank.terms)
     SOCRATES_REQUIRE(term.metric < knowledge_.metric_names().size());
   rank_ = std::move(rank);
+  rank_column_.valid = false;
   touch_decision();
   if (journal_) note_decision_trigger("rank changed");
 }
 
-double Asrtm::expected(const OperatingPoint& op, std::size_t m) const {
-  return op.metrics[m].mean * corrections_[m];
+double Asrtm::expected(std::size_t op, std::size_t m) const {
+  return knowledge_.metric_means(m)[op] * corrections_[m];
 }
 
-double Asrtm::constraint_value(const OperatingPoint& op, const Constraint& c) const {
+double Asrtm::constraint_value(std::size_t op, const Constraint& c) const {
   const double mean = expected(op, c.metric);
-  const double margin = c.confidence * op.metrics[c.metric].stddev * corrections_[c.metric];
+  const double margin =
+      c.confidence * knowledge_.metric_stddevs(c.metric)[op] * corrections_[c.metric];
   // Pessimistic direction: upper bound for "<" goals, lower for ">".
   const bool upper =
       c.op == ComparisonOp::kLess || c.op == ComparisonOp::kLessEqual;
   return upper ? mean + margin : mean - margin;
 }
 
-double Asrtm::violation(const OperatingPoint& op, const Constraint& c) const {
+double Asrtm::violation(std::size_t op, const Constraint& c) const {
   const double value = constraint_value(op, c);
   if (compare(value, c.op, c.goal)) return 0.0;
   return std::abs(value - c.goal);
@@ -132,6 +164,7 @@ struct TopCandidates {
 }  // namespace
 
 std::size_t Asrtm::find_best_operating_point() const {
+  SOCRATES_ASRTM_GUARD("find_best_operating_point");
   if (cache_enabled_ && decided_epoch_ == decision_epoch_) {
     // Nothing that feeds the decision changed: O(1), allocation-free.
     last_decision_cached_ = true;
@@ -166,7 +199,7 @@ std::size_t Asrtm::fallback_safest(const std::vector<double>& corrections) const
   }
   last_feasible_ = false;
   if (journal_)
-    journal_switch(safest, rank_.evaluate(knowledge_[safest], corrections), {});
+    journal_switch(safest, rank_.evaluate(knowledge_, safest, corrections), {});
   return safest;
 }
 
@@ -179,74 +212,153 @@ const std::vector<double>& Asrtm::constraint_column(std::size_t handle) const {
     const double correction = applied_corrections_[c.metric];
     const bool upper =
         c.op == ComparisonOp::kLess || c.op == ComparisonOp::kLessEqual;
-    for (std::size_t i = 0; i < n; ++i) {
-      const MetricStats& stats = knowledge_[i].metrics[c.metric];
-      const double mean = stats.mean * correction;
-      const double margin = c.confidence * stats.stddev * correction;
-      column.values[i] = upper ? mean + margin : mean - margin;
+    const double confidence = c.confidence;
+    // Straight-line streaming over the SoA metric columns: both inputs
+    // and the output are contiguous doubles, no per-point indirection.
+    const double* means = knowledge_.metric_means(c.metric);
+    const double* stddevs = knowledge_.metric_stddevs(c.metric);
+    double* out = column.values.data();
+    if (upper) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double mean = means[i] * correction;
+        const double margin = confidence * stddevs[i] * correction;
+        out[i] = mean + margin;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double mean = means[i] * correction;
+        const double margin = confidence * stddevs[i] * correction;
+        out[i] = mean - margin;
+      }
     }
     column.valid = true;
     column.correction_version = correction_versions_[c.metric];
     static Counter& recomputed =
         MetricsRegistry::global().counter("asrtm.columns_recomputed");
     recomputed.add(1);
+    static Counter& rows =
+        MetricsRegistry::global().counter("asrtm.simd_rows_evaluated");
+    rows.add(n);
+  }
+  return column.values;
+}
+
+const std::vector<double>& Asrtm::rank_column() const {
+  RankColumn& column = rank_column_;
+  bool fresh = column.valid && column.versions.size() == rank_.terms.size();
+  if (fresh) {
+    for (std::size_t t = 0; t < rank_.terms.size(); ++t)
+      if (column.versions[t] != correction_versions_[rank_.terms[t].metric]) {
+        fresh = false;
+        break;
+      }
+  }
+  if (!fresh) {
+    const std::size_t n = knowledge_.size();
+    column.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      column.values[i] = rank_.evaluate(knowledge_, i, applied_corrections_);
+    column.versions.resize(rank_.terms.size());
+    for (std::size_t t = 0; t < rank_.terms.size(); ++t)
+      column.versions[t] = correction_versions_[rank_.terms[t].metric];
+    column.valid = true;
+    static Counter& recomputed =
+        MetricsRegistry::global().counter("asrtm.rank_columns_recomputed");
+    recomputed.add(1);
+    static Counter& rows =
+        MetricsRegistry::global().counter("asrtm.simd_rows_evaluated");
+    rows.add(n);
   }
   return column.values;
 }
 
 std::size_t Asrtm::decide_incremental() const {
-  // Work on indices; quarantined points are excluded up front, then
-  // constraints apply from highest priority (lowest number) to lowest.
-  std::vector<std::size_t>& candidates = scratch_candidates_;
-  std::vector<std::size_t>& filtered = scratch_filtered_;
-  candidates.clear();
-  for (std::size_t i = 0; i < knowledge_.size(); ++i)
-    if (health_[i].cooldown == 0) candidates.push_back(i);
-  if (candidates.empty()) return fallback_safest(applied_corrections_);
+  // Dense, branchless sweep: instead of compacting surviving candidate
+  // indices per constraint, every pass streams all n points and folds
+  // the result into an alive mask.  The per-element work is a handful
+  // of arithmetic ops and compares over contiguous doubles, which the
+  // compiler can vectorize; semantics are proven bit-identical to
+  // decide_brute() by the differential fuzz in asrtm_incremental_test.
+  const std::size_t n = knowledge_.size();
+  std::vector<unsigned char>& alive = scratch_alive_;
+  std::vector<double>& violations = scratch_violations_;
+  alive.resize(n);
+  violations.resize(n);
 
+  std::size_t alive_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ok = health_[i].cooldown == 0;
+    alive[i] = ok;
+    alive_count += ok;
+  }
+  if (alive_count == 0) return fallback_safest(applied_corrections_);
+
+  std::uint64_t rows_swept = n;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   last_feasible_ = true;
   for (const std::size_t handle : sorted_constraints_) {
     const Constraint& c = constraints_[handle];
-    const std::vector<double>& column = constraint_column(handle);
-    std::vector<double>& violations = scratch_violations_;
-    filtered.clear();
-    violations.clear();
-    double min_violation = std::numeric_limits<double>::infinity();
-    for (const std::size_t i : candidates) {
-      const double value = column[i];
-      const double v =
-          compare(value, c.op, c.goal) ? 0.0 : std::abs(value - c.goal);
-      violations.push_back(v);
-      if (v == 0.0)
-        filtered.push_back(i);
-      else
-        min_violation = std::min(min_violation, v);
-    }
-    if (!filtered.empty()) {
-      candidates.swap(filtered);
+    const double* column = constraint_column(handle).data();
+    const double goal = c.goal;
+    // v = max(sign * (value - goal), 0): identical to the reference's
+    // `compare(value, op, goal) ? 0 : abs(value - goal)` for all four
+    // ComparisonOps — at value == goal both give exactly 0, and the
+    // strict/non-strict distinction only moves points between "v == 0"
+    // and "v == 0", never changes v.
+    const bool upper =
+        c.op == ComparisonOp::kLess || c.op == ComparisonOp::kLessEqual;
+    const double sign = upper ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < n; ++i)
+      violations[i] = std::max(sign * (column[i] - goal), 0.0);
+    rows_swept += n;
+
+    std::size_t satisfied = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      satisfied += static_cast<std::size_t>(
+          alive[i] & static_cast<unsigned char>(violations[i] == 0.0));
+    if (satisfied != 0) {
+      for (std::size_t i = 0; i < n; ++i)
+        alive[i] = alive[i] & static_cast<unsigned char>(violations[i] == 0.0);
+      alive_count = satisfied;
       continue;
     }
     // Infeasible under this constraint: keep the least-violating points
     // (mARGOt's graceful degradation) and continue with lower-priority
     // constraints among them.
     last_feasible_ = false;
-    for (std::size_t k = 0; k < candidates.size(); ++k)
-      if (violation_ties_minimum(violations[k], min_violation))
-        filtered.push_back(candidates[k]);
-    candidates.swap(filtered);
+    double min_violation = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = alive[i] ? violations[i] : kInf;
+      min_violation = std::min(min_violation, v);
+    }
+    // Same arithmetic as violation_ties_minimum(), hoisted out of the
+    // loop so the survivors pass is a single compare per point.
+    const double tie_limit = min_violation + (1e-12 * min_violation + 1e-15);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned char keep =
+          alive[i] & static_cast<unsigned char>(violations[i] <= tie_limit);
+      alive[i] = keep;
+      kept += keep;
+    }
+    alive_count = kept;
   }
-  SOCRATES_ENSURE(!candidates.empty());
+  SOCRATES_ENSURE(alive_count != 0);
 
-  // Rank among the survivors; the journal's runners-up come from a
-  // bounded top-k pass instead of scoring + sorting every candidate.
+  // Rank among the survivors, read from the cached rank column; the
+  // journal's runners-up come from a bounded top-k pass.  The first
+  // alive index seeds the scan and strictly-better comparison keeps the
+  // lowest index on ties, matching the reference exactly.
+  const std::vector<double>& ranks = rank_column();
   const bool maximize = rank_.direction == RankDirection::kMaximize;
-  std::size_t best = candidates.front();
-  double best_value = rank_.evaluate(knowledge_[best], applied_corrections_);
+  std::size_t best = 0;
+  while (alive[best] == 0) ++best;
+  double best_value = ranks[best];
   TopCandidates top;
   if (journal_) top.insert({best, best_value}, maximize);
-  for (std::size_t k = 1; k < candidates.size(); ++k) {
-    const std::size_t i = candidates[k];
-    const double value = rank_.evaluate(knowledge_[i], applied_corrections_);
+  for (std::size_t i = best + 1; i < n; ++i) {
+    if (alive[i] == 0) continue;
+    const double value = ranks[i];
     if (journal_) top.insert({i, value}, maximize);
     const bool better = maximize ? value > best_value : value < best_value;
     if (better) {
@@ -254,6 +366,9 @@ std::size_t Asrtm::decide_incremental() const {
       best_value = value;
     }
   }
+  static Counter& rows =
+      MetricsRegistry::global().counter("asrtm.simd_rows_evaluated");
+  rows.add(rows_swept);
   if (journal_) {
     std::vector<DecisionCandidate> runners;
     runners.reserve(kMaxRejected);
@@ -291,7 +406,7 @@ std::size_t Asrtm::decide_brute() const {
     violations.reserve(candidates.size());
     double min_violation = std::numeric_limits<double>::infinity();
     for (const std::size_t i : candidates) {
-      const double v = violation(knowledge_[i], *c);
+      const double v = violation(i, *c);
       violations.push_back(v);
       if (v == 0.0)
         satisfying.push_back(i);
@@ -312,7 +427,7 @@ std::size_t Asrtm::decide_brute() const {
   SOCRATES_ENSURE(!candidates.empty());
 
   std::size_t best = candidates.front();
-  double best_value = rank_.evaluate(knowledge_[best], corrections_);
+  double best_value = rank_.evaluate(knowledge_, best, corrections_);
   std::vector<DecisionCandidate> scored;
   if (journal_) {
     scored.reserve(candidates.size());
@@ -320,7 +435,7 @@ std::size_t Asrtm::decide_brute() const {
   }
   for (std::size_t k = 1; k < candidates.size(); ++k) {
     const std::size_t i = candidates[k];
-    const double value = rank_.evaluate(knowledge_[i], corrections_);
+    const double value = rank_.evaluate(knowledge_, i, corrections_);
     if (journal_) scored.push_back({i, value});
     const bool better = rank_.direction == RankDirection::kMaximize
                             ? value > best_value
@@ -348,10 +463,13 @@ std::size_t Asrtm::decide_brute() const {
 }
 
 void Asrtm::set_decision_epsilon(double epsilon) {
+  SOCRATES_ASRTM_GUARD("set_decision_epsilon");
   SOCRATES_REQUIRE(epsilon >= 0.0 && std::isfinite(epsilon));
   decision_epsilon_ = epsilon;
   // Re-sync so the new threshold measures drift from here, not from a
-  // value accepted under the old threshold.
+  // value accepted under the old threshold.  Deliberately applies *any*
+  // nonzero drift (its own boundary is 0): this is a re-baseline, not a
+  // threshold test — see the boundary contract in the header.
   for (std::size_t m = 0; m < corrections_.size(); ++m) {
     if (applied_corrections_[m] != corrections_[m]) {
       applied_corrections_[m] = corrections_[m];
@@ -373,8 +491,13 @@ void Asrtm::invalidate_decision_cache() {
 }
 
 void Asrtm::accept_correction(std::size_t metric) {
-  if (std::abs(corrections_[metric] - applied_corrections_[metric]) >
-      decision_epsilon_) {
+  // Boundary contract (documented at set_decision_epsilon): a drift of
+  // exactly decision_epsilon_ IS applied, mirroring the re-sync there,
+  // which re-baselines any nonzero drift.  The `drift != 0` term keeps
+  // the epsilon == 0 default meaning "any change invalidates".
+  const double drift =
+      std::abs(corrections_[metric] - applied_corrections_[metric]);
+  if (drift != 0.0 && drift >= decision_epsilon_) {
     applied_corrections_[metric] = corrections_[metric];
     ++correction_versions_[metric];
     touch_decision();
@@ -443,6 +566,7 @@ void Asrtm::journal_switch(std::size_t chosen, double chosen_score,
 }
 
 void Asrtm::send_feedback(std::size_t op_index, std::size_t metric, double observed) {
+  SOCRATES_ASRTM_GUARD("send_feedback");
   SOCRATES_REQUIRE(op_index < knowledge_.size());
   SOCRATES_REQUIRE(metric < corrections_.size());
   if (!std::isfinite(observed) || observed <= 0.0) {
@@ -461,7 +585,7 @@ void Asrtm::send_feedback(std::size_t op_index, std::size_t metric, double obser
     emit(event);
     return;
   }
-  const double predicted = knowledge_[op_index].metrics[metric].mean;
+  const double predicted = knowledge_.metric_means(metric)[op_index];
   SOCRATES_REQUIRE_MSG(predicted > 0.0, "cannot adapt a zero-mean metric");
   const double instant_ratio = observed / predicted;
   corrections_[metric] =
@@ -481,6 +605,7 @@ double Asrtm::correction(std::size_t metric) const {
 }
 
 void Asrtm::reset_feedback() {
+  SOCRATES_ASRTM_GUARD("reset_feedback");
   corrections_.assign(corrections_.size(), 1.0);
   bool moved = false;
   for (std::size_t m = 0; m < applied_corrections_.size(); ++m) {
@@ -523,6 +648,7 @@ void Asrtm::quarantine_op(OpHealth& health) {
 }
 
 void Asrtm::report_variant_failure(std::size_t op_index) {
+  SOCRATES_ASRTM_GUARD("report_variant_failure");
   SOCRATES_REQUIRE(op_index < health_.size());
   OpHealth& health = health_[op_index];
   ++health.consecutive_failures;
@@ -536,6 +662,7 @@ void Asrtm::report_variant_failure(std::size_t op_index) {
 }
 
 void Asrtm::report_variant_success(std::size_t op_index) {
+  SOCRATES_ASRTM_GUARD("report_variant_success");
   SOCRATES_REQUIRE(op_index < health_.size());
   OpHealth& health = health_[op_index];
   health.consecutive_failures = 0;
@@ -547,6 +674,7 @@ void Asrtm::report_variant_success(std::size_t op_index) {
 }
 
 void Asrtm::advance_quarantine() {
+  SOCRATES_ASRTM_GUARD("advance_quarantine");
   bool any_cooling = false;
   for (OpHealth& health : health_) {
     if (health.cooldown == 0) continue;
@@ -587,6 +715,7 @@ Asrtm::Snapshot Asrtm::snapshot() const {
 }
 
 void Asrtm::restore(const Snapshot& snapshot) {
+  SOCRATES_ASRTM_GUARD("restore");
   SOCRATES_REQUIRE_MSG(snapshot.corrections.size() == corrections_.size(),
                        "snapshot metric count does not match the knowledge base");
   SOCRATES_REQUIRE_MSG(snapshot.health.size() == health_.size(),

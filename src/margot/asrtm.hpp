@@ -29,11 +29,17 @@
 // engine epochs"): every mutation of the decision inputs bumps an
 // epoch, a clean epoch returns the cached best index in O(1), and a
 // dirty decision recomputes only the per-constraint value columns whose
-// correction actually moved.  A brute-force reference implementation of
-// the same semantics is retained behind set_decision_cache_enabled(
-// false) and differential tests assert the two are bit-identical.
+// correction actually moved.  The dirty path itself is *branchless*:
+// the knowledge base stores metric columns structure-of-arrays (see
+// operating_point.hpp) and each constraint is applied as dense
+// mask/select passes over a contiguous double column — no per-point
+// indirection, autovectorizable — with a cached rank column feeding the
+// final selection scan.  A brute-force reference implementation of the
+// same semantics is retained behind set_decision_cache_enabled(false)
+// and differential tests assert the two are bit-identical.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -41,6 +47,18 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+// The AS-RTM is single-threaded by contract (the server serializes all
+// access behind a per-tenant mutex); the mutable decision scratch
+// buffers would corrupt silently under concurrent use.  In debug and
+// sanitizer builds a reentrancy guard turns such misuse into a loud
+// ContractViolation instead of a race (see SOCRATES_DEBUG_GUARDS in
+// CMakeLists.txt, which turns it on for the asan/tsan presets).
+#if !defined(NDEBUG) || defined(SOCRATES_DEBUG_GUARDS)
+#define SOCRATES_ASRTM_REENTRANCY_GUARD 1
+#else
+#define SOCRATES_ASRTM_REENTRANCY_GUARD 0
+#endif
 
 #include "margot/decision_journal.hpp"
 #include "margot/operating_point.hpp"
@@ -90,7 +108,7 @@ class Asrtm {
   /// the current requirements and feedback corrections.
   std::size_t find_best_operating_point() const;
 
-  const OperatingPoint& best_operating_point() const {
+  KnowledgeBase::PointView best_operating_point() const {
     return knowledge_[find_best_operating_point()];
   }
 
@@ -111,12 +129,20 @@ class Asrtm {
   bool last_decision_was_cached() const { return last_decision_cached_; }
 
   /// Correction-drift threshold: a send_feedback update that moves a
-  /// correction by no more than `epsilon` from the value the decision
+  /// correction *less than* `epsilon` away from the value the decision
   /// engine last applied does NOT invalidate the cached decision (the
   /// exact EWMA is still tracked and returned by correction()).  The
   /// default 0.0 keeps decisions bit-identical to the brute-force
   /// reference; a positive epsilon trades staleness for fewer
   /// recomputations under noisy feedback.
+  ///
+  /// Boundary contract: a drift of *exactly* epsilon counts as beyond
+  /// the threshold and IS applied.  set_decision_epsilon itself
+  /// re-syncs any nonzero pending drift unconditionally — changing the
+  /// threshold re-baselines it, so the new epsilon measures drift from
+  /// the current EWMA rather than from a value accepted under the old
+  /// threshold.  Both sides therefore agree that drift at the boundary
+  /// is actionable (regression-tested in asrtm_incremental_test).
   void set_decision_epsilon(double epsilon);
   double decision_epsilon() const { return decision_epsilon_; }
 
@@ -266,6 +292,18 @@ class Asrtm {
     bool valid = false;
   };
 
+  /// Cached rank value of every operating point under the applied
+  /// corrections, invalidated by set_rank() or by a correction move of
+  /// any metric the rank reads (per-term version tags, like the
+  /// constraint columns).  Lets the selection scan read one contiguous
+  /// double column instead of re-evaluating pow/multiply per candidate
+  /// per decision.
+  struct RankColumn {
+    std::vector<double> values;            ///< one entry per operating point
+    std::vector<std::uint64_t> versions;   ///< one entry per rank term
+    bool valid = false;
+  };
+
   void quarantine_op(OpHealth& health);
   /// Any decision input changed: the next decision must recompute.
   void touch_decision() { ++decision_epoch_; }
@@ -283,6 +321,8 @@ class Asrtm {
   std::size_t fallback_safest(const std::vector<double>& corrections) const;
   /// The (lazily recomputed) constraint-value column for a constraint.
   const std::vector<double>& constraint_column(std::size_t handle) const;
+  /// The (lazily recomputed) rank-value column over all points.
+  const std::vector<double>& rank_column() const;
   /// Records a journal entry when `chosen` differs from the previously
   /// journaled point.  `runners` holds the best non-chosen survivors,
   /// already ordered best-first and trimmed.  Always consumes the
@@ -291,11 +331,11 @@ class Asrtm {
   void journal_switch(std::size_t chosen, double chosen_score,
                       std::vector<DecisionCandidate> runners) const;
   /// Expected (corrected) value of metric `m` for point `op`.
-  double expected(const OperatingPoint& op, std::size_t m) const;
+  double expected(std::size_t op, std::size_t m) const;
   /// Pessimistic test value for a constraint (mean +/- conf * stddev).
-  double constraint_value(const OperatingPoint& op, const Constraint& c) const;
+  double constraint_value(std::size_t op, const Constraint& c) const;
   /// How far `op` is from satisfying `c` (0 when satisfied).
-  double violation(const OperatingPoint& op, const Constraint& c) const;
+  double violation(std::size_t op, const Constraint& c) const;
 
   /// Emits to the event sink unless a replay/restore is in progress.
   void emit(const RuntimeEvent& event) const;
@@ -317,12 +357,31 @@ class Asrtm {
   mutable bool cached_feasible_ = true;
   mutable bool last_decision_cached_ = false;
   mutable std::vector<ConstraintColumn> columns_;  ///< parallel to constraints_
+  mutable RankColumn rank_column_;
   // Scratch buffers reused across decisions so the dirty path allocates
-  // nothing once warm (the clean path allocates nothing at all).
-  mutable std::vector<std::size_t> scratch_candidates_;
-  mutable std::vector<std::size_t> scratch_filtered_;
+  // nothing once warm (the clean path allocates nothing at all).  The
+  // branchless sweep works on a dense alive mask + violation column
+  // instead of compacted index vectors: every pass streams all n
+  // entries, which is what lets the compiler vectorize it.
+  mutable std::vector<unsigned char> scratch_alive_;
   mutable std::vector<double> scratch_violations_;
   mutable bool last_feasible_ = true;
+#if SOCRATES_ASRTM_REENTRANCY_GUARD
+  // Trips a ContractViolation when two calls overlap on one instance
+  // (see the header comment); mutable because decisions are const.
+  // The wrapper keeps Asrtm movable: a move is only legal while no
+  // engine call is in flight, so both sides restart with a clear flag.
+  struct BusyFlag {
+    std::atomic<int> flag{0};
+    BusyFlag() = default;
+    BusyFlag(BusyFlag&&) noexcept {}
+    BusyFlag& operator=(BusyFlag&&) noexcept {
+      flag.store(0, std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  mutable BusyFlag engine_busy_;
+#endif
   QuarantineOptions quarantine_;
   std::vector<OpHealth> health_;         ///< one entry per operating point
   std::size_t quarantine_events_ = 0;

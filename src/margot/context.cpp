@@ -1,5 +1,6 @@
 #include "margot/context.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -82,11 +83,12 @@ bool Context::update(std::vector<int>& knobs) {
     static Counter& switches = MetricsRegistry::global().counter("asrtm.switches");
     switches.add(1);
   }
-  const OperatingPoint& op = asrtm_.knowledge()[chosen];
+  const auto op = asrtm_.knowledge()[chosen];
   SOCRATES_REQUIRE_MSG(knobs.size() == op.knobs.size(),
                        "knob buffer has " << knobs.size() << " entries, expected "
                                           << op.knobs.size());
-  knobs = op.knobs;
+  // Elementwise copy from the SoA knob row: no per-update allocation.
+  std::copy(op.knobs.begin(), op.knobs.end(), knobs.begin());
   return changed;
 }
 
@@ -114,7 +116,7 @@ std::string Context::log() const {
     os << " no operating point selected yet";
     return os.str();
   }
-  const OperatingPoint& op = asrtm_.knowledge()[current_op_];
+  const auto op = asrtm_.knowledge()[current_op_];
   os << " op#" << current_op_ << " knobs=[";
   for (std::size_t k = 0; k < op.knobs.size(); ++k) {
     if (k > 0) os << ',';

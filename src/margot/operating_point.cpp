@@ -1,5 +1,7 @@
 #include "margot/operating_point.hpp"
 
+#include <cstring>
+
 #include "support/error.hpp"
 
 namespace socrates::margot {
@@ -9,6 +11,71 @@ KnowledgeBase::KnowledgeBase(std::vector<std::string> knob_names,
     : knob_names_(std::move(knob_names)), metric_names_(std::move(metric_names)) {
   SOCRATES_REQUIRE(!knob_names_.empty());
   SOCRATES_REQUIRE(!metric_names_.empty());
+}
+
+KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
+    : knob_names_(other.knob_names_), metric_names_(other.metric_names_) {
+  copy_from(other);
+}
+
+KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
+  if (this != &other) {
+    knob_names_ = other.knob_names_;
+    metric_names_ = other.metric_names_;
+    arena_ = support::Arena{};
+    means_ = nullptr;
+    stddevs_ = nullptr;
+    knobs_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+    copy_from(other);
+  }
+  return *this;
+}
+
+void KnowledgeBase::copy_from(const KnowledgeBase& other) {
+  if (other.size_ == 0) return;
+  grow(other.size_);
+  const std::size_t metrics = metric_names_.size();
+  const std::size_t knobs = knob_names_.size();
+  for (std::size_t m = 0; m < metrics; ++m) {
+    std::memcpy(means_ + m * capacity_, other.means_ + m * other.capacity_,
+                other.size_ * sizeof(double));
+    std::memcpy(stddevs_ + m * capacity_, other.stddevs_ + m * other.capacity_,
+                other.size_ * sizeof(double));
+  }
+  std::memcpy(knobs_, other.knobs_, other.size_ * knobs * sizeof(int));
+  size_ = other.size_;
+}
+
+void KnowledgeBase::grow(std::size_t min_capacity) {
+  std::size_t capacity = capacity_ == 0 ? 16 : capacity_ * 2;
+  while (capacity < min_capacity) capacity *= 2;
+
+  const std::size_t metrics = metric_names_.size();
+  const std::size_t knobs = knob_names_.size();
+  const std::size_t column_bytes = capacity * sizeof(double);
+  support::Arena arena(support::Arena::bytes_for(
+      metrics * column_bytes, metrics * column_bytes,
+      capacity * knobs * sizeof(int)));
+  double* means = arena.allocate<double>(metrics * capacity);
+  double* stddevs = arena.allocate<double>(metrics * capacity);
+  int* knob_block = arena.allocate<int>(capacity * knobs);
+
+  for (std::size_t m = 0; m < metrics && size_ > 0; ++m) {
+    std::memcpy(means + m * capacity, means_ + m * capacity_,
+                size_ * sizeof(double));
+    std::memcpy(stddevs + m * capacity, stddevs_ + m * capacity_,
+                size_ * sizeof(double));
+  }
+  if (size_ > 0)
+    std::memcpy(knob_block, knobs_, size_ * knobs * sizeof(int));
+
+  arena_ = std::move(arena);
+  means_ = means;
+  stddevs_ = stddevs;
+  knobs_ = knob_block;
+  capacity_ = capacity;
 }
 
 std::size_t KnowledgeBase::knob_index(const std::string& name) const {
@@ -35,17 +102,29 @@ void KnowledgeBase::add(OperatingPoint op) {
                                               << metric_names_.size());
   for (const auto& m : op.metrics) SOCRATES_REQUIRE(m.stddev >= 0.0);
   SOCRATES_REQUIRE_MSG(!find(op.knobs).has_value(), "duplicate operating point");
-  points_.push_back(std::move(op));
+
+  if (size_ == capacity_) grow(size_ + 1);
+  const std::size_t i = size_;
+  std::memcpy(knobs_ + i * knob_names_.size(), op.knobs.data(),
+              op.knobs.size() * sizeof(int));
+  for (std::size_t m = 0; m < op.metrics.size(); ++m) {
+    means_[m * capacity_ + i] = op.metrics[m].mean;
+    stddevs_[m * capacity_ + i] = op.metrics[m].stddev;
+  }
+  ++size_;
 }
 
-const OperatingPoint& KnowledgeBase::operator[](std::size_t i) const {
-  SOCRATES_REQUIRE(i < points_.size());
-  return points_[i];
+KnowledgeBase::PointView KnowledgeBase::operator[](std::size_t i) const {
+  SOCRATES_REQUIRE(i < size_);
+  return {KnobsView{knob_row(i), knob_names_.size()}, MetricsView{this, i}};
 }
 
 std::optional<std::size_t> KnowledgeBase::find(const std::vector<int>& knobs) const {
-  for (std::size_t i = 0; i < points_.size(); ++i)
-    if (points_[i].knobs == knobs) return i;
+  const std::size_t count = knob_names_.size();
+  if (knobs.size() != count) return std::nullopt;
+  for (std::size_t i = 0; i < size_; ++i)
+    if (std::memcmp(knob_row(i), knobs.data(), count * sizeof(int)) == 0)
+      return i;
   return std::nullopt;
 }
 

@@ -7,12 +7,24 @@
 // runtime.  Knob values are stored as integers (indices into the knob's
 // value list) so the knowledge base stays application-agnostic; the
 // SOCRATES layer maps them back to FlagConfig / thread count / binding.
+//
+// Storage is structure-of-arrays in one arena block: each metric's
+// means (and stddevs) form a contiguous, 64-byte-aligned column, and
+// knob rows sit in one flat int block.  The AS-RTM's branchless
+// decision sweeps stream over the columns via metric_means() /
+// metric_stddevs(); everything else goes through the view types below,
+// which preserve the original `kb[i].knobs` / `kb[i].metrics[m].mean`
+// accessor surface.  OperatingPoint itself survives as the value type
+// used to build and materialize points.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "support/arena.hpp"
 
 namespace socrates::margot {
 
@@ -22,7 +34,8 @@ struct MetricStats {
   double stddev = 0.0;
 };
 
-/// One explored configuration with its measured EFPs.
+/// One explored configuration with its measured EFPs.  Used as the
+/// input/value type for KnowledgeBase; the KB does not store these.
 struct OperatingPoint {
   std::vector<int> knobs;          ///< one value per knob, KB-defined order
   std::vector<MetricStats> metrics;///< one entry per metric, KB-defined order
@@ -31,8 +44,119 @@ struct OperatingPoint {
 /// Schema + data of the design-time knowledge.
 class KnowledgeBase {
  public:
+  /// Read-only window onto one point's knob row (contiguous ints).
+  /// Invalidated by any mutation of the owning KnowledgeBase.
+  class KnobsView {
+   public:
+    KnobsView(const int* data, std::size_t count) : data_(data), count_(count) {}
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    int operator[](std::size_t k) const { return data_[k]; }
+    const int* begin() const { return data_; }
+    const int* end() const { return data_ + count_; }
+
+    operator std::vector<int>() const { return {data_, data_ + count_}; }
+
+    friend bool operator==(const KnobsView& a, const KnobsView& b) {
+      return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+    friend bool operator==(const KnobsView& a, const std::vector<int>& b) {
+      return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+    friend bool operator==(const std::vector<int>& a, const KnobsView& b) {
+      return b == a;
+    }
+
+   private:
+    const int* data_;
+    std::size_t count_;
+  };
+
+  /// Read-only window onto one point's metric stats, gathered from the
+  /// per-metric columns on access.  Invalidated by any KB mutation.
+  class MetricsView {
+   public:
+    MetricsView(const KnowledgeBase* kb, std::size_t point)
+        : kb_(kb), point_(point) {}
+
+    std::size_t size() const { return kb_->metric_names_.size(); }
+    MetricStats operator[](std::size_t m) const {
+      return {kb_->means_[m * kb_->capacity_ + point_],
+              kb_->stddevs_[m * kb_->capacity_ + point_]};
+    }
+
+    class iterator {
+     public:
+      iterator(const MetricsView* view, std::size_t m) : view_(view), m_(m) {}
+      MetricStats operator*() const { return (*view_)[m_]; }
+      iterator& operator++() { ++m_; return *this; }
+      bool operator!=(const iterator& other) const { return m_ != other.m_; }
+      bool operator==(const iterator& other) const { return m_ == other.m_; }
+
+     private:
+      const MetricsView* view_;
+      std::size_t m_;
+    };
+    iterator begin() const { return {this, 0}; }
+    iterator end() const { return {this, size()}; }
+
+   private:
+    const KnowledgeBase* kb_;
+    std::size_t point_;
+  };
+
+  /// What kb[i] returns: a cheap value type whose .knobs / .metrics
+  /// members keep the old AoS accessor syntax compiling.  Converts to
+  /// OperatingPoint where a materialized copy is needed.
+  struct PointView {
+    KnobsView knobs;
+    MetricsView metrics;
+
+    operator OperatingPoint() const {
+      OperatingPoint op;
+      op.knobs = knobs;
+      op.metrics.reserve(metrics.size());
+      for (std::size_t m = 0; m < metrics.size(); ++m)
+        op.metrics.push_back(metrics[m]);
+      return op;
+    }
+  };
+
+  /// Iterable view over all points (what points() returns).
+  class PointRange {
+   public:
+    explicit PointRange(const KnowledgeBase* kb) : kb_(kb) {}
+    std::size_t size() const { return kb_->size(); }
+    bool empty() const { return kb_->empty(); }
+    PointView operator[](std::size_t i) const { return (*kb_)[i]; }
+
+    class iterator {
+     public:
+      iterator(const KnowledgeBase* kb, std::size_t i) : kb_(kb), i_(i) {}
+      PointView operator*() const { return (*kb_)[i_]; }
+      iterator& operator++() { ++i_; return *this; }
+      bool operator!=(const iterator& other) const { return i_ != other.i_; }
+      bool operator==(const iterator& other) const { return i_ == other.i_; }
+
+     private:
+      const KnowledgeBase* kb_;
+      std::size_t i_;
+    };
+    iterator begin() const { return {kb_, 0}; }
+    iterator end() const { return {kb_, kb_->size()}; }
+
+   private:
+    const KnowledgeBase* kb_;
+  };
+
   KnowledgeBase(std::vector<std::string> knob_names,
                 std::vector<std::string> metric_names);
+
+  KnowledgeBase(const KnowledgeBase& other);
+  KnowledgeBase& operator=(const KnowledgeBase& other);
+  KnowledgeBase(KnowledgeBase&& other) noexcept = default;
+  KnowledgeBase& operator=(KnowledgeBase&& other) noexcept = default;
 
   const std::vector<std::string>& knob_names() const { return knob_names_; }
   const std::vector<std::string>& metric_names() const { return metric_names_; }
@@ -44,18 +168,45 @@ class KnowledgeBase {
   /// knob configurations are rejected.
   void add(OperatingPoint op);
 
-  std::size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
-  const OperatingPoint& operator[](std::size_t i) const;
-  const std::vector<OperatingPoint>& points() const { return points_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  PointView operator[](std::size_t i) const;
+  PointRange points() const { return PointRange{this}; }
 
   /// Index of the point with exactly these knob values, if any.
   std::optional<std::size_t> find(const std::vector<int>& knobs) const;
 
+  // --- SoA hot-path accessors -------------------------------------------
+  // Contiguous columns of size() entries; the pointers stay valid until
+  // the next add() (which may re-pack into a larger arena).
+
+  const double* metric_means(std::size_t m) const {
+    return means_ + m * capacity_;
+  }
+  const double* metric_stddevs(std::size_t m) const {
+    return stddevs_ + m * capacity_;
+  }
+  /// Row of knob_names().size() ints for point i.
+  const int* knob_row(std::size_t i) const {
+    return knobs_ + i * knob_names_.size();
+  }
+  /// Bytes currently reserved by the backing arena (observability).
+  std::size_t arena_bytes() const { return arena_.capacity(); }
+
  private:
+  /// Re-packs all columns into a fresh arena holding >= min_capacity
+  /// points (capacity stays a power of two so columns stay aligned).
+  void grow(std::size_t min_capacity);
+  void copy_from(const KnowledgeBase& other);
+
   std::vector<std::string> knob_names_;
   std::vector<std::string> metric_names_;
-  std::vector<OperatingPoint> points_;
+  support::Arena arena_;
+  double* means_ = nullptr;    ///< metric-major: column m at means_ + m*capacity_
+  double* stddevs_ = nullptr;  ///< metric-major, parallel to means_
+  int* knobs_ = nullptr;       ///< point-major rows of knob_names_.size() ints
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 }  // namespace socrates::margot

@@ -61,6 +61,35 @@ double Rank::evaluate(const OperatingPoint& op,
   return value;
 }
 
+double Rank::evaluate(const KnowledgeBase& kb, std::size_t index,
+                      const std::vector<double>& correction) const {
+  const std::size_t metric_count = kb.metric_names().size();
+  const auto corrected_metric = [&](const RankTerm& term) {
+    SOCRATES_REQUIRE(term.metric < metric_count);
+    double metric = kb.metric_means(term.metric)[index];
+    if (!correction.empty()) {
+      SOCRATES_REQUIRE(term.metric < correction.size());
+      metric *= correction[term.metric];
+    }
+    return metric;
+  };
+
+  if (composition == RankComposition::kLinear) {
+    double value = 0.0;
+    for (const RankTerm& term : terms) value += term.weight * corrected_metric(term);
+    return value;
+  }
+
+  double value = 1.0;
+  for (const RankTerm& term : terms) {
+    const double metric = corrected_metric(term);
+    SOCRATES_REQUIRE_MSG(metric > 0.0,
+                         "geometric rank requires positive metrics, got " << metric);
+    value *= std::pow(metric, term.weight);
+  }
+  return value;
+}
+
 Rank Rank::maximize_throughput(std::size_t throughput_metric) {
   return Rank{RankDirection::kMaximize, {{throughput_metric, 1.0}}};
 }

@@ -74,6 +74,14 @@ struct Rank {
   double evaluate(const OperatingPoint& op,
                   const std::vector<double>& correction = {}) const;
 
+  /// Column-addressed form of the above: identical arithmetic (term
+  /// order, same multiply/pow sequence), but reads the means straight
+  /// from the KB's SoA columns instead of materializing a point.  The
+  /// decision hot path and its brute-force reference both use this, so
+  /// the two stay bit-identical.
+  double evaluate(const KnowledgeBase& kb, std::size_t index,
+                  const std::vector<double>& correction = {}) const;
+
   static Rank maximize_throughput(std::size_t throughput_metric);
   static Rank maximize_throughput_per_watt2(std::size_t throughput_metric,
                                             std::size_t power_metric);

@@ -159,6 +159,9 @@ void Server::build_tenant_runtime(Tenant& tenant) {
     tenant.store = std::move(store);
   }
   tenant.asrtm = std::move(asrtm);
+  // A rebuilt runtime invalidates any published decision: bump the
+  // mutation stamp so batch sweeps fall back to a locked decide.
+  tenant.mutation_stamp.fetch_add(1, std::memory_order_release);
 }
 
 bool Server::register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
@@ -281,13 +284,91 @@ Admission Server::submit_feedback(TenantHandle handle, std::size_t op_index,
   return Admission::kShed;
 }
 
+std::size_t Server::decide_locked(Tenant& tenant) {
+  // Caller holds tenant.mu, so mutation_stamp cannot move while we
+  // decide (mutators bump it under the same lock).
+  const std::uint64_t stamp = tenant.mutation_stamp.load(std::memory_order_relaxed);
+  const std::size_t best = tenant.asrtm->find_best_operating_point();
+  // Publish best first, stamp second: sweeps read the stamp first, so
+  // a stamp match guarantees the best they read is at least this new.
+  tenant.pub_best.store(best, std::memory_order_release);
+  tenant.pub_stamp.store(stamp, std::memory_order_release);
+  return best;
+}
+
+bool Server::decide_one(Tenant& tenant, std::size_t& out) {
+  const std::uint64_t published = tenant.pub_stamp.load(std::memory_order_acquire);
+  const std::size_t best = tenant.pub_best.load(std::memory_order_acquire);
+  if (published == tenant.mutation_stamp.load(std::memory_order_acquire)) {
+    out = best;
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  out = decide_locked(tenant);
+  return false;
+}
+
 std::size_t Server::decide(TenantHandle handle) {
   SOCRATES_REQUIRE(handle < tenant_count());
   Tenant& tenant = *tenants_[handle];
   static Counter& decisions_c = MetricsRegistry::global().counter("server.decisions");
   decisions_c.add(1);
   std::lock_guard<std::mutex> lock(tenant.mu);
-  return tenant.asrtm->find_best_operating_point();
+  return decide_locked(tenant);
+}
+
+std::size_t Server::decide_batch(std::span<const TenantHandle> handles,
+                                 std::span<std::size_t> out) {
+  SOCRATES_REQUIRE_MSG(out.size() >= handles.size(),
+                       "decide_batch output span holds "
+                           << out.size() << " slots, need " << handles.size());
+  const std::size_t count = tenant_count();
+  static Counter& sweeps_c = MetricsRegistry::global().counter("server.batch_sweeps");
+  static Counter& decisions_c =
+      MetricsRegistry::global().counter("server.batch_decisions");
+  static Counter& lockfree_c =
+      MetricsRegistry::global().counter("server.batch_lockfree");
+  static Counter& locked_c = MetricsRegistry::global().counter("server.batch_locked");
+  std::size_t lockfree = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    SOCRATES_REQUIRE(handles[i] < count);
+    lockfree += decide_one(*tenants_[handles[i]], out[i]);
+  }
+  sweeps_c.add(1);
+  decisions_c.add(handles.size());
+  lockfree_c.add(lockfree);
+  locked_c.add(handles.size() - lockfree);
+  return lockfree;
+}
+
+std::size_t Server::decide_shard(std::size_t shard,
+                                 std::span<TenantHandle> out_handles,
+                                 std::span<std::size_t> out_best) {
+  SOCRATES_REQUIRE(shard < options_.shards);
+  const std::size_t count = tenant_count();
+  static Counter& sweeps_c = MetricsRegistry::global().counter("server.batch_sweeps");
+  static Counter& decisions_c =
+      MetricsRegistry::global().counter("server.batch_decisions");
+  static Counter& lockfree_c =
+      MetricsRegistry::global().counter("server.batch_lockfree");
+  static Counter& locked_c = MetricsRegistry::global().counter("server.batch_locked");
+  std::size_t written = 0;
+  std::size_t lockfree = 0;
+  for (std::size_t slot = 0; slot < count; ++slot) {
+    Tenant& tenant = *tenants_[slot];
+    if (tenant.shard != shard) continue;
+    SOCRATES_REQUIRE_MSG(
+        written < out_handles.size() && written < out_best.size(),
+        "decide_shard output spans too small for shard " << shard);
+    out_handles[written] = slot;
+    lockfree += decide_one(tenant, out_best[written]);
+    ++written;
+  }
+  sweeps_c.add(1);
+  decisions_c.add(written);
+  lockfree_c.add(lockfree);
+  locked_c.add(written - lockfree);
+  return written;
 }
 
 Admission Server::update_goal(TenantHandle handle, std::size_t constraint_handle,
@@ -321,6 +402,7 @@ Admission Server::update_goal(TenantHandle handle, std::size_t constraint_handle
   }
   std::lock_guard<std::mutex> lock(tenant.mu);
   tenant.asrtm->set_constraint_goal(constraint_handle, goal);
+  tenant.mutation_stamp.fetch_add(1, std::memory_order_release);
   return Admission::kAccepted;
 }
 
@@ -394,6 +476,10 @@ void Server::shard_worker(std::size_t index) {
       } catch (...) {
         quarantine("non-standard exception");
       }
+      // Bump even on a partial (quarantined) apply: any feedback that
+      // landed invalidates the published decision.  A bump after the
+      // unlock can only cost a fast path, never serve a stale best.
+      if (applied > 0) tenant.mutation_stamp.fetch_add(1, std::memory_order_release);
       tenant.applied.fetch_add(applied, std::memory_order_relaxed);
       i = j;
     }
@@ -541,6 +627,8 @@ void Server::with_tenant(TenantHandle handle,
   Tenant& tenant = *tenants_[handle];
   std::lock_guard<std::mutex> lock(tenant.mu);
   fn(*tenant.asrtm);
+  // The functor may have mutated the runtime arbitrarily.
+  tenant.mutation_stamp.fetch_add(1, std::memory_order_release);
 }
 
 void Server::inject_stall(std::size_t shard, double seconds) {

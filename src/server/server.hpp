@@ -42,8 +42,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -156,6 +158,30 @@ class Server {
   /// decision path when nothing moved).
   std::size_t decide(TenantHandle handle);
 
+  /// Batched decision sweep: writes the best operating point of
+  /// handles[i] to out[i] (out must be at least handles.size() long).
+  /// Every locked decide publishes its result stamped with the
+  /// tenant's mutation stamp; a sweep serves tenants whose stamp has
+  /// not moved straight from that published pair — no tenant lock, no
+  /// AS-RTM call, no allocation — and takes the lock once only for
+  /// tenants whose decision inputs actually changed since.  At steady
+  /// state a sweep is therefore three atomic loads per tenant, which
+  /// is what makes per-invocation decision overhead affordable for
+  /// short-running kernels (ROADMAP item 1 / item 3).  Returns the
+  /// number of tenants served lock-free; bumps the server.batch_*
+  /// metrics.  Safe to call concurrently with feedback, goal updates
+  /// and shard restarts.
+  std::size_t decide_batch(std::span<const TenantHandle> handles,
+                           std::span<std::size_t> out);
+
+  /// Whole-shard sweep: decides every tenant living on `shard` (in
+  /// slot order), writing its handle and best point to the parallel
+  /// output spans.  Returns the number of tenants written; throws when
+  /// either span is too small.  Same fast path and metrics as
+  /// decide_batch.
+  std::size_t decide_shard(std::size_t shard, std::span<TenantHandle> out_handles,
+                           std::span<std::size_t> out_best);
+
   /// Changes a constraint goal.  Goal updates beyond
   /// goal_update_threshold per goal_window_s count as breaker errors
   /// (oscillating-tenant quarantine) and are rejected.
@@ -235,6 +261,21 @@ class Server {
 
     std::atomic<std::uint64_t> applied{0};
 
+    // Published decision for decide_batch's lock-free fast path.  A
+    // locked decide stores the chosen index (pub_best, release) and
+    // then the mutation stamp it decided under (pub_stamp, release);
+    // every locked mutation of the AS-RTM bumps mutation_stamp.  A
+    // sweep reads pub_stamp, pub_best, mutation_stamp in that order
+    // (all acquire): a stamp match proves the best it read was decided
+    // from inputs that have not moved since — without touching the
+    // asrtm pointer, so a concurrent shard-restart swap cannot be
+    // observed mid-free.
+    static constexpr std::uint64_t kNeverPublished =
+        std::numeric_limits<std::uint64_t>::max();
+    std::atomic<std::uint64_t> mutation_stamp{0};
+    std::atomic<std::uint64_t> pub_stamp{kNeverPublished};
+    std::atomic<std::size_t> pub_best{0};
+
     explicit Tenant(margot::KnowledgeBase kb) : knowledge(std::move(kb)) {}
   };
 
@@ -271,6 +312,13 @@ class Server {
   /// old runtime without persistence.
   void build_tenant_runtime(Tenant& tenant);
   std::string checkpoint_path(const std::string& name) const;
+  /// Decides under the tenant lock (caller holds tenant.mu) and
+  /// publishes the result for the lock-free sweep path.
+  std::size_t decide_locked(Tenant& tenant);
+  /// One sweep step: serves the published decision when the mutation
+  /// stamp matches (returns true), otherwise takes the lock and
+  /// decides (returns false).
+  bool decide_one(Tenant& tenant, std::size_t& out);
 
   ServerOptions options_;
   std::function<double()> now_;  ///< ingress clock (test-overridable)

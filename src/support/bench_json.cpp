@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -231,15 +232,60 @@ class LeafParser {
       literal("false");
       out_[path] = 0.0;
     } else if (c == 'n') {
+      // Distinguish the JSON literal from C-library spellings strtod
+      // would have silently accepted.
+      if (text_.substr(pos_, 3) == "nan") fail("'nan' is not valid JSON");
       literal("null");  // null leaf: skipped
     } else {
-      const char* start = text_.data() + pos_;
-      char* end = nullptr;
-      const double v = std::strtod(start, &end);
-      if (end == start) fail("expected a value");
-      pos_ += static_cast<std::size_t>(end - start);
-      out_[path] = v;
+      out_[path] = parse_number();
     }
+  }
+
+  /// Strict RFC 8259 number: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// Rejects, with named errors, the laxities the old strtod-based
+  /// reader let through: leading '+', leading '.', hex floats,
+  /// "inf"/"nan", and digit-less exponents.  Accepts exponent forms and
+  /// signed zero, which the grammar always allowed but the bench tools
+  /// never exercised before.
+  double parse_number() {
+    const std::size_t start = pos_;
+    auto digit = [&](std::size_t p) {
+      return p < text_.size() && text_[p] >= '0' && text_[p] <= '9';
+    };
+    if (peek() == '+') fail("leading '+' is not valid JSON");
+    if (peek() == '.') fail("leading '.' is not valid JSON (write 0.x)");
+    if (peek() == '-') ++pos_;
+    if (pos_ < text_.size() &&
+        (text_.substr(pos_, 3) == "inf" || text_.substr(pos_, 3) == "nan" ||
+         text_.substr(pos_, 3) == "Inf" || text_.substr(pos_, 3) == "NaN"))
+      fail("non-finite literals are not valid JSON");
+    if (!digit(pos_)) fail("expected a value");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit(pos_)) fail("leading zero is not valid JSON");
+      if (pos_ < text_.size() && (text_[pos_] == 'x' || text_[pos_] == 'X'))
+        fail("hex numbers are not valid JSON");
+    } else {
+      while (digit(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit(pos_)) fail("expected digits after '.'");
+      while (digit(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digit(pos_)) fail("expected digits in exponent");
+      while (digit(pos_)) ++pos_;
+    }
+    double v = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (ec == std::errc::result_out_of_range || end != text_.data() + pos_)
+      fail("number out of double range");
+    if (ec != std::errc{}) fail("unparsable number");
+    return v;
   }
 
   void literal(std::string_view word) {
@@ -304,6 +350,12 @@ std::vector<std::string> check_against_baseline(
     const auto it = leaves.find(check.path);
     if (it == leaves.end()) {
       failures.push_back("missing key '" + check.path + "'");
+      continue;
+    }
+    if (!std::isfinite(it->second)) {
+      // A non-finite measurement can never satisfy a bound; name the
+      // failure instead of letting the NaN comparisons mask it.
+      failures.push_back("'" + check.path + "' is not finite (NaN or Inf)");
       continue;
     }
     if (!(it->second >= check.min)) {

@@ -21,6 +21,7 @@
 
 #include "margot/asrtm.hpp"
 #include "observability/metrics.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace socrates::margot {
@@ -91,6 +92,9 @@ TEST_P(AsrtmIncrementalFuzz, MatchesBruteForceReference) {
     a->enable_decision_journal(256);
     a->add_constraint({kPower, ComparisonOp::kLessEqual, 120.0, 0, 1.0});
     a->add_constraint({kThr, ComparisonOp::kGreaterEqual, 0.15, 1, 0.0});
+    // Strict comparison: exercises the sign/violation mapping of the
+    // branchless column pass for kLess as well.
+    a->add_constraint({kTime, ComparisonOp::kLess, 9.5, 2, 0.5});
   }
   const std::size_t goal_handle = 0;
 
@@ -158,7 +162,8 @@ TEST_P(AsrtmIncrementalFuzz, MatchesBruteForceReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AsrtmIncrementalFuzz,
-                         ::testing::Values(7, 101, 2024, 31337, 987654321));
+                         ::testing::Values(7, 42, 101, 2024, 31337, 5550123,
+                                           987654321));
 
 TEST(AsrtmIncremental, CleanEpochIsCached) {
   Asrtm asrtm(fixed_kb());
@@ -223,6 +228,59 @@ TEST(AsrtmIncremental, EpsilonGatesCorrectionInvalidation) {
   const std::uint64_t exact_epoch = asrtm.decision_epoch();
   asrtm.send_feedback(1, kPower, 80.0 * asrtm.correction(kPower) * 1.0001);
   EXPECT_GT(asrtm.decision_epoch(), exact_epoch);
+}
+
+// Pins the boundary semantics documented at set_decision_epsilon():
+// drift of *exactly* epsilon counts as beyond the threshold and is
+// applied, while the re-sync performed by set_decision_epsilon() itself
+// applies any nonzero pending drift unconditionally.
+TEST(AsrtmIncremental, EpsilonBoundarySemantics) {
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.add_constraint({kPower, ComparisonOp::kLessEqual, 100.0, 0, 0.0});
+  asrtm.set_feedback_inertia(1.0);
+  asrtm.set_decision_epsilon(0.5);
+  (void)asrtm.find_best_operating_point();
+
+  // op1's power mean is 80 W, so these ratios are exact in double.
+  const std::uint64_t e0 = asrtm.decision_epoch();
+  asrtm.send_feedback(1, kPower, 120.0);  // correction 1.5, drift exactly 0.5
+  EXPECT_GT(asrtm.decision_epoch(), e0) << "drift == epsilon must apply";
+
+  const std::uint64_t e1 = asrtm.decision_epoch();
+  asrtm.send_feedback(1, kPower, 100.0);  // correction 1.25, drift 0.25
+  EXPECT_EQ(asrtm.decision_epoch(), e1) << "drift < epsilon must defer";
+  EXPECT_NEAR(asrtm.correction(kPower), 1.25, 1e-12);
+
+  // Re-setting even the *same* epsilon re-baselines the pending drift.
+  asrtm.set_decision_epsilon(0.5);
+  EXPECT_GT(asrtm.decision_epoch(), e1) << "set_decision_epsilon must re-sync";
+
+  // After the re-sync the applied value is 1.25: a further 0.25 drift
+  // sits below epsilon again.
+  const std::uint64_t e2 = asrtm.decision_epoch();
+  asrtm.send_feedback(1, kPower, 120.0);  // correction 1.5, drift 0.25
+  EXPECT_EQ(asrtm.decision_epoch(), e2);
+}
+
+TEST(AsrtmIncremental, ReentrancyGuardTripsOnReentrantDecide) {
+#if SOCRATES_ASRTM_REENTRANCY_GUARD
+  Asrtm asrtm(fixed_kb());
+  asrtm.set_rank(Rank::minimize_exec_time(kTime));
+  asrtm.set_feedback_inertia(1.0);
+  // A sink that re-enters the decision engine while send_feedback still
+  // owns the mutable scratch: the debug guard must trip, not corrupt.
+  asrtm.set_event_sink([&asrtm](const RuntimeEvent&) {
+    (void)asrtm.find_best_operating_point();
+  });
+  EXPECT_THROW(asrtm.send_feedback(0, kPower, 55.0), ContractViolation);
+  // The guard releases on unwind: the engine stays usable afterwards.
+  asrtm.set_event_sink(nullptr);
+  EXPECT_NO_THROW((void)asrtm.find_best_operating_point());
+#else
+  GTEST_SKIP() << "reentrancy guard compiled out (NDEBUG without "
+                  "SOCRATES_DEBUG_GUARDS)";
+#endif
 }
 
 TEST(AsrtmIncremental, QuarantineExpiryMidStreamInvalidates) {

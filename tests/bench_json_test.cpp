@@ -89,6 +89,48 @@ TEST(ParseNumericLeaves, MalformedDocumentsThrow) {
   EXPECT_THROW(parse_numeric_leaves("not json"), Error);
 }
 
+TEST(ParseNumericLeaves, AcceptsExponentAndSignedZeroForms) {
+  const auto leaves = parse_numeric_leaves(
+      R"({"a": 1e3, "b": 2.5E-2, "c": -0.0, "d": -12.75,
+          "e": 1.25e+2, "f": 0.5, "g": 0, "h": -3e2})");
+  EXPECT_DOUBLE_EQ(leaves.at("a"), 1000.0);
+  EXPECT_DOUBLE_EQ(leaves.at("b"), 0.025);
+  EXPECT_DOUBLE_EQ(leaves.at("c"), 0.0);
+  EXPECT_TRUE(std::signbit(leaves.at("c")));
+  EXPECT_DOUBLE_EQ(leaves.at("d"), -12.75);
+  EXPECT_DOUBLE_EQ(leaves.at("e"), 125.0);
+  EXPECT_DOUBLE_EQ(leaves.at("f"), 0.5);
+  EXPECT_DOUBLE_EQ(leaves.at("g"), 0.0);
+  EXPECT_DOUBLE_EQ(leaves.at("h"), -300.0);
+}
+
+// The old strtod-based reader silently accepted C-library spellings
+// that are not JSON.  Each rejection must carry a named reason, not a
+// generic parse failure.
+TEST(ParseNumericLeaves, RejectsNonJsonNumberSpellingsWithNamedErrors) {
+  const auto error_for = [](const std::string& doc) -> std::string {
+    try {
+      parse_numeric_leaves(doc);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(error_for(R"({"a": nan})").find("nan"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": inf})").find("non-finite"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": -inf})").find("non-finite"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": NaN})").find("non-finite"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": +1})").find("leading '+'"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": .5})").find("leading '.'"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": 0x10})").find("hex"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": 01})").find("leading zero"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": 1e})").find("exponent"), std::string::npos);
+  EXPECT_NE(error_for(R"({"a": 1.})").find("digits after '.'"),
+            std::string::npos);
+  EXPECT_NE(error_for(R"({"a": 1e999})").find("out of double range"),
+            std::string::npos);
+}
+
 TEST(Baseline, ParsesChecksWithOptionalBounds) {
   const auto checks = parse_baseline(
       R"({"checks": [
