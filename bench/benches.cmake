@@ -124,6 +124,28 @@ set_tests_properties(decision_sweep_bench_baseline PROPERTIES
   LABELS "bench;smoke"
   FIXTURES_REQUIRED bench_decision_sweep_json)
 
+# The online-adaptation pin: the seeded co-runner episode with the
+# bench's built-in invariant — the adaptive AS-RTM holds the power cap
+# through the episode while frozen design-time knowledge violates it —
+# and the BENCH_feedback_adaptation.json artifact gated by the
+# committed bounds.
+add_test(NAME feedback_adaptation_bench_smoke
+  COMMAND ablation_feedback_adaptation)
+set_tests_properties(feedback_adaptation_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  PASS_REGULAR_EXPRESSION "PASS: online adaptation"
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_feedback_adaptation_json
+  TIMEOUT 600)
+add_test(NAME feedback_adaptation_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/feedback_adaptation.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_feedback_adaptation.json)
+set_tests_properties(feedback_adaptation_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_feedback_adaptation_json)
+
 # The multi-tenant server pin (quick mode for CTest): clean / overload /
 # chaos regimes, kill-and-resume exactness, BENCH_server.json artifact
 # gated by machine-stable bounds.

@@ -1,7 +1,9 @@
 #include "margot/checkpoint.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +15,7 @@
 
 #include "observability/metrics.hpp"
 #include "support/chaos.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
@@ -23,7 +26,7 @@ namespace {
 
 constexpr const char* kMagic = "socrates-checkpoint";
 // v2: payload gained the "depoch" (decision epoch) line.  An old v1
-// snapshot fails the version check and degrades to a clean fresh start,
+// snapshot fails the version check and walks down the recovery ladder,
 // the same path any unrecognized checkpoint takes.
 constexpr const char* kVersion = "v2";
 
@@ -61,7 +64,7 @@ bool expect_word(std::istream& in, const char* word) {
 }
 
 /// Parses a payload produced by serialize_payload.  Returns false on
-/// any malformation (the caller fresh-starts).
+/// any malformation (the caller moves down the ladder).
 bool parse_payload(const std::string& payload, Asrtm::Snapshot& snap,
                    std::string& active_state) {
   std::istringstream in(payload);
@@ -90,6 +93,40 @@ bool parse_payload(const std::string& payload, Asrtm::Snapshot& snap,
     snap.health[i].probing = probing != 0;
   }
   return true;
+}
+
+/// Outcome of reading one snapshot generation off the disk.
+enum class SnapLoad { kMissing, kCorrupt, kOk };
+
+/// Reads + verifies a snapshot file (header, checksum, payload shape)
+/// WITHOUT applying it.  On kCorrupt `reason` names the defect.
+SnapLoad load_snapshot(const std::string& file, Asrtm::Snapshot& snap,
+                       std::string& active_state, std::uint64_t& epoch,
+                       std::string& reason) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return SnapLoad::kMissing;
+  // Header: magic version epoch payload-size payload-hash-hex
+  std::string magic, version, hash_text;
+  std::size_t size = 0;
+  if (!(in >> magic >> version >> epoch >> size >> hash_text) || magic != kMagic ||
+      version != kVersion) {
+    reason = "unrecognized checkpoint header";
+    return SnapLoad::kCorrupt;
+  }
+  in.get();  // the separator newline
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  const std::uint64_t hash = std::strtoull(hash_text.c_str(), nullptr, 16);
+  if (in.gcount() != static_cast<std::streamsize>(size) ||
+      stable_hash64(payload) != hash) {
+    reason = "checkpoint payload truncated or checksum mismatch";
+    return SnapLoad::kCorrupt;
+  }
+  if (!parse_payload(payload, snap, active_state)) {
+    reason = "malformed checkpoint payload";
+    return SnapLoad::kCorrupt;
+  }
+  return SnapLoad::kOk;
 }
 
 /// Journal line body: epoch, kind, op, metric, value, then the state
@@ -136,13 +173,104 @@ bool parse_event(const std::string& body, std::uint64_t& epoch, RuntimeEvent& ev
   return true;
 }
 
+/// Replays one journal file onto the AS-RTM.  A line applies when its
+/// checksum verifies, it parses, and its epoch passes the filter:
+/// `exact` demands line_epoch == epoch_min (the healthy single-journal
+/// restore), otherwise line_epoch >= epoch_min (the older-generation
+/// chain replay, where each rotated journal carries the next epoch
+/// up).  Everything else — a torn final line, a stale epoch, an event
+/// the AS-RTM rejects — is skipped, never fatal.
+void replay_journal_file(Asrtm& asrtm, const std::string& file,
+                         std::uint64_t epoch_min, bool exact,
+                         CheckpointStore::RestoreResult& result,
+                         std::uint64_t& max_epoch) {
+  std::ifstream jin(file, std::ios::binary);
+  std::string line;
+  while (jin && std::getline(jin, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    bool ok = space != std::string::npos;
+    std::uint64_t line_epoch = 0;
+    RuntimeEvent event;
+    if (ok) {
+      const std::string body = line.substr(space + 1);
+      const std::uint64_t hash =
+          std::strtoull(line.substr(0, space).c_str(), nullptr, 16);
+      ok = stable_hash64(body) == hash && parse_event(body, line_epoch, event) &&
+           (exact ? line_epoch == epoch_min : line_epoch >= epoch_min);
+    }
+    if (!ok) {
+      ++result.skipped;
+      continue;
+    }
+    try {
+      asrtm.replay(event);
+      if (event.kind == RuntimeEvent::Kind::kStateActivation)
+        result.active_state = event.name;
+      if (line_epoch > max_epoch) max_epoch = line_epoch;
+      ++result.replayed;
+    } catch (const std::exception&) {
+      // A checksum-valid line the AS-RTM rejects (e.g. op index out
+      // of range after a shape-preserving KB edit): skip, don't die.
+      ++result.skipped;
+    }
+  }
+}
+
+/// fsync by path: reopens read-only and syncs — on Linux this flushes
+/// the file's dirty pages no matter which descriptor wrote them.
+/// Works for directories too (rename durability).  Best-effort: a
+/// failure here cannot make the data *less* durable.
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  fsync_path(dir.empty() ? "." : dir.string());
+}
+
 }  // namespace
 
+const char* to_string(RecoveryRung rung) {
+  switch (rung) {
+    case RecoveryRung::kNewestSnapshot: return "newest-snapshot";
+    case RecoveryRung::kOlderGeneration: return "older-generation";
+    case RecoveryRung::kJournalOnly: return "journal-only";
+    case RecoveryRung::kFreshStart: return "fresh-start";
+  }
+  return "unknown";
+}
+
+CheckpointStore::Options CheckpointStore::Options::from_env(Options base) {
+  base.generations =
+      env::size_or("SOCRATES_CHECKPOINT_GENERATIONS", base.generations, 1, 8);
+  base.fsync_on_commit =
+      base.fsync_on_commit || env::flag("SOCRATES_CHECKPOINT_FSYNC");
+  const double probe_ms = env::real_or("SOCRATES_CHECKPOINT_PROBE_MS",
+                                       base.probe_base_s * 1000.0, 1.0, 60000.0);
+  base.probe_base_s = probe_ms / 1000.0;
+  if (base.probe_max_s < base.probe_base_s) base.probe_max_s = base.probe_base_s;
+  return base;
+}
+
 CheckpointStore::CheckpointStore(std::string path, Options options)
-    : path_(std::move(path)), options_(options) {
+    : path_(std::move(path)),
+      options_(options),
+      anchor_(std::chrono::steady_clock::now()) {
   SOCRATES_REQUIRE(!path_.empty());
   SOCRATES_REQUIRE(options_.journal_capacity >= 1);
   SOCRATES_REQUIRE(options_.group_commit >= 1);
+  if (options_.generations < 1) options_.generations = 1;
+  options_.fsync_on_commit =
+      options_.fsync_on_commit || env::flag("SOCRATES_CHECKPOINT_FSYNC");
+  if (options_.probe_base_s <= 0.0) options_.probe_base_s = 0.05;
+  if (options_.probe_max_s < options_.probe_base_s)
+    options_.probe_max_s = options_.probe_base_s;
+  sweep_stale_tmps();
 }
 
 CheckpointStore::~CheckpointStore() {
@@ -158,183 +286,450 @@ CheckpointStore::~CheckpointStore() {
   journal_.close();
 }
 
+std::string CheckpointStore::snapshot_path(std::size_t generation) const {
+  return generation == 0 ? path_ : path_ + "." + std::to_string(generation);
+}
+
+std::string CheckpointStore::journal_path(std::size_t generation) const {
+  const std::string base = path_ + ".journal";
+  return generation == 0 ? base : base + "." + std::to_string(generation);
+}
+
+void CheckpointStore::sweep_stale_tmps() {
+  // A crash between "write tmp" and "rename into place" leaks
+  // <path>.tmp.<pid>.  No live writer exists at construction time (the
+  // store is single-owner and writes its own pid), so anything matching
+  // is garbage from a dead process.
+  namespace fs = std::filesystem;
+  const fs::path snapshot(path_);
+  fs::path dir = snapshot.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = snapshot.filename().string() + ".tmp.";
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec), end;
+  std::size_t swept = 0;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::error_code rec;
+    if (fs::remove(it->path(), rec)) ++swept;
+  }
+  if (swept > 0) {
+    log_info() << "checkpoint: swept " << swept
+               << " stale tmp snapshot(s) next to " << path_;
+    MetricsRegistry::global().counter("checkpoint.tmp_files_swept").add(swept);
+  }
+}
+
+double CheckpointStore::now_s() const {
+  if (now_) return now_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - anchor_)
+      .count();
+}
+
+void CheckpointStore::set_time_source(std::function<double()> now) {
+  now_ = std::move(now);
+}
+
+CheckpointStore::DiskStatus CheckpointStore::disk_status() const {
+  DiskStatus status;
+  status.degraded = degraded_;
+  status.io_errors = io_errors_;
+  status.degraded_entries = degraded_entries_;
+  status.recoveries = recoveries_;
+  status.journal_reopens = journal_reopens_;
+  status.events_dropped = events_dropped_;
+  status.last_error = last_error_;
+  return status;
+}
+
+CheckpointStore::IoError CheckpointStore::classify_errno(int err, IoError fallback) {
+  if (err == ENOSPC || err == EDQUOT) return IoError::kNoSpace;
+  if (err == EIO) return IoError::kIo;
+  return fallback;
+}
+
+void CheckpointStore::enter_degraded(IoError kind, const std::string& what) {
+  const char* kind_name = "io";
+  switch (kind) {
+    case IoError::kNoSpace: kind_name = "enospc"; break;
+    case IoError::kIo: kind_name = "eio"; break;
+    case IoError::kRename: kind_name = "rename"; break;
+    case IoError::kShortWrite: kind_name = "short-write"; break;
+    case IoError::kOpen: kind_name = "open"; break;
+  }
+  ++io_errors_;
+  last_error_ = std::string(kind_name) + ": " + what;
+  auto& metrics = MetricsRegistry::global();
+  metrics.counter("checkpoint.io_errors").add(1);
+  metrics.counter(std::string("checkpoint.io_errors.") + kind_name).add(1);
+  // The whole device is suspect, not just the file that failed: close
+  // the journal so recovery reopens it from a clean descriptor.
+  journal_.close();
+  journal_.clear();
+  journal_open_failed_ = true;
+  if (!degraded_) {
+    degraded_ = true;
+    ++degraded_entries_;
+    backoff_s_ = options_.probe_base_s;
+    next_probe_s_ = now_s() + backoff_s_;
+    log_warn() << "checkpoint: disk unhealthy (" << last_error_
+               << "); degraded in-memory mode on " << path_ << ", re-probe in "
+               << backoff_s_ << "s";
+    metrics.counter("checkpoint.degraded_entries").add(1);
+    metrics.gauge("checkpoint.degraded").set(1.0);
+  } else {
+    // A failed probe: back off exponentially up to the cap.
+    backoff_s_ = std::min(backoff_s_ * 2.0, options_.probe_max_s);
+    next_probe_s_ = now_s() + backoff_s_;
+  }
+}
+
+bool CheckpointStore::maybe_probe() {
+  if (!degraded_ || crashed_) return false;
+  if (now_s() < next_probe_s_) return false;
+  return probe_now();
+}
+
+bool CheckpointStore::probe_now() {
+  // The probe IS the recovery: a full snapshot captures everything
+  // learned while degraded, so the events the journal missed are not
+  // lost unless the process dies before the disk heals.
+  if (!write_snapshot(epoch_ + 1)) return false;  // enter_degraded backed off
+  ++epoch_;
+  ++snapshots_;
+  MetricsRegistry::global().counter("checkpoint.snapshots").add(1);
+  degraded_ = false;
+  // Anything buffered is inside the snapshot now (its lines carry the
+  // pre-recovery epoch and would be skipped on restore regardless).
+  batch_.clear();
+  batch_lines_ = 0;
+  rotate_journals();
+  if (degraded_) return false;  // the journal reopen failed: still unhealthy
+  pending_ = 0;
+  ++recoveries_;
+  auto& metrics = MetricsRegistry::global();
+  metrics.counter("checkpoint.disk_recoveries").add(1);
+  metrics.gauge("checkpoint.degraded").set(0.0);
+  log_info() << "checkpoint: disk recovered; full snapshot written at epoch "
+             << epoch_ << ", journaling resumed on " << path_;
+  return true;
+}
+
 CheckpointStore::RestoreResult CheckpointStore::attach(Asrtm& asrtm) {
   SOCRATES_REQUIRE_MSG(asrtm_ == nullptr, "CheckpointStore is already attached");
   RestoreResult result;
-  bool fresh = false;        ///< corruption: discard snapshot AND journal
-  bool have_snapshot = false;
-  std::string fresh_reason;
-  Asrtm::Snapshot snap;
+  auto& metrics = MetricsRegistry::global();
+
+  // Walk the generation ladder newest-first until a snapshot loads AND
+  // applies.  Rejected generations are removed — they are unreadable,
+  // and leaving them would resurrect garbage on a later restore.
   std::string snap_state;
-
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) {
-    // Not corruption: a process killed before its first checkpoint()
-    // has no snapshot, only the journal — epoch-0 lines replay onto the
-    // freshly constructed AS-RTM below.
-    epoch_ = 0;
-  } else {
-    // Header: magic version epoch payload-size payload-hash-hex
-    std::string magic, version, hash_text;
-    std::uint64_t epoch = 0;
-    std::size_t size = 0;
-    if (!(in >> magic >> version >> epoch >> size >> hash_text) || magic != kMagic ||
-        version != kVersion) {
-      fresh = true;
-      fresh_reason = "unrecognized checkpoint header";
-    } else {
-      in.get();  // the separator newline
-      std::string payload(size, '\0');
-      in.read(payload.data(), static_cast<std::streamsize>(size));
-      const std::uint64_t hash = std::strtoull(hash_text.c_str(), nullptr, 16);
-      if (in.gcount() != static_cast<std::streamsize>(size) ||
-          stable_hash64(payload) != hash) {
-        fresh = true;
-        fresh_reason = "checkpoint payload truncated or checksum mismatch";
-      } else if (!parse_payload(payload, snap, snap_state)) {
-        fresh = true;
-        fresh_reason = "malformed checkpoint payload";
-      } else {
-        epoch_ = epoch;
-        have_snapshot = true;
-      }
-    }
-  }
-  in.close();
-
-  if (have_snapshot) {
-    try {
-      asrtm.restore(snap);
-      result.restored = true;
-      result.active_state = snap_state;
-      active_state_ = snap_state;
-    } catch (const std::exception& e) {
-      // Shape mismatch: the knowledge base changed since the checkpoint
-      // was taken.  The old learned state no longer applies.
-      fresh = true;
-      fresh_reason = std::string("checkpoint incompatible: ") + e.what();
-    }
-  }
-
-  if (fresh) {
-    // Clean fresh start: discard stale files so a later restore cannot
-    // mix epochs, and report why.
-    std::error_code ec;
-    std::filesystem::remove(path_, ec);
-    epoch_ = 0;
-    active_state_.clear();
-    result.note = "fresh start: " + fresh_reason;
-    log_info() << "checkpoint: " << result.note;
-    MetricsRegistry::global().counter("checkpoint.fresh_starts").add(1);
-    open_journal(/*truncate=*/true);
-  } else {
-    // Replay the journal on top of the snapshot.  Only lines of the
-    // snapshot's epoch apply; anything else is stale or torn.
-    std::ifstream jin(journal_path(), std::ios::binary);
-    std::string line;
-    while (jin && std::getline(jin, line)) {
-      if (line.empty()) continue;
-      const std::size_t space = line.find(' ');
-      bool ok = space != std::string::npos;
-      std::uint64_t line_epoch = 0;
-      RuntimeEvent event;
-      if (ok) {
-        const std::string body = line.substr(space + 1);
-        const std::uint64_t hash = std::strtoull(line.substr(0, space).c_str(), nullptr, 16);
-        ok = stable_hash64(body) == hash && parse_event(body, line_epoch, event) &&
-             line_epoch == epoch_;
-      }
-      if (!ok) {
-        ++result.skipped;
-        continue;
-      }
+  std::uint64_t snap_epoch = 0;
+  std::size_t chosen_gen = 0;
+  bool have_snapshot = false;
+  bool any_snapshot_file = false;
+  std::string first_reason;
+  for (std::size_t g = 0; g < options_.generations && !have_snapshot; ++g) {
+    const std::string file = snapshot_path(g);
+    std::string reason;
+    Asrtm::Snapshot cand;
+    std::string cand_state;
+    std::uint64_t cand_epoch = 0;
+    const SnapLoad loaded = load_snapshot(file, cand, cand_state, cand_epoch, reason);
+    if (loaded == SnapLoad::kMissing) continue;
+    any_snapshot_file = true;
+    if (loaded == SnapLoad::kOk) {
       try {
-        asrtm.replay(event);
-        if (event.kind == RuntimeEvent::Kind::kStateActivation) {
-          result.active_state = event.name;
-          active_state_ = event.name;
-        }
-        ++result.replayed;
-      } catch (const std::exception&) {
-        // A checksum-valid line the AS-RTM rejects (e.g. op index out
-        // of range after a shape-preserving KB edit): skip, don't die.
-        ++result.skipped;
+        asrtm.restore(cand);
+        snap_state = cand_state;
+        snap_epoch = cand_epoch;
+        chosen_gen = g;
+        have_snapshot = true;
+        break;
+      } catch (const std::exception& e) {
+        // Shape mismatch: the knowledge base changed since this
+        // checkpoint was taken.  The old learned state no longer
+        // applies — and neither will any older generation of it, but
+        // the ladder costs nothing and reports precisely.
+        reason = std::string("checkpoint incompatible: ") + e.what();
       }
     }
-    jin.close();
+    if (first_reason.empty()) first_reason = reason;
+    log_warn() << "checkpoint: generation " << g << " rejected (" << reason
+               << "), trying the next rung";
+    metrics.counter("checkpoint.corrupt_snapshots").add(1);
+    std::error_code ec;
+    std::filesystem::remove(file, ec);
+  }
+
+  std::uint64_t max_epoch = 0;
+  if (have_snapshot && chosen_gen == 0) {
+    // Rung 0: the healthy path.  Replay the live journal on top; only
+    // lines of the snapshot's epoch apply, anything else is stale or
+    // torn.
+    result.rung = RecoveryRung::kNewestSnapshot;
+    result.restored = true;
+    result.generation = 0;
+    epoch_ = snap_epoch;
+    result.active_state = snap_state;
+    replay_journal_file(asrtm, journal_path(0), epoch_, /*exact=*/true, result,
+                        max_epoch);
+    active_state_ = result.active_state;
     pending_ = result.replayed;
     std::ostringstream note;
-    note << (result.restored ? "restored" : "no snapshot; replayed journal at")
-         << " epoch " << epoch_ << ", replayed " << result.replayed << " event(s)";
+    note << "restored epoch " << epoch_ << ", replayed " << result.replayed
+         << " event(s)";
     if (result.skipped > 0) note << ", skipped " << result.skipped;
     result.note = note.str();
-    log_info() << "checkpoint: " << result.note;
-    MetricsRegistry::global().counter("checkpoint.restores").add(1);
-    MetricsRegistry::global()
-        .counter("checkpoint.replayed_events")
-        .add(result.replayed);
-    if (result.skipped > 0)
-      MetricsRegistry::global()
-          .counter("checkpoint.skipped_records")
-          .add(result.skipped);
     open_journal(/*truncate=*/false);
+  } else if (have_snapshot) {
+    // Rung 1: the newest snapshot was corrupt but an older generation
+    // survived.  Chain-replay the journal generations oldest-first —
+    // each rotated journal carries the epoch that produced the next
+    // (lost) snapshot — so the knowledge climbs back as close to the
+    // head as the surviving files allow.
+    result.rung = RecoveryRung::kOlderGeneration;
+    result.restored = true;
+    result.generation = chosen_gen;
+    epoch_ = snap_epoch;
+    max_epoch = snap_epoch;
+    result.active_state = snap_state;
+    for (std::size_t k = chosen_gen + 1; k-- > 0;)
+      replay_journal_file(asrtm, journal_path(k), snap_epoch, /*exact=*/false,
+                          result, max_epoch);
+    active_state_ = result.active_state;
+    std::ostringstream note;
+    note << "restored older generation " << chosen_gen << " at epoch "
+         << snap_epoch << ", chain-replayed " << result.replayed << " event(s)";
+    if (result.skipped > 0) note << ", skipped " << result.skipped;
+    note << " (newest snapshot was " << (first_reason.empty() ? "missing" : first_reason)
+         << ")";
+    result.note = note.str();
+  } else if (any_snapshot_file) {
+    // Rung 3: every generation was rejected.  Clean fresh start —
+    // discard the journal chain too so a later restore cannot mix
+    // epochs, and report why.
+    result.rung = RecoveryRung::kFreshStart;
+    for (std::size_t g = 0; g < options_.generations; ++g) {
+      std::error_code ec;
+      std::filesystem::remove(snapshot_path(g), ec);
+      if (g > 0) std::filesystem::remove(journal_path(g), ec);
+    }
+    epoch_ = 0;
+    active_state_.clear();
+    result.note = "fresh start: " + first_reason;
+    metrics.counter("checkpoint.fresh_starts").add(1);
+    open_journal(/*truncate=*/true);
+  } else {
+    // Rung 2: no snapshot was ever written — a process killed before
+    // its first checkpoint() leaves only the journal; epoch-0 lines
+    // replay onto the freshly constructed AS-RTM.
+    result.rung = RecoveryRung::kJournalOnly;
+    epoch_ = 0;
+    replay_journal_file(asrtm, journal_path(0), 0, /*exact=*/true, result,
+                        max_epoch);
+    active_state_ = result.active_state;
+    pending_ = result.replayed;
+    std::ostringstream note;
+    note << "no snapshot; replayed journal at epoch 0, replayed "
+         << result.replayed << " event(s)";
+    if (result.skipped > 0) note << ", skipped " << result.skipped;
+    result.note = note.str();
+    open_journal(/*truncate=*/false);
+  }
+
+  log_info() << "checkpoint: " << result.note << " [rung "
+             << to_string(result.rung) << "]";
+  metrics.counter(std::string("checkpoint.recovery_rung.") + to_string(result.rung))
+      .add(1);
+  metrics.gauge("checkpoint.recovery_rung").set(static_cast<double>(result.rung));
+  if (result.rung != RecoveryRung::kFreshStart) {
+    metrics.counter("checkpoint.restores").add(1);
+    metrics.counter("checkpoint.replayed_events").add(result.replayed);
+    if (result.skipped > 0)
+      metrics.counter("checkpoint.skipped_records").add(result.skipped);
   }
 
   asrtm_ = &asrtm;
   asrtm.set_event_sink([this](const RuntimeEvent& event) { on_event(event); });
+
+  if (result.rung == RecoveryRung::kOlderGeneration) {
+    // Collapse immediately to a fresh known-good newest snapshot, with
+    // an epoch past everything seen on disk — the journal chain
+    // restarts coherent and the rung-1 state survives even if the next
+    // crash comes soon.
+    epoch_ = std::max(snap_epoch, max_epoch);
+    if (write_snapshot(epoch_ + 1)) {
+      ++epoch_;
+      ++snapshots_;
+      rotate_journals();
+      pending_ = 0;
+      metrics.counter("checkpoint.snapshots").add(1);
+    }
+    // On failure enter_degraded already took over: the state lives in
+    // memory and the probe will write the collapse snapshot when the
+    // disk heals.
+  }
   return result;
 }
 
 void CheckpointStore::open_journal(bool truncate) {
   journal_.close();
   journal_.clear();
+  if (crashed_) return;
+  auto& chaos = ChaosEngine::global();
+  if (chaos.enabled() && chaos.fail_disk("checkpoint.disk")) {
+    enter_degraded(IoError::kNoSpace,
+                   "injected disk-full opening " + journal_path());
+    return;
+  }
+  errno = 0;
   const auto mode =
       std::ios::binary | (truncate ? std::ios::trunc : std::ios::app);
   journal_.open(journal_path(), mode);
-  if (!journal_ && !journal_failed_) {
-    journal_failed_ = true;
-    log_warn() << "checkpoint: cannot open journal " << journal_path()
-               << "; learned state will not survive a crash";
+  if (!journal_) {
+    enter_degraded(classify_errno(errno, IoError::kOpen),
+                   "cannot open journal " + journal_path());
+    return;
+  }
+  if (journal_open_failed_) {
+    // The bug this fixes: the old store latched a failed open forever.
+    // A successful open after any failure is a reopen — durability is
+    // back, count it.
+    journal_open_failed_ = false;
+    ++journal_reopens_;
+    MetricsRegistry::global().counter("checkpoint.journal_reopens").add(1);
+  }
+  if (truncate) {
+    journal_bytes_ = 0;
+  } else {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(journal_path(), ec);
+    journal_bytes_ = ec ? 0 : static_cast<std::size_t>(size);
   }
 }
 
+void CheckpointStore::rotate_generations() {
+  // <path>.(K-2) -> .(K-1), ..., <path> -> .1.  A missing source just
+  // means that generation does not exist yet; rename-over replaces the
+  // oldest.
+  for (std::size_t g = options_.generations; g-- > 1;) {
+    std::error_code ec;
+    std::filesystem::rename(snapshot_path(g - 1), snapshot_path(g), ec);
+  }
+}
+
+void CheckpointStore::rotate_journals() {
+  // The journal rotates WITH its snapshot: journal.<g> holds exactly
+  // the events that carried snapshot generation <g> forward to
+  // generation <g-1>, which is what an older-generation restore
+  // chain-replays.
+  journal_.close();
+  journal_.clear();
+  for (std::size_t g = options_.generations; g-- > 1;) {
+    std::error_code ec;
+    std::filesystem::rename(journal_path(g - 1), journal_path(g), ec);
+  }
+  open_journal(/*truncate=*/true);
+}
+
 bool CheckpointStore::write_snapshot(std::uint64_t epoch) {
+  if (crashed_) return false;
+  auto& chaos = ChaosEngine::global();
   const std::string payload = serialize_payload(asrtm_->snapshot(), active_state_);
+  std::ostringstream header_os;
+  header_os << kMagic << ' ' << kVersion << ' ' << epoch << ' ' << payload.size()
+            << ' ' << std::hex << stable_hash64(payload) << std::dec << '\n';
+  const std::string header = header_os.str();
   const std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+
+  if (chaos.enabled() && chaos.fail_disk("checkpoint.disk")) {
+    enter_degraded(IoError::kNoSpace, "injected disk-full writing " + tmp);
+    return false;
+  }
+  errno = 0;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      log_warn() << "checkpoint: cannot write " << tmp;
+      enter_degraded(classify_errno(errno, IoError::kOpen), "cannot write " + tmp);
       return false;
     }
-    out << kMagic << ' ' << kVersion << ' ' << epoch << ' ' << payload.size() << ' '
-        << std::hex << stable_hash64(payload) << std::dec << '\n';
+    if (chaos.enabled() && chaos.crash_now("snapshot-header")) {
+      // Death mid-header: the torn tmp is never published, the sweep
+      // removes it on the next construction.
+      out.write(header.data(),
+                static_cast<std::streamsize>(header.size() / 2));
+      out.flush();
+      out.close();
+      crashed_ = true;
+      journal_.close();
+      journal_.clear();
+      log_warn() << "checkpoint: injected crash at snapshot-header on " << tmp;
+      return false;
+    }
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    if (chaos.enabled() && chaos.crash_now("snapshot-body")) {
+      out.write(payload.data(),
+                static_cast<std::streamsize>(payload.size() / 2));
+      out.flush();
+      out.close();
+      crashed_ = true;
+      journal_.close();
+      journal_.clear();
+      log_warn() << "checkpoint: injected crash at snapshot-body on " << tmp;
+      return false;
+    }
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     out.flush();
     if (!out) {
       out.close();
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
-      log_warn() << "checkpoint: short write, keeping previous snapshot";
+      enter_degraded(classify_errno(errno, IoError::kShortWrite),
+                     "short write on " + tmp + ", keeping previous snapshot");
       return false;
     }
   }
+  if (options_.fsync_on_commit) fsync_path(tmp);
+  if (chaos.enabled() && chaos.crash_now("snapshot-rename")) {
+    // Death between write and publish: a complete, valid tmp exists but
+    // the previous snapshot is still the newest — restore must land on
+    // it, and the sweep collects the orphan.
+    crashed_ = true;
+    journal_.close();
+    journal_.clear();
+    log_warn() << "checkpoint: injected crash at snapshot-rename on " << tmp;
+    return false;
+  }
+  rotate_generations();
   std::error_code ec;
   std::filesystem::rename(tmp, path_, ec);
   if (ec) {
-    log_warn() << "checkpoint: cannot publish " << path_ << ": " << ec.message();
-    std::filesystem::remove(tmp, ec);
+    std::error_code rec;
+    std::filesystem::remove(tmp, rec);
+    enter_degraded(IoError::kRename,
+                   "cannot publish " + path_ + ": " + ec.message());
     return false;
   }
+  if (options_.fsync_on_commit) fsync_parent_dir(path_);
   return true;
 }
 
 void CheckpointStore::checkpoint() {
   SOCRATES_REQUIRE_MSG(asrtm_ != nullptr, "checkpoint() requires a prior attach()");
+  if (crashed_) return;
+  if (degraded_) {
+    // A checkpoint request in degraded mode is a re-probe opportunity;
+    // probe_now() writes the full snapshot when the disk answers.
+    maybe_probe();
+    return;
+  }
+  auto& chaos = ChaosEngine::global();
   const std::uint64_t next_epoch = epoch_ + 1;
   if (!write_snapshot(next_epoch)) {
-    // The snapshot failed; commit the buffered batch so the journal
-    // keeps protecting us on disk.
+    // The failure was classified (degraded or injected crash); commit
+    // or account for the buffered batch accordingly.
     flush_batch();
     return;
   }
@@ -344,9 +739,19 @@ void CheckpointStore::checkpoint() {
   // already-written) journal lines are superseded: discard both.
   batch_.clear();
   batch_lines_ = 0;
-  // A crash exactly here leaves old-epoch journal lines behind; the
-  // next restore ignores them (epoch tag mismatch).
-  open_journal(/*truncate=*/true);
+  if (chaos.enabled() && chaos.crash_now("journal-truncate")) {
+    // Death between publishing the new snapshot and rotating the
+    // journal: the live journal still holds old-epoch lines.  The next
+    // restore must skip every one of them (epoch tag mismatch).
+    crashed_ = true;
+    journal_.close();
+    journal_.clear();
+    log_warn() << "checkpoint: injected crash at journal-truncate on " << path_;
+    return;
+  }
+  // A real crash exactly here leaves old-epoch journal lines behind;
+  // the next restore ignores them (epoch tag mismatch).
+  rotate_journals();
   pending_ = 0;
   MetricsRegistry::global().counter("checkpoint.snapshots").add(1);
 }
@@ -360,7 +765,22 @@ void CheckpointStore::detach() {
 }
 
 void CheckpointStore::on_event(const RuntimeEvent& event) {
-  if (event.kind == RuntimeEvent::Kind::kStateActivation) active_state_ = event.name;
+  if (event.kind == RuntimeEvent::Kind::kStateActivation)
+    active_state_ = event.name;
+  if (crashed_) return;  // simulated dead process: the disk is frozen
+  if (degraded_) {
+    // The recovery probe piggybacks on event traffic.  Either way this
+    // event does NOT go to the journal: the AS-RTM already applied it,
+    // so a successful probe's full snapshot captures it (journaling it
+    // too would double-apply on restore), and while still degraded it
+    // lives in memory only.
+    if (maybe_probe()) return;
+    ++events_dropped_;
+    static Counter& dropped =
+        MetricsRegistry::global().counter("checkpoint.events_dropped");
+    dropped.add(1);
+    return;
+  }
   char buf[160];
   if (const std::size_t len = serialize_event_fast(buf, sizeof buf, epoch_, event);
       len > 0) {
@@ -379,11 +799,19 @@ void CheckpointStore::on_event(const RuntimeEvent& event) {
       MetricsRegistry::global().counter("checkpoint.journal_events");
   journal_events.add(1);
   if (batch_lines_ >= options_.group_commit) flush_batch();
-  if (pending_ >= options_.journal_capacity) checkpoint();
+  const bool over_quota =
+      options_.journal_max_bytes > 0 &&
+      journal_bytes_ + batch_.size() > options_.journal_max_bytes;
+  if (pending_ >= options_.journal_capacity || over_quota) checkpoint();
 }
 
 void CheckpointStore::flush_batch() {
   if (batch_lines_ == 0) return;
+  if (crashed_) {
+    batch_.clear();
+    batch_lines_ = 0;
+    return;
+  }
   auto& chaos = ChaosEngine::global();
   if (chaos.enabled() && chaos.fail_journal("checkpoint.journal")) {
     // Injected journal I/O failure: the batch is lost, exactly like a
@@ -396,18 +824,82 @@ void CheckpointStore::flush_batch() {
     batch_lines_ = 0;
     return;
   }
+  if (degraded_) {
+    // A successful probe's full snapshot already holds these events
+    // (they were serialized with the pre-recovery epoch anyway); while
+    // still degraded they are dropped and counted.  Either way the
+    // batch never reaches the journal.
+    if (!maybe_probe()) {
+      events_dropped_ += batch_lines_;
+      MetricsRegistry::global()
+          .counter("checkpoint.events_dropped")
+          .add(batch_lines_);
+    }
+    batch_.clear();
+    batch_lines_ = 0;
+    return;
+  }
+  if (chaos.enabled() && chaos.fail_disk("checkpoint.disk")) {
+    enter_degraded(IoError::kNoSpace,
+                   "injected disk-full appending to " + journal_path());
+    events_dropped_ += batch_lines_;
+    MetricsRegistry::global()
+        .counter("checkpoint.events_dropped")
+        .add(batch_lines_);
+    batch_.clear();
+    batch_lines_ = 0;
+    return;
+  }
+  if (chaos.enabled() && chaos.crash_now("journal-append")) {
+    // Torn append: half the batch reaches the disk — the final line is
+    // cut mid-byte exactly as a power cut would cut it — then death.
+    if (journal_) {
+      journal_.write(batch_.data(),
+                     static_cast<std::streamsize>(batch_.size() / 2));
+      journal_.flush();
+    }
+    crashed_ = true;
+    journal_.close();
+    journal_.clear();
+    log_warn() << "checkpoint: injected crash at journal-append on "
+               << journal_path();
+    batch_.clear();
+    batch_lines_ = 0;
+    return;
+  }
+  errno = 0;
+  bool wrote = false;
   if (journal_) {
     journal_.write(batch_.data(), static_cast<std::streamsize>(batch_.size()));
     journal_.flush();
+    wrote = static_cast<bool>(journal_);
   }
-  if (!journal_ && !journal_failed_) {
-    journal_failed_ = true;
-    log_warn() << "checkpoint: journal append failed on " << journal_path()
-               << "; learned state may not survive a crash";
+  if (wrote && options_.fsync_on_commit) fsync_path(journal_path());
+  if (chaos.enabled() && chaos.crash_now("journal-flush")) {
+    // Death just after the commit boundary: the whole batch is durable,
+    // nothing after it is.
+    crashed_ = true;
+    journal_.close();
+    journal_.clear();
+    log_warn() << "checkpoint: injected crash at journal-flush on "
+               << journal_path();
+    batch_.clear();
+    batch_lines_ = 0;
+    return;
   }
-  static Counter& batches =
-      MetricsRegistry::global().counter("checkpoint.journal_batches");
-  batches.add(1);
+  if (!wrote) {
+    enter_degraded(classify_errno(errno, IoError::kIo),
+                   "journal append failed on " + journal_path());
+    events_dropped_ += batch_lines_;
+    MetricsRegistry::global()
+        .counter("checkpoint.events_dropped")
+        .add(batch_lines_);
+  } else {
+    journal_bytes_ += batch_.size();
+    static Counter& batches =
+        MetricsRegistry::global().counter("checkpoint.journal_batches");
+    batches.add(1);
+  }
   batch_.clear();
   batch_lines_ = 0;
 }

@@ -80,6 +80,21 @@ ServerOptions ServerOptions::from_env() {
   } else {
     o.policy = BackpressurePolicy::kBlock;
   }
+  // Storage-resilience knobs ride the checkpoint layer's own env
+  // (SOCRATES_CHECKPOINT_GENERATIONS / _FSYNC / _PROBE_MS) so embedded
+  // and served AS-RTMs are governed by one setting.
+  margot::CheckpointStore::Options copts;
+  copts.generations = o.checkpoint_generations;
+  copts.fsync_on_commit = o.checkpoint_fsync;
+  copts.probe_base_s = o.checkpoint_probe_base_s;
+  copts.probe_max_s = o.checkpoint_probe_max_s;
+  copts.journal_max_bytes = o.checkpoint_journal_max_bytes;
+  copts = margot::CheckpointStore::Options::from_env(copts);
+  o.checkpoint_generations = copts.generations;
+  o.checkpoint_fsync = copts.fsync_on_commit;
+  o.checkpoint_probe_base_s = copts.probe_base_s;
+  o.checkpoint_probe_max_s = copts.probe_max_s;
+  o.checkpoint_journal_max_bytes = copts.journal_max_bytes;
   return o;
 }
 
@@ -153,6 +168,11 @@ void Server::build_tenant_runtime(Tenant& tenant) {
     margot::CheckpointStore::Options copts;
     copts.journal_capacity = options_.journal_capacity;
     copts.group_commit = options_.group_commit;
+    copts.generations = options_.checkpoint_generations;
+    copts.fsync_on_commit = options_.checkpoint_fsync;
+    copts.probe_base_s = options_.checkpoint_probe_base_s;
+    copts.probe_max_s = options_.checkpoint_probe_max_s;
+    copts.journal_max_bytes = options_.checkpoint_journal_max_bytes;
     auto store = std::make_unique<margot::CheckpointStore>(
         checkpoint_path(tenant.name), copts);
     store->attach(*asrtm);
@@ -488,10 +508,27 @@ void Server::shard_worker(std::size_t index) {
   }
 }
 
+std::size_t Server::count_durability_degraded() const {
+  const std::size_t count = tenant_count();
+  std::size_t degraded = 0;
+  for (std::size_t t = 0; t < count; ++t) {
+    Tenant& tenant = *tenants_[t];
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    if (tenant.store && tenant.store->degraded()) ++degraded;
+  }
+  return degraded;
+}
+
 void Server::watchdog_loop() {
   static Counter& restarts_c = MetricsRegistry::global().counter("server.shard_restarts");
+  static Gauge& degraded_g =
+      MetricsRegistry::global().gauge("server.durability_degraded_tenants");
   while (!shutdown_.load(std::memory_order_acquire)) {
     sleep_s(options_.watchdog_period_s);
+    // Disk-health supervision: surface how many tenants are currently
+    // riding in-memory degraded mode (each re-probes on its own
+    // exponential backoff — the watchdog only reports).
+    degraded_g.set(static_cast<double>(count_durability_degraded()));
     const double now = steady_now_s();
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard& shard = *shards_[i];
@@ -574,11 +611,27 @@ bool Server::drain(double timeout_s) {
 
 void Server::checkpoint_all() {
   const std::size_t count = tenant_count();
+  std::size_t degraded = 0;
   for (std::size_t t = 0; t < count; ++t) {
     Tenant& tenant = *tenants_[t];
     std::lock_guard<std::mutex> lock(tenant.mu);
-    if (tenant.store) tenant.store->checkpoint();
+    if (!tenant.store) continue;
+    // A full disk (ENOSPC) or failing device must not turn the clean
+    // shutdown point into a crash: checkpoint() absorbs write failures
+    // into degraded mode, and any unexpected escape is contained to the
+    // one tenant.
+    try {
+      tenant.store->checkpoint();
+    } catch (const std::exception& e) {
+      log_warn() << "server: tenant " << tenant.name
+                 << " checkpoint failed (" << e.what() << ") — still serving";
+      MetricsRegistry::global().counter("server.checkpoint_failures").add(1);
+    }
+    if (tenant.store->degraded()) ++degraded;
   }
+  MetricsRegistry::global()
+      .gauge("server.durability_degraded_tenants")
+      .set(static_cast<double>(degraded));
 }
 
 Server::Stats Server::stats() const {
@@ -598,6 +651,7 @@ Server::Stats Server::stats() const {
     std::lock_guard<std::mutex> lock(tenants_[t]->ingress_mu);
     s.breaker_trips += tenants_[t]->breaker.trips();
   }
+  s.durability_degraded = count_durability_degraded();
   return s;
 }
 
@@ -616,6 +670,12 @@ Server::TenantStatus Server::tenant_status(TenantHandle handle) {
     status.buffered_events = tenant.store->buffered_events();
     status.journaled_events = tenant.store->journaled_events();
     status.snapshots = tenant.store->snapshots_written();
+    const auto disk = tenant.store->disk_status();
+    status.durability_degraded = disk.degraded;
+    status.disk_io_errors = disk.io_errors;
+    status.disk_recoveries = disk.recoveries;
+    status.disk_events_dropped = disk.events_dropped;
+    status.disk_last_error = disk.last_error;
   }
   return status;
 }

@@ -84,12 +84,25 @@ struct ServerOptions {
   std::string checkpoint_dir;
   std::size_t journal_capacity = 4096;  ///< events between automatic snapshots
   std::size_t group_commit = 64;        ///< journal lines per write+flush
+  // Durable-storage resilience knobs, forwarded to every tenant's
+  // CheckpointStore (margot/checkpoint.hpp): snapshot generations kept
+  // on disk, fsync-on-commit, degraded-mode re-probe backoff, and the
+  // per-tenant journal disk quota (0 = unbounded).
+  std::size_t checkpoint_generations = 2;
+  bool checkpoint_fsync = false;
+  double checkpoint_probe_base_s = 0.05;
+  double checkpoint_probe_max_s = 2.0;
+  std::size_t checkpoint_journal_max_bytes = 0;
 
   /// Reads the SOCRATES_SERVER_* knobs (docs/SERVER.md) over these
   /// defaults through support/env (clamped, warn-once):
   ///   SOCRATES_SERVER_SHARDS, _RING, _BATCH, _MAX_TENANTS,
   ///   _GROUP_COMMIT, _JOURNAL_CAP (sizes) and _POLICY
   ///   ("block" | "drop-oldest" | "reject").
+  /// The storage-resilience knobs come from the checkpoint layer's own
+  /// environment (SOCRATES_CHECKPOINT_GENERATIONS, _FSYNC, _PROBE_MS —
+  /// see CheckpointStore::Options::from_env), so one setting governs
+  /// embedded and served AS-RTMs alike.
   static ServerOptions from_env();
 };
 
@@ -209,6 +222,7 @@ class Server {
     std::uint64_t shard_restarts = 0;
     std::uint64_t breaker_trips = 0; ///< over all tenants
     std::size_t tenants = 0;
+    std::size_t durability_degraded = 0;  ///< tenants serving from memory only
   };
   Stats stats() const;
 
@@ -219,6 +233,15 @@ class Server {
     std::size_t buffered_events = 0;   ///< journal lines a crash now would lose
     std::uint64_t journaled_events = 0;
     std::uint64_t snapshots = 0;
+    // Disk health (margot::CheckpointStore::DiskStatus).  A degraded
+    // tenant still serves decisions and applies feedback in memory; it
+    // re-establishes durability with a full snapshot at the next
+    // successful re-probe.
+    bool durability_degraded = false;
+    std::uint64_t disk_io_errors = 0;
+    std::uint64_t disk_recoveries = 0;
+    std::uint64_t disk_events_dropped = 0;
+    std::string disk_last_error;
   };
   TenantStatus tenant_status(TenantHandle handle);
 
@@ -294,6 +317,8 @@ class Server {
 
   double now_s() const;
   double steady_now_s() const;  ///< real clock (watchdog), never overridden
+  /// Tenants currently in checkpoint degraded (in-memory) mode.
+  std::size_t count_durability_degraded() const;
   void start_shard(std::size_t index);
   void shard_worker(std::size_t index);
   void watchdog_loop();

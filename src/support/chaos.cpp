@@ -61,15 +61,55 @@ double parse_count(const std::string& key, const std::string& value) {
   return n;
 }
 
+/// Parses a crash-at value "<site>[:<n>]" into the spec.
+void parse_crash_at(ChaosSpec& spec, const std::string& value) {
+  std::string site = value;
+  std::uint64_t count = 1;
+  if (const auto colon = value.find(':'); colon != std::string::npos) {
+    site = trim(value.substr(0, colon));
+    const std::string count_text = trim(value.substr(colon + 1));
+    char* end = nullptr;
+    count = std::strtoull(count_text.c_str(), &end, 10);
+    if (count_text.empty() || end == count_text.c_str() || *end != '\0' ||
+        count < 1 || count > 1u << 20)
+      throw Error("chaos spec: crash-at occurrence '" + count_text +
+                  "' must be a count in [1, 1048576]");
+  }
+  if (!ChaosSpec::is_crash_site(site))
+    throw Error("chaos spec: unknown crash-at site '" + site + "'");
+  spec.crash_site = site;
+  spec.crash_after = count;
+}
+
 }  // namespace
+
+bool ChaosSpec::is_crash_site(std::string_view site) {
+  return site == "journal-append" || site == "journal-flush" ||
+         site == "snapshot-header" || site == "snapshot-body" ||
+         site == "snapshot-rename" || site == "journal-truncate";
+}
 
 ChaosSpec ChaosSpec::parse(std::string_view text) {
   ChaosSpec spec;
   std::string body(trim(text));
   if (body.empty()) return spec;
 
-  // Optional ":<seed>" suffix.
-  const auto colon = body.rfind(':');
+  // Optional ":<seed>" suffix — unless the text ends in
+  // "crash-at=<site>:<n>", where the last colon belongs to the
+  // crash-at occurrence count, not the seed.
+  auto colon = body.rfind(':');
+  if (colon != std::string::npos) {
+    const auto comma = body.rfind(',');
+    const std::string last_entry =
+        trim(comma == std::string::npos ? body : body.substr(comma + 1));
+    const std::string crash_prefix = "crash-at=";
+    if (last_entry.rfind(crash_prefix, 0) == 0) {
+      const std::string value = last_entry.substr(crash_prefix.size());
+      // "crash-at=site:2" -> the colon is the count; "crash-at=site:2:7"
+      // -> the first colon is the count, the last one the seed.
+      if (value.find(':') == value.rfind(':')) colon = std::string::npos;
+    }
+  }
   if (colon != std::string::npos) {
     const std::string seed_text = trim(body.substr(colon + 1));
     char* end = nullptr;
@@ -108,6 +148,10 @@ ChaosSpec ChaosSpec::parse(std::string_view text) {
       spec.journal_fail = parse_probability(key, value);
     else if (key == "dse-explore")
       spec.dse_explore = parse_probability(key, value);
+    else if (key == "disk-full")
+      spec.disk_full = parse_probability(key, value);
+    else if (key == "crash-at")
+      parse_crash_at(spec, value);
     else if (key == "hang-ms")
       spec.hang_ms = parse_millis(key, value);
     else if (key == "slow-ms")
@@ -217,6 +261,25 @@ bool ChaosEngine::flood_ingest(std::string_view site) {
 bool ChaosEngine::fail_journal(std::string_view site) {
   if (!enabled()) return false;
   return decide(site, spec_.journal_fail, "chaos.journal_faults");
+}
+
+bool ChaosEngine::fail_disk(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec_.disk_full, "chaos.disk_full_faults");
+}
+
+bool ChaosEngine::crash_now(std::string_view site) {
+  if (!enabled() || spec_.crash_site.empty() || site != spec_.crash_site)
+    return false;
+  std::uint64_t arrival = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    arrival = ++site_counters_[std::string("crash.").append(site)];
+  }
+  if (arrival != spec_.crash_after) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::global().counter("chaos.crash_points").add(1);
+  return true;
 }
 
 bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index) const {

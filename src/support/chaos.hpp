@@ -17,7 +17,7 @@
 //   key            = stage-fail | stage-hang | stage-slow
 //                  | cache-read | cache-write | cache-tmp
 //                  | shard-stall | ingest-flood | journal-fail
-//                  | dse-explore
+//                  | dse-explore | disk-full | crash-at
 //                  | hang-ms | slow-ms | stall-ms | flood-burst
 //
 // The fault keys take per-call probabilities in [0, 1]; hang-ms /
@@ -31,6 +31,23 @@
 // a crash between commits).  Example:
 //
 //   SOCRATES_CHAOS="stage-fail=0.2,cache-write=0.1:2024"
+//
+// Storage-resilience keys (docs/ROBUSTNESS.md §6): `disk-full` makes
+// every CheckpointStore disk operation (journal open/append, snapshot
+// write, rename) fail as if the device returned ENOSPC, driving the
+// store into its degraded in-memory mode; `crash-at=<site>[:<n>]`
+// simulates a process death at the n-th arrival (default: the first)
+// at one of the checkpoint write boundaries
+//
+//   journal-append | journal-flush | snapshot-header | snapshot-body
+//   | snapshot-rename | journal-truncate
+//
+// — the bytes written before the boundary stay on disk (torn exactly
+// as a power cut would tear them) and the store goes permanently dead,
+// so a test can restore from the surviving files and assert the loss
+// bound.  Because the crash-at value itself contains ':', a trailing
+// ":<n>" on the *last* entry binds to crash-at, not the seed; append
+// an explicit seed (`crash-at=snapshot-rename:2:99`) to set both.
 //
 // Determinism: each injection site (a short string like "stage.Parse"
 // or "cache.write") owns a call counter; the n-th decision at a site
@@ -72,20 +89,31 @@ struct ChaosSpec {
   double ingest_flood = 0.0; ///< P(a submitted feedback event is amplified)
   double journal_fail = 0.0; ///< P(a checkpoint group-commit flush fails)
   double dse_explore = 0.0;  ///< P(a DSE explorer search round is voided)
+  double disk_full = 0.0;    ///< P(a checkpoint disk operation hits ENOSPC)
   double hang_ms = 50.0;
   double slow_ms = 5.0;
   double stall_ms = 80.0;    ///< duration of an injected shard stall
   double flood_burst = 8.0;  ///< extra copies an ingest flood pushes
+  /// Crash-point injection: at arrival number `crash_after` (1-based)
+  /// at the named checkpoint write boundary, the store "dies" — see
+  /// the crash-at grammar above.  Empty = disarmed.
+  std::string crash_site;
+  std::uint64_t crash_after = 1;
   std::uint64_t seed = 1;
 
   bool any() const {
     return stage_fail > 0 || stage_hang > 0 || stage_slow > 0 || cache_read > 0 ||
            cache_write > 0 || cache_tmp > 0 || shard_stall > 0 ||
-           ingest_flood > 0 || journal_fail > 0 || dse_explore > 0;
+           ingest_flood > 0 || journal_fail > 0 || dse_explore > 0 ||
+           disk_full > 0 || !crash_site.empty();
   }
 
+  /// The six checkpoint write boundaries crash-at accepts.
+  static bool is_crash_site(std::string_view site);
+
   /// Parses the SOCRATES_CHAOS grammar above.  Throws socrates::Error
-  /// on unknown keys, non-numeric values or probabilities outside [0,1].
+  /// on unknown keys, non-numeric values, probabilities outside [0,1]
+  /// or an unknown crash-at site.
   static ChaosSpec parse(std::string_view text);
 };
 
@@ -117,6 +145,16 @@ class ChaosEngine {
   bool stall_shard(std::string_view site);
   bool flood_ingest(std::string_view site);
   bool fail_journal(std::string_view site);
+
+  /// Disk-full hook for CheckpointStore I/O (site "checkpoint.disk"):
+  /// true = this disk operation fails as if the device were full.
+  bool fail_disk(std::string_view site);
+
+  /// Crash-point hook: true exactly once, at the spec's crash_after-th
+  /// arrival at the armed crash site (`site` is the short boundary
+  /// name, e.g. "snapshot-rename").  The caller simulates the death —
+  /// leaves its partial bytes on disk and stops touching the disk.
+  bool crash_now(std::string_view site);
 
   /// Deterministic indexed draw for parallel sites (DSE points): fires
   /// with probability `stage_fail` for the given (site, index) pair,

@@ -99,6 +99,60 @@ TEST(ChaosEngineBasics, ServerSiteSchedulesAreDeterministic) {
   }
 }
 
+TEST(ChaosSpecParse, StorageResilienceKeysParse) {
+  const auto spec =
+      ChaosSpec::parse("disk-full=0.25,crash-at=snapshot-rename:2:99");
+  EXPECT_DOUBLE_EQ(spec.disk_full, 0.25);
+  EXPECT_EQ(spec.crash_site, "snapshot-rename");
+  EXPECT_EQ(spec.crash_after, 2u);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(ChaosSpecParse, CrashAtOccurrenceBindsBeforeTheSeed) {
+  // A single trailing colon on a crash-at last entry is the occurrence
+  // count, not the seed — the documented grammar disambiguation.
+  const auto spec = ChaosSpec::parse("crash-at=journal-append:3");
+  EXPECT_EQ(spec.crash_site, "journal-append");
+  EXPECT_EQ(spec.crash_after, 3u);
+  EXPECT_EQ(spec.seed, 1u);  // default: the colon bound to the count
+
+  const auto bare = ChaosSpec::parse("crash-at=journal-flush");
+  EXPECT_EQ(bare.crash_site, "journal-flush");
+  EXPECT_EQ(bare.crash_after, 1u);  // default: the first arrival
+}
+
+TEST(ChaosSpecParse, StorageResilienceValuesAreValidated) {
+  EXPECT_THROW(ChaosSpec::parse("disk-full=1.5"), Error);
+  EXPECT_THROW(ChaosSpec::parse("crash-at=not-a-site"), Error);
+  EXPECT_THROW(ChaosSpec::parse("crash-at=journal-append:0"), Error);
+  EXPECT_THROW(ChaosSpec::parse("crash-at=journal-append:nope"), Error);
+}
+
+TEST(ChaosEngineBasics, CrashPointFiresExactlyAtTheNthArrival) {
+  ChaosEngine engine;
+  ChaosSpec spec;
+  spec.crash_site = "snapshot-rename";
+  spec.crash_after = 3;
+  engine.install(spec);
+  EXPECT_FALSE(engine.crash_now("snapshot-rename"));  // arrival 1
+  EXPECT_FALSE(engine.crash_now("journal-append"));   // other site: inert
+  EXPECT_FALSE(engine.crash_now("snapshot-rename"));  // arrival 2
+  EXPECT_TRUE(engine.crash_now("snapshot-rename"));   // arrival 3: death
+  EXPECT_FALSE(engine.crash_now("snapshot-rename"));  // fires exactly once
+  EXPECT_EQ(engine.injected(), 1u);
+}
+
+TEST(ChaosEngineBasics, DiskFullHookFollowsItsProbability) {
+  ChaosEngine engine;
+  ChaosSpec spec;
+  spec.disk_full = 1.0;
+  engine.install(spec);
+  EXPECT_TRUE(engine.fail_disk("checkpoint.disk"));
+  engine.disarm();
+  EXPECT_FALSE(engine.fail_disk("checkpoint.disk"));
+}
+
 TEST(ChaosSpecParse, MalformedSpecsThrowSocratesError) {
   EXPECT_THROW(ChaosSpec::parse("unknown-key=0.5"), Error);
   EXPECT_THROW(ChaosSpec::parse("stage-fail"), Error);

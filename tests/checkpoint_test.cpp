@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -13,6 +14,7 @@
 #include "margot/asrtm.hpp"
 #include "margot/checkpoint.hpp"
 #include "margot/state_manager.hpp"
+#include "observability/metrics.hpp"
 #include "support/chaos.hpp"
 #include "support/hash.hpp"
 
@@ -401,6 +403,226 @@ TEST_F(CheckpointTest, DecisionEpochSurvivesSnapshotRoundTrip) {
   EXPECT_FALSE(after.last_decision_was_cached());
   (void)after.find_best_operating_point();
   EXPECT_TRUE(after.last_decision_was_cached());
+}
+
+TEST_F(CheckpointTest, TornFinalJournalLineDropsOnlyThatLine) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);  // 6 events, each flushed (group_commit = 1)
+  }
+  // Cut the final journal line mid-byte — the write the crash tore.
+  std::ifstream in(path_ + ".journal", std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 4u);
+  {
+    std::ofstream out(path_ + ".journal", std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 4));
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_EQ(result.replayed, 5u);  // the valid prefix, nothing less
+  EXPECT_EQ(result.skipped, 1u);   // exactly the torn line
+
+  // The restored state matches a run that only saw the first 5 events.
+  Asrtm reference(make_kb());
+  reference.send_feedback(0, 0, 1.3);
+  reference.send_feedback(0, 0, 1.4);
+  reference.send_feedback(2, 1, 60.0);
+  reference.report_variant_failure(1);
+  reference.report_variant_failure(1);
+  expect_same_learned_state(reference, after);
+}
+
+TEST_F(CheckpointTest, CrashMidCheckpointLeavesMixedEpochsRestoredExactly) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);
+    store.attach(before);
+    mutate(before);  // 6 epoch-0 journal lines
+    ChaosSpec spec;
+    spec.crash_site = "journal-truncate";
+    ChaosEngine::global().install(spec);
+    store.checkpoint();  // snapshot published, death before the rotation
+    EXPECT_TRUE(store.crashed());
+    ChaosEngine::global().disarm();
+  }
+  // On disk: an epoch-1 snapshot holding all six events, next to six
+  // stale epoch-0 journal lines that must not double-apply.
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_EQ(result.rung, RecoveryRung::kNewestSnapshot);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 0u);
+  EXPECT_EQ(result.skipped, 6u);
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, CorruptedNewestSnapshotFallsBackToAnOlderGeneration) {
+  Asrtm before(make_kb());
+  {
+    CheckpointStore store(path_);  // default generations = 2
+    store.attach(before);
+    mutate(before);
+    store.checkpoint();  // epoch 1 published
+    before.send_feedback(3, 0, 2.0);
+    before.send_feedback(3, 1, 58.0);
+    store.checkpoint();  // epoch 2 published; epoch 1 rotates to .1
+    before.send_feedback(1, 0, 1.7);
+  }
+  ASSERT_TRUE(fs::exists(path_ + ".1"));
+  {
+    // Flip the newest snapshot into garbage (a torn copy, bad sectors).
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "zzzz garbage zzzz\n";
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_EQ(result.rung, RecoveryRung::kOlderGeneration);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.generation, 1u);
+  // Generation 1 (epoch 1, six events) + chain replay of the epoch-1
+  // journal (2 events) and the live epoch-2 journal (1 event): nothing
+  // learned is lost even though the newest snapshot is gone.
+  EXPECT_EQ(result.replayed, 3u);
+  expect_same_learned_state(before, after);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::global().gauge("checkpoint.recovery_rung").value(), 1.0);
+  // The restore collapsed to a fresh newest snapshot past every epoch
+  // seen on disk.
+  EXPECT_GT(store.epoch(), 2u);
+  EXPECT_TRUE(fs::exists(path_));
+}
+
+TEST_F(CheckpointTest, DiskFullEntersDegradedModeThenRecoversWithAFullSnapshot) {
+  Asrtm before(make_kb());
+  double now = 0.0;
+  {
+    CheckpointStore store(path_);
+    store.set_time_source([&now] { return now; });
+    store.attach(before);
+    before.send_feedback(0, 0, 1.3);  // journaled while healthy
+
+    ChaosSpec spec;
+    spec.disk_full = 1.0;  // the device is full until further notice
+    ChaosEngine::global().install(spec);
+    before.send_feedback(0, 0, 1.4);  // the flush hits injected ENOSPC
+    EXPECT_TRUE(store.degraded());
+    const auto sick = store.disk_status();
+    EXPECT_GE(sick.io_errors, 1u);
+    EXPECT_EQ(sick.degraded_entries, 1u);
+    EXPECT_NE(sick.last_error.find("enospc"), std::string::npos)
+        << sick.last_error;
+
+    // Learning continues in memory; the journal misses these events.
+    before.send_feedback(2, 1, 60.0);
+    before.report_variant_success(2);
+    EXPECT_GE(store.disk_status().events_dropped, 2u);
+    EXPECT_TRUE(store.degraded()) << "backoff must gate the re-probe";
+
+    // The disk heals.  The first event past the backoff probes, writes
+    // a FULL snapshot (nothing learned while degraded is lost), and
+    // resumes journaling.
+    ChaosEngine::global().disarm();
+    now = 10.0;  // well past the first backoff interval
+    before.send_feedback(3, 0, 2.0);
+    EXPECT_FALSE(store.degraded());
+    const auto healed = store.disk_status();
+    EXPECT_EQ(healed.recoveries, 1u);
+    // Regression: the old store latched a journal failure forever; a
+    // recovered disk must count a reopen and journal again.
+    EXPECT_GE(healed.journal_reopens, 1u);
+    before.send_feedback(3, 1, 59.0);  // journaled after recovery
+  }
+
+  Asrtm after(make_kb());
+  CheckpointStore store(path_);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 1u);  // only the post-recovery journal line
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, StaleTmpSnapshotsAreSweptAtConstruction) {
+  {
+    std::ofstream out(path_ + ".tmp.99999", std::ios::binary);
+    out << "torn snapshot a dead process left behind";
+  }
+  {
+    std::ofstream out(path_ + ".tmp.4242", std::ios::binary);
+    out << "another one";
+  }
+  Asrtm asrtm(make_kb());
+  CheckpointStore store(path_);
+  EXPECT_FALSE(fs::exists(path_ + ".tmp.99999"));
+  EXPECT_FALSE(fs::exists(path_ + ".tmp.4242"));
+  // And the store works normally afterwards.
+  store.attach(asrtm);
+  asrtm.send_feedback(0, 0, 1.2);
+  store.checkpoint();
+  EXPECT_TRUE(fs::exists(path_));
+}
+
+TEST_F(CheckpointTest, OptionsFromEnvParseAndClamp) {
+  ::setenv("SOCRATES_CHECKPOINT_GENERATIONS", "3", 1);
+  ::setenv("SOCRATES_CHECKPOINT_FSYNC", "1", 1);
+  ::setenv("SOCRATES_CHECKPOINT_PROBE_MS", "250", 1);
+  const auto options = CheckpointStore::Options::from_env();
+  EXPECT_EQ(options.generations, 3u);
+  EXPECT_TRUE(options.fsync_on_commit);
+  EXPECT_DOUBLE_EQ(options.probe_base_s, 0.25);
+  ::setenv("SOCRATES_CHECKPOINT_GENERATIONS", "99", 1);  // clamps to 8
+  EXPECT_EQ(CheckpointStore::Options::from_env().generations, 8u);
+  ::unsetenv("SOCRATES_CHECKPOINT_GENERATIONS");
+  ::unsetenv("SOCRATES_CHECKPOINT_FSYNC");
+  ::unsetenv("SOCRATES_CHECKPOINT_PROBE_MS");
+}
+
+TEST_F(CheckpointTest, FsyncOnCommitRoundTrips) {
+  Asrtm before(make_kb());
+  CheckpointStore::Options options;
+  options.fsync_on_commit = true;
+  {
+    CheckpointStore store(path_, options);
+    store.attach(before);
+    mutate(before);
+    store.checkpoint();
+    before.send_feedback(3, 0, 2.0);
+  }
+  Asrtm after(make_kb());
+  CheckpointStore store(path_, options);
+  const auto result = store.attach(after);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.replayed, 1u);
+  expect_same_learned_state(before, after);
+}
+
+TEST_F(CheckpointTest, JournalQuotaForcesASnapshotRotation) {
+  Asrtm before(make_kb());
+  CheckpointStore::Options options;
+  options.journal_capacity = 1 << 20;  // the byte quota must trigger first
+  options.journal_max_bytes = 256;
+  {
+    CheckpointStore store(path_, options);
+    store.attach(before);
+    for (int i = 0; i < 64; ++i) before.send_feedback(0, 0, 1.2);
+    EXPECT_GE(store.snapshots_written(), 2u)
+        << "the quota never rotated the journal";
+    EXPECT_LE(fs::file_size(path_ + ".journal"), 512u)
+        << "the live journal must stay near the quota";
+  }
+  Asrtm after(make_kb());
+  CheckpointStore store(path_, options);
+  store.attach(after);
+  expect_same_learned_state(before, after);
 }
 
 TEST_F(CheckpointTest, ResumedRunKeepsJournalingAfterRestore) {

@@ -163,7 +163,9 @@ class ServerEnvTest : public ::testing::Test {
     for (const char* name :
          {"SOCRATES_SERVER_SHARDS", "SOCRATES_SERVER_RING", "SOCRATES_SERVER_BATCH",
           "SOCRATES_SERVER_MAX_TENANTS", "SOCRATES_SERVER_GROUP_COMMIT",
-          "SOCRATES_SERVER_JOURNAL_CAP", "SOCRATES_SERVER_POLICY"}) {
+          "SOCRATES_SERVER_JOURNAL_CAP", "SOCRATES_SERVER_POLICY",
+          "SOCRATES_CHECKPOINT_GENERATIONS", "SOCRATES_CHECKPOINT_FSYNC",
+          "SOCRATES_CHECKPOINT_PROBE_MS"}) {
       ::unsetenv(name);
     }
     env::reset_warnings();
@@ -211,6 +213,18 @@ TEST_F(ServerEnvTest, BadValuesClampOrFallBackInsteadOfMisparsing) {
 TEST_F(ServerEnvTest, RejectPolicyParses) {
   ::setenv("SOCRATES_SERVER_POLICY", "reject", 1);
   EXPECT_EQ(ServerOptions::from_env().policy, BackpressurePolicy::kReject);
+}
+
+TEST_F(ServerEnvTest, CheckpointResilienceKnobsFlowThroughTheCheckpointEnv) {
+  // One setting governs embedded and served AS-RTMs: the server reads
+  // the checkpoint layer's own SOCRATES_CHECKPOINT_* knobs.
+  ::setenv("SOCRATES_CHECKPOINT_GENERATIONS", "4", 1);
+  ::setenv("SOCRATES_CHECKPOINT_FSYNC", "1", 1);
+  ::setenv("SOCRATES_CHECKPOINT_PROBE_MS", "500", 1);
+  const ServerOptions o = ServerOptions::from_env();
+  EXPECT_EQ(o.checkpoint_generations, 4u);
+  EXPECT_TRUE(o.checkpoint_fsync);
+  EXPECT_DOUBLE_EQ(o.checkpoint_probe_base_s, 0.5);
 }
 
 // ---- the server itself -------------------------------------------------------------
@@ -714,6 +728,78 @@ TEST_F(ServerTest, ServerChaosJournalFailLosesAtMostTheFailedBatches) {
   resumed.with_tenant(h, [](margot::Asrtm& asrtm) {
     EXPECT_GE(asrtm.correction(0), 1.0);
     (void)asrtm.find_best_operating_point();  // decisions still serve
+  });
+}
+
+TEST_F(ServerTest, ServerChaosDiskFullDegradesThenRecoversDurability) {
+  ServerOptions options = base_options();
+  options.shards = 1;
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  options.group_commit = 1;  // every drained event commits immediately
+  options.checkpoint_probe_base_s = 0.01;
+  options.checkpoint_probe_max_s = 0.05;
+  Server server(options);
+  Server::TenantHandle h = 0;
+  ASSERT_TRUE(server.register_tenant("enospc", make_kb(), configure_min_time, &h));
+
+  ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.2), Admission::kAccepted);
+  ASSERT_TRUE(server.drain(5.0));
+  ASSERT_GE(server.tenant_status(h).journaled_events, 1u);
+
+  // The disk fills: every checkpoint-layer write fails with ENOSPC.
+  ChaosSpec spec;
+  spec.disk_full = 1.0;
+  spec.seed = 5;
+  ChaosEngine::global().install(spec);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.3), Admission::kAccepted);
+  }
+  ASSERT_TRUE(server.drain(5.0));
+
+  // Degraded durability, but the MAPE-K loop never stopped: feedback
+  // keeps applying in memory and decisions keep serving.
+  Server::TenantStatus status = server.tenant_status(h);
+  EXPECT_TRUE(status.durability_degraded);
+  EXPECT_NE(status.disk_last_error.find("enospc"), std::string::npos)
+      << status.disk_last_error;
+  EXPECT_GE(status.disk_io_errors, 1u);
+  EXPECT_EQ(status.applied, 5u);
+  EXPECT_LT(server.decide(h), make_kb().size());
+  EXPECT_EQ(server.stats().durability_degraded, 1u);
+
+  // The clean-shutdown point must survive a full disk too.
+  server.checkpoint_all();
+  EXPECT_TRUE(server.tenant_status(h).durability_degraded);
+
+  // The disk clears: traffic after the re-probe backoff restores
+  // durability with a full snapshot covering everything applied in
+  // memory while degraded.
+  ChaosEngine::global().disarm();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.tenant_status(h).durability_degraded &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(server.submit_feedback(h, 0, 0, 1.25), Admission::kAccepted);
+    ASSERT_TRUE(server.drain(5.0));
+  }
+  status = server.tenant_status(h);
+  ASSERT_FALSE(status.durability_degraded) << "never recovered: "
+                                           << status.disk_last_error;
+  EXPECT_GE(status.disk_recoveries, 1u);
+  EXPECT_EQ(server.stats().durability_degraded, 0u);
+
+  // Durability is real again: a crash-equivalent restart replays the
+  // recovery snapshot + journal to the exact live state (group_commit=1,
+  // so nothing sits buffered).
+  double correction_live = 0.0;
+  server.with_tenant(h, [&](margot::Asrtm& asrtm) {
+    correction_live = asrtm.correction(0);
+  });
+  Server resumed(options);
+  Server::TenantHandle r = 0;
+  ASSERT_TRUE(resumed.register_tenant("enospc", make_kb(), configure_min_time, &r));
+  resumed.with_tenant(r, [&](margot::Asrtm& asrtm) {
+    EXPECT_DOUBLE_EQ(asrtm.correction(0), correction_live);
   });
 }
 
