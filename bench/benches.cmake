@@ -24,6 +24,7 @@ socrates_bench(ablation_margot_overhead)
 socrates_bench(ablation_fault_tolerance)
 socrates_bench(bench_server)
 socrates_bench(bench_decision_sweep)
+socrates_bench(bench_warm_start)
 
 # Compares a BENCH_*.json artifact against a committed baseline
 # (bench/baselines/*.json); paired with each smoke run via fixtures.
@@ -145,6 +146,29 @@ add_test(NAME feedback_adaptation_bench_baseline
 set_tests_properties(feedback_adaptation_bench_baseline PROPERTIES
   LABELS "bench;smoke"
   FIXTURES_REQUIRED bench_feedback_adaptation_json)
+
+# The cross-tenant warm-start pin (quick mode for CTest): a converged
+# donor's pooled knowledge must let a similar tenant reach the true
+# optimum with >= 3x fewer feedback rounds at a <= 5% rank gap, with
+# sharing-off runs bit-identical to the pre-pool behaviour, and the
+# warm-seeded DSE at least matching the cold search at an equal budget
+# — the BENCH_warm_start.json artifact gated by the committed bounds.
+add_test(NAME warm_start_bench_smoke
+  COMMAND bench_warm_start --quick)
+set_tests_properties(warm_start_bench_smoke PROPERTIES
+  LABELS "bench;smoke"
+  PASS_REGULAR_EXPRESSION "PASS: warm-started tenants"
+  FAIL_REGULAR_EXPRESSION "FAIL:"
+  ENVIRONMENT "SOCRATES_BENCH_JSON_DIR=${CMAKE_BINARY_DIR}/bench"
+  FIXTURES_SETUP bench_warm_start_json
+  TIMEOUT 600)
+add_test(NAME warm_start_bench_baseline
+  COMMAND bench_baseline_check
+          ${CMAKE_SOURCE_DIR}/bench/baselines/warm_start.json
+          ${CMAKE_BINARY_DIR}/bench/BENCH_warm_start.json)
+set_tests_properties(warm_start_bench_baseline PROPERTIES
+  LABELS "bench;smoke"
+  FIXTURES_REQUIRED bench_warm_start_json)
 
 # The multi-tenant server pin (quick mode for CTest): clean / overload /
 # chaos regimes, kill-and-resume exactness, BENCH_server.json artifact

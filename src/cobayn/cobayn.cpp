@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "observability/metrics.hpp"
 #include "observability/trace.hpp"
 #include "support/serialize.hpp"
 #include "ir/parser.hpp"
@@ -174,12 +175,25 @@ CobaynModel CobaynModel::load(std::istream& in) {
   return model;
 }
 
-std::vector<RankedConfig> CobaynModel::predict(const features::FeatureVector& fv,
-                                               std::size_t top_n) const {
-  SOCRATES_REQUIRE(top_n >= 1);
+std::vector<double> CobaynModel::posterior_for(const features::FeatureVector& fv) const {
+  // Degenerate-model guards: a loaded artifact can carry zero training
+  // rows (empty corpus upstream), and a hostile feature vector can hold
+  // NaN/Inf — the discretizer's clamping comparisons are all false for
+  // NaN, so the row would silently land in an arbitrary bin.  Both get
+  // named errors instead of an empty-posterior deref downstream.
+  SOCRATES_REQUIRE_MSG(training_rows_ > 0,
+                       "cobayn: model has zero training rows, cannot predict");
   const bayes::BayesNet& net = network();
 
-  const auto binned = discretizer_.transform_row(project_features(fv));
+  const auto projected = project_features(fv);
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    SOCRATES_REQUIRE_MSG(
+        std::isfinite(projected[i]),
+        "cobayn: non-finite feature 'f_"
+            << features::FeatureVector::names()[model_feature_indices()[i]]
+            << "' in prediction query");
+  }
+  const auto binned = discretizer_.transform_row(projected);
   const std::size_t n_features = binned.size();
 
   bayes::Assignment evidence(net.variable_count(), std::nullopt);
@@ -190,8 +204,84 @@ std::vector<RankedConfig> CobaynModel::predict(const features::FeatureVector& fv
 
   // Mixed-radix posterior with query[0] (= opt level) most significant
   // and each flag a bit below it — i.e. index == combo encoding.
-  const auto posterior = net.posterior_over(query, evidence);
+  auto posterior = net.posterior_over(query, evidence);
   SOCRATES_ENSURE(posterior.size() == (std::size_t{2} << platform::kFlagCount));
+
+  // An evidence combination the training data never covered can
+  // underflow the log-sum-exp normalization to all-zero (or NaN).
+  // Clamp to the uniform prior — "the model knows nothing here" — so
+  // ranking and sampling stay well-defined.
+  double total = 0.0;
+  bool finite = true;
+  for (const double p : posterior) {
+    if (!std::isfinite(p)) { finite = false; break; }
+    total += p;
+  }
+  if (!finite || !(total > 0.0)) {
+    static Counter& degenerate =
+        MetricsRegistry::global().counter("cobayn.degenerate_posteriors");
+    degenerate.add(1);
+    std::fill(posterior.begin(), posterior.end(),
+              1.0 / static_cast<double>(posterior.size()));
+  }
+  return posterior;
+}
+
+std::vector<double> CobaynModel::export_posterior(const features::FeatureVector& fv) const {
+  static Counter& exports = MetricsRegistry::global().counter("cobayn.prior_exports");
+  exports.add(1);
+  return posterior_for(fv);
+}
+
+std::vector<double> CobaynModel::merge_posterior(const std::vector<double>& a,
+                                                 double weight_a,
+                                                 const std::vector<double>& b,
+                                                 double weight_b) {
+  SOCRATES_REQUIRE_MSG(a.size() == b.size(),
+                       "cobayn: posterior size mismatch in merge: "
+                           << a.size() << " vs " << b.size());
+  SOCRATES_REQUIRE_MSG(weight_a >= 0.0 && weight_b >= 0.0 &&
+                           weight_a + weight_b > 0.0,
+                       "cobayn: merge weights must be non-negative with a "
+                       "positive sum");
+  std::vector<double> merged(a.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    merged[i] = weight_a * a[i] + weight_b * b[i];
+    total += merged[i];
+  }
+  if (total > 0.0)
+    for (double& p : merged) p /= total;
+  else
+    std::fill(merged.begin(), merged.end(),
+              merged.empty() ? 0.0 : 1.0 / static_cast<double>(merged.size()));
+  static Counter& merges = MetricsRegistry::global().counter("cobayn.prior_merges");
+  merges.add(1);
+  return merged;
+}
+
+std::vector<platform::FlagConfig> CobaynModel::top_configs(
+    const std::vector<double>& posterior, std::size_t n) {
+  SOCRATES_REQUIRE_MSG(posterior.size() == (std::size_t{2} << platform::kFlagCount),
+                       "cobayn: posterior has " << posterior.size()
+                                                << " entries, expected "
+                                                << (std::size_t{2} << platform::kFlagCount));
+  std::vector<std::size_t> idx(posterior.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return posterior[a] > posterior[b];
+  });
+  std::vector<platform::FlagConfig> out;
+  const std::size_t count = std::min(n, idx.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(combo_to_config(idx[i]));
+  return out;
+}
+
+std::vector<RankedConfig> CobaynModel::predict(const features::FeatureVector& fv,
+                                               std::size_t top_n) const {
+  SOCRATES_REQUIRE(top_n >= 1);
+  const auto posterior = posterior_for(fv);
 
   std::vector<std::size_t> idx(posterior.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
@@ -209,7 +299,10 @@ std::vector<RankedConfig> CobaynModel::predict(const features::FeatureVector& fv
 
 std::vector<platform::FlagConfig> CobaynModel::sample_configs(
     Rng& rng, const features::FeatureVector& fv, std::size_t n) const {
-  SOCRATES_REQUIRE(n >= 1 && n <= (std::size_t{2} << platform::kFlagCount));
+  SOCRATES_REQUIRE_MSG(n >= 1, "cobayn: cannot sample zero configurations");
+  // `n` beyond the whole space is clamped — the caller gets every
+  // configuration, which is the only sensible reading of "n distinct".
+  n = std::min(n, std::size_t{2} << platform::kFlagCount);
   // Reuse the exact posterior and draw without replacement: pick by
   // weight, zero the weight, repeat.  Equivalent to sampling the BN
   // conditioned on the features and rejecting duplicates, but O(n*128).
@@ -219,10 +312,25 @@ std::vector<platform::FlagConfig> CobaynModel::sample_configs(
 
   std::vector<platform::FlagConfig> out;
   out.reserve(n);
+  std::size_t next_ranked = 0;  // fallback cursor once the mass runs out
+  std::vector<bool> taken(ranked.size(), false);
   for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t pick = rng.weighted_pick(weights);
-    out.push_back(ranked[pick].config);
-    weights[pick] = 0.0;
+    double remaining = 0.0;
+    for (const double w : weights) remaining += w;
+    if (remaining > 0.0) {
+      const std::size_t pick = rng.weighted_pick(weights);
+      out.push_back(ranked[pick].config);
+      taken[pick] = true;
+      weights[pick] = 0.0;
+    } else {
+      // Every positive-probability entry is drawn (a sparse posterior
+      // can exhaust its mass long before n picks).  weighted_pick on an
+      // all-zero vector would abort; take the untaken entries in ranked
+      // order instead — deterministic, and still "most probable first".
+      while (taken[next_ranked]) ++next_ranked;
+      out.push_back(ranked[next_ranked].config);
+      taken[next_ranked] = true;
+    }
   }
   return out;
 }

@@ -65,10 +65,38 @@ class CobaynModel {
   /// Draws `n` *distinct* configurations from the posterior (the
   /// original COBAYN samples the network rather than enumerating it;
   /// useful when the prediction should explore, e.g. across repeated
-  /// iterative-compilation rounds).  n <= 128.
+  /// iterative-compilation rounds).  `n` larger than the config space
+  /// is clamped to it; once every positive-probability entry has been
+  /// drawn, the remaining picks fall back to ranked order instead of
+  /// rejection-looping over a zero-mass posterior.
   std::vector<platform::FlagConfig> sample_configs(Rng& rng,
                                                    const features::FeatureVector& fv,
                                                    std::size_t n) const;
+
+  /// The full conditioned posterior over the 2^(1+kFlagCount) flag
+  /// combinations, indexed by combo encoding (opt-level bit most
+  /// significant, then the flag bits).  This is the transferable form
+  /// of the model's knowledge for a kernel: the server's knowledge pool
+  /// stores it per donor and warm-starts similar kernels from it
+  /// (docs/MODEL.md).  Throws a named ContractViolation on a degenerate
+  /// model (zero training rows) or non-finite features; an underflowed
+  /// all-zero posterior is clamped to uniform instead of propagating
+  /// NaNs.  Counts `cobayn.prior_exports`.
+  std::vector<double> export_posterior(const features::FeatureVector& fv) const;
+
+  /// Weighted merge of two exported posteriors: renormalized
+  /// `weight_a * a + weight_b * b`.  Weights must be non-negative with
+  /// a positive sum; sizes must match.  Counts `cobayn.prior_merges`.
+  static std::vector<double> merge_posterior(const std::vector<double>& a,
+                                             double weight_a,
+                                             const std::vector<double>& b,
+                                             double weight_b);
+
+  /// The `n` most probable configurations of an exported posterior,
+  /// best first (ties broken by combo index, so the order is
+  /// deterministic).  n is clamped to the posterior size.
+  static std::vector<platform::FlagConfig> top_configs(
+      const std::vector<double>& posterior, std::size_t n);
 
   /// The static-feature indices the model conditions on.
   static const std::vector<std::size_t>& model_feature_indices();
@@ -89,6 +117,7 @@ class CobaynModel {
   CobaynModel() = default;
 
   std::vector<double> project_features(const features::FeatureVector& fv) const;
+  std::vector<double> posterior_for(const features::FeatureVector& fv) const;
 
   bayes::Discretizer discretizer_;
   std::vector<bayes::BayesNet> net_;  ///< 0 or 1 element (late init)

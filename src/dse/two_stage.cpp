@@ -56,6 +56,10 @@ ExploreResult TwoStageExplorer::explore(const ExploreContext& ctx) const {
   for (const std::size_t ci : params_.seed_configs)
     SOCRATES_REQUIRE_MSG(ci < ctx.space.configs.size(),
                          "two-stage seed config index " << ci << " outside the space");
+  for (const std::size_t flat : params_.warm_flat_seeds)
+    SOCRATES_REQUIRE_MSG(flat < ctx.space.size(),
+                         "two-stage warm seed flat index " << flat
+                                                           << " outside the space");
 
   TraceSpan span("dse-explore", "dse");
   const DesignSpace& space = ctx.space;
@@ -149,6 +153,16 @@ ExploreResult TwoStageExplorer::explore(const ExploreContext& ctx) const {
   }
 
   std::vector<std::size_t> seeds;
+  // Warm seeds first: points a donor kernel already *measured* as good
+  // outrank every analytical guess, and profile_batch's
+  // first-occurrence-wins dedup keeps them ahead of the slices below
+  // even when they coincide.
+  if (!params_.warm_flat_seeds.empty()) {
+    static Counter& warm_seeds = MetricsRegistry::global().counter("dse.warm_seeds");
+    warm_seeds.add(params_.warm_flat_seeds.size());
+    seeds.insert(seeds.end(), params_.warm_flat_seeds.begin(),
+                 params_.warm_flat_seeds.end());
+  }
   // Extremal candidates: noise can promote any near-optimal point to
   // the measured extreme, so profile the top slice of each objective
   // (ties broken by flat index — deterministic at any job count).
@@ -308,6 +322,10 @@ void TwoStageExplorer::add_to_key(Hasher& h) const {
   h.add(static_cast<std::uint64_t>(params_.seed_configs.size()));
   for (const std::size_t ci : params_.seed_configs)
     h.add(static_cast<std::uint64_t>(ci));
+  h.add("warm-seeds");
+  h.add(static_cast<std::uint64_t>(params_.warm_flat_seeds.size()));
+  for (const std::size_t flat : params_.warm_flat_seeds)
+    h.add(static_cast<std::uint64_t>(flat));
 }
 
 // make_explorer lives here (not explorer.cpp) because it is the one

@@ -41,6 +41,12 @@ class TwoStageExplorer final : public Explorer {
     /// Config indices (into DesignSpace::configs) favoured by the
     /// model-seeding stage — the COBAYN-predicted CFs in the pipeline.
     std::vector<std::size_t> seed_configs;
+    /// Warm-start hook: *flat* design-point indices profiled first,
+    /// before any analytically-derived seed.  Fed by the server's
+    /// cross-tenant knowledge pool (a donor kernel's best measured
+    /// points mapped into this space — docs/SERVER.md); empty for a
+    /// cold start.  Participates in the artifact-cache key.
+    std::vector<std::size_t> warm_flat_seeds;
   };
 
   explicit TwoStageExplorer(Params params);

@@ -3,9 +3,11 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <locale>
 #include <ostream>
 #include <sstream>
 
+#include "support/bench_json.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -24,17 +26,14 @@ constexpr const char* kMetricsHeader = "# metrics: ";
 
 double parse_double(const std::string& cell, std::size_t line_no,
                     const std::string& column) {
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(cell, &consumed);
-    if (consumed != cell.size())
-      format_fail(line_no, "trailing characters in " + column + " cell '" + cell + "'");
-    return value;
-  } catch (const std::invalid_argument&) {
+  // parse_strict_double, not std::stod: stod follows the global C
+  // locale, so under a comma-decimal locale "0.5" parses as 0 and a
+  // loaded knowledge base silently changes.  Strictness also rejects
+  // hexfloat / "inf" / "nan" cells a CSV should never contain.
+  const auto value = parse_strict_double(trim(cell));
+  if (!value)
     format_fail(line_no, "non-numeric " + column + " cell '" + cell + "'");
-  } catch (const std::out_of_range&) {
-    format_fail(line_no, "out-of-range " + column + " cell '" + cell + "'");
-  }
+  return *value;
 }
 
 int parse_int(const std::string& cell, std::size_t line_no, const std::string& column) {
@@ -49,6 +48,10 @@ int parse_int(const std::string& cell, std::size_t line_no, const std::string& c
 }  // namespace
 
 void save_knowledge(const KnowledgeBase& kb, std::ostream& out) {
+  // A globally-imbued locale would spell the radix point as ',' (the
+  // CSV separator!) and group knob digits; force the classic locale for
+  // the duration of the write.
+  const std::locale previous = out.imbue(std::locale::classic());
   out << kKnobsHeader << join(kb.knob_names(), ",") << '\n';
   out << kMetricsHeader << join(kb.metric_names(), ",") << '\n';
 
@@ -72,6 +75,7 @@ void save_knowledge(const KnowledgeBase& kb, std::ostream& out) {
     for (const auto& m : op.metrics) out << ',' << m.mean << ',' << m.stddev;
     out << '\n';
   }
+  out.imbue(previous);
 }
 
 std::string knowledge_to_string(const KnowledgeBase& kb) {

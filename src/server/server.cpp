@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "cobayn/cobayn.hpp"
 #include "observability/metrics.hpp"
 #include "support/chaos.hpp"
 #include "support/env.hpp"
@@ -80,6 +81,15 @@ ServerOptions ServerOptions::from_env() {
   } else {
     o.policy = BackpressurePolicy::kBlock;
   }
+  o.share_knowledge = env::flag_or("SOCRATES_SERVER_SHARE_KNOWLEDGE", o.share_knowledge);
+  o.pool_distance_threshold = env::real_or("SOCRATES_SERVER_POOL_DISTANCE",
+                                           o.pool_distance_threshold, 0.0, 10.0);
+  o.pool_publish_after =
+      env::size_or("SOCRATES_SERVER_POOL_PUBLISH", o.pool_publish_after, 1, 1u << 24);
+  o.pool_max_representatives =
+      env::size_or("SOCRATES_SERVER_POOL_REPS", o.pool_max_representatives, 1, 4096);
+  o.pool_max_entries =
+      env::size_or("SOCRATES_SERVER_POOL_ENTRIES", o.pool_max_entries, 1, 1u << 20);
   // Storage-resilience knobs ride the checkpoint layer's own env
   // (SOCRATES_CHECKPOINT_GENERATIONS / _FSYNC / _PROBE_MS) so embedded
   // and served AS-RTMs are governed by one setting.
@@ -117,6 +127,18 @@ Server::Server(ServerOptions options)
                  << ": " << ec.message() << " — persistence disabled";
       options_.checkpoint_dir.clear();
     }
+  }
+  if (options_.share_knowledge) {
+    KnowledgePool::Options popts;
+    popts.distance_threshold = options_.pool_distance_threshold;
+    popts.max_entries = options_.pool_max_entries;
+    popts.max_representatives = options_.pool_max_representatives;
+    popts.generations = options_.checkpoint_generations;
+    // The pool persists next to the tenant checkpoints (memory-only
+    // when persistence is off) and shares their generation policy.
+    if (!options_.checkpoint_dir.empty())
+      popts.path = options_.checkpoint_dir + "/knowledge_pool.kp";
+    pool_ = std::make_unique<KnowledgePool>(std::move(popts));
   }
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
@@ -187,12 +209,89 @@ void Server::build_tenant_runtime(Tenant& tenant) {
 bool Server::register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
                              std::function<void(margot::Asrtm&)> configure,
                              TenantHandle* out_handle) {
+  const CreateResult result =
+      create_tenant(name, std::move(knowledge), std::move(configure), {});
+  if (result.created && out_handle != nullptr) *out_handle = result.handle;
+  return result.created;
+}
+
+std::size_t Server::seed_knowledge(margot::KnowledgeBase& knowledge,
+                                   const margot::KnowledgeBase& donor) {
+  // Transfer requires an identical schema: knob/metric name lists must
+  // match exactly, or a donor metric would land in the wrong column.
+  if (knowledge.knob_names() != donor.knob_names() ||
+      knowledge.metric_names() != donor.metric_names())
+    return 0;
+  // Rebuild rather than patch in place: a donor point whose knob
+  // configuration exists in the design-time KB replaces that point's
+  // metrics (the donor's are feedback-corrected measurements, the
+  // tenant's are design-time estimates); unseen configurations append.
+  margot::KnowledgeBase seeded(knowledge.knob_names(), knowledge.metric_names());
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < knowledge.size(); ++i) {
+    margot::OperatingPoint op = knowledge[i];
+    if (const auto hit = donor.find(op.knobs)) {
+      op = donor[*hit];
+      ++merged;
+    }
+    seeded.add(std::move(op));
+  }
+  for (std::size_t i = 0; i < donor.size(); ++i) {
+    margot::OperatingPoint op = donor[i];
+    if (!knowledge.find(op.knobs)) {
+      seeded.add(std::move(op));
+      ++merged;
+    }
+  }
+  knowledge = std::move(seeded);
+  return merged;
+}
+
+CreateResult Server::create_tenant(const std::string& name,
+                                   margot::KnowledgeBase knowledge,
+                                   std::function<void(margot::Asrtm&)> configure,
+                                   const TenantProfile& profile) {
   SOCRATES_REQUIRE(!knowledge.empty());
+  CreateResult result;
   std::lock_guard<std::mutex> lock(registration_mu_);
   const std::size_t slot = tenant_count_.load(std::memory_order_relaxed);
   if (slot >= options_.max_tenants) {
     MetricsRegistry::global().counter("server.tenants_rejected").add(1);
-    return false;
+    return result;
+  }
+  // Probe the pool before the AS-RTM is built so a warm start seeds the
+  // knowledge the runtime is constructed from.
+  if (pool_ && profile.features) {
+    if (const auto match = pool_->lookup(*profile.features)) {
+      const std::size_t seeded =
+          seed_knowledge(knowledge, match->entry.representatives);
+      if (seeded > 0) {
+        result.warm_started = true;
+        result.donor = match->entry.donor;
+        result.pool_distance = match->distance;
+        result.seeded_points = seeded;
+        MetricsRegistry::global().counter("server.pool_seeded_points").add(seeded);
+        // Warm DSE posterior: donor ⊕ own, weight-proportional.  A
+        // donor posterior of a different size is a model-schema
+        // mismatch — keep the tenant's own.
+        if (profile.posterior.empty()) {
+          result.warm_posterior = match->entry.posterior;
+        } else if (match->entry.posterior.empty()) {
+          result.warm_posterior = profile.posterior;
+        } else if (profile.posterior.size() == match->entry.posterior.size()) {
+          result.warm_posterior = cobayn::CobaynModel::merge_posterior(
+              profile.posterior, profile.posterior_weight, match->entry.posterior,
+              match->entry.posterior_weight);
+        } else {
+          MetricsRegistry::global().counter("server.pool_schema_mismatches").add(1);
+          result.warm_posterior = profile.posterior;
+        }
+      } else {
+        // Matched on features but the knob/metric schema differs: the
+        // donor's points cannot be mapped — cold start.
+        MetricsRegistry::global().counter("server.pool_schema_mismatches").add(1);
+      }
+    }
   }
   auto tenant = std::make_unique<Tenant>(std::move(knowledge));
   tenant->name = name;
@@ -201,25 +300,43 @@ bool Server::register_tenant(const std::string& name, margot::KnowledgeBase know
   tenant->configure = std::move(configure);
   tenant->op_count = tenant->knowledge.size();
   tenant->metric_count = tenant->knowledge.metric_names().size();
+  tenant->has_features = profile.features.has_value();
+  if (profile.features) tenant->features = *profile.features;
+  tenant->posterior = profile.posterior;
+  tenant->posterior_weight = profile.posterior_weight;
+  tenant->warm_started = result.warm_started;
   tenant->bucket = options_.rate_limit_per_s > 0.0
                        ? TokenBucket(options_.rate_limit_per_s, options_.rate_burst)
                        : TokenBucket();
   tenant->breaker = CircuitBreaker(options_.breaker);
+  // Slot-boundary exception safety: the slot is occupied only between
+  // the two statements below, and tenant_count_ is published last —
+  // if the runtime build (AS-RTM ctor, configure functor, checkpoint
+  // attach) throws, the catch releases the slot so the next
+  // registration reuses it and the max_tenants cap never erodes.
+  tenants_[slot] = std::move(tenant);
   try {
-    build_tenant_runtime(*tenant);
+    build_tenant_runtime(*tenants_[slot]);
   } catch (const std::exception& e) {
     log_warn() << "server: tenant " << name << " rejected, runtime build failed: "
                << e.what();
+    tenants_[slot].reset();
     MetricsRegistry::global().counter("server.tenants_rejected").add(1);
-    return false;
+    result.warm_started = false;
+    result.warm_posterior.clear();
+    return result;
   }
-  tenants_[slot] = std::move(tenant);
   // Publish after the entry is fully built: readers gate on tenant_count_.
   tenant_count_.store(slot + 1, std::memory_order_release);
   MetricsRegistry::global().gauge("server.tenants").set(
       static_cast<double>(slot + 1));
-  if (out_handle != nullptr) *out_handle = slot;
-  return true;
+  if (result.warm_started) {
+    warm_started_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("server.warm_tenants").add(1);
+  }
+  result.created = true;
+  result.handle = slot;
+  return result;
 }
 
 std::size_t Server::shard_of(TenantHandle handle) const {
@@ -500,12 +617,55 @@ void Server::shard_worker(std::size_t index) {
       // landed invalidates the published decision.  A bump after the
       // unlock can only cost a fast path, never serve a stale best.
       if (applied > 0) tenant.mutation_stamp.fetch_add(1, std::memory_order_release);
-      tenant.applied.fetch_add(applied, std::memory_order_relaxed);
+      const std::uint64_t total =
+          tenant.applied.fetch_add(applied, std::memory_order_relaxed) + applied;
+      // Convergence donation: once enough feedback has been applied the
+      // tenant's corrections are trustworthy — publish its knowledge to
+      // the pool exactly once (checkpoint_all refreshes it later).  The
+      // exchange makes the one-shot race-free against a concurrent
+      // checkpoint_all.
+      if (pool_ && tenant.has_features && total >= options_.pool_publish_after &&
+          !tenant.pool_published.exchange(true, std::memory_order_relaxed)) {
+        publish_to_pool(tenant);
+      }
       i = j;
     }
     shard.drained.fetch_add(n, std::memory_order_relaxed);
     drained_c.add(n);
   }
+}
+
+void Server::publish_to_pool(Tenant& tenant) {
+  if (!pool_ || !tenant.has_features) return;
+  PoolEntry entry;
+  entry.donor = tenant.name;
+  entry.features = tenant.features;
+  entry.posterior = tenant.posterior;
+  entry.posterior_weight = tenant.posterior_weight;
+  entry.feedback_updates = tenant.applied.load(std::memory_order_relaxed);
+  // What transfers is the *corrected* knowledge: the design-time metric
+  // columns scaled by the AS-RTM's learned per-metric correction (the
+  // EWMA ratio of observed to predicted), i.e. the server's best
+  // current estimate of what this kernel actually measures.
+  margot::KnowledgeBase corrected(tenant.knowledge.knob_names(),
+                                  tenant.knowledge.metric_names());
+  {
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    const std::size_t metrics = tenant.knowledge.metric_names().size();
+    std::vector<double> factor(metrics, 1.0);
+    for (std::size_t m = 0; m < metrics; ++m)
+      factor[m] = tenant.asrtm->correction(m);
+    for (std::size_t i = 0; i < tenant.knowledge.size(); ++i) {
+      margot::OperatingPoint op = tenant.knowledge[i];
+      for (std::size_t m = 0; m < metrics; ++m) {
+        op.metrics[m].mean *= factor[m];
+        op.metrics[m].stddev *= std::abs(factor[m]);
+      }
+      corrected.add(std::move(op));
+    }
+  }
+  entry.representatives = std::move(corrected);
+  pool_->publish(std::move(entry));
 }
 
 std::size_t Server::count_durability_degraded() const {
@@ -632,6 +792,19 @@ void Server::checkpoint_all() {
   MetricsRegistry::global()
       .gauge("server.durability_degraded_tenants")
       .set(static_cast<double>(degraded));
+  // Clean-shutdown point: every featured tenant donates its current
+  // corrected knowledge (convergence threshold waived — whatever was
+  // learned is worth persisting), then the pool snapshots next to the
+  // tenant checkpoints.
+  if (pool_) {
+    for (std::size_t t = 0; t < count; ++t) {
+      Tenant& tenant = *tenants_[t];
+      if (!tenant.has_features) continue;
+      tenant.pool_published.store(true, std::memory_order_relaxed);
+      publish_to_pool(tenant);
+    }
+    pool_->save();
+  }
 }
 
 Server::Stats Server::stats() const {
@@ -652,6 +825,8 @@ Server::Stats Server::stats() const {
     s.breaker_trips += tenants_[t]->breaker.trips();
   }
   s.durability_degraded = count_durability_degraded();
+  s.pool_entries = pool_ ? pool_->size() : 0;
+  s.warm_started = warm_started_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -45,15 +45,18 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "features/features.hpp"
 #include "margot/asrtm.hpp"
 #include "margot/checkpoint.hpp"
 #include "margot/operating_point.hpp"
 #include "server/circuit_breaker.hpp"
+#include "server/knowledge_pool.hpp"
 #include "server/mpsc_ring.hpp"
 #include "server/token_bucket.hpp"
 
@@ -94,11 +97,25 @@ struct ServerOptions {
   double checkpoint_probe_max_s = 2.0;
   std::size_t checkpoint_journal_max_bytes = 0;
 
+  // Cross-tenant knowledge sharing (server/knowledge_pool.hpp;
+  // docs/SERVER.md, "Cross-tenant knowledge sharing").  When enabled, a
+  // tenant registered through create_tenant() with a feature vector is
+  // warm-started from the nearest converged donor within
+  // pool_distance_threshold, and publishes its own corrected knowledge
+  // back once pool_publish_after feedback events have been applied.
+  bool share_knowledge = true;
+  double pool_distance_threshold = 0.25;    ///< normalized feature distance
+  std::size_t pool_publish_after = 64;      ///< applied events before a tenant donates
+  std::size_t pool_max_representatives = 16;
+  std::size_t pool_max_entries = 256;
+
   /// Reads the SOCRATES_SERVER_* knobs (docs/SERVER.md) over these
   /// defaults through support/env (clamped, warn-once):
   ///   SOCRATES_SERVER_SHARDS, _RING, _BATCH, _MAX_TENANTS,
-  ///   _GROUP_COMMIT, _JOURNAL_CAP (sizes) and _POLICY
-  ///   ("block" | "drop-oldest" | "reject").
+  ///   _GROUP_COMMIT, _JOURNAL_CAP (sizes), _POLICY
+  ///   ("block" | "drop-oldest" | "reject"),
+  ///   _SHARE_KNOWLEDGE ("0" disables the pool),
+  ///   _POOL_DISTANCE, _POOL_PUBLISH, _POOL_REPS, _POOL_ENTRIES.
   /// The storage-resilience knobs come from the checkpoint layer's own
   /// environment (SOCRATES_CHECKPOINT_GENERATIONS, _FSYNC, _PROBE_MS —
   /// see CheckpointStore::Options::from_env), so one setting governs
@@ -127,6 +144,35 @@ enum class Admission {
 
 const char* to_string(Admission admission);
 
+/// Optional per-tenant context handed to Server::create_tenant.  A
+/// tenant with a feature vector participates in cross-tenant knowledge
+/// sharing: it can be warm-started from a similar converged donor at
+/// registration and donates its own corrected knowledge back once it
+/// converges.  A tenant without features (the default) always cold
+/// starts and never donates — byte-identical to register_tenant.
+struct TenantProfile {
+  std::optional<features::FeatureVector> features;
+  /// The tenant's own COBAYN posterior over compiler configurations
+  /// (CobaynModel::export_posterior), merged with a matched donor's at
+  /// warm start.  Empty = adopt the donor's posterior unweighted.
+  std::vector<double> posterior;
+  double posterior_weight = 0.0;
+};
+
+/// What Server::create_tenant did.
+struct CreateResult {
+  bool created = false;        ///< false: cap reached or runtime build threw
+  std::uint64_t handle = 0;    ///< valid only when created
+  bool warm_started = false;   ///< knowledge was seeded from a pool donor
+  std::string donor;           ///< donor tenant name when warm_started
+  double pool_distance = 0.0;  ///< feature distance to the donor
+  std::size_t seeded_points = 0;  ///< donor points merged into the KB
+  /// Merged posterior (donor ⊕ own, weight-proportional) for
+  /// warm-starting a DSE run (TwoStageExplorer::Params::warm_flat_seeds
+  /// via CobaynModel::top_configs); empty on a cold start.
+  std::vector<double> warm_posterior;
+};
+
 class Server {
  public:
   using TenantHandle = std::uint64_t;
@@ -154,6 +200,28 @@ class Server {
   bool register_tenant(const std::string& name, margot::KnowledgeBase knowledge,
                        std::function<void(margot::Asrtm&)> configure,
                        TenantHandle* out_handle);
+
+  /// register_tenant plus cross-tenant knowledge sharing.  When the
+  /// pool is enabled and `profile` carries a feature vector, the pool
+  /// is probed for a converged donor within the distance threshold:
+  /// on a hit, donor representatives overwrite matching knob
+  /// configurations in `knowledge` (their metrics are
+  /// feedback-corrected, hence more trustworthy than design-time
+  /// estimates), new configurations are appended, and the result's
+  /// warm_posterior carries the donor⊕own merged COBAYN posterior.  A
+  /// donor whose knob/metric schema differs is skipped
+  /// (server.pool_schema_mismatches) — the tenant cold-starts.
+  ///
+  /// Exception safety at the slot boundary: a registration that fails
+  /// after admission (runtime build or configure throws) releases its
+  /// reserved slot, so the next create_tenant can reuse it and the
+  /// max_tenants cap is never eroded by failed attempts.
+  CreateResult create_tenant(const std::string& name, margot::KnowledgeBase knowledge,
+                             std::function<void(margot::Asrtm&)> configure,
+                             const TenantProfile& profile = {});
+
+  /// The pool, or nullptr when sharing is disabled (tests, benches).
+  KnowledgePool* knowledge_pool() { return pool_.get(); }
 
   std::size_t tenant_count() const { return tenant_count_.load(std::memory_order_acquire); }
 
@@ -208,6 +276,9 @@ class Server {
   bool drain(double timeout_s);
 
   /// Snapshots every tenant's checkpoint now (clean-shutdown point).
+  /// Also republishes every featured tenant's corrected knowledge into
+  /// the pool — convergence threshold waived at the clean-shutdown
+  /// point — and persists the pool alongside the checkpoints.
   void checkpoint_all();
 
   // ---- introspection ---------------------------------------------------
@@ -223,6 +294,9 @@ class Server {
     std::uint64_t breaker_trips = 0; ///< over all tenants
     std::size_t tenants = 0;
     std::size_t durability_degraded = 0;  ///< tenants serving from memory only
+    // Cross-tenant knowledge sharing (0 when the pool is disabled).
+    std::size_t pool_entries = 0;    ///< donors currently in the pool
+    std::size_t warm_started = 0;    ///< tenants seeded from a donor
   };
   Stats stats() const;
 
@@ -271,6 +345,18 @@ class Server {
     // base so submit_feedback can range-check without any lock.
     std::size_t op_count = 0;
     std::size_t metric_count = 0;
+
+    // Knowledge-sharing profile (immutable after registration).  A
+    // tenant only donates to / draws from the pool when has_features.
+    bool has_features = false;
+    features::FeatureVector features;
+    std::vector<double> posterior;    ///< own COBAYN posterior (may be empty)
+    double posterior_weight = 0.0;
+    bool warm_started = false;        ///< seeded from a donor at creation
+    /// Set by the shard worker once this tenant's corrected knowledge
+    /// has been donated (one automatic publish per tenant; a later
+    /// checkpoint_all refreshes it).
+    std::atomic<bool> pool_published{false};
 
     std::mutex mu;  ///< guards asrtm + store (shard worker vs. decide/goal)
     std::unique_ptr<margot::Asrtm> asrtm;
@@ -344,6 +430,16 @@ class Server {
   /// stamp matches (returns true), otherwise takes the lock and
   /// decides (returns false).
   bool decide_one(Tenant& tenant, std::size_t& out);
+  /// Merges a pool donor's representatives into `knowledge` (same knob
+  /// config → metrics replaced, new config → appended).  Returns the
+  /// number of donor points merged; 0 on schema mismatch.
+  static std::size_t seed_knowledge(margot::KnowledgeBase& knowledge,
+                                    const margot::KnowledgeBase& donor);
+  /// Donates `tenant`'s feedback-corrected knowledge to the pool: each
+  /// metric column scaled by the AS-RTM's current correction factor.
+  /// Takes tenant.mu; no-op when the pool is off or the tenant has no
+  /// features.
+  void publish_to_pool(Tenant& tenant);
 
   ServerOptions options_;
   std::function<double()> now_;  ///< ingress clock (test-overridable)
@@ -357,6 +453,11 @@ class Server {
   std::unique_ptr<std::unique_ptr<Tenant>[]> tenants_;
   std::atomic<std::size_t> tenant_count_{0};
   std::mutex registration_mu_;
+
+  /// Cross-tenant knowledge pool; null when options_.share_knowledge is
+  /// off (create_tenant then behaves exactly like register_tenant).
+  std::unique_ptr<KnowledgePool> pool_;
+  std::atomic<std::size_t> warm_started_{0};
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::thread watchdog_;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "observability/metrics.hpp"
+#include "support/bench_json.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
@@ -17,48 +18,40 @@ namespace socrates {
 
 namespace {
 
+// parse_strict_double, not std::stod: stod honours the global C locale,
+// so under a comma-decimal locale "0.5" silently parses as 0 and the
+// injected fault rates change behind the caller's back.  The strict
+// grammar also rejects stod laxities (hex floats, "inf"/"nan", leading
+// '+') that were never meant to be part of the spec language.
+
 double parse_probability(const std::string& key, const std::string& value) {
-  std::size_t consumed = 0;
-  double p = 0.0;
-  try {
-    p = std::stod(value, &consumed);
-  } catch (const std::exception&) {
+  const auto p = parse_strict_double(value);
+  if (!p)
     throw Error("chaos spec: non-numeric value '" + value + "' for " + key);
-  }
-  if (consumed != value.size())
-    throw Error("chaos spec: trailing characters in '" + value + "' for " + key);
-  if (p < 0.0 || p > 1.0)
+  if (*p < 0.0 || *p > 1.0)
     throw Error("chaos spec: probability " + value + " for " + key +
                 " outside [0, 1]");
-  return p;
+  return *p;
 }
 
 double parse_millis(const std::string& key, const std::string& value) {
-  std::size_t consumed = 0;
-  double ms = 0.0;
-  try {
-    ms = std::stod(value, &consumed);
-  } catch (const std::exception&) {
+  const auto ms = parse_strict_double(value);
+  if (!ms)
     throw Error("chaos spec: non-numeric value '" + value + "' for " + key);
-  }
-  if (consumed != value.size() || ms < 0.0 || ms > 60000.0)
+  if (*ms < 0.0 || *ms > 60000.0)
     throw Error("chaos spec: duration '" + value + "' for " + key +
                 " must be in [0, 60000] ms");
-  return ms;
+  return *ms;
 }
 
 double parse_count(const std::string& key, const std::string& value) {
-  std::size_t consumed = 0;
-  double n = 0.0;
-  try {
-    n = std::stod(value, &consumed);
-  } catch (const std::exception&) {
+  const auto n = parse_strict_double(value);
+  if (!n)
     throw Error("chaos spec: non-numeric value '" + value + "' for " + key);
-  }
-  if (consumed != value.size() || n < 1.0 || n > 4096.0)
+  if (*n < 1.0 || *n > 4096.0)
     throw Error("chaos spec: count '" + value + "' for " + key +
                 " must be in [1, 4096]");
-  return n;
+  return *n;
 }
 
 /// Parses a crash-at value "<site>[:<n>]" into the spec.
@@ -150,6 +143,8 @@ ChaosSpec ChaosSpec::parse(std::string_view text) {
       spec.dse_explore = parse_probability(key, value);
     else if (key == "disk-full")
       spec.disk_full = parse_probability(key, value);
+    else if (key == "pool-corrupt")
+      spec.pool_corrupt = parse_probability(key, value);
     else if (key == "crash-at")
       parse_crash_at(spec, value);
     else if (key == "hang-ms")
@@ -198,11 +193,13 @@ ChaosEngine& ChaosEngine::global() {
 
 double ChaosEngine::draw(std::string_view site) {
   std::uint64_t n = 0;
+  std::uint64_t seed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     n = site_counters_[std::string(site)]++;
+    seed = spec_.seed;
   }
-  Rng rng(derive_stream(hash_combine(spec_.seed, stable_hash64(site)), n));
+  Rng rng(derive_stream(hash_combine(seed, stable_hash64(site)), n));
   return rng.uniform();
 }
 
@@ -219,14 +216,15 @@ bool ChaosEngine::decide(std::string_view site, double probability,
 
 void ChaosEngine::on_stage(std::string_view site) {
   if (!enabled()) return;
-  if (decide(site, spec_.stage_hang, "chaos.stage_hangs")) {
+  const ChaosSpec snap = spec();
+  if (decide(site, snap.stage_hang, "chaos.stage_hangs")) {
     std::this_thread::sleep_for(
-        std::chrono::microseconds(static_cast<std::int64_t>(spec_.hang_ms * 1000.0)));
-  } else if (decide(site, spec_.stage_slow, "chaos.stage_slowdowns")) {
+        std::chrono::microseconds(static_cast<std::int64_t>(snap.hang_ms * 1000.0)));
+  } else if (decide(site, snap.stage_slow, "chaos.stage_slowdowns")) {
     std::this_thread::sleep_for(
-        std::chrono::microseconds(static_cast<std::int64_t>(spec_.slow_ms * 1000.0)));
+        std::chrono::microseconds(static_cast<std::int64_t>(snap.slow_ms * 1000.0)));
   }
-  if (decide(site, spec_.stage_fail, "chaos.stage_faults")) {
+  if (decide(site, snap.stage_fail, "chaos.stage_faults")) {
     std::ostringstream os;
     os << "injected chaos fault at " << site;
     throw ChaosFault(os.str());
@@ -235,61 +233,74 @@ void ChaosEngine::on_stage(std::string_view site) {
 
 bool ChaosEngine::corrupt_read(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.cache_read, "chaos.cache_read_faults");
+  return decide(site, spec().cache_read, "chaos.cache_read_faults");
 }
 
 bool ChaosEngine::fail_write(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.cache_write, "chaos.cache_write_faults");
+  return decide(site, spec().cache_write, "chaos.cache_write_faults");
 }
 
 bool ChaosEngine::drop_rename(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.cache_tmp, "chaos.cache_stale_tmps");
+  return decide(site, spec().cache_tmp, "chaos.cache_stale_tmps");
 }
 
 bool ChaosEngine::stall_shard(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.shard_stall, "chaos.shard_stalls");
+  return decide(site, spec().shard_stall, "chaos.shard_stalls");
 }
 
 bool ChaosEngine::flood_ingest(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.ingest_flood, "chaos.ingest_floods");
+  return decide(site, spec().ingest_flood, "chaos.ingest_floods");
 }
 
 bool ChaosEngine::fail_journal(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.journal_fail, "chaos.journal_faults");
+  return decide(site, spec().journal_fail, "chaos.journal_faults");
 }
 
 bool ChaosEngine::fail_disk(std::string_view site) {
   if (!enabled()) return false;
-  return decide(site, spec_.disk_full, "chaos.disk_full_faults");
+  return decide(site, spec().disk_full, "chaos.disk_full_faults");
+}
+
+bool ChaosEngine::corrupt_pool(std::string_view site) {
+  if (!enabled()) return false;
+  return decide(site, spec().pool_corrupt, "chaos.pool_corruptions");
 }
 
 bool ChaosEngine::crash_now(std::string_view site) {
-  if (!enabled() || spec_.crash_site.empty() || site != spec_.crash_site)
-    return false;
+  if (!enabled()) return false;
   std::uint64_t arrival = 0;
+  std::uint64_t crash_after = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (spec_.crash_site.empty() || site != spec_.crash_site) return false;
+    crash_after = spec_.crash_after;
     arrival = ++site_counters_[std::string("crash.").append(site)];
   }
-  if (arrival != spec_.crash_after) return false;
+  if (arrival != crash_after) return false;
   injected_.fetch_add(1, std::memory_order_relaxed);
   MetricsRegistry::global().counter("chaos.crash_points").add(1);
   return true;
 }
 
 bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index) const {
-  return fire_indexed(site, index, spec_.stage_fail, "chaos.point_faults");
+  if (!enabled()) return false;
+  return fire_indexed(site, index, spec().stage_fail, "chaos.point_faults");
 }
 
 bool ChaosEngine::fire_indexed(std::string_view site, std::uint64_t index,
                                double probability, const char* counter_name) const {
   if (!enabled() || probability <= 0.0) return false;
-  Rng rng(derive_stream(hash_combine(spec_.seed, stable_hash64(site)), index));
+  std::uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed = spec_.seed;
+  }
+  Rng rng(derive_stream(hash_combine(seed, stable_hash64(site)), index));
   const bool fire = rng.uniform() < probability;
   if (fire) {
     injected_.fetch_add(1, std::memory_order_relaxed);

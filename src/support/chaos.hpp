@@ -17,7 +17,7 @@
 //   key            = stage-fail | stage-hang | stage-slow
 //                  | cache-read | cache-write | cache-tmp
 //                  | shard-stall | ingest-flood | journal-fail
-//                  | dse-explore | disk-full | crash-at
+//                  | dse-explore | disk-full | pool-corrupt | crash-at
 //                  | hang-ms | slow-ms | stall-ms | flood-burst
 //
 // The fault keys take per-call probabilities in [0, 1]; hang-ms /
@@ -28,7 +28,9 @@
 // `ingest-flood` duplicates a submitted feedback event flood-burst
 // times (exercising backpressure shedding), and `journal-fail` makes a
 // checkpoint group-commit flush fail (the batch is lost, exactly like
-// a crash between commits).  Example:
+// a crash between commits), and `pool-corrupt` makes a knowledge-pool
+// lookup behave as if the matched entry were damaged (the tenant falls
+// back to a cold start — docs/SERVER.md).  Example:
 //
 //   SOCRATES_CHAOS="stage-fail=0.2,cache-write=0.1:2024"
 //
@@ -90,6 +92,7 @@ struct ChaosSpec {
   double journal_fail = 0.0; ///< P(a checkpoint group-commit flush fails)
   double dse_explore = 0.0;  ///< P(a DSE explorer search round is voided)
   double disk_full = 0.0;    ///< P(a checkpoint disk operation hits ENOSPC)
+  double pool_corrupt = 0.0; ///< P(a knowledge-pool lookup sees a corrupt entry)
   double hang_ms = 50.0;
   double slow_ms = 5.0;
   double stall_ms = 80.0;    ///< duration of an injected shard stall
@@ -105,7 +108,7 @@ struct ChaosSpec {
     return stage_fail > 0 || stage_hang > 0 || stage_slow > 0 || cache_read > 0 ||
            cache_write > 0 || cache_tmp > 0 || shard_stall > 0 ||
            ingest_flood > 0 || journal_fail > 0 || dse_explore > 0 ||
-           disk_full > 0 || !crash_site.empty();
+           disk_full > 0 || pool_corrupt > 0 || !crash_site.empty();
   }
 
   /// The six checkpoint write boundaries crash-at accepts.
@@ -126,7 +129,14 @@ class ChaosEngine {
   void disarm();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  const ChaosSpec& spec() const { return spec_; }
+
+  /// A consistent copy of the armed spec.  By value: install() may run
+  /// concurrently (a test arming chaos while shard workers poll their
+  /// sites), so readers must never alias the mutable spec_.
+  ChaosSpec spec() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spec_;
+  }
 
   /// Stage-entry hook: may throw ChaosFault or sleep (hang/slow),
   /// according to the site's deterministic schedule.  `site` should be
@@ -149,6 +159,11 @@ class ChaosEngine {
   /// Disk-full hook for CheckpointStore I/O (site "checkpoint.disk"):
   /// true = this disk operation fails as if the device were full.
   bool fail_disk(std::string_view site);
+
+  /// Knowledge-pool hook (site "server.pool"): true = the entry a
+  /// lookup matched must be treated as corrupt (caller degrades the
+  /// tenant to a cold start).
+  bool corrupt_pool(std::string_view site);
 
   /// Crash-point hook: true exactly once, at the spec's crash_after-th
   /// arrival at the armed crash site (`site` is the short boundary

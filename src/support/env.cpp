@@ -6,6 +6,7 @@
 #include <mutex>
 #include <set>
 
+#include "support/bench_json.hpp"
 #include "support/log.hpp"
 
 namespace socrates::env {
@@ -76,14 +77,15 @@ std::size_t size_or(const char* name, std::size_t fallback, std::size_t lo,
 double parse_real(const char* name, const std::string& value, double fallback,
                   double lo, double hi) {
   if (value.empty()) return fallback;
-  const char* text = value.c_str();
-  char* end = nullptr;
-  errno = 0;
-  const double parsed = std::strtod(text, &end);
-  if (end == text || *end != '\0' || !std::isfinite(parsed)) {
+  // Strict locale-independent grammar, not strtod: under a
+  // comma-decimal locale strtod reads "0.25" as 0, silently changing
+  // every real-valued knob.
+  const auto strict = parse_strict_double(value);
+  if (!strict || !std::isfinite(*strict)) {
     warn_once_real(name, value, "is not a finite number", fallback);
     return fallback;
   }
+  const double parsed = *strict;
   if (parsed < lo) {
     warn_once_real(name, value, "is below the minimum", lo);
     return lo;
@@ -134,6 +136,12 @@ std::string choice_or(const char* name, const std::string& fallback,
 bool flag(const char* name) {
   const auto value = raw(name);
   return value && !value->empty() && *value != "0";
+}
+
+bool flag_or(const char* name, bool fallback) {
+  const auto value = raw(name);
+  if (!value || value->empty()) return fallback;
+  return *value != "0";
 }
 
 void reset_warnings() {

@@ -61,6 +61,11 @@ std::string parse_choice(const char* name, const std::string& value,
 /// True when the variable is set to anything but "" or "0".
 bool flag(const char* name);
 
+/// Like flag(), but an unset or empty variable yields `fallback`
+/// instead of false — for features that default *on* and are disabled
+/// with NAME=0 (e.g. SOCRATES_SERVER_SHARE_KNOWLEDGE).
+bool flag_or(const char* name, bool fallback);
+
 /// Forgets which variables have already warned (tests only).
 void reset_warnings();
 

@@ -1,0 +1,140 @@
+// Degenerate-input hardening of the COBAYN model: zero-training-row
+// artifacts, non-finite feature vectors, over-large distinct-sample
+// counts, and the posterior export/merge API the cross-tenant knowledge
+// pool is built on (docs/MODEL.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cobayn/cobayn.hpp"
+#include "cobayn/corpus.hpp"
+#include "kernels/sources.hpp"
+#include "platform/compiler_model.hpp"
+#include "support/error.hpp"
+
+namespace socrates::cobayn {
+namespace {
+
+const CobaynModel& trained() {
+  static const CobaynModel kModel = [] {
+    return CobaynModel::train(make_corpus(48, 2018),
+                              platform::PerformanceModel::paper_platform());
+  }();
+  return kModel;
+}
+
+features::FeatureVector sample_features() {
+  return kernel_features_of_source(kernels::benchmark_source("mvt"));
+}
+
+/// The trained model's artifact with its training-row count rewritten
+/// to zero — the shape a corrupted or empty-corpus artifact arrives in.
+CobaynModel zero_row_model() {
+  std::stringstream ss;
+  trained().save(ss);
+  std::string text = ss.str();
+  const std::string prefix = "cobayn v1 ";
+  EXPECT_EQ(text.rfind(prefix, 0), 0u);
+  const std::size_t rows_end = text.find(' ', prefix.size());
+  text.replace(prefix.size(), rows_end - prefix.size(), "0");
+  std::istringstream in(text);
+  return CobaynModel::load(in);
+}
+
+TEST(CobaynDegenerate, ZeroTrainingRowsRaisesNamedError) {
+  const CobaynModel empty = zero_row_model();
+  EXPECT_EQ(empty.training_rows(), 0u);
+  const auto fv = sample_features();
+  try {
+    empty.predict(fv, 4);
+    FAIL() << "predict on a zero-row model must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("zero training rows"), std::string::npos);
+  }
+  EXPECT_THROW(empty.predict_named(fv, 4), ContractViolation);
+  EXPECT_THROW(empty.export_posterior(fv), ContractViolation);
+  Rng rng(1);
+  EXPECT_THROW(empty.sample_configs(rng, fv, 4), ContractViolation);
+}
+
+TEST(CobaynDegenerate, NonFiniteFeatureRaisesNamedError) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    auto fv = sample_features();
+    fv.values[CobaynModel::model_feature_indices().front()] = bad;
+    try {
+      trained().predict(fv, 4);
+      FAIL() << "predict on a non-finite feature must throw";
+    } catch (const ContractViolation& e) {
+      const std::string what = e.what();
+      // The error names the offending feature so the caller can find
+      // the upstream extraction bug.
+      EXPECT_NE(what.find("non-finite feature"), std::string::npos) << what;
+      EXPECT_NE(what.find("f_"), std::string::npos) << what;
+    }
+    EXPECT_THROW(trained().export_posterior(fv), ContractViolation);
+  }
+}
+
+TEST(CobaynDegenerate, DistinctSamplingCoversAndClampsTheWholeSpace) {
+  const std::size_t space = std::size_t{2} << platform::kFlagCount;
+  const auto fv = sample_features();
+  Rng rng(7);
+  // Asking for exactly the whole space terminates (the zero-mass tail
+  // falls back to ranked order instead of rejection-looping) and yields
+  // every configuration exactly once.
+  const auto all = trained().sample_configs(rng, fv, space);
+  ASSERT_EQ(all.size(), space);
+  std::set<std::string> seen;
+  for (const auto& cfg : all) seen.insert(cfg.pragma_options());
+  EXPECT_EQ(seen.size(), space);
+  // More than the space clamps instead of throwing or duplicating.
+  Rng rng2(7);
+  EXPECT_EQ(trained().sample_configs(rng2, fv, space * 10).size(), space);
+}
+
+TEST(CobaynDegenerate, ExportedPosteriorIsANormalizedDistribution) {
+  const auto posterior = trained().export_posterior(sample_features());
+  ASSERT_EQ(posterior.size(), std::size_t{2} << platform::kFlagCount);
+  double total = 0.0;
+  for (const double p : posterior) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CobaynDegenerate, MergePosteriorIsWeightProportionalAndGuarded) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  const auto merged = CobaynModel::merge_posterior(a, 1.0, b, 3.0);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0], 0.25);
+  EXPECT_DOUBLE_EQ(merged[1], 0.75);
+  EXPECT_THROW(CobaynModel::merge_posterior(a, 1.0, {0.5}, 1.0), ContractViolation);
+  EXPECT_THROW(CobaynModel::merge_posterior(a, -1.0, b, 2.0), ContractViolation);
+  EXPECT_THROW(CobaynModel::merge_posterior(a, 0.0, b, 0.0), ContractViolation);
+}
+
+TEST(CobaynDegenerate, TopConfigsAreTheRankedPosteriorHead) {
+  using platform::FlagConfig;
+  using platform::OptLevel;
+  std::vector<double> posterior(std::size_t{2} << platform::kFlagCount, 0.0);
+  posterior[5] = 0.5;    // O2, flag bits 5
+  posterior[100] = 0.3;  // O3 (bit 6 set), flag bits 36
+  posterior[0] = 0.2;    // plain O2
+  const auto top = CobaynModel::top_configs(posterior, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], FlagConfig(OptLevel::kO2, 5));
+  EXPECT_EQ(top[1], FlagConfig(OptLevel::kO3, 36));
+  EXPECT_EQ(top[2], FlagConfig(OptLevel::kO2, 0));
+  EXPECT_THROW(CobaynModel::top_configs({0.5, 0.5}, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace socrates::cobayn

@@ -18,6 +18,8 @@
 #include "kernels/registry.hpp"
 #include "kernels/sources.hpp"
 #include "observability/trace.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/task_pool.hpp"
 
 namespace socrates {
@@ -119,6 +121,63 @@ TEST(ParallelDeterminism, TwoStageExplorerIsByteIdenticalAtAnyJobCount) {
     EXPECT_EQ(parallel.evaluated, baseline.evaluated) << "jobs=" << jobs;
     EXPECT_EQ(parallel.generations, baseline.generations) << "jobs=" << jobs;
   }
+}
+
+TEST(ParallelDeterminism, WarmSeededTwoStageIsByteIdenticalAtAnyJobCount) {
+  // Warm-start seeds (the server's cross-tenant pool hands these over)
+  // must preserve the determinism contract: same seeds + same arrival
+  // order give the same profiled set at any job count, and the seeded
+  // points are profiled first.
+  const auto space = dse::DesignSpace::paper_space(model().topology());
+  const auto& kernel = kernels::find_benchmark("2mm").model;
+  dse::TwoStageExplorer::Params params;
+  params.seed_configs = {4, 5};
+  params.warm_flat_seeds = {17, 3, 91};
+  const dse::TwoStageExplorer explorer(params);
+
+  TaskPool serial(1);
+  dse::ExploreContext ctx{model(), kernel, space, 3, 777, 1.0, &serial, 1};
+  const auto baseline = explorer.explore(ctx);
+  const std::string baseline_bytes = profile_bytes(baseline.points);
+  ASSERT_GE(baseline.points.size(), 3u);
+  // Every warm seed was actually profiled (the result list is ordered
+  // by flat index, so membership — not position — is the contract),
+  // and its measurements are bit-identical to a direct profile of the
+  // same flat index.
+  const auto direct = dse::detail::profile_flat_supervised(ctx, params.warm_flat_seeds);
+  ASSERT_EQ(direct.points.size(), params.warm_flat_seeds.size());
+  for (const auto& want : direct.points) {
+    const bool present = std::any_of(
+        baseline.points.begin(), baseline.points.end(), [&](const auto& p) {
+          return p.config_index == want.config_index &&
+                 p.configuration.threads == want.configuration.threads &&
+                 p.configuration.binding == want.configuration.binding &&
+                 p.exec_time_mean_s == want.exec_time_mean_s &&
+                 p.power_mean_w == want.power_mean_w;
+        });
+    EXPECT_TRUE(present) << "warm seed missing: " << want.config_name;
+  }
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    TaskPool pool(jobs);
+    dse::ExploreContext pctx{model(), kernel, space, 3, 777, 1.0, &pool, 1};
+    EXPECT_EQ(profile_bytes(explorer.explore(pctx).points), baseline_bytes)
+        << "jobs=" << jobs;
+  }
+
+  // The seeds are part of the explorer identity (artifact-cache key).
+  dse::TwoStageExplorer::Params other = params;
+  other.warm_flat_seeds = {3, 17, 91};
+  Hasher a;
+  Hasher b;
+  explorer.add_to_key(a);
+  dse::TwoStageExplorer(other).add_to_key(b);
+  EXPECT_NE(a.digest(), b.digest());
+
+  // A seed outside the space is a caller bug, named.
+  dse::TwoStageExplorer::Params bad = params;
+  bad.warm_flat_seeds = {space.size()};
+  EXPECT_THROW(dse::TwoStageExplorer(bad).explore(ctx), ContractViolation);
 }
 
 TEST(ParallelDeterminism, TwoStagePointsMatchTheFullSweepBitForBit) {
